@@ -1,0 +1,113 @@
+// Ablation A6: X-tree vs the plain R*-tree it extends. The X-tree's
+// overlap-free splits + supernodes are its §5 contribution; on
+// high-dimensional data the R*-tree's overlapping directory forces many
+// more node reads. Both are bulk-loaded identically, so the dynamic
+// split machinery is exercised by first bulk-loading half the data and
+// inserting the rest.
+
+#include "bench_common.h"
+#include "data/generators.h"
+#include "xtree/x_tree.h"
+
+#include "rstar/r_star_tree.h"
+
+int main(int argc, char** argv) {
+  using namespace iq;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const size_t n = args.Scale(100000, 20000);
+
+  struct NamedWorkload {
+    const char* name;
+    size_t dims;
+    Dataset data;
+  };
+  NamedWorkload workloads[] = {
+      {"UNIFORM-8d", 8, GenerateUniform(n + args.queries, 8, args.seed)},
+      {"UNIFORM-16d", 16, GenerateUniform(n + args.queries, 16, args.seed)},
+      {"CAD-16d", 16, GenerateCadLike(n + args.queries, 16, args.seed)},
+      {"WEATHER-9d", 9, GenerateWeatherLike(n + args.queries, 9, args.seed)},
+  };
+
+  std::printf("Ablation: X-tree vs R*-tree vs IQ-tree "
+              "(%zu points, half bulk-loaded, half inserted)\n\n", n);
+  Table table({"workload", "R*-tree", "X-tree", "IQ-tree", "supernodes",
+               "reinserts"});
+  for (NamedWorkload& workload : workloads) {
+    const Dataset queries = workload.data.TakeTail(args.queries);
+    // Split the data: first half bulk-loaded, second half inserted, so
+    // the trees' dynamic split paths shape the final directories.
+    Dataset bulk(workload.dims);
+    Dataset stream(workload.dims);
+    for (size_t i = 0; i < workload.data.size(); ++i) {
+      (i < workload.data.size() / 2 ? bulk : stream)
+          .Append(workload.data[i]);
+    }
+
+    auto run = [&](auto&& build_fn) -> double {
+      MemoryStorage storage;
+      DiskModel disk(args.disk);
+      auto tree = build_fn(storage, disk);
+      for (size_t i = 0; i < stream.size(); ++i) {
+        if (!tree->Insert(static_cast<PointId>(bulk.size() + i), stream[i])
+                 .ok()) {
+          std::exit(1);
+        }
+      }
+      disk.ResetStats();
+      disk.InvalidateHead();
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        if (!tree->NearestNeighbor(queries[qi]).ok()) std::exit(1);
+        disk.InvalidateHead();
+      }
+      return disk.stats().io_time_s / static_cast<double>(queries.size());
+    };
+
+    size_t supernodes = 0;
+    uint64_t reinserts = 0;
+    const double rstar = run([&](Storage& s, DiskModel& d) {
+      auto t = RStarTree::Build(bulk, s, "r", d, {});
+      if (!t.ok()) std::exit(1);
+      reinserts = 0;
+      auto* raw = t->get();
+      (void)raw;
+      return std::move(t).value();
+    });
+    const double xtree = run([&](Storage& s, DiskModel& d) {
+      auto t = XTree::Build(bulk, s, "x", d, {});
+      if (!t.ok()) std::exit(1);
+      return std::move(t).value();
+    });
+    // Rebuild once more to report structural stats.
+    {
+      MemoryStorage storage;
+      DiskModel disk(args.disk);
+      auto x = XTree::Build(bulk, storage, "x", disk, {});
+      auto r = RStarTree::Build(bulk, storage, "r", disk, {});
+      if (x.ok() && r.ok()) {
+        for (size_t i = 0; i < stream.size(); ++i) {
+          (void)(*x)->Insert(static_cast<PointId>(bulk.size() + i),
+                             stream[i]);
+          (void)(*r)->Insert(static_cast<PointId>(bulk.size() + i),
+                             stream[i]);
+        }
+        supernodes = (*x)->ComputeStats().num_supernodes;
+        reinserts = (*r)->ComputeStats().reinsertions;
+      }
+    }
+    const double iq = run([&](Storage& s, DiskModel& d) {
+      auto t = IqTree::Build(bulk, s, "iq", d, {});
+      if (!t.ok()) std::exit(1);
+      return std::move(t).value();
+    });
+    table.AddRow({workload.name, Table::Num(rstar), Table::Num(xtree),
+                  Table::Num(iq), std::to_string(supernodes),
+                  std::to_string(reinserts)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: the X-tree matches or beats the R*-tree everywhere and\n"
+      "pulls ahead as dimensionality grows (supernodes avoid the\n"
+      "high-overlap splits that degrade the R*-tree); the IQ-tree beats\n"
+      "both.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation A7: the Pyramid-Technique (paper §5, [5]) against the
+// IQ-tree, on the two query types that show both sides of the story:
+// hypercube window queries (the pyramid's specialty — "not subject to
+// the dimensionality curse" under its conditions) and nearest-neighbor
+// queries (where its iterated range search falls behind). Note the
+// pyramid's published claims compare against trees over *exact* data
+// and the sequential scan; the IQ-tree's compressed pages move the bar.
+
+#include "bench_common.h"
+#include "data/generators.h"
+#include "pyramid/pyramid_technique.h"
+
+int main(int argc, char** argv) {
+  using namespace iq;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const size_t n = args.Scale(200000, 30000);
+
+  std::printf("Ablation: Pyramid-Technique vs IQ-tree vs X-tree "
+              "(%zu points)\n\n", n);
+  {
+    std::printf("Window queries (cube side 0.2 around each query "
+                "point), UNIFORM:\n");
+    Table table({"dims", "Pyramid", "IQ-tree", "X-tree", "VA-file"});
+    for (size_t dims : {4u, 8u, 16u}) {
+      Dataset data = GenerateUniform(n + args.queries, dims, args.seed);
+      const Dataset queries = data.TakeTail(args.queries);
+      Experiment experiment(data, queries, args.disk);
+      table.AddRow(
+          {std::to_string(dims),
+           Table::Num(bench::Value(experiment.RunPyramidWindows(0.2))),
+           Table::Num(bench::Value(experiment.RunIqTreeWindows(0.2))),
+           Table::Num(bench::Value(experiment.RunXTreeWindows(0.2))),
+           Table::Num(bench::Value(experiment.RunVaFileWindows(0.2, 5)))});
+    }
+    table.Print(std::cout);
+  }
+  {
+    std::printf("\nNearest-neighbor queries:\n");
+    Table table({"workload", "Pyramid", "IQ-tree"});
+    struct NamedWorkload {
+      const char* name;
+      Dataset data;
+    };
+    NamedWorkload workloads[] = {
+        {"UNIFORM-8d", GenerateUniform(n + args.queries, 8, args.seed)},
+        {"CAD-16d", GenerateCadLike(n + args.queries, 16, args.seed)},
+    };
+    for (NamedWorkload& workload : workloads) {
+      const Dataset queries = workload.data.TakeTail(args.queries);
+      Experiment experiment(workload.data, queries, args.disk);
+      table.AddRow({workload.name,
+                    Table::Num(bench::Value(experiment.RunPyramid())),
+                    Table::Num(bench::Value(experiment.RunIqTree()))});
+    }
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nExpected: on window queries the pyramid scans at most 2d short\n"
+      "B+-tree intervals and beats the exact-data X-tree as d grows, but\n"
+      "its candidate shell thickens with d while the IQ-tree reads\n"
+      "compressed pages — the IQ-tree stays ahead. On NN queries the\n"
+      "pyramid's iterated window enlargement is far behind the IQ-tree's\n"
+      "native best-first search.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation A3: the value of the cost-model-driven *optimal* quantization
+// (§3.5) against fixed per-page rates g = 1..32 on skewed data. A fixed
+// rate is the VA-file philosophy transplanted into the tree; the
+// optimizer should match or beat the best fixed rate without tuning.
+
+#include "bench_common.h"
+#include "data/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace iq;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const size_t n = args.Scale(200000, 30000);
+
+  struct NamedWorkload {
+    const char* name;
+    Dataset data;
+  };
+  NamedWorkload workloads[] = {
+      {"UNIFORM-16d", GenerateUniform(n + args.queries, 16, args.seed)},
+      {"CAD-16d", GenerateCadLike(n + args.queries, 16, args.seed)},
+      {"WEATHER-9d", GenerateWeatherLike(n + args.queries, 9, args.seed)},
+  };
+
+  std::printf("Ablation: fixed quantization level vs optimizer "
+              "(%zu points)\n\n", n);
+  Table table({"workload", "g=1", "g=2", "g=4", "g=8", "g=16", "g=32",
+               "optimal"});
+  for (NamedWorkload& workload : workloads) {
+    const Dataset queries = workload.data.TakeTail(args.queries);
+    Experiment experiment(workload.data, queries, args.disk);
+    std::vector<std::string> row{workload.name};
+    for (unsigned g : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      row.push_back(
+          Table::Num(bench::Value(experiment.RunIqTree(true, true, g))));
+    }
+    row.push_back(Table::Num(bench::Value(experiment.RunIqTree())));
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: the optimizer tracks the best fixed level per workload\n"
+      "(and can beat it by mixing levels across pages on skewed data).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef IQ_BENCH_BENCH_COMMON_H_
+#define IQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace iq::bench {
+
+/// Command-line knobs shared by all figure benches. The default scale is
+/// reduced so every bench finishes in minutes on one core; --full runs
+/// the paper's original sizes (500k points).
+struct BenchArgs {
+  bool full = false;
+  size_t queries = 20;
+  uint64_t seed = 42;
+  DiskParameters disk;
+
+  /// Scales a paper-sized point count down unless --full is given.
+  size_t Scale(size_t paper_count, size_t reduced_count) const {
+    return full ? paper_count : reduced_count;
+  }
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      args.queries = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seek-ms") == 0 && i + 1 < argc) {
+      args.disk.seek_time_s = std::atof(argv[++i]) / 1000.0;
+    } else if (std::strcmp(argv[i], "--xfer-ms") == 0 && i + 1 < argc) {
+      args.disk.xfer_time_s = std::atof(argv[++i]) / 1000.0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "options: --full (paper-scale N) --queries N --seed S "
+          "--seek-ms MS --xfer-ms MS\n");
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline double Value(const Result<MethodStats>& result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench method failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result->avg_query_time_s;
+}
+
+}  // namespace iq::bench
+
+#endif  // IQ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,356 @@
+#include "btree/b_plus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/math_utils.h"
+
+namespace iq {
+
+namespace {
+
+constexpr uint32_t kBptMagic = 0x42505431;  // "BPT1"
+
+struct BptHeader {
+  uint32_t magic;
+  uint32_t payload_bytes;
+  uint64_t num_records;
+  uint32_t num_leaves;
+  uint32_t reserved;
+};
+static_assert(sizeof(BptHeader) == 24);
+
+constexpr uint32_t kLeafHeaderBytes = 8;
+
+std::string BptDirName(const std::string& name) { return name + ".bpd"; }
+std::string BptLeafName(const std::string& name) { return name + ".bpl"; }
+
+}  // namespace
+
+uint32_t BPlusTree::LeafCapacity() const {
+  const uint32_t usable = disk_->params().block_size - kLeafHeaderBytes;
+  return std::max<uint32_t>(1, usable / static_cast<uint32_t>(RecordBytes()));
+}
+
+uint32_t BPlusTree::InnerFanout() const {
+  // One separator key (8 bytes) + one child pointer (4 bytes) per entry.
+  const uint32_t usable = disk_->params().block_size - 16;
+  return std::max<uint32_t>(2, usable / 12);
+}
+
+Status BPlusTree::ReadLeaf(uint32_t leaf_id, std::vector<double>* keys,
+                           std::vector<uint8_t>* payloads) const {
+  const Leaf& leaf = leaves_[leaf_id];
+  std::vector<uint8_t> block(disk_->params().block_size);
+  IQ_RETURN_NOT_OK(leaf_file_->ReadBlock(leaf.block, block.data()));
+  uint32_t count = 0;
+  std::memcpy(&count, block.data(), sizeof(count));
+  if (count != leaf.count || count > LeafCapacity()) {
+    return Status::Corruption("leaf record count mismatch");
+  }
+  keys->resize(count);
+  payloads->resize(static_cast<size_t>(count) * options_.payload_bytes);
+  const uint8_t* p = block.data() + kLeafHeaderBytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(&(*keys)[i], p, sizeof(double));
+    p += sizeof(double);
+    std::memcpy(payloads->data() + static_cast<size_t>(i) *
+                                       options_.payload_bytes,
+                p, options_.payload_bytes);
+    p += options_.payload_bytes;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::WriteLeaf(uint32_t leaf_id, const std::vector<double>& keys,
+                            const std::vector<uint8_t>& payloads) {
+  std::vector<uint8_t> block(disk_->params().block_size, 0);
+  const uint32_t count = static_cast<uint32_t>(keys.size());
+  if (count > LeafCapacity()) {
+    return Status::InvalidArgument("too many records for a leaf");
+  }
+  std::memcpy(block.data(), &count, sizeof(count));
+  uint8_t* p = block.data() + kLeafHeaderBytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(p, &keys[i], sizeof(double));
+    p += sizeof(double);
+    std::memcpy(p, payloads.data() + static_cast<size_t>(i) *
+                                         options_.payload_bytes,
+                options_.payload_bytes);
+    p += options_.payload_bytes;
+  }
+  if (leaf_id == leaves_.size()) {
+    IQ_ASSIGN_OR_RETURN(uint64_t b, leaf_file_->AppendBlock(block.data()));
+    leaves_.push_back(Leaf{static_cast<uint32_t>(b), count,
+                           count > 0 ? keys.front() : 0.0});
+    return Status::OK();
+  }
+  IQ_RETURN_NOT_OK(leaf_file_->WriteBlock(leaves_[leaf_id].block,
+                                          block.data()));
+  leaves_[leaf_id].count = count;
+  leaves_[leaf_id].first_key = count > 0 ? keys.front() : 0.0;
+  return Status::OK();
+}
+
+void BPlusTree::BuildInnerLevels() {
+  inners_.clear();
+  const uint32_t fanout = InnerFanout();
+  // Level 0: group leaves.
+  std::vector<uint32_t> level;    // node/leaf ids of the current level
+  std::vector<double> level_keys;  // first key of each id
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    level.push_back(static_cast<uint32_t>(i));
+    level_keys.push_back(leaves_[i].first_key);
+  }
+  bool children_are_leaves = true;
+  height_ = 1;
+  while (level.size() > 1 || children_are_leaves) {
+    std::vector<uint32_t> next;
+    std::vector<double> next_keys;
+    const size_t groups = std::max<size_t>(1, CeilDiv(level.size(), fanout));
+    const size_t per_group = std::max<size_t>(1, CeilDiv(level.size(),
+                                                         groups));
+    for (size_t g = 0; g < groups; ++g) {
+      const size_t begin = g * per_group;
+      const size_t end = std::min(level.size(), begin + per_group);
+      Inner inner;
+      inner.children_are_leaves = children_are_leaves;
+      for (size_t i = begin; i < end; ++i) {
+        inner.children.push_back(level[i]);
+        if (i > begin) inner.keys.push_back(level_keys[i]);
+      }
+      const uint32_t inner_id = static_cast<uint32_t>(inners_.size());
+      inners_.push_back(std::move(inner));
+      next.push_back(inner_id);
+      next_keys.push_back(begin < level.size() ? level_keys[begin] : 0.0);
+    }
+    level = std::move(next);
+    level_keys = std::move(next_keys);
+    children_are_leaves = false;
+    ++height_;
+    if (level.size() == 1) break;
+  }
+  root_ = level.empty() ? -1 : static_cast<int32_t>(level[0]);
+}
+
+uint32_t BPlusTree::DescendToLeaf(double key, bool charge) const {
+  assert(!leaves_.empty());
+  if (root_ < 0) return 0;
+  uint32_t node = static_cast<uint32_t>(root_);
+  while (true) {
+    const Inner& inner = inners_[node];
+    if (charge) {
+      // One block per inner node visited; inner nodes live
+      // conceptually in the directory file after the header.
+      disk_->ChargeRead(dir_file_id_, 1 + node, 1);
+    }
+    // children[i] covers keys < keys[i].
+    const size_t child_index = static_cast<size_t>(
+        std::upper_bound(inner.keys.begin(), inner.keys.end(), key) -
+        inner.keys.begin());
+    const uint32_t child = inner.children[child_index];
+    if (inner.children_are_leaves) return child;
+    node = child;
+  }
+}
+
+Status BPlusTree::Scan(double lo, double hi, const Visitor& visitor) const {
+  if (leaves_.empty() || num_records_ == 0 || lo > hi) return Status::OK();
+  uint32_t leaf_id = DescendToLeaf(lo, /*charge=*/true);
+  // Duplicates equal to `lo` may straddle leaf boundaries (a previous
+  // leaf can end with the same key this leaf starts with); walk back
+  // while that is possible.
+  while (leaf_id > 0 && leaves_[leaf_id].first_key >= lo) --leaf_id;
+  std::vector<double> keys;
+  std::vector<uint8_t> payloads;
+  for (; leaf_id < leaves_.size(); ++leaf_id) {
+    if (leaves_[leaf_id].count == 0) continue;
+    if (leaves_[leaf_id].first_key > hi) break;
+    IQ_RETURN_NOT_OK(ReadLeaf(leaf_id, &keys, &payloads));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] < lo) continue;
+      if (keys[i] > hi) return Status::OK();
+      IQ_RETURN_NOT_OK(visitor(
+          keys[i],
+          payloads.data() + i * options_.payload_bytes));
+    }
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::Insert(double key, std::span<const uint8_t> payload) {
+  if (payload.size() != options_.payload_bytes) {
+    return Status::InvalidArgument("payload size mismatch");
+  }
+  if (leaves_.empty()) {
+    std::vector<double> keys{key};
+    std::vector<uint8_t> payloads(payload.begin(), payload.end());
+    IQ_RETURN_NOT_OK(WriteLeaf(0, keys, payloads));
+    BuildInnerLevels();
+    num_records_ += 1;
+    dirty_ = true;
+    return Status::OK();
+  }
+  const uint32_t leaf_id = DescendToLeaf(key, /*charge=*/true);
+  std::vector<double> keys;
+  std::vector<uint8_t> payloads;
+  IQ_RETURN_NOT_OK(ReadLeaf(leaf_id, &keys, &payloads));
+  const size_t pos = static_cast<size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+  keys.insert(keys.begin() + static_cast<ptrdiff_t>(pos), key);
+  payloads.insert(
+      payloads.begin() + static_cast<ptrdiff_t>(pos * options_.payload_bytes),
+      payload.begin(), payload.end());
+  if (keys.size() <= LeafCapacity()) {
+    IQ_RETURN_NOT_OK(WriteLeaf(leaf_id, keys, payloads));
+  } else {
+    // Split: left half stays in place, right half goes to a new block
+    // which is inserted after this leaf in the logical order.
+    const size_t mid = keys.size() / 2;
+    std::vector<double> right_keys(keys.begin() +
+                                       static_cast<ptrdiff_t>(mid),
+                                   keys.end());
+    std::vector<uint8_t> right_payloads(
+        payloads.begin() + static_cast<ptrdiff_t>(mid *
+                                                  options_.payload_bytes),
+        payloads.end());
+    keys.resize(mid);
+    payloads.resize(mid * options_.payload_bytes);
+    IQ_RETURN_NOT_OK(WriteLeaf(leaf_id, keys, payloads));
+    // Append the right leaf, then move it into logical position.
+    IQ_RETURN_NOT_OK(WriteLeaf(static_cast<uint32_t>(leaves_.size()),
+                               right_keys, right_payloads));
+    Leaf right = leaves_.back();
+    leaves_.pop_back();
+    leaves_.insert(leaves_.begin() + static_cast<ptrdiff_t>(leaf_id) + 1,
+                   right);
+    // Inner levels are rebuilt from the leaf table (O(#leaves); all
+    // directory structures in this library live in memory).
+    BuildInnerLevels();
+  }
+  num_records_ += 1;
+  dirty_ = true;
+  return Status::OK();
+}
+
+BPlusTree::TreeStats BPlusTree::ComputeStats() const {
+  TreeStats stats;
+  stats.num_leaves = leaves_.size();
+  stats.num_inner_nodes = inners_.size();
+  stats.height = height_;
+  stats.num_records = num_records_;
+  return stats;
+}
+
+Status BPlusTree::Flush() {
+  if (!dirty_) return Status::OK();
+  BptHeader header{kBptMagic, options_.payload_bytes, num_records_,
+                   static_cast<uint32_t>(leaves_.size()), 0};
+  IQ_RETURN_NOT_OK(dir_file_->Resize(0));
+  IQ_RETURN_NOT_OK(dir_file_->Write(0, sizeof(header), &header));
+  uint64_t offset = sizeof(header);
+  for (const Leaf& leaf : leaves_) {
+    IQ_RETURN_NOT_OK(dir_file_->Write(offset, sizeof(leaf), &leaf));
+    offset += sizeof(leaf);
+  }
+  dirty_ = false;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(Storage& storage,
+                                                   const std::string& name,
+                                                   DiskModel& disk) {
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree());
+  tree->disk_ = &disk;
+  tree->dir_file_id_ = disk.RegisterFile();
+  IQ_ASSIGN_OR_RETURN(tree->dir_file_, storage.Open(BptDirName(name)));
+  File& file = *tree->dir_file_;
+  if (file.Size() < sizeof(BptHeader)) {
+    return Status::Corruption("B+-tree directory too small");
+  }
+  BptHeader header;
+  IQ_RETURN_NOT_OK(file.Read(0, sizeof(header), &header));
+  if (header.magic != kBptMagic) {
+    return Status::Corruption("bad B+-tree magic");
+  }
+  tree->options_.payload_bytes = header.payload_bytes;
+  tree->num_records_ = header.num_records;
+  const uint64_t want =
+      sizeof(header) + static_cast<uint64_t>(header.num_leaves) *
+                           sizeof(Leaf);
+  if (file.Size() < want) {
+    return Status::Corruption("truncated B+-tree directory");
+  }
+  tree->leaves_.resize(header.num_leaves);
+  uint64_t offset = sizeof(header);
+  for (Leaf& leaf : tree->leaves_) {
+    IQ_RETURN_NOT_OK(file.Read(offset, sizeof(leaf), &leaf));
+    offset += sizeof(leaf);
+  }
+  IQ_ASSIGN_OR_RETURN(tree->leaf_file_,
+                      BlockFile::Open(storage, BptLeafName(name), disk,
+                                      /*create=*/false));
+  for (const Leaf& leaf : tree->leaves_) {
+    if (leaf.block >= tree->leaf_file_->NumBlocks()) {
+      return Status::Corruption("leaf block out of range");
+    }
+  }
+  tree->BuildInnerLevels();
+  return tree;
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Build(
+    std::span<const double> keys, std::span<const uint8_t> payloads,
+    Storage& storage, const std::string& name, DiskModel& disk,
+    const Options& options) {
+  if (options.payload_bytes == 0) {
+    return Status::InvalidArgument("payload_bytes must be positive");
+  }
+  if (payloads.size() != keys.size() * options.payload_bytes) {
+    return Status::InvalidArgument("payloads size mismatch");
+  }
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] < keys[i - 1]) {
+      return Status::InvalidArgument("bulk build requires sorted keys");
+    }
+  }
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree());
+  tree->disk_ = &disk;
+  tree->options_ = options;
+  tree->dir_file_id_ = disk.RegisterFile();
+  if (8 + options.payload_bytes >
+      disk.params().block_size - kLeafHeaderBytes) {
+    return Status::InvalidArgument("record larger than a leaf block");
+  }
+  IQ_ASSIGN_OR_RETURN(tree->leaf_file_,
+                      BlockFile::Open(storage, BptLeafName(name), disk,
+                                      /*create=*/true));
+  IQ_ASSIGN_OR_RETURN(tree->dir_file_, storage.Create(BptDirName(name)));
+  const uint32_t capacity = tree->LeafCapacity();
+  std::vector<double> leaf_keys;
+  std::vector<uint8_t> leaf_payloads;
+  for (size_t begin = 0; begin < keys.size(); begin += capacity) {
+    const size_t end = std::min(keys.size(), begin + capacity);
+    leaf_keys.assign(keys.begin() + static_cast<ptrdiff_t>(begin),
+                     keys.begin() + static_cast<ptrdiff_t>(end));
+    leaf_payloads.assign(
+        payloads.begin() +
+            static_cast<ptrdiff_t>(begin * options.payload_bytes),
+        payloads.begin() +
+            static_cast<ptrdiff_t>(end * options.payload_bytes));
+    IQ_RETURN_NOT_OK(tree->WriteLeaf(
+        static_cast<uint32_t>(tree->leaves_.size()), leaf_keys,
+        leaf_payloads));
+  }
+  if (tree->leaves_.empty()) {
+    IQ_RETURN_NOT_OK(tree->WriteLeaf(0, {}, {}));
+  }
+  tree->num_records_ = keys.size();
+  tree->BuildInnerLevels();
+  tree->dirty_ = true;
+  IQ_RETURN_NOT_OK(tree->Flush());
+  return tree;
+}
+
+}  // namespace iq

@@ -1,0 +1,117 @@
+#ifndef IQ_BTREE_B_PLUS_TREE_H_
+#define IQ_BTREE_B_PLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/block_file.h"
+#include "io/disk_model.h"
+#include "io/storage.h"
+
+namespace iq {
+
+/// Disk-based B+-tree over double keys with fixed-size payloads — the
+/// one-dimensional substrate the Pyramid-Technique (paper §5, [5]) maps
+/// its queries onto. Duplicate keys are allowed.
+///
+/// Leaves are fixed-size blocks of (key, payload) records in a block
+/// file; the inner levels are kept in memory (as with every directory
+/// in this library) and every root-to-leaf descent charges one block
+/// read per level, plus the leaf blocks a scan touches. Consecutive
+/// leaves are adjacent on disk after a bulk load, so range scans are
+/// sequential.
+class BPlusTree {
+ public:
+  struct Options {
+    /// Bytes of one record's payload (fixed for the whole tree).
+    uint32_t payload_bytes = 0;
+  };
+
+  struct TreeStats {
+    size_t num_leaves = 0;
+    size_t num_inner_nodes = 0;
+    size_t height = 0;  // levels including the leaf level
+    uint64_t num_records = 0;
+  };
+
+  /// Visitor for Scan: key + payload bytes. Returning a non-OK status
+  /// aborts the scan (and is returned).
+  using Visitor = std::function<Status(double key, const uint8_t* payload)>;
+
+  /// Bulk-builds from records sorted ascending by key. `payloads` is
+  /// keys.size() * payload_bytes bytes.
+  static Result<std::unique_ptr<BPlusTree>> Build(
+      std::span<const double> keys, std::span<const uint8_t> payloads,
+      Storage& storage, const std::string& name, DiskModel& disk,
+      const Options& options);
+
+  static Result<std::unique_ptr<BPlusTree>> Open(Storage& storage,
+                                                 const std::string& name,
+                                                 DiskModel& disk);
+
+  /// Inserts one record (standard top-down descent + leaf split).
+  Status Insert(double key, std::span<const uint8_t> payload);
+
+  /// Visits all records with key in [lo, hi], in key order. Charges the
+  /// inner descent plus every touched leaf block.
+  Status Scan(double lo, double hi, const Visitor& visitor) const;
+
+  /// Persists the inner levels after inserts.
+  Status Flush();
+
+  uint64_t size() const { return num_records_; }
+  uint32_t payload_bytes() const { return options_.payload_bytes; }
+  TreeStats ComputeStats() const;
+
+ private:
+  struct Leaf {
+    uint32_t block = 0;
+    uint32_t count = 0;
+    double first_key = 0.0;
+  };
+
+  struct Inner {
+    /// children[i] covers keys < keys[i] (last child covers the rest).
+    std::vector<double> keys;
+    std::vector<uint32_t> children;  // inner ids or leaf ids (leaf level)
+    bool children_are_leaves = false;
+  };
+
+  BPlusTree() = default;
+
+  uint32_t LeafCapacity() const;
+  uint32_t InnerFanout() const;
+  size_t RecordBytes() const { return 8 + options_.payload_bytes; }
+
+  Status ReadLeaf(uint32_t leaf_id, std::vector<double>* keys,
+                  std::vector<uint8_t>* payloads) const;
+  Status WriteLeaf(uint32_t leaf_id, const std::vector<double>& keys,
+                   const std::vector<uint8_t>& payloads);
+
+  /// Builds the inner levels over the current leaves_ vector.
+  void BuildInnerLevels();
+
+  /// Finds the leaf that should hold `key` and charges the descent.
+  uint32_t DescendToLeaf(double key, bool charge) const;
+
+  Options options_;
+  uint64_t num_records_ = 0;
+  std::vector<Leaf> leaves_;
+  std::vector<Inner> inners_;
+  int32_t root_ = -1;  // -1: leaves_[0] is the only node
+  size_t height_ = 1;
+  std::unique_ptr<BlockFile> leaf_file_;
+  std::shared_ptr<File> dir_file_;
+  DiskModel* disk_ = nullptr;
+  uint32_t dir_file_id_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace iq
+
+#endif  // IQ_BTREE_B_PLUS_TREE_H_

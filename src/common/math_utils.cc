@@ -1,0 +1,43 @@
+#include "common/math_utils.h"
+
+#include <cmath>
+
+namespace iq {
+
+LineFit FitLine(std::span<const double> x, std::span<const double> y) {
+  LineFit fit;
+  const size_t n = x.size();
+  if (n < 2 || y.size() != n) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0) {
+    double ss_res = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  } else {
+    fit.r2 = 1.0;
+  }
+  return fit;
+}
+
+double Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  return std::exp(std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                  std::lgamma(n - k + 1.0));
+}
+
+}  // namespace iq

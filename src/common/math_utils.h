@@ -1,0 +1,33 @@
+#ifndef IQ_COMMON_MATH_UTILS_H_
+#define IQ_COMMON_MATH_UTILS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace iq {
+
+/// Result of a least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect fit.
+  double r2 = 0.0;
+};
+
+/// Ordinary least-squares fit of y against x. Requires x.size() ==
+/// y.size() >= 2; with fewer points returns an all-zero fit.
+LineFit FitLine(std::span<const double> x, std::span<const double> y);
+
+/// ceil(a / b) for positive integers.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Number of bytes needed to hold `bits` bits.
+constexpr size_t BytesForBits(size_t bits) { return (bits + 7) / 8; }
+
+/// Binomial coefficient C(n, k) as a double (n small, e.g. <= 64).
+double Binomial(int n, int k);
+
+}  // namespace iq
+
+#endif  // IQ_COMMON_MATH_UTILS_H_

@@ -1,0 +1,49 @@
+#ifndef IQ_COMMON_RANDOM_H_
+#define IQ_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace iq {
+
+/// Deterministic RNG used across the library so all experiments are
+/// reproducible from a single seed. Thin wrapper around std::mt19937_64
+/// with the distributions we actually need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t Index(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Standard normal.
+  double Gaussian() {
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Gamma(shape, 1), used to sample Dirichlet vectors.
+  double Gamma(double shape) {
+    return std::gamma_distribution<double>(shape, 1.0)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_COMMON_RANDOM_H_

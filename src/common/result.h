@@ -1,0 +1,76 @@
+#ifndef IQ_COMMON_RESULT_H_
+#define IQ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace iq {
+
+/// A Status plus a value of type T on success (arrow::Result style).
+///
+/// Usage:
+///   Result<Foo> MakeFoo();
+///   IQ_ASSIGN_OR_RETURN(Foo foo, MakeFoo());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value — returning a T from a function
+  /// declared Result<T> "just works".
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status — IQ_RETURN_NOT_OK-style
+  /// error propagation "just works".
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK Status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define IQ_CONCAT_IMPL_(a, b) a##b
+#define IQ_CONCAT_(a, b) IQ_CONCAT_IMPL_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define IQ_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  IQ_ASSIGN_OR_RETURN_IMPL_(IQ_CONCAT_(_iq_result_, __LINE__), \
+                            lhs, rexpr)
+
+#define IQ_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+}  // namespace iq
+
+#endif  // IQ_COMMON_RESULT_H_

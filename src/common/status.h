@@ -1,0 +1,87 @@
+#ifndef IQ_COMMON_STATUS_H_
+#define IQ_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace iq {
+
+/// Error category for a Status. kOk means success.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kCorruption,
+  kNotSupported,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Lightweight success/error value used instead of exceptions on all
+/// library paths, in the style of rocksdb::Status / arrow::Status.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// message string otherwise. Functions that can fail return Status (or
+/// Result<T> when they also produce a value).
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  /// Human-readable form, e.g. "IOError: short read".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define IQ_RETURN_NOT_OK(expr)              \
+  do {                                      \
+    ::iq::Status _iq_status = (expr);       \
+    if (!_iq_status.ok()) return _iq_status; \
+  } while (false)
+
+}  // namespace iq
+
+#endif  // IQ_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef IQ_COMMON_TABLE_H_
+#define IQ_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iq {
+
+/// Plain-text column-aligned table used by the bench harness to print
+/// the rows/series of each paper figure.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row of already-formatted cells. Short rows are padded.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string Num(double v, int precision = 4);
+
+  /// Writes the table with an underlined header and aligned columns.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_COMMON_TABLE_H_

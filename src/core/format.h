@@ -1,0 +1,182 @@
+#ifndef IQ_CORE_FORMAT_H_
+#define IQ_CORE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/mbr.h"
+#include "geom/metrics.h"
+#include "geom/point.h"
+#include "io/extent_file.h"
+
+namespace iq {
+
+/// Names of the three files of an IQ-tree called `name`.
+inline std::string DirFileName(const std::string& name) {
+  return name + ".dir";
+}
+inline std::string QpgFileName(const std::string& name) {
+  return name + ".qpg";
+}
+inline std::string DatFileName(const std::string& name) {
+  return name + ".dat";
+}
+
+/// The quantization ladder of the IQ-tree: each split of a partition
+/// doubles the bits per dimension, from the 1-bit initial load up to the
+/// exact 32-bit representation (this ladder is what makes one initial
+/// partition have exactly 458,330 candidate solutions, §3.5).
+inline constexpr unsigned kQuantLevels[] = {1, 2, 4, 8, 16, 32};
+inline constexpr unsigned kExactBits = 32;
+
+/// Next level up the ladder (32 stays 32).
+constexpr unsigned NextQuantLevel(unsigned g) {
+  return g >= kExactBits ? kExactBits : g * 2;
+}
+
+constexpr bool IsQuantLevel(unsigned g) {
+  for (unsigned level : kQuantLevels) {
+    if (level == g) return true;
+  }
+  return false;
+}
+
+/// Bytes reserved at the start of every quantized data page
+/// (count, bits-per-dim, checksum-ish magic for corruption detection).
+inline constexpr uint32_t kQuantPageHeaderBytes = 8;
+
+/// Header stored inside each quantized data page.
+struct QuantPageHeader {
+  uint16_t magic;  // kQuantPageMagic
+  uint16_t bits;   // bits per dimension (g)
+  uint32_t count;  // points stored
+};
+static_assert(sizeof(QuantPageHeader) == kQuantPageHeaderBytes);
+
+inline constexpr uint16_t kQuantPageMagic = 0x5150;  // "QP"
+
+/// Bits one point occupies in a quantized page. At the exact level the
+/// point id is stored inline (there is no third-level page to hold it,
+/// §3.1: "an explicit exact representation on the third level is
+/// omitted").
+constexpr uint64_t BitsPerPoint(size_t dims, unsigned g) {
+  return g >= kExactBits ? 32 + 32ULL * dims
+                         : static_cast<uint64_t>(g) * dims;
+}
+
+/// Number of points a quantized page of `block_size` bytes can hold at
+/// quantization level g.
+constexpr uint32_t QuantPageCapacity(size_t dims, unsigned g,
+                                     uint32_t block_size) {
+  const uint64_t usable_bits =
+      (static_cast<uint64_t>(block_size) - kQuantPageHeaderBytes) * 8;
+  return static_cast<uint32_t>(usable_bits / BitsPerPoint(dims, g));
+}
+
+/// The best (finest) ladder level at which `count` points still fit one
+/// page; returns 0 if they do not even fit the 1-bit level.
+unsigned BestQuantLevel(size_t dims, uint64_t count, uint32_t block_size);
+
+/// Bytes of one exact record on the third level: point id + coordinates.
+constexpr size_t ExactRecordBytes(size_t dims) {
+  return sizeof(uint32_t) + sizeof(float) * dims;
+}
+
+/// One first-level directory entry (in-memory form). Serialized size is
+/// DirEntryBytes(dims).
+struct DirEntry {
+  Mbr mbr;
+  /// Block index of the quantized page in the .qpg file; also the page's
+  /// linear position used by the access scheduler.
+  uint32_t qpage_block = 0;
+  uint32_t count = 0;
+  /// Bits per dimension (a kQuantLevels value).
+  uint32_t quant_bits = 0;
+  /// Location of the exact data page in the .dat file (unused at g=32).
+  Extent exact;
+};
+
+/// Serialized directory entry size: 2*d floats + fixed fields.
+constexpr size_t DirEntryBytes(size_t dims) {
+  return 2 * sizeof(float) * dims + 3 * sizeof(uint32_t) +
+         2 * sizeof(uint64_t) + sizeof(uint32_t) /* padding/reserved */;
+}
+
+/// Index-wide metadata persisted in the .meta file.
+struct IndexMeta {
+  uint32_t dims = 0;
+  uint64_t total_points = 0;
+  uint32_t block_size = 0;
+  uint32_t metric = 0;  // Metric enum value
+  double fractal_dimension = 0.0;
+  uint32_t quantized = 1;  // 0 for the no-quantization reduced variant
+  /// k the quantization was optimized for (§3.4 footnote).
+  uint32_t knn_k = 1;
+};
+
+/// Serialization of the directory + meta (timing-free: charged by the
+/// query path via DiskModel, not at open).
+Status WriteDirectory(File& file, const IndexMeta& meta,
+                      const std::vector<DirEntry>& entries);
+Result<IndexMeta> ReadDirectory(File& file, std::vector<DirEntry>* entries);
+
+/// Encodes/decodes one quantized page payload.
+///
+/// Layout after the header: for g < 32, `count` points of d g-bit cell
+/// indices, packed LSB-first; for g = 32, `count` records of
+/// (uint32 id, d raw floats).
+class QuantPageCodec {
+ public:
+  QuantPageCodec(size_t dims, uint32_t block_size)
+      : dims_(dims), block_size_(block_size) {}
+
+  /// Writes header + packed cells into `page` (block_size bytes,
+  /// zeroed by this call). `cells` is count*dims cell indices.
+  Status EncodeCells(unsigned g, const std::vector<uint32_t>& cells,
+                     uint8_t* page) const;
+
+  /// Writes header + exact records (g = 32).
+  Status EncodeExact(const std::vector<PointId>& ids,
+                     const std::vector<float>& coords, uint8_t* page) const;
+
+  /// Validates and reads the header.
+  Result<QuantPageHeader> DecodeHeader(const uint8_t* page) const;
+
+  /// Decodes packed cells (g < 32) into count*dims indices.
+  Status DecodeCells(const uint8_t* page, std::vector<uint32_t>* cells) const;
+
+  /// Decodes exact records (g = 32).
+  Status DecodeExact(const uint8_t* page, std::vector<PointId>* ids,
+                     std::vector<float>* coords) const;
+
+ private:
+  size_t dims_;
+  uint32_t block_size_;
+};
+
+/// Encodes/decodes a third-level exact page: `count` records of
+/// (uint32 id, d floats), in the same point order as the quantized page.
+class ExactPageCodec {
+ public:
+  explicit ExactPageCodec(size_t dims) : dims_(dims) {}
+
+  size_t PageBytes(uint32_t count) const {
+    return count * ExactRecordBytes(dims_);
+  }
+
+  void Encode(const std::vector<PointId>& ids,
+              const std::vector<float>& coords,
+              std::vector<uint8_t>* out) const;
+
+  Status Decode(const uint8_t* data, size_t size, std::vector<PointId>* ids,
+                std::vector<float>* coords) const;
+
+ private:
+  size_t dims_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_CORE_FORMAT_H_

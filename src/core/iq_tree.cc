@@ -1,0 +1,224 @@
+#include "core/iq_tree.h"
+
+#include <algorithm>
+
+#include "common/math_utils.h"
+#include "fractal/fractal_dimension.h"
+#include "quant/grid_quantizer.h"
+
+namespace iq {
+
+Result<std::unique_ptr<IqTree>> IqTree::Open(Storage& storage,
+                                             const std::string& name,
+                                             DiskModel& disk) {
+  auto tree = std::unique_ptr<IqTree>(new IqTree());
+  tree->disk_ = &disk;
+  tree->storage_ = &storage;
+  tree->name_ = name;
+  IQ_ASSIGN_OR_RETURN(tree->dir_file_, storage.Open(DirFileName(name)));
+  IQ_ASSIGN_OR_RETURN(tree->meta_,
+                      ReadDirectory(*tree->dir_file_, &tree->dir_));
+  if (tree->meta_.block_size != disk.params().block_size) {
+    return Status::InvalidArgument(
+        "index built with block size " +
+        std::to_string(tree->meta_.block_size) + " opened with " +
+        std::to_string(disk.params().block_size));
+  }
+  tree->dir_file_id_ = disk.RegisterFile();
+  IQ_ASSIGN_OR_RETURN(
+      tree->qpages_, BlockFile::Open(storage, QpgFileName(name), disk,
+                                     /*create=*/false));
+  IQ_ASSIGN_OR_RETURN(
+      tree->exact_, ExtentFile::Open(storage, DatFileName(name), disk,
+                                     /*create=*/false));
+  // Structural sanity: entries must point inside their files.
+  const uint64_t qpage_blocks = tree->qpages_->NumBlocks();
+  const uint64_t dat_bytes = tree->exact_->SizeBytes();
+  for (const DirEntry& entry : tree->dir_) {
+    if (entry.qpage_block >= qpage_blocks) {
+      return Status::Corruption("directory entry points past .qpg");
+    }
+    if (entry.exact.offset + entry.exact.length > dat_bytes) {
+      return Status::Corruption("directory entry points past .dat");
+    }
+    if (entry.mbr.dims() != tree->meta_.dims) {
+      return Status::Corruption("directory entry dimensionality mismatch");
+    }
+  }
+  return tree;
+}
+
+void IqTree::ChargeDirectoryScan() const {
+  const uint64_t bytes = dir_.size() * DirEntryBytes(meta_.dims);
+  const uint64_t blocks =
+      CeilDiv(std::max<uint64_t>(bytes, 1), disk_->params().block_size);
+  disk_->ChargeRead(dir_file_id_, 0, blocks);
+}
+
+Status IqTree::LoadExactPage(size_t dir_index, std::vector<PointId>* ids,
+                             std::vector<float>* coords) const {
+  const DirEntry& entry = dir_[dir_index];
+  if (entry.quant_bits >= kExactBits) {
+    // Exact pages live entirely on the second level.
+    std::vector<uint8_t> page(disk_->params().block_size);
+    IQ_RETURN_NOT_OK(qpages_->ReadBlock(entry.qpage_block, page.data()));
+    QuantPageCodec codec(meta_.dims, disk_->params().block_size);
+    return codec.DecodeExact(page.data(), ids, coords);
+  }
+  std::vector<uint8_t> buf(entry.exact.length);
+  IQ_RETURN_NOT_OK(exact_->Read(entry.exact, buf.data()));
+  ExactPageCodec codec(meta_.dims);
+  IQ_RETURN_NOT_OK(codec.Decode(buf.data(), buf.size(), ids, coords));
+  if (ids->size() != entry.count) {
+    return Status::Corruption("exact page count mismatch");
+  }
+  return Status::OK();
+}
+
+CostModel IqTree::MakeCostModel() const {
+  CostModelParams params;
+  params.disk = disk_->params();
+  params.metric = metric();
+  params.dims = meta_.dims;
+  params.total_points = std::max<uint64_t>(meta_.total_points, 1);
+  params.fractal_dimension =
+      meta_.fractal_dimension > 0
+          ? std::min(meta_.fractal_dimension,
+                     static_cast<double>(meta_.dims))
+          : static_cast<double>(meta_.dims);
+  params.dir_entry_bytes = DirEntryBytes(meta_.dims);
+  params.exact_record_bytes = ExactRecordBytes(meta_.dims);
+  params.knn_k = std::max<uint32_t>(1, meta_.knn_k);
+  return CostModel(params);
+}
+
+Status IqTree::Reoptimize() {
+  // Snapshot every record currently in the index.
+  Dataset snapshot(std::max<size_t>(meta_.dims, 1));
+  std::vector<PointId> row_ids;
+  std::vector<PointId> page_ids;
+  std::vector<float> page_coords;
+  for (size_t i = 0; i < dir_.size(); ++i) {
+    IQ_RETURN_NOT_OK(LoadExactPage(i, &page_ids, &page_coords));
+    for (size_t s = 0; s < page_ids.size(); ++s) {
+      row_ids.push_back(page_ids[s]);
+      snapshot.Append(
+          PointView(page_coords.data() + s * meta_.dims, meta_.dims));
+    }
+  }
+  // Re-estimate the fractal dimension on the current contents.
+  if (snapshot.size() >= 2) {
+    const double fractal =
+        EstimateCorrelationDimension(snapshot.data(), snapshot.size(),
+                                     snapshot.dims())
+            .dimension;
+    if (fractal > 0) {
+      meta_.fractal_dimension =
+          std::min(fractal, static_cast<double>(meta_.dims));
+    }
+  }
+  meta_.total_points = snapshot.size();
+  // Recreate the two data files (reclaims garbage blocks and dead
+  // extents) and repopulate with the optimizer. The attached block
+  // cache, if any, carries over (stale entries of the old file id age
+  // out of the LRU naturally).
+  BlockCache* cache = qpages_->cache();
+  IQ_ASSIGN_OR_RETURN(qpages_,
+                      BlockFile::Open(*storage_, QpgFileName(name_), *disk_,
+                                      /*create=*/true));
+  qpages_->set_cache(cache);
+  IQ_ASSIGN_OR_RETURN(exact_,
+                      ExtentFile::Open(*storage_, DatFileName(name_), *disk_,
+                                       /*create=*/true));
+  Options options;
+  options.metric = metric();
+  options.quantize = meta_.quantized != 0;
+  options.fractal_dimension = meta_.fractal_dimension;
+  options.optimize_for_k = meta_.knn_k;
+  IQ_RETURN_NOT_OK(PopulateFromDataset(snapshot, &row_ids, options));
+  dirty_ = true;
+  return Flush();
+}
+
+Status IqTree::Validate() const {
+  QuantPageCodec codec(meta_.dims, disk_->params().block_size);
+  std::vector<uint8_t> page(disk_->params().block_size);
+  std::vector<bool> seen;  // id uniqueness, grown on demand
+  uint64_t total = 0;
+  for (size_t i = 0; i < dir_.size(); ++i) {
+    const DirEntry& entry = dir_[i];
+    const std::string where = "entry " + std::to_string(i);
+    if (entry.count == 0) {
+      return Status::Corruption(where + ": empty page in directory");
+    }
+    total += entry.count;
+    if (entry.count > QuantPageCapacity(meta_.dims, entry.quant_bits,
+                                        disk_->params().block_size)) {
+      return Status::Corruption(where + ": count over page capacity");
+    }
+    IQ_RETURN_NOT_OK(qpages_->ReadBlock(entry.qpage_block, page.data()));
+    IQ_ASSIGN_OR_RETURN(QuantPageHeader header,
+                        codec.DecodeHeader(page.data()));
+    if (header.count != entry.count || header.bits != entry.quant_bits) {
+      return Status::Corruption(where +
+                                ": quantized page disagrees with directory");
+    }
+    std::vector<PointId> ids;
+    std::vector<float> coords;
+    std::vector<uint32_t> cells;
+    if (entry.quant_bits >= kExactBits) {
+      if (entry.exact.length != 0) {
+        return Status::Corruption(where + ": exact page with a third level");
+      }
+      IQ_RETURN_NOT_OK(codec.DecodeExact(page.data(), &ids, &coords));
+    } else {
+      if (entry.exact.length != entry.count * ExactRecordBytes(meta_.dims)) {
+        return Status::Corruption(where + ": extent size mismatch");
+      }
+      IQ_RETURN_NOT_OK(codec.DecodeCells(page.data(), &cells));
+      IQ_RETURN_NOT_OK(LoadExactPage(i, &ids, &coords));
+    }
+    std::vector<uint32_t> point_cells(meta_.dims);
+    for (uint32_t s = 0; s < entry.count; ++s) {
+      const PointView p(coords.data() + s * meta_.dims, meta_.dims);
+      if (!entry.mbr.Contains(p)) {
+        return Status::Corruption(where + ": point outside page MBR");
+      }
+      if (entry.quant_bits < kExactBits) {
+        std::copy(cells.begin() + static_cast<ptrdiff_t>(s) * meta_.dims,
+                  cells.begin() +
+                      static_cast<ptrdiff_t>(s + 1) * meta_.dims,
+                  point_cells.begin());
+        const GridQuantizer quantizer(entry.mbr, entry.quant_bits);
+        if (!quantizer.CellBox(point_cells).Contains(p)) {
+          return Status::Corruption(where +
+                                    ": cell box does not contain its point");
+        }
+      }
+      if (ids[s] >= seen.size()) seen.resize(ids[s] + 1, false);
+      if (seen[ids[s]]) {
+        return Status::Corruption(where + ": duplicate point id " +
+                                  std::to_string(ids[s]));
+      }
+      seen[ids[s]] = true;
+    }
+  }
+  if (total != meta_.total_points) {
+    return Status::Corruption("directory counts disagree with metadata");
+  }
+  return Status::OK();
+}
+
+Status IqTree::Flush() {
+  if (!dirty_) return Status::OK();
+  IQ_RETURN_NOT_OK(WriteDirectory(*dir_file_, meta_, dir_));
+  // Directory rewrite: charged as one sequential write pass.
+  const uint64_t bytes = dir_.size() * DirEntryBytes(meta_.dims);
+  disk_->ChargeWrite(dir_file_id_, 0,
+                     CeilDiv(std::max<uint64_t>(bytes, 1),
+                             disk_->params().block_size));
+  dirty_ = false;
+  return Status::OK();
+}
+
+}  // namespace iq

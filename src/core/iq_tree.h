@@ -1,0 +1,236 @@
+#ifndef IQ_CORE_IQ_TREE_H_
+#define IQ_CORE_IQ_TREE_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/format.h"
+#include "core/split_tree_optimizer.h"
+#include "costmodel/cost_model.h"
+#include "data/dataset.h"
+#include "geom/metrics.h"
+#include "geom/neighbor.h"
+#include "io/block_file.h"
+#include "io/disk_model.h"
+#include "io/extent_file.h"
+#include "io/storage.h"
+
+namespace iq {
+
+/// Query-time options for the IQ-tree.
+struct IqSearchOptions {
+  /// true: the paper's time-optimized page scheduling (§2.1) batching
+  /// neighboring pages by access probability. false: the standard
+  /// one-page-per-access HS search (the Fig. 7 "standard NN-search"
+  /// variant).
+  bool optimized_access = true;
+};
+
+/// The IQ-tree (paper §3): a three-level compressed index for exact
+/// similarity search in high-dimensional point data.
+///
+///   level 1  <name>.dir  flat directory of exact MBRs
+///   level 2  <name>.qpg  fixed-size quantized data pages
+///   level 3  <name>.dat  variable-size exact data pages
+///
+/// Every disk access of a query is charged to the shared DiskModel;
+/// query results report exact (not approximate) answers, with the
+/// compressed level used to avoid most exact-data reads.
+class IqTree {
+ public:
+  /// Build-time options.
+  struct Options {
+    Metric metric = Metric::kL2;
+    /// Fractal (correlation) dimension for the cost model; <= 0 means
+    /// estimate it from the data at build time.
+    double fractal_dimension = 0.0;
+    /// false builds the reduced "no quantization" variant of the Fig. 7
+    /// ablation: every page stores exact points (g = 32), no third
+    /// level, no optimizer.
+    bool quantize = true;
+    /// When non-zero (a kQuantLevels value), every page is stored at
+    /// exactly this level and the optimizer is skipped — the fixed-rate
+    /// ablation that shows why per-page optimization matters.
+    unsigned fixed_quant_bits = 0;
+    /// k of the k-NN workload the cost model optimizes the quantization
+    /// for (§3.4 footnote). Larger k means larger query balls, more
+    /// refinements, hence finer pages. Queries of any k remain exact
+    /// regardless of this setting.
+    unsigned optimize_for_k = 1;
+    uint64_t seed = 42;
+  };
+
+  /// Observability counters of the most recent NN/k-NN/range query
+  /// (what the I/O time was spent on).
+  struct QueryStats {
+    /// Quantized pages actually decoded.
+    size_t pages_decoded = 0;
+    /// Blocks transferred from the second level, including over-reads.
+    size_t blocks_transferred = 0;
+    /// Sequential accesses (batches) to the second level.
+    size_t batches = 0;
+    /// Third-level record lookups (exact-geometry consultations).
+    size_t refinements = 0;
+    /// Point approximations that entered the priority queue.
+    size_t cells_enqueued = 0;
+  };
+
+  struct BuildStats {
+    size_t num_pages = 0;
+    size_t initial_partitions = 0;
+    size_t splits_explored = 0;
+    size_t splits_kept = 0;
+    double expected_query_cost_s = 0.0;
+    double fractal_dimension = 0.0;
+    /// Pages per quantization level, indexed 0..5 for g=1,2,4,8,16,32.
+    std::array<size_t, 6> pages_per_level{};
+  };
+
+  IqTree(IqTree&&) = default;
+  IqTree& operator=(IqTree&&) = default;
+
+  /// Bulk-loads an IQ-tree over `data` (§3.3): top-down partitioning to
+  /// 1-bit pages, then cost-model-driven optimal quantization (§3.5),
+  /// then the three files are laid out in partitioning order.
+  static Result<std::unique_ptr<IqTree>> Build(const Dataset& data,
+                                               Storage& storage,
+                                               const std::string& name,
+                                               DiskModel& disk,
+                                               const Options& options);
+
+  /// Opens a previously built index. Fails with Corruption on damaged
+  /// files.
+  static Result<std::unique_ptr<IqTree>> Open(Storage& storage,
+                                              const std::string& name,
+                                              DiskModel& disk);
+
+  /// Exact nearest neighbor of `q`. NotFound on an empty index.
+  Result<Neighbor> NearestNeighbor(PointView q,
+                                   const IqSearchOptions& options = {}) const;
+
+  /// Exact k nearest neighbors, ascending by distance.
+  Result<std::vector<Neighbor>> KNearestNeighbors(
+      PointView q, size_t k, const IqSearchOptions& options = {}) const;
+
+  /// All points within metric distance `radius` of `q`, ascending by
+  /// distance.
+  Result<std::vector<Neighbor>> RangeSearch(PointView q, double radius) const;
+
+  /// All point ids inside the window (inclusive bounds).
+  Result<std::vector<PointId>> WindowQuery(const Mbr& window) const;
+
+  /// Inserts a point (§6): the target page is re-encoded; on overflow
+  /// the cost model decides between splitting the page and re-quantizing
+  /// it at coarser granularity.
+  Status Insert(PointId id, PointView p);
+
+  /// Inserts a batch in one pass: points are routed to their target
+  /// pages first, then every affected page is rewritten exactly once —
+  /// far fewer page writes than a loop of Insert(). `points` row r gets
+  /// id `ids[r]`.
+  Status InsertBatch(std::span<const PointId> ids, const Dataset& points);
+
+  /// Removes a point by id and location. NotFound if absent. The page is
+  /// re-quantized at finer granularity when the removal makes that
+  /// possible.
+  Status Remove(PointId id, PointView p);
+
+  /// Persists the in-memory directory after updates.
+  Status Flush();
+
+  /// Rebuilds the partitioning and quantization of the current contents
+  /// from scratch with the cost-model optimizer (§6: after many updates
+  /// the locally maintained solution can drift from the optimum, and
+  /// updates leave garbage in the files). Restores spatially clustered
+  /// page order, ~100% page fill and the optimal per-page rates, and
+  /// reclaims dead extents.
+  Status Reoptimize();
+
+  /// Deep structural scrub: decodes every page of all three levels and
+  /// checks them against the directory — header agreement, counts,
+  /// extent sizes, cell boxes containing their exact points, MBR
+  /// containment and tightness, id uniqueness. Returns the first
+  /// violation as a Corruption error. Reads are charged to the disk
+  /// model (it is a full-index scan).
+  Status Validate() const;
+
+  /// Attaches an LRU block cache to the quantized-page file (nullptr
+  /// detaches). Warm repeated queries stop paying for re-read pages;
+  /// the paper's measurements are cold-cache, so benches leave this
+  /// off unless they study caching (abl_cache).
+  void set_block_cache(BlockCache* cache) { qpages_->set_cache(cache); }
+
+  size_t dims() const { return meta_.dims; }
+  uint64_t size() const { return meta_.total_points; }
+  Metric metric() const { return static_cast<Metric>(meta_.metric); }
+  size_t num_pages() const { return dir_.size(); }
+  double fractal_dimension() const { return meta_.fractal_dimension; }
+  const BuildStats& build_stats() const { return build_stats_; }
+  /// Counters of the most recent query on this tree.
+  const QueryStats& last_query_stats() const { return last_query_stats_; }
+  const std::vector<DirEntry>& directory() const { return dir_; }
+
+ private:
+  friend class IqTreeSearcher;
+
+  IqTree() = default;
+
+  /// Charges the per-query sequential scan of the first-level directory
+  /// (T_1st, eq. 22).
+  void ChargeDirectoryScan() const;
+
+  /// Loads and decodes the exact data page backing directory entry
+  /// `dir_index` (reads the whole variable-size extent; for g=32 pages
+  /// the records come from the quantized page instead).
+  Status LoadExactPage(size_t dir_index, std::vector<PointId>* ids,
+                       std::vector<float>* coords) const;
+
+  /// Rewrites the pages of directory entry `dir_index` from exact
+  /// records, choosing the best quantization level; splits if the cost
+  /// model prefers it on overflow.
+  Status RewriteEntry(size_t dir_index, std::vector<PointId> ids,
+                      std::vector<float> coords);
+
+  /// Appends a brand-new entry (qpage at end of file). The records must
+  /// fit one page; use InsertRecords when they might not.
+  Status AppendEntry(const std::vector<PointId>& ids,
+                     const std::vector<float>& coords);
+
+  /// Appends the records as one or more new pages, splitting at medians
+  /// until every piece fits (covers batch inserts that overflow a page
+  /// by more than 2x).
+  Status InsertRecords(std::vector<PointId> ids, std::vector<float> coords);
+
+  /// Encodes + writes the qpage/extent for an entry whose points fit.
+  Status WriteEntryPages(DirEntry* entry, const std::vector<PointId>& ids,
+                         const std::vector<float>& coords, bool append_qpage);
+
+  /// Partitions/optimizes `data` and writes all pages into the (fresh)
+  /// files. Row r of `data` gets id `row_ids[r]` (or r if null). Shared
+  /// by Build and Reoptimize.
+  Status PopulateFromDataset(const Dataset& data,
+                             const std::vector<PointId>* row_ids,
+                             const Options& options);
+
+  CostModel MakeCostModel() const;
+
+  IndexMeta meta_;
+  Storage* storage_ = nullptr;
+  std::string name_;
+  std::vector<DirEntry> dir_;
+  std::unique_ptr<BlockFile> qpages_;
+  std::unique_ptr<ExtentFile> exact_;
+  std::shared_ptr<File> dir_file_;
+  DiskModel* disk_ = nullptr;
+  uint32_t dir_file_id_ = 0;
+  BuildStats build_stats_;
+  mutable QueryStats last_query_stats_;
+  bool dirty_ = false;
+};
+
+}  // namespace iq
+
+#endif  // IQ_CORE_IQ_TREE_H_

@@ -1,0 +1,490 @@
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "core/iq_tree.h"
+#include "costmodel/access_probability.h"
+#include "quant/grid_quantizer.h"
+#include "sched/fetch_plan.h"
+#include "sched/nn_batcher.h"
+
+namespace iq {
+
+namespace {
+
+constexpr uint32_t kPageSlot = 0xFFFFFFFF;
+constexpr size_t kMaxPrunerRegions = 512;
+constexpr double kMinCandidateProbability = 0.10;
+
+/// Min-heap entry: either a whole page (slot == kPageSlot) or the cell
+/// approximation of one point of an already-decoded page.
+struct QueueEntry {
+  double mindist;
+  uint32_t dir_index;
+  uint32_t slot;
+
+  bool operator>(const QueueEntry& other) const {
+    return mindist > other.mindist;
+  }
+};
+
+using MinHeap =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>;
+
+struct ExactPage {
+  std::vector<PointId> ids;
+  std::vector<float> coords;
+};
+
+}  // namespace
+
+/// Per-query state shared by NN, k-NN and range search over one IqTree.
+class IqTreeSearcher {
+ public:
+  IqTreeSearcher(const IqTree& tree, PointView q,
+                 const IqSearchOptions& options)
+      : tree_(tree),
+        q_(q),
+        options_(options),
+        metric_(tree.metric()),
+        dims_(tree.dims()),
+        block_size_(tree.disk_->params().block_size),
+        codec_(tree.dims(), tree.disk_->params().block_size) {}
+
+  Status RunKnn(size_t k, std::vector<Neighbor>* out) {
+    k_ = k;
+    tree_.last_query_stats_ = IqTree::QueryStats{};
+    tree_.ChargeDirectoryScan();
+    InitPages();
+    MinHeap heap;
+    for (size_t i = 0; i < tree_.dir_.size(); ++i) {
+      heap.push(QueueEntry{page_mindist_[i], static_cast<uint32_t>(i),
+                           kPageSlot});
+    }
+    std::vector<uint8_t> block(block_size_);
+    std::vector<uint8_t> batch_buf;
+    while (!heap.empty() && heap.top().mindist < PruneDistance()) {
+      const QueueEntry top = heap.top();
+      heap.pop();
+      if (top.slot == kPageSlot) {
+        if (processed_[top.dir_index]) continue;
+        if (options_.optimized_access) {
+          IQ_RETURN_NOT_OK(LoadBatch(top.dir_index, &batch_buf, &heap));
+        } else {
+          IQ_RETURN_NOT_OK(tree_.qpages_->ReadBlock(
+              tree_.dir_[top.dir_index].qpage_block, block.data()));
+          tree_.last_query_stats_.batches += 1;
+          tree_.last_query_stats_.blocks_transferred += 1;
+          IQ_RETURN_NOT_OK(ProcessPage(top.dir_index, block.data(), &heap));
+        }
+      } else {
+        IQ_RETURN_NOT_OK(RefineSlot(top.dir_index, top.slot));
+      }
+    }
+    out->assign(results_.begin(), results_.end());
+    std::sort(out->begin(), out->end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance < b.distance;
+              });
+    return Status::OK();
+  }
+
+  Status RunRange(double radius, std::vector<Neighbor>* out) {
+    tree_.last_query_stats_ = IqTree::QueryStats{};
+    tree_.ChargeDirectoryScan();
+    InitPages();
+    // The page set is known in advance: all pages whose MBR intersects
+    // the query ball. Fetch them with the optimal known-set plan (§2).
+    std::vector<uint64_t> blocks;
+    for (size_t i = 0; i < tree_.dir_.size(); ++i) {
+      if (page_mindist_[i] <= radius) {
+        blocks.push_back(tree_.dir_[i].qpage_block);
+      }
+    }
+    std::sort(blocks.begin(), blocks.end());
+    const std::vector<FetchRun> runs =
+        PlanKnownSetFetch(blocks, tree_.disk_->params());
+    std::vector<uint8_t> buf;
+    for (const FetchRun& run : runs) {
+      buf.resize(run.count * block_size_);
+      IQ_RETURN_NOT_OK(tree_.qpages_->ReadRange(run.first, run.count,
+                                                buf.data()));
+      tree_.last_query_stats_.batches += 1;
+      tree_.last_query_stats_.blocks_transferred += run.count;
+      for (uint64_t b = 0; b < run.count; ++b) {
+        const auto it = block_to_dir_.find(run.first + b);
+        if (it == block_to_dir_.end()) continue;  // over-read gap page
+        const size_t dir_index = it->second;
+        if (page_mindist_[dir_index] > radius) continue;
+        IQ_RETURN_NOT_OK(CollectInBall(dir_index,
+                                       buf.data() + b * block_size_, radius,
+                                       out));
+      }
+    }
+    std::sort(out->begin(), out->end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance < b.distance;
+              });
+    return Status::OK();
+  }
+
+ private:
+  void InitPages() {
+    const size_t n = tree_.dir_.size();
+    page_mindist_.resize(n);
+    processed_.assign(n, 0);
+    block_to_dir_.clear();
+    block_to_dir_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      page_mindist_[i] = MinDist(q_, tree_.dir_[i].mbr, metric_);
+      block_to_dir_[tree_.dir_[i].qpage_block] = i;
+    }
+    if (options_.optimized_access) {
+      // Pages sorted by MINDIST: the prefix with smaller MINDIST than a
+      // candidate page is exactly its higher-priority set (§2.2).
+      order_by_mindist_.resize(n);
+      for (size_t i = 0; i < n; ++i) order_by_mindist_[i] = i;
+      std::sort(order_by_mindist_.begin(), order_by_mindist_.end(),
+                [&](size_t a, size_t b) {
+                  return page_mindist_[a] < page_mindist_[b];
+                });
+    }
+  }
+
+  /// Current pruning distance: the k-th best exact distance found.
+  double PruneDistance() const {
+    return results_.size() < k_ ? std::numeric_limits<double>::infinity()
+                                : results_top_;
+  }
+
+  void AddResult(PointId id, double distance) {
+    if (results_.size() < k_) {
+      results_.push_back(Neighbor{id, distance});
+      if (results_.size() == k_) {
+        results_top_ = 0;
+        for (const Neighbor& r : results_) {
+          results_top_ = std::max(results_top_, r.distance);
+        }
+      }
+      return;
+    }
+    if (distance >= results_top_) return;
+    // Replace the current worst.
+    size_t worst = 0;
+    for (size_t i = 1; i < results_.size(); ++i) {
+      if (results_[i].distance > results_[worst].distance) worst = i;
+    }
+    results_[worst] = Neighbor{id, distance};
+    results_top_ = 0;
+    for (const Neighbor& r : results_) {
+      results_top_ = std::max(results_top_, r.distance);
+    }
+  }
+
+  /// Access probability of the page at file position `block` for the
+  /// current query state (the scheduler's callback).
+  double AccessProbability(uint64_t block, uint64_t pivot_block) {
+    if (block == pivot_block) return 1.0;
+    const auto it = block_to_dir_.find(block);
+    if (it == block_to_dir_.end()) return 0.0;
+    const size_t dir_index = it->second;
+    if (processed_[dir_index]) return 0.0;
+    const double md = page_mindist_[dir_index];
+    if (md >= PruneDistance()) return 0.0;
+    scratch_regions_.clear();
+    for (size_t j : order_by_mindist_) {
+      if (page_mindist_[j] >= md) break;
+      if (processed_[j]) continue;
+      scratch_regions_.push_back(
+          PrunerRegion{&tree_.dir_[j].mbr, tree_.dir_[j].count});
+      if (scratch_regions_.size() >= kMaxPrunerRegions) break;
+    }
+    // A page still in the priority list can always turn out to be
+    // needed, and mistakenly skipping it costs a whole seek while
+    // over-reading it costs one transfer; keep a floor under the
+    // estimate so near-certain-looking skips stay cheap to hedge.
+    return std::max(kMinCandidateProbability,
+                    PageAccessProbability(q_, md, scratch_regions_,
+                                          metric_));
+  }
+
+  /// The paper's time-optimized load step (§2.1): batch the pivot page
+  /// with neighboring on-disk pages whose access probability makes
+  /// over-reading cheaper than a later seek, then process everything
+  /// that was transferred.
+  Status LoadBatch(size_t pivot_dir_index, std::vector<uint8_t>* buf,
+                   MinHeap* heap) {
+    const uint64_t pivot_block = tree_.dir_[pivot_dir_index].qpage_block;
+    const BatchRange range = PlanNnBatch(
+        pivot_block, tree_.qpages_->NumBlocks(), tree_.disk_->params(),
+        [&](uint64_t block) {
+          return AccessProbability(block, pivot_block);
+        });
+    buf->resize(range.count() * block_size_);
+    IQ_RETURN_NOT_OK(
+        tree_.qpages_->ReadRange(range.first, range.count(), buf->data()));
+    tree_.last_query_stats_.batches += 1;
+    tree_.last_query_stats_.blocks_transferred += range.count();
+    for (uint64_t b = 0; b < range.count(); ++b) {
+      const auto it = block_to_dir_.find(range.first + b);
+      if (it == block_to_dir_.end()) continue;
+      const size_t dir_index = it->second;
+      if (processed_[dir_index]) continue;
+      // Pages already pruned by the current result are transferred but
+      // not decoded.
+      if (dir_index != pivot_dir_index &&
+          page_mindist_[dir_index] >= PruneDistance()) {
+        processed_[dir_index] = 1;
+        continue;
+      }
+      IQ_RETURN_NOT_OK(
+          ProcessPage(dir_index, buf->data() + b * block_size_, heap));
+    }
+    return Status::OK();
+  }
+
+  /// Decodes a loaded quantized page: exact points are evaluated
+  /// directly; cell approximations enter the priority queue (§3.2).
+  Status ProcessPage(size_t dir_index, const uint8_t* page, MinHeap* heap) {
+    processed_[dir_index] = 1;
+    tree_.last_query_stats_.pages_decoded += 1;
+    const DirEntry& entry = tree_.dir_[dir_index];
+    IQ_ASSIGN_OR_RETURN(QuantPageHeader header, codec_.DecodeHeader(page));
+    if (header.count != entry.count || header.bits != entry.quant_bits) {
+      return Status::Corruption("quantized page disagrees with directory");
+    }
+    if (entry.quant_bits >= kExactBits) {
+      std::vector<PointId> ids;
+      std::vector<float> coords;
+      IQ_RETURN_NOT_OK(codec_.DecodeExact(page, &ids, &coords));
+      for (size_t s = 0; s < ids.size(); ++s) {
+        const double dist =
+            Distance(q_, PointView(coords.data() + s * dims_, dims_),
+                     metric_);
+        if (dist < PruneDistance()) AddResult(ids[s], dist);
+      }
+      return Status::OK();
+    }
+    std::vector<uint32_t> cells;
+    IQ_RETURN_NOT_OK(codec_.DecodeCells(page, &cells));
+    const GridQuantizer quantizer(entry.mbr, entry.quant_bits);
+    std::vector<uint32_t> point_cells(dims_);
+    for (uint32_t s = 0; s < entry.count; ++s) {
+      std::copy(cells.begin() + static_cast<ptrdiff_t>(s) * dims_,
+                cells.begin() + static_cast<ptrdiff_t>(s + 1) * dims_,
+                point_cells.begin());
+      const Mbr box = quantizer.CellBox(point_cells);
+      const double mindist = MinDist(q_, box, metric_);
+      if (mindist < PruneDistance()) {
+        heap->push(QueueEntry{mindist, static_cast<uint32_t>(dir_index), s});
+        tree_.last_query_stats_.cells_enqueued += 1;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Consults the exact geometry of one point (§3.2): reads only the
+  /// block(s) of the third-level page that hold this point's record —
+  /// a point approximation is refined at most once per query (it leaves
+  /// the priority list when popped), so there is nothing to cache.
+  Status RefineSlot(size_t dir_index, uint32_t slot) {
+    const DirEntry& entry = tree_.dir_[dir_index];
+    const size_t record = ExactRecordBytes(dims_);
+    if (entry.quant_bits >= kExactBits ||
+        (static_cast<uint64_t>(slot) + 1) * record > entry.exact.length) {
+      return Status::Corruption("refinement slot out of range");
+    }
+    const Extent record_extent{entry.exact.offset + slot * record, record};
+    std::vector<uint8_t> buf(record);
+    IQ_RETURN_NOT_OK(tree_.exact_->Read(record_extent, buf.data()));
+    tree_.last_query_stats_.refinements += 1;
+    PointId id;
+    std::memcpy(&id, buf.data(), sizeof(PointId));
+    std::vector<float> coords(dims_);
+    std::memcpy(coords.data(), buf.data() + sizeof(PointId),
+                sizeof(float) * dims_);
+    const double dist = Distance(q_, coords, metric_);
+    if (dist < PruneDistance()) AddResult(id, dist);
+    return Status::OK();
+  }
+
+  /// Range-search page handler: evaluates every point of the page whose
+  /// cell approximation intersects the ball, loading the exact page at
+  /// most once.
+  Status CollectInBall(size_t dir_index, const uint8_t* page, double radius,
+                       std::vector<Neighbor>* out) {
+    tree_.last_query_stats_.pages_decoded += 1;
+    const DirEntry& entry = tree_.dir_[dir_index];
+    IQ_ASSIGN_OR_RETURN(QuantPageHeader header, codec_.DecodeHeader(page));
+    if (header.count != entry.count || header.bits != entry.quant_bits) {
+      return Status::Corruption("quantized page disagrees with directory");
+    }
+    if (entry.quant_bits >= kExactBits) {
+      std::vector<PointId> ids;
+      std::vector<float> coords;
+      IQ_RETURN_NOT_OK(codec_.DecodeExact(page, &ids, &coords));
+      for (size_t s = 0; s < ids.size(); ++s) {
+        const double dist =
+            Distance(q_, PointView(coords.data() + s * dims_, dims_),
+                     metric_);
+        if (dist <= radius) out->push_back(Neighbor{ids[s], dist});
+      }
+      return Status::OK();
+    }
+    std::vector<uint32_t> cells;
+    IQ_RETURN_NOT_OK(codec_.DecodeCells(page, &cells));
+    const GridQuantizer quantizer(entry.mbr, entry.quant_bits);
+    std::vector<uint32_t> point_cells(dims_);
+    std::vector<uint32_t> candidates;
+    for (uint32_t s = 0; s < entry.count; ++s) {
+      std::copy(cells.begin() + static_cast<ptrdiff_t>(s) * dims_,
+                cells.begin() + static_cast<ptrdiff_t>(s + 1) * dims_,
+                point_cells.begin());
+      const Mbr box = quantizer.CellBox(point_cells);
+      if (MinDist(q_, box, metric_) <= radius) candidates.push_back(s);
+    }
+    if (candidates.empty()) return Status::OK();
+    tree_.last_query_stats_.refinements += candidates.size();
+    ExactPage exact;
+    IQ_RETURN_NOT_OK(tree_.LoadExactPage(dir_index, &exact.ids,
+                                         &exact.coords));
+    for (uint32_t s : candidates) {
+      const double dist = Distance(
+          q_, PointView(exact.coords.data() + s * dims_, dims_), metric_);
+      if (dist <= radius) out->push_back(Neighbor{exact.ids[s], dist});
+    }
+    return Status::OK();
+  }
+
+  const IqTree& tree_;
+  PointView q_;
+  IqSearchOptions options_;
+  Metric metric_;
+  size_t dims_;
+  uint32_t block_size_;
+  QuantPageCodec codec_;
+  size_t k_ = 1;
+
+  std::vector<double> page_mindist_;
+  std::vector<uint8_t> processed_;
+  std::vector<size_t> order_by_mindist_;
+  std::unordered_map<uint64_t, size_t> block_to_dir_;
+  std::vector<PrunerRegion> scratch_regions_;
+
+  std::vector<Neighbor> results_;
+  double results_top_ = std::numeric_limits<double>::infinity();
+};
+
+Result<Neighbor> IqTree::NearestNeighbor(
+    PointView q, const IqSearchOptions& options) const {
+  if (q.size() != meta_.dims) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (dir_.empty()) return Status::NotFound("empty index");
+  IqTreeSearcher searcher(*this, q, options);
+  std::vector<Neighbor> out;
+  IQ_RETURN_NOT_OK(searcher.RunKnn(1, &out));
+  if (out.empty()) return Status::NotFound("empty index");
+  return out.front();
+}
+
+Result<std::vector<Neighbor>> IqTree::KNearestNeighbors(
+    PointView q, size_t k, const IqSearchOptions& options) const {
+  if (q.size() != meta_.dims) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (k == 0) return std::vector<Neighbor>{};
+  IqTreeSearcher searcher(*this, q, options);
+  std::vector<Neighbor> out;
+  IQ_RETURN_NOT_OK(searcher.RunKnn(k, &out));
+  return out;
+}
+
+Result<std::vector<Neighbor>> IqTree::RangeSearch(PointView q,
+                                                  double radius) const {
+  if (q.size() != meta_.dims) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (radius < 0) {
+    return Status::InvalidArgument("negative radius");
+  }
+  IqTreeSearcher searcher(*this, q, IqSearchOptions{});
+  std::vector<Neighbor> out;
+  IQ_RETURN_NOT_OK(searcher.RunRange(radius, &out));
+  return out;
+}
+
+Result<std::vector<PointId>> IqTree::WindowQuery(const Mbr& window) const {
+  if (window.dims() != meta_.dims) {
+    return Status::InvalidArgument("window dimensionality mismatch");
+  }
+  ChargeDirectoryScan();
+  QuantPageCodec codec(meta_.dims, disk_->params().block_size);
+  std::vector<uint64_t> blocks;
+  std::unordered_map<uint64_t, size_t> block_to_dir;
+  for (size_t i = 0; i < dir_.size(); ++i) {
+    if (window.Intersects(dir_[i].mbr)) {
+      blocks.push_back(dir_[i].qpage_block);
+      block_to_dir[dir_[i].qpage_block] = i;
+    }
+  }
+  std::sort(blocks.begin(), blocks.end());
+  const std::vector<FetchRun> runs =
+      PlanKnownSetFetch(blocks, disk_->params());
+  std::vector<PointId> out;
+  std::vector<uint8_t> buf;
+  const uint32_t block_size = disk_->params().block_size;
+  for (const FetchRun& run : runs) {
+    buf.resize(run.count * block_size);
+    IQ_RETURN_NOT_OK(qpages_->ReadRange(run.first, run.count, buf.data()));
+    for (uint64_t b = 0; b < run.count; ++b) {
+      const auto it = block_to_dir.find(run.first + b);
+      if (it == block_to_dir.end()) continue;
+      const size_t dir_index = it->second;
+      const DirEntry& entry = dir_[dir_index];
+      const uint8_t* page = buf.data() + b * block_size;
+      if (entry.quant_bits >= kExactBits) {
+        std::vector<PointId> ids;
+        std::vector<float> coords;
+        IQ_RETURN_NOT_OK(codec.DecodeExact(page, &ids, &coords));
+        for (size_t s = 0; s < ids.size(); ++s) {
+          if (window.Contains(
+                  PointView(coords.data() + s * meta_.dims, meta_.dims))) {
+            out.push_back(ids[s]);
+          }
+        }
+        continue;
+      }
+      std::vector<uint32_t> cells;
+      IQ_RETURN_NOT_OK(codec.DecodeCells(page, &cells));
+      const GridQuantizer quantizer(entry.mbr, entry.quant_bits);
+      std::vector<uint32_t> point_cells(meta_.dims);
+      std::vector<uint32_t> candidates;
+      for (uint32_t s = 0; s < entry.count; ++s) {
+        std::copy(cells.begin() + static_cast<ptrdiff_t>(s) * meta_.dims,
+                  cells.begin() + static_cast<ptrdiff_t>(s + 1) * meta_.dims,
+                  point_cells.begin());
+        if (window.Intersects(quantizer.CellBox(point_cells))) {
+          candidates.push_back(s);
+        }
+      }
+      if (candidates.empty()) continue;
+      std::vector<PointId> ids;
+      std::vector<float> coords;
+      IQ_RETURN_NOT_OK(LoadExactPage(dir_index, &ids, &coords));
+      for (uint32_t s : candidates) {
+        if (window.Contains(
+                PointView(coords.data() + s * meta_.dims, meta_.dims))) {
+          out.push_back(ids[s]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace iq

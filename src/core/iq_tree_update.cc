@@ -1,0 +1,288 @@
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "core/iq_tree.h"
+#include "core/partitioner.h"
+
+namespace iq {
+
+namespace {
+
+/// Tight MBR of `count` row-major points.
+Mbr MbrOfCoords(const float* coords, size_t count, size_t dims) {
+  return Mbr::Of(coords, count, dims);
+}
+
+/// Margin (sum of extents) enlargement if `p` joins `mbr` — the
+/// insertion target heuristic. Volume enlargement degenerates in high
+/// dimensions (products of many sub-1 extents underflow), margins don't.
+double MarginEnlargement(const Mbr& mbr, PointView p) {
+  double enlargement = 0.0;
+  for (size_t i = 0; i < mbr.dims(); ++i) {
+    if (p[i] < mbr.lb(i)) enlargement += mbr.lb(i) - p[i];
+    if (p[i] > mbr.ub(i)) enlargement += p[i] - mbr.ub(i);
+  }
+  return enlargement;
+}
+
+}  // namespace
+
+Status IqTree::AppendEntry(const std::vector<PointId>& ids,
+                           const std::vector<float>& coords) {
+  DirEntry entry;
+  entry.mbr = MbrOfCoords(coords.data(), ids.size(), meta_.dims);
+  entry.quant_bits = meta_.quantized
+                         ? BestQuantLevel(meta_.dims, ids.size(),
+                                          disk_->params().block_size)
+                         : kExactBits;
+  if (entry.quant_bits == 0) {
+    return Status::Internal("AppendEntry called with an oversized page");
+  }
+  IQ_RETURN_NOT_OK(WriteEntryPages(&entry, ids, coords,
+                                   /*append_qpage=*/true));
+  dir_.push_back(std::move(entry));
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status IqTree::RewriteEntry(size_t dir_index, std::vector<PointId> ids,
+                            std::vector<float> coords) {
+  const size_t dims = meta_.dims;
+  if (ids.empty()) {
+    // Page became empty: drop the directory entry. The quantized block
+    // and old extent become garbage (reclaimed by a rebuild).
+    dir_.erase(dir_.begin() + static_cast<ptrdiff_t>(dir_index));
+    dirty_ = true;
+    return Status::OK();
+  }
+  const Mbr mbr = MbrOfCoords(coords.data(), ids.size(), dims);
+  const uint32_t block_size = disk_->params().block_size;
+  unsigned g_fit = meta_.quantized
+                       ? BestQuantLevel(dims, ids.size(), block_size)
+                       : (ids.size() <= QuantPageCapacity(dims, kExactBits,
+                                                          block_size)
+                              ? kExactBits
+                              : 0);
+
+  bool split = g_fit == 0;
+  if (!split && meta_.quantized && g_fit < kExactBits && ids.size() >= 2) {
+    // §6: on overflow (and more generally whenever both options exist),
+    // let the cost model decide between keeping one page at the coarser
+    // level and splitting into two finer pages. Only the affected pages'
+    // refinement costs and the page count change; everything else is a
+    // shared constant.
+    const CostModel model = MakeCostModel();
+    const double keep_cost =
+        model.TotalCost(dir_.size(),
+                        model.PageRefinementCost(mbr, ids.size(), g_fit));
+    // Hypothetical split at the median of the longest side.
+    std::vector<uint32_t> perm(ids.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    const size_t dim = mbr.LongestDimension();
+    const size_t mid = perm.size() / 2;
+    std::nth_element(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(mid),
+                     perm.end(), [&](uint32_t a, uint32_t b) {
+                       return coords[a * dims + dim] < coords[b * dims + dim];
+                     });
+    Mbr left = Mbr::Empty(dims);
+    Mbr right = Mbr::Empty(dims);
+    for (size_t i = 0; i < perm.size(); ++i) {
+      PointView p(coords.data() + perm[i] * dims, dims);
+      (i < mid ? left : right).Extend(p);
+    }
+    const unsigned g_left = BestQuantLevel(dims, mid, block_size);
+    const unsigned g_right =
+        BestQuantLevel(dims, perm.size() - mid, block_size);
+    const double split_cost = model.TotalCost(
+        dir_.size() + 1,
+        model.PageRefinementCost(left, mid, g_left) +
+            model.PageRefinementCost(right, perm.size() - mid, g_right));
+    if (split_cost < keep_cost) {
+      split = true;
+    }
+  }
+
+  if (split) {
+    // Reorder records at the median and write the halves: the left half
+    // reuses this entry's quantized block, the right half is appended.
+    std::vector<uint32_t> perm(ids.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    const size_t dim = mbr.LongestDimension();
+    const size_t mid = perm.size() / 2;
+    std::nth_element(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(mid),
+                     perm.end(), [&](uint32_t a, uint32_t b) {
+                       return coords[a * dims + dim] < coords[b * dims + dim];
+                     });
+    std::vector<PointId> left_ids, right_ids;
+    std::vector<float> left_coords, right_coords;
+    for (size_t i = 0; i < perm.size(); ++i) {
+      auto& out_ids = i < mid ? left_ids : right_ids;
+      auto& out_coords = i < mid ? left_coords : right_coords;
+      out_ids.push_back(ids[perm[i]]);
+      out_coords.insert(out_coords.end(), coords.begin() + perm[i] * dims,
+                        coords.begin() + (perm[i] + 1) * dims);
+    }
+    IQ_RETURN_NOT_OK(RewriteEntry(dir_index, std::move(left_ids),
+                                  std::move(left_coords)));
+    return InsertRecords(std::move(right_ids), std::move(right_coords));
+  }
+
+  DirEntry& entry = dir_[dir_index];
+  entry.mbr = mbr;
+  entry.quant_bits = g_fit;
+  IQ_RETURN_NOT_OK(WriteEntryPages(&entry, ids, coords,
+                                   /*append_qpage=*/false));
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status IqTree::InsertRecords(std::vector<PointId> ids,
+                             std::vector<float> coords) {
+  if (ids.empty()) return Status::OK();
+  const size_t dims = meta_.dims;
+  const uint32_t block_size = disk_->params().block_size;
+  const unsigned g_fit =
+      meta_.quantized
+          ? BestQuantLevel(dims, ids.size(), block_size)
+          : (ids.size() <= QuantPageCapacity(dims, kExactBits, block_size)
+                 ? kExactBits
+                 : 0);
+  if (g_fit != 0) return AppendEntry(ids, coords);
+  // Too many records for any level: median-split and recurse.
+  const Mbr mbr = MbrOfCoords(coords.data(), ids.size(), dims);
+  std::vector<uint32_t> perm(ids.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  const size_t dim = mbr.LongestDimension();
+  const size_t mid = perm.size() / 2;
+  std::nth_element(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(mid),
+                   perm.end(), [&](uint32_t a, uint32_t b) {
+                     return coords[a * dims + dim] < coords[b * dims + dim];
+                   });
+  std::vector<PointId> left_ids, right_ids;
+  std::vector<float> left_coords, right_coords;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    auto& out_ids = i < mid ? left_ids : right_ids;
+    auto& out_coords = i < mid ? left_coords : right_coords;
+    out_ids.push_back(ids[perm[i]]);
+    out_coords.insert(out_coords.end(), coords.begin() + perm[i] * dims,
+                      coords.begin() + (perm[i] + 1) * dims);
+  }
+  IQ_RETURN_NOT_OK(InsertRecords(std::move(left_ids),
+                                 std::move(left_coords)));
+  return InsertRecords(std::move(right_ids), std::move(right_coords));
+}
+
+Status IqTree::Insert(PointId id, PointView p) {
+  if (p.size() != meta_.dims) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  meta_.total_points += 1;
+  dirty_ = true;
+  if (dir_.empty()) {
+    std::vector<PointId> ids{id};
+    std::vector<float> coords(p.begin(), p.end());
+    return AppendEntry(ids, coords);
+  }
+  // Target page: least margin enlargement, then smaller margin.
+  size_t best = 0;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_margin = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < dir_.size(); ++i) {
+    const double enlargement = MarginEnlargement(dir_[i].mbr, p);
+    const double margin = dir_[i].mbr.Margin();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && margin < best_margin)) {
+      best = i;
+      best_enlargement = enlargement;
+      best_margin = margin;
+    }
+  }
+  std::vector<PointId> ids;
+  std::vector<float> coords;
+  IQ_RETURN_NOT_OK(LoadExactPage(best, &ids, &coords));
+  ids.push_back(id);
+  coords.insert(coords.end(), p.begin(), p.end());
+  return RewriteEntry(best, std::move(ids), std::move(coords));
+}
+
+Status IqTree::InsertBatch(std::span<const PointId> ids,
+                           const Dataset& points) {
+  if (points.dims() != meta_.dims) {
+    return Status::InvalidArgument("batch dimensionality mismatch");
+  }
+  if (ids.size() != points.size()) {
+    return Status::InvalidArgument("ids/points size mismatch");
+  }
+  size_t first = 0;
+  if (dir_.empty()) {
+    if (points.size() == 0) return Status::OK();
+    // Seed the directory with the first point, then route the rest.
+    IQ_RETURN_NOT_OK(Insert(ids[0], points[0]));
+    first = 1;
+  }
+  // Route every point to its target page under the *current* directory,
+  // then rewrite each affected page once. Splits triggered by a rewrite
+  // only append entries, so earlier routing decisions stay valid.
+  std::map<size_t, std::vector<size_t>> by_entry;
+  for (size_t r = first; r < points.size(); ++r) {
+    const PointView p = points[r];
+    size_t best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_margin = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < dir_.size(); ++i) {
+      const double enlargement = MarginEnlargement(dir_[i].mbr, p);
+      const double margin = dir_[i].mbr.Margin();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && margin < best_margin)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_margin = margin;
+      }
+    }
+    by_entry[best].push_back(r);
+  }
+  for (const auto& [dir_index, rows] : by_entry) {
+    std::vector<PointId> page_ids;
+    std::vector<float> page_coords;
+    IQ_RETURN_NOT_OK(LoadExactPage(dir_index, &page_ids, &page_coords));
+    for (size_t r : rows) {
+      page_ids.push_back(ids[r]);
+      const PointView p = points[r];
+      page_coords.insert(page_coords.end(), p.begin(), p.end());
+    }
+    meta_.total_points += rows.size();
+    IQ_RETURN_NOT_OK(RewriteEntry(dir_index, std::move(page_ids),
+                                  std::move(page_coords)));
+  }
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status IqTree::Remove(PointId id, PointView p) {
+  if (p.size() != meta_.dims) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  for (size_t i = 0; i < dir_.size(); ++i) {
+    if (!dir_[i].mbr.Contains(p)) continue;
+    std::vector<PointId> ids;
+    std::vector<float> coords;
+    IQ_RETURN_NOT_OK(LoadExactPage(i, &ids, &coords));
+    const auto it = std::find(ids.begin(), ids.end(), id);
+    if (it == ids.end()) continue;
+    const size_t slot = static_cast<size_t>(it - ids.begin());
+    ids.erase(it);
+    coords.erase(coords.begin() + static_cast<ptrdiff_t>(slot * meta_.dims),
+                 coords.begin() +
+                     static_cast<ptrdiff_t>((slot + 1) * meta_.dims));
+    meta_.total_points -= 1;
+    dirty_ = true;
+    // RewriteEntry re-tightens the MBR and re-quantizes at the finest
+    // level the shrunk page now fits.
+    return RewriteEntry(i, std::move(ids), std::move(coords));
+  }
+  return Status::NotFound("point " + std::to_string(id) + " not in index");
+}
+
+}  // namespace iq

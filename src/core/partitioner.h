@@ -1,0 +1,51 @@
+#ifndef IQ_CORE_PARTITIONER_H_
+#define IQ_CORE_PARTITIONER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/mbr.h"
+#include "geom/point.h"
+
+namespace iq {
+
+/// A contiguous range of the id permutation plus its tight MBR.
+struct Partition {
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+  Mbr mbr;
+
+  size_t count() const { return end - begin; }
+};
+
+/// Tight MBR of the points referenced by `ids`.
+Mbr MbrOfIds(const Dataset& data, std::span<const PointId> ids);
+
+/// Splits `ids` in half along the dimension where `mbr` has its largest
+/// extension, at the coordinate median (the split used by the optimizer
+/// ladder and by page splits, §3.3). Reorders `ids` in place; returns
+/// the split position (elements [0, mid) go left).
+size_t SplitAtMedian(const Dataset& data, std::span<PointId> ids,
+                     const Mbr& mbr);
+
+/// Splits `ids` along the dimension where `mbr` has its largest
+/// extension so that exactly `left_count` elements go left (an order
+/// statistic split). Used by the bulk loader to cut at page-capacity
+/// multiples, which keeps the resulting pages ~100% full ([4]).
+void SplitAtPosition(const Dataset& data, std::span<PointId> ids,
+                     const Mbr& mbr, size_t left_count);
+
+/// Top-down bulk-load partitioning (§3.3): recursively split until every
+/// partition holds at most `capacity` points. `ids` must be a
+/// permutation of the rows to index; it is reordered so each returned
+/// partition is a contiguous range, emitted in recursive order (which
+/// becomes the spatially-clustered on-disk page order).
+std::vector<Partition> PartitionDataset(const Dataset& data,
+                                        std::span<PointId> ids,
+                                        uint32_t capacity);
+
+}  // namespace iq
+
+#endif  // IQ_CORE_PARTITIONER_H_

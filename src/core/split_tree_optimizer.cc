@@ -1,0 +1,180 @@
+#include "core/split_tree_optimizer.h"
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+#include "core/format.h"
+
+namespace iq {
+namespace {
+
+/// Node of the split tree. The whole tree is materialized up front (the
+/// id permutation is refined top-down while building it); the expansion
+/// then walks it in benefit order exactly as the paper's algorithm does,
+/// releasing children into the candidate heap only once their parent has
+/// been split, so every recorded intermediate state is a valid solution
+/// in the sense of Definition 1.
+struct Node {
+  size_t begin = 0;
+  size_t end = 0;
+  Mbr mbr;
+  unsigned quant_bits = 0;
+  double variable_cost = 0.0;
+  /// variable_cost - (children's variable costs); only valid for
+  /// internal nodes.
+  double benefit = 0.0;
+  int32_t left = -1;
+  int32_t right = -1;
+  /// 1-based index of the expansion step that split this node;
+  /// SIZE_MAX while it is a leaf.
+  size_t split_step = std::numeric_limits<size_t>::max();
+
+  size_t count() const { return end - begin; }
+  bool splittable() const { return left >= 0; }
+};
+
+struct HeapEntry {
+  double benefit;
+  int32_t node;
+
+  bool operator<(const HeapEntry& other) const {
+    return benefit < other.benefit;  // max-heap by benefit
+  }
+};
+
+class SplitTree {
+ public:
+  SplitTree(const Dataset& data, std::span<PointId> ids,
+            const CostModel& model, uint32_t block_size)
+      : data_(data), ids_(ids), model_(model), block_size_(block_size) {}
+
+  /// Builds the full subtree for the given range and returns its root.
+  int32_t Build(size_t begin, size_t end, Mbr mbr) {
+    Node node;
+    node.begin = begin;
+    node.end = end;
+    node.mbr = std::move(mbr);
+    node.quant_bits = BestQuantLevel(data_.dims(), end - begin, block_size_);
+    assert(node.quant_bits != 0 &&
+           "initial partitions must fit a 1-bit page");
+    node.variable_cost =
+        model_.PageRefinementCost(node.mbr, node.count(), node.quant_bits);
+    nodes_.push_back(std::move(node));
+    const int32_t index = static_cast<int32_t>(nodes_.size() - 1);
+    // Exact pages have zero refinement cost; splitting them only adds
+    // constant (directory/second-level) cost, so they stay leaves (the
+    // pseudocode's fits(32) branch).
+    if (nodes_[index].quant_bits < kExactBits && nodes_[index].count() >= 2) {
+      const auto range = ids_.subspan(begin, end - begin);
+      const size_t mid = SplitAtMedian(data_, range, nodes_[index].mbr);
+      Mbr left_mbr = MbrOfIds(data_, range.subspan(0, mid));
+      Mbr right_mbr = MbrOfIds(data_, range.subspan(mid));
+      const int32_t left = Build(begin, begin + mid, std::move(left_mbr));
+      const int32_t right = Build(begin + mid, end, std::move(right_mbr));
+      nodes_[index].left = left;
+      nodes_[index].right = right;
+      nodes_[index].benefit = nodes_[index].variable_cost -
+                              nodes_[left].variable_cost -
+                              nodes_[right].variable_cost;
+    }
+    return index;
+  }
+
+  void AddRoot(int32_t node) { roots_.push_back(node); }
+
+  double NodeVariableCost(int32_t node) const {
+    return nodes_[node].variable_cost;
+  }
+
+  /// Splits greedily by benefit to the all-exact state, recording the
+  /// model cost after every split, then keeps the cheapest prefix.
+  void Run(size_t initial_pages, double initial_variable_sum,
+           OptimizerResult* result) {
+    std::priority_queue<HeapEntry> heap;
+    for (int32_t root : roots_) Offer(heap, root);
+
+    double sum_variable = initial_variable_sum;
+    uint64_t n_pages = initial_pages;
+    result->cost_trace.clear();
+    result->cost_trace.push_back(model_.TotalCost(n_pages, sum_variable));
+    size_t best_step = 0;
+    double best_cost = result->cost_trace[0];
+    size_t step = 0;
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      Node& node = nodes_[top.node];
+      ++step;
+      node.split_step = step;
+      const Node& left = nodes_[node.left];
+      const Node& right = nodes_[node.right];
+      sum_variable +=
+          left.variable_cost + right.variable_cost - node.variable_cost;
+      ++n_pages;
+      const double cost = model_.TotalCost(n_pages, sum_variable);
+      result->cost_trace.push_back(cost);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_step = step;
+      }
+      Offer(heap, node.left);
+      Offer(heap, node.right);
+    }
+    result->splits_explored = step;
+    result->splits_kept = best_step;
+    result->expected_cost = best_cost;
+    // Undo every split after best_step: emit the leaves of the forest
+    // induced by the first best_step splits, in DFS (disk) order.
+    for (int32_t root : roots_) CollectSolution(root, best_step, result);
+  }
+
+ private:
+  void Offer(std::priority_queue<HeapEntry>& heap, int32_t index) const {
+    const Node& node = nodes_[index];
+    if (node.splittable()) heap.push(HeapEntry{node.benefit, index});
+  }
+
+  void CollectSolution(int32_t index, size_t max_step,
+                       OptimizerResult* result) const {
+    const Node& node = nodes_[index];
+    if (node.split_step <= max_step) {
+      CollectSolution(node.left, max_step, result);
+      CollectSolution(node.right, max_step, result);
+      return;
+    }
+    result->pages.push_back(
+        SolutionPage{node.begin, node.end, node.mbr, node.quant_bits});
+  }
+
+  const Dataset& data_;
+  std::span<PointId> ids_;
+  const CostModel& model_;
+  uint32_t block_size_;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> roots_;
+};
+
+}  // namespace
+
+OptimizerResult OptimizeQuantization(const Dataset& data,
+                                     std::span<PointId> ids,
+                                     std::span<const Partition> initial,
+                                     const CostModel& model,
+                                     uint32_t block_size) {
+  OptimizerResult result;
+  if (initial.empty()) return result;
+  SplitTree tree(data, ids, model, block_size);
+  double sum_variable = 0.0;
+  for (const Partition& partition : initial) {
+    const int32_t root =
+        tree.Build(partition.begin, partition.end, partition.mbr);
+    tree.AddRoot(root);
+    sum_variable += tree.NodeVariableCost(root);
+  }
+  tree.Run(initial.size(), sum_variable, &result);
+  return result;
+}
+
+}  // namespace iq

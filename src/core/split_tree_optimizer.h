@@ -1,0 +1,64 @@
+#ifndef IQ_CORE_SPLIT_TREE_OPTIMIZER_H_
+#define IQ_CORE_SPLIT_TREE_OPTIMIZER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "costmodel/cost_model.h"
+#include "data/dataset.h"
+
+namespace iq {
+
+/// One page of the optimizer's chosen solution: a contiguous id range,
+/// its MBR and the quantization level it will be stored at.
+struct SolutionPage {
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+  Mbr mbr;
+  unsigned quant_bits = 0;
+
+  size_t count() const { return end - begin; }
+};
+
+/// Outcome of the quantization optimization, including the cost trace
+/// (expected total query cost after each split) used by tests and the
+/// ablation benches.
+struct OptimizerResult {
+  std::vector<SolutionPage> pages;
+  /// Model-estimated query cost of the chosen solution, seconds.
+  double expected_cost = 0.0;
+  /// Number of splits performed while exploring (all the way to exact).
+  size_t splits_explored = 0;
+  /// Number of splits kept in the chosen solution.
+  size_t splits_kept = 0;
+  /// expected total cost after split step i (index 0 = no splits).
+  std::vector<double> cost_trace;
+};
+
+/// The optimal quantization algorithm of §3.5.
+///
+/// Starting from the initial 1-bit partitions, repeatedly split the
+/// partition with the largest variable-cost benefit (refinement cost
+/// reduction), exploring all the way to the exact representation while
+/// recording the model cost of every intermediate solution, then return
+/// the globally cheapest one (undoing the splits performed after it).
+/// Each split halves the partition at the median of its longest MBR side
+/// and doubles the quantization level; a partition whose points fit the
+/// 32-bit page is stored exactly and never split (its refinement cost is
+/// zero). §3.6 proves this greedy exploration optimal given the
+/// monotonicity of the refinement cost (eqns 24-26); the unit tests
+/// verify it against brute-force enumeration on small instances.
+///
+/// `ids` is reordered in place; every returned page is a contiguous
+/// range of it.
+OptimizerResult OptimizeQuantization(const Dataset& data,
+                                     std::span<PointId> ids,
+                                     std::span<const Partition> initial,
+                                     const CostModel& model,
+                                     uint32_t block_size);
+
+}  // namespace iq
+
+#endif  // IQ_CORE_SPLIT_TREE_OPTIMIZER_H_

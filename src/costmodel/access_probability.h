@@ -1,0 +1,45 @@
+#ifndef IQ_COSTMODEL_ACCESS_PROBABILITY_H_
+#define IQ_COSTMODEL_ACCESS_PROBABILITY_H_
+
+#include <span>
+
+#include "geom/mbr.h"
+#include "geom/metrics.h"
+#include "geom/point.h"
+
+namespace iq {
+
+/// A region that can prune a candidate page: its bounding box and how
+/// many data points it holds. Point approximations are boxes with
+/// count = 1; already-known exact points are degenerate boxes.
+struct PrunerRegion {
+  const Mbr* box = nullptr;
+  uint32_t count = 0;
+};
+
+/// Access probability of a page during NN search (paper §2.2, eqns 2-3).
+///
+/// The page with MINDIST `target_mindist` from `q` is accessed iff no
+/// point of any higher-priority region lies inside the ball of radius
+/// `target_mindist` around `q` (the "b_i-sphere"). Under uniformity
+/// within each region:
+///
+///   P_access = prod_regions (1 - V_int(region, ball)/V(region))^count
+///
+/// V_int is exact for the maximum metric and the paper's bounding-box
+/// approximation for L2 (eqns 4-5). Degenerate region sides are handled
+/// by taking the ratio limit per dimension. The product is cut off once
+/// it drops below `floor` (the page is then "certainly" pruned).
+double PageAccessProbability(PointView q, double target_mindist,
+                             std::span<const PrunerRegion> higher_priority,
+                             Metric metric, double floor = 1e-6);
+
+/// Ratio V_int(box, ball)/V(box) in [0, 1] with degenerate-side limits:
+/// degenerate dimensions contribute 1 if the slab intersects the ball's
+/// extent in that dimension and 0 otherwise.
+double IntersectionFraction(PointView q, double r, const Mbr& box,
+                            Metric metric);
+
+}  // namespace iq
+
+#endif  // IQ_COSTMODEL_ACCESS_PROBABILITY_H_

@@ -1,0 +1,53 @@
+#include "data/dataset.h"
+
+#include <cassert>
+
+namespace iq {
+
+Dataset::Dataset(size_t dims, std::vector<float> values)
+    : dims_(dims), values_(std::move(values)) {
+  assert(dims_ > 0);
+  assert(values_.size() % dims_ == 0);
+}
+
+void Dataset::Append(PointView p) {
+  assert(p.size() == dims_);
+  values_.insert(values_.end(), p.begin(), p.end());
+}
+
+Mbr Dataset::Bounds() const {
+  return Mbr::Of(values_.data(), size(), dims_);
+}
+
+Dataset Dataset::TakeTail(size_t count) {
+  assert(count <= size());
+  const size_t keep = (size() - count) * dims_;
+  Dataset tail(dims_,
+               std::vector<float>(values_.begin() + keep, values_.end()));
+  values_.resize(keep);
+  return tail;
+}
+
+Mbr Dataset::NormalizeToUnitCube() {
+  const Mbr bounds = Bounds();
+  if (bounds.IsEmpty()) return bounds;
+  for (size_t r = 0; r < size(); ++r) {
+    float* row = values_.data() + r * dims_;
+    for (size_t i = 0; i < dims_; ++i) {
+      const float extent = bounds.Extent(i);
+      row[i] = extent > 0 ? (row[i] - bounds.lb(i)) / extent : 0.5f;
+    }
+  }
+  return bounds;
+}
+
+Point MapIntoUnitCube(PointView p, const Mbr& original_bounds) {
+  Point out(p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    const float extent = original_bounds.Extent(i);
+    out[i] = extent > 0 ? (p[i] - original_bounds.lb(i)) / extent : 0.5f;
+  }
+  return out;
+}
+
+}  // namespace iq

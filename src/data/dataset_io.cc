@@ -1,0 +1,61 @@
+#include "data/dataset_io.h"
+
+#include <cstring>
+#include <vector>
+
+namespace iq {
+namespace {
+
+constexpr uint32_t kMagic = 0x49514453;  // "IQDS"
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t rows;
+  uint32_t dims;
+  uint32_t reserved;
+};
+static_assert(sizeof(Header) == 24);
+
+}  // namespace
+
+Status WriteDataset(Storage& storage, const std::string& name,
+                    const Dataset& dataset) {
+  IQ_ASSIGN_OR_RETURN(std::shared_ptr<File> file, storage.Create(name));
+  Header header{kMagic, kVersion, dataset.size(),
+                static_cast<uint32_t>(dataset.dims()), 0};
+  IQ_RETURN_NOT_OK(file->Write(0, sizeof(header), &header));
+  const uint64_t bytes =
+      dataset.size() * dataset.dims() * sizeof(float);
+  return file->Write(sizeof(header), bytes, dataset.data());
+}
+
+Result<Dataset> ReadDataset(Storage& storage, const std::string& name) {
+  IQ_ASSIGN_OR_RETURN(std::shared_ptr<File> file, storage.Open(name));
+  if (file->Size() < sizeof(Header)) {
+    return Status::Corruption("dataset file too small: " + name);
+  }
+  Header header;
+  IQ_RETURN_NOT_OK(file->Read(0, sizeof(header), &header));
+  if (header.magic != kMagic) {
+    return Status::Corruption("bad dataset magic in " + name);
+  }
+  if (header.version != kVersion) {
+    return Status::NotSupported("dataset version " +
+                                std::to_string(header.version));
+  }
+  if (header.dims == 0) {
+    return Status::Corruption("dataset with zero dims in " + name);
+  }
+  const uint64_t bytes =
+      header.rows * header.dims * sizeof(float);
+  if (file->Size() < sizeof(Header) + bytes) {
+    return Status::Corruption("truncated dataset payload in " + name);
+  }
+  std::vector<float> values(header.rows * header.dims);
+  IQ_RETURN_NOT_OK(file->Read(sizeof(Header), bytes, values.data()));
+  return Dataset(header.dims, std::move(values));
+}
+
+}  // namespace iq

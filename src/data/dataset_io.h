@@ -1,0 +1,22 @@
+#ifndef IQ_DATA_DATASET_IO_H_
+#define IQ_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "io/storage.h"
+
+namespace iq {
+
+/// Binary dataset (de)serialization: a small versioned header followed
+/// by the row-major float payload. Timing-free (datasets are workload
+/// inputs, not part of a measured index).
+Status WriteDataset(Storage& storage, const std::string& name,
+                    const Dataset& dataset);
+
+Result<Dataset> ReadDataset(Storage& storage, const std::string& name);
+
+}  // namespace iq
+
+#endif  // IQ_DATA_DATASET_IO_H_

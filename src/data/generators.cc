@@ -1,0 +1,178 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace iq {
+namespace {
+
+float Clip01(double v) {
+  return static_cast<float>(std::clamp(v, 0.0, 1.0));
+}
+
+}  // namespace
+
+Dataset GenerateUniform(size_t count, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Dataset out(dims);
+  out.Reserve(count);
+  std::vector<float> p(dims);
+  for (size_t r = 0; r < count; ++r) {
+    for (size_t i = 0; i < dims; ++i) p[i] = static_cast<float>(rng.Uniform());
+    out.Append(p);
+  }
+  return out;
+}
+
+Dataset GenerateClustered(size_t count, size_t dims, uint64_t seed,
+                          const ClusterParams& params) {
+  Rng rng(seed);
+  // Cluster centers away from the border so most mass stays unclipped.
+  std::vector<std::vector<double>> centers(params.clusters,
+                                           std::vector<double>(dims));
+  for (auto& c : centers) {
+    for (size_t i = 0; i < dims; ++i) c[i] = rng.Uniform(0.15, 0.85);
+  }
+  Dataset out(dims);
+  out.Reserve(count);
+  std::vector<float> p(dims);
+  for (size_t r = 0; r < count; ++r) {
+    if (params.background_fraction > 0 &&
+        rng.Uniform() < params.background_fraction) {
+      for (size_t i = 0; i < dims; ++i) {
+        p[i] = static_cast<float>(rng.Uniform());
+      }
+      out.Append(p);
+      continue;
+    }
+    const auto& c = centers[rng.Index(params.clusters)];
+    for (size_t i = 0; i < dims; ++i) {
+      double sigma = params.sigma;
+      if (params.axis_decay > 0) {
+        sigma *= std::pow(static_cast<double>(i + 1), -params.axis_decay);
+      }
+      p[i] = Clip01(c[i] + sigma * rng.Gaussian());
+    }
+    out.Append(p);
+  }
+  return out;
+}
+
+Dataset GenerateCadLike(size_t count, size_t dims, uint64_t seed) {
+  ClusterParams params;
+  params.clusters = 25;
+  params.sigma = 0.09;
+  params.axis_decay = 0.8;  // Fourier-coefficient-like energy decay.
+  params.background_fraction = 0.03;
+  return GenerateClustered(count, dims, seed, params);
+}
+
+Dataset GenerateColorLike(size_t count, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  // A handful of Dirichlet concentration profiles ("image types"): each
+  // profile makes a few bins dominant. Alphas < 1 give sparse histograms
+  // like real color histograms; using several profiles adds the slight
+  // clustering the paper describes.
+  const size_t profiles = 16;
+  std::vector<std::vector<double>> alphas(profiles,
+                                          std::vector<double>(dims));
+  for (auto& alpha : alphas) {
+    for (size_t i = 0; i < dims; ++i) {
+      // 2-4 dominant bins per profile, the rest sparse: images of one
+      // kind share their dominant colors.
+      alpha[i] = rng.Uniform() < 0.18 ? rng.Uniform(2.5, 6.0)
+                                      : rng.Uniform(0.05, 0.3);
+    }
+  }
+  Dataset out(dims);
+  out.Reserve(count);
+  std::vector<float> p(dims);
+  for (size_t r = 0; r < count; ++r) {
+    const auto& alpha = alphas[rng.Index(profiles)];
+    double sum = 0.0;
+    std::vector<double> g(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      g[i] = rng.Gamma(alpha[i]);
+      sum += g[i];
+    }
+    if (sum <= 0) sum = 1.0;
+    for (size_t i = 0; i < dims; ++i) p[i] = Clip01(g[i] / sum);
+    out.Append(p);
+  }
+  return out;
+}
+
+Dataset GenerateWeatherLike(size_t count, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  // Stations: strong spatial clustering in the latent space.
+  const size_t stations = 25;
+  const size_t latent_dims = 3;
+  std::vector<std::vector<double>> station_centers(
+      stations, std::vector<double>(latent_dims));
+  for (auto& c : station_centers) {
+    for (size_t i = 0; i < latent_dims; ++i) c[i] = rng.Uniform(0.1, 0.9);
+  }
+  // Fixed nonlinear mixing of the latent variables into d coordinates
+  // (temperature/pressure/humidity-style dependencies).
+  std::vector<std::vector<double>> mix(dims,
+                                       std::vector<double>(latent_dims));
+  std::vector<double> phase(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    for (size_t j = 0; j < latent_dims; ++j) mix[i][j] = rng.Uniform(-1, 1);
+    phase[i] = rng.Uniform(0, 2 * M_PI);
+  }
+  Dataset out(dims);
+  out.Reserve(count);
+  std::vector<float> p(dims);
+  std::vector<double> latent(latent_dims);
+  for (size_t r = 0; r < count; ++r) {
+    const auto& c = station_centers[rng.Index(stations)];
+    for (size_t j = 0; j < latent_dims; ++j) {
+      latent[j] = c[j] + 0.04 * rng.Gaussian();
+    }
+    for (size_t i = 0; i < dims; ++i) {
+      double v = 0.0;
+      for (size_t j = 0; j < latent_dims; ++j) v += mix[i][j] * latent[j];
+      // Smooth nonlinearity keeps the intrinsic dimension at latent_dims
+      // without making the manifold a linear subspace.
+      v = 0.5 + 0.35 * std::sin(2.0 * v + phase[i]);
+      v += 0.01 * rng.Gaussian();
+      p[i] = Clip01(v);
+    }
+    out.Append(p);
+  }
+  return out;
+}
+
+Dataset GenerateManifold(size_t count, size_t dims, size_t latent_dims,
+                         double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> mix(dims,
+                                       std::vector<double>(latent_dims));
+  std::vector<double> phase(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    for (size_t j = 0; j < latent_dims; ++j) mix[i][j] = rng.Uniform(-1, 1);
+    phase[i] = rng.Uniform(0, 2 * M_PI);
+  }
+  Dataset out(dims);
+  out.Reserve(count);
+  std::vector<float> p(dims);
+  std::vector<double> latent(latent_dims);
+  for (size_t r = 0; r < count; ++r) {
+    for (size_t j = 0; j < latent_dims; ++j) latent[j] = rng.Uniform();
+    for (size_t i = 0; i < dims; ++i) {
+      double v = 0.0;
+      for (size_t j = 0; j < latent_dims; ++j) v += mix[i][j] * latent[j];
+      v = 0.5 + 0.4 * std::sin(2.0 * v + phase[i]);
+      v += noise * rng.Gaussian();
+      p[i] = Clip01(v);
+    }
+    out.Append(p);
+  }
+  return out;
+}
+
+}  // namespace iq

@@ -1,0 +1,64 @@
+#ifndef IQ_DATA_GENERATORS_H_
+#define IQ_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace iq {
+
+/// Synthetic workload generators reproducing the four distributions of
+/// the paper's evaluation (§4). The real CAD / COLOR / WEATHER sets are
+/// not available; these generators match their *qualitative* profiles
+/// (degree of clustering, fractal dimension) as described in the paper —
+/// see DESIGN.md for the substitution rationale. All outputs live in
+/// [0, 1]^d.
+///
+/// UNIFORM: independent uniform coordinates (fractal dimension = d).
+Dataset GenerateUniform(size_t count, size_t dims, uint64_t seed);
+
+/// Parameters for the Gaussian-mixture generator underlying the
+/// clustered distributions.
+struct ClusterParams {
+  size_t clusters = 10;
+  /// Std-dev of a cluster relative to the unit cube.
+  double sigma = 0.05;
+  /// Per-dimension std-dev decay exponent: dimension i is scaled by
+  /// (i+1)^-decay. Non-zero values concentrate the energy in the first
+  /// dimensions (Fourier-coefficient-like, the CAD profile).
+  double axis_decay = 0.0;
+  /// Fraction of points drawn from a uniform background instead of a
+  /// cluster (softens the clustering).
+  double background_fraction = 0.0;
+};
+
+/// Gaussian mixture of `clusters` blobs, clipped to [0, 1]^d.
+Dataset GenerateClustered(size_t count, size_t dims, uint64_t seed,
+                          const ClusterParams& params);
+
+/// CAD-like (paper: 16-d Fourier coefficients of CAD-object curvature;
+/// "moderately clustered"): clusters with decaying per-axis variance.
+Dataset GenerateCadLike(size_t count, size_t dims, uint64_t seed);
+
+/// COLOR-like (paper: 16-d color histograms; "only very slightly
+/// clustered"): Dirichlet-distributed histograms from a small mixture of
+/// concentration profiles — non-negative coordinates, a few dominant
+/// bins, mass concentrated near the simplex.
+Dataset GenerateColorLike(size_t count, size_t dims, uint64_t seed);
+
+/// WEATHER-like (paper: 9-d weather-station data; "highly clustered,
+/// rather low fractal dimension"): points generated from a 3-dimensional
+/// latent manifold (non-linear mixing) plus strong station clustering
+/// and small noise; correlation dimension comes out near 3.
+Dataset GenerateWeatherLike(size_t count, size_t dims, uint64_t seed);
+
+/// Points on a `latent_dims`-dimensional smooth manifold embedded in
+/// dims-space, with additive noise — the generic low-fractal-dimension
+/// workload used in cost-model tests.
+Dataset GenerateManifold(size_t count, size_t dims, size_t latent_dims,
+                         double noise, uint64_t seed);
+
+}  // namespace iq
+
+#endif  // IQ_DATA_GENERATORS_H_

@@ -1,0 +1,131 @@
+#include "geom/mbr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace iq {
+
+Mbr Mbr::Empty(size_t dims) {
+  Mbr m;
+  m.lb_.assign(dims, std::numeric_limits<float>::infinity());
+  m.ub_.assign(dims, -std::numeric_limits<float>::infinity());
+  return m;
+}
+
+Mbr Mbr::UnitCube(size_t dims) {
+  Mbr m;
+  m.lb_.assign(dims, 0.0f);
+  m.ub_.assign(dims, 1.0f);
+  return m;
+}
+
+Mbr Mbr::FromBounds(std::vector<float> lb, std::vector<float> ub) {
+  assert(lb.size() == ub.size());
+  Mbr m;
+  m.lb_ = std::move(lb);
+  m.ub_ = std::move(ub);
+  return m;
+}
+
+Mbr Mbr::Of(const float* rows, size_t count, size_t dims) {
+  Mbr m = Empty(dims);
+  for (size_t r = 0; r < count; ++r) {
+    m.Extend(PointView(rows + r * dims, dims));
+  }
+  return m;
+}
+
+size_t Mbr::LongestDimension() const {
+  size_t best = 0;
+  float best_ext = Extent(0);
+  for (size_t i = 1; i < dims(); ++i) {
+    if (Extent(i) > best_ext) {
+      best_ext = Extent(i);
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool Mbr::IsEmpty() const {
+  for (size_t i = 0; i < dims(); ++i) {
+    if (lb_[i] > ub_[i]) return true;
+  }
+  return dims() == 0;
+}
+
+bool Mbr::Contains(PointView p) const {
+  assert(p.size() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    if (p[i] < lb_[i] || p[i] > ub_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  assert(other.dims() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    if (lb_[i] > other.ub_[i] || other.lb_[i] > ub_[i]) return false;
+  }
+  return true;
+}
+
+double Mbr::Volume() const {
+  double v = 1.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    const double e = Extent(i);
+    if (e <= 0) return 0.0;
+    v *= e;
+  }
+  return v;
+}
+
+double Mbr::Margin() const {
+  double m = 0.0;
+  for (size_t i = 0; i < dims(); ++i) m += std::max(0.0f, Extent(i));
+  return m;
+}
+
+void Mbr::Extend(PointView p) {
+  assert(p.size() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    lb_[i] = std::min(lb_[i], p[i]);
+    ub_[i] = std::max(ub_[i], p[i]);
+  }
+}
+
+void Mbr::Extend(const Mbr& other) {
+  assert(other.dims() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    lb_[i] = std::min(lb_[i], other.lb_[i]);
+    ub_[i] = std::max(ub_[i], other.ub_[i]);
+  }
+}
+
+double Mbr::IntersectionVolume(const Mbr& other) const {
+  assert(other.dims() == dims());
+  double v = 1.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    const double lo = std::max(lb_[i], other.lb_[i]);
+    const double hi = std::min(ub_[i], other.ub_[i]);
+    if (hi <= lo) return 0.0;
+    v *= hi - lo;
+  }
+  return v;
+}
+
+double Mbr::MeanExtent() const {
+  // Geometric mean computed in log space to avoid under/overflow in high
+  // dimensions. Degenerate sides contribute 0 to the mean.
+  double sum_log = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    const double e = Extent(i);
+    if (e <= 0) return 0.0;
+    sum_log += std::log(e);
+  }
+  return std::exp(sum_log / static_cast<double>(dims()));
+}
+
+}  // namespace iq

@@ -1,0 +1,77 @@
+#ifndef IQ_GEOM_MBR_H_
+#define IQ_GEOM_MBR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace iq {
+
+/// Minimum bounding rectangle: per-dimension [lb, ub] interval.
+///
+/// Degenerate (lb == ub) sides are allowed; an Mbr created with Empty()
+/// has inverted bounds and absorbs the first point it is extended with.
+class Mbr {
+ public:
+  Mbr() = default;
+
+  /// An "empty" MBR of the given dimensionality: lb = +inf, ub = -inf.
+  static Mbr Empty(size_t dims);
+
+  /// The unit cube [0, 1]^d, the canonical data space in this library.
+  static Mbr UnitCube(size_t dims);
+
+  /// MBR spanning the two given corner vectors (lb[i] <= ub[i] required).
+  static Mbr FromBounds(std::vector<float> lb, std::vector<float> ub);
+
+  /// Tight MBR of a set of points (row-major, `count` rows of `dims`).
+  static Mbr Of(const float* rows, size_t count, size_t dims);
+
+  size_t dims() const { return lb_.size(); }
+  float lb(size_t i) const { return lb_[i]; }
+  float ub(size_t i) const { return ub_[i]; }
+  const std::vector<float>& lower() const { return lb_; }
+  const std::vector<float>& upper() const { return ub_; }
+
+  /// Side length ub - lb of dimension i (>= 0 for non-empty MBRs).
+  float Extent(size_t i) const { return ub_[i] - lb_[i]; }
+
+  /// Index of the dimension with the largest extent (the paper's split
+  /// dimension heuristic).
+  size_t LongestDimension() const;
+
+  /// True if no point has been added yet (lb > ub in some dimension).
+  bool IsEmpty() const;
+
+  bool Contains(PointView p) const;
+  bool Intersects(const Mbr& other) const;
+
+  /// Product of extents. Degenerate sides make the volume 0.
+  double Volume() const;
+
+  /// Sum of extents (the R*-tree "margin" measure).
+  double Margin() const;
+
+  /// Grows this MBR to cover `p`.
+  void Extend(PointView p);
+
+  /// Grows this MBR to cover `other`.
+  void Extend(const Mbr& other);
+
+  /// Volume of the intersection with `other` (0 if disjoint).
+  double IntersectionVolume(const Mbr& other) const;
+
+  /// Geometric mean of the side lengths (the paper's `a` in eq. 12).
+  double MeanExtent() const;
+
+  bool operator==(const Mbr& other) const = default;
+
+ private:
+  std::vector<float> lb_;
+  std::vector<float> ub_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_GEOM_MBR_H_

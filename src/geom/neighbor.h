@@ -1,0 +1,18 @@
+#ifndef IQ_GEOM_NEIGHBOR_H_
+#define IQ_GEOM_NEIGHBOR_H_
+
+#include "geom/point.h"
+
+namespace iq {
+
+/// One query answer: a point id and its exact distance to the query.
+struct Neighbor {
+  PointId id = kInvalidPointId;
+  double distance = 0.0;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+}  // namespace iq
+
+#endif  // IQ_GEOM_NEIGHBOR_H_

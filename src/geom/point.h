@@ -1,0 +1,25 @@
+#ifndef IQ_GEOM_POINT_H_
+#define IQ_GEOM_POINT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iq {
+
+/// A point is a d-dimensional float vector; views are non-owning spans
+/// into a row-major Dataset (see data/dataset.h).
+using PointView = std::span<const float>;
+
+/// Owning point, used where a view would dangle (query points, decoded
+/// approximations).
+using Point = std::vector<float>;
+
+/// Identifier of a point within its dataset (row index).
+using PointId = uint32_t;
+
+inline constexpr PointId kInvalidPointId = static_cast<PointId>(-1);
+
+}  // namespace iq
+
+#endif  // IQ_GEOM_POINT_H_

@@ -1,0 +1,75 @@
+#include "geom/volumes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/math_utils.h"
+
+namespace iq {
+
+double SphereVolume(size_t d, double r) {
+  if (r <= 0) return 0.0;
+  const double dd = static_cast<double>(d);
+  // log V = d*log(sqrt(pi)*r) - lgamma(d/2 + 1)
+  const double log_v =
+      dd * std::log(std::sqrt(M_PI) * r) - std::lgamma(dd / 2.0 + 1.0);
+  return std::exp(log_v);
+}
+
+double CubeVolume(size_t d, double r) {
+  if (r <= 0) return 0.0;
+  return std::pow(2.0 * r, static_cast<double>(d));
+}
+
+double BallVolume(size_t d, double r, Metric metric) {
+  return metric == Metric::kL2 ? SphereVolume(d, r) : CubeVolume(d, r);
+}
+
+double BallRadiusForVolume(size_t d, double volume, Metric metric) {
+  if (volume <= 0) return 0.0;
+  const double dd = static_cast<double>(d);
+  if (metric == Metric::kLMax) {
+    return 0.5 * std::pow(volume, 1.0 / dd);
+  }
+  // Invert eq. 8: r = (V * Gamma(d/2+1))^(1/d) / sqrt(pi).
+  const double log_r =
+      (std::log(volume) + std::lgamma(dd / 2.0 + 1.0)) / dd -
+      std::log(std::sqrt(M_PI));
+  return std::exp(log_r);
+}
+
+double MinkowskiSumVolume(std::span<const double> sides, double r,
+                          Metric metric) {
+  const size_t d = sides.size();
+  assert(d > 0);
+  if (metric == Metric::kLMax) {
+    // Paper eq. 11: exact for the maximum metric.
+    double v = 1.0;
+    for (double s : sides) v *= s + 2.0 * r;
+    return v;
+  }
+  // Paper eq. 12 with a = geometric mean of the side lengths.
+  double sum_log = 0.0;
+  for (double s : sides) sum_log += std::log(std::max(s, 1e-300));
+  const double a = std::exp(sum_log / static_cast<double>(d));
+  double v = 0.0;
+  for (size_t k = 0; k <= d; ++k) {
+    const double dk = static_cast<double>(k);
+    const double term = Binomial(static_cast<int>(d), static_cast<int>(k)) *
+                        std::pow(a, static_cast<double>(d - k)) *
+                        std::pow(std::sqrt(M_PI), dk) /
+                        std::exp(std::lgamma(dk / 2.0 + 1.0)) *
+                        std::pow(r, dk);
+    v += term;
+  }
+  return v;
+}
+
+double MinkowskiSumVolume(size_t d, double side, double r, Metric metric) {
+  std::vector<double> sides(d, side);
+  return MinkowskiSumVolume(std::span<const double>(sides), r, metric);
+}
+
+}  // namespace iq

@@ -1,0 +1,40 @@
+#ifndef IQ_GEOM_VOLUMES_H_
+#define IQ_GEOM_VOLUMES_H_
+
+#include <cstddef>
+#include <span>
+
+#include "geom/metrics.h"
+
+namespace iq {
+
+/// Volume of the d-dimensional L2 ball of radius r (paper eq. 8):
+/// V = sqrt(pi)^d / Gamma(d/2 + 1) * r^d.
+double SphereVolume(size_t d, double r);
+
+/// Volume of the d-dimensional L∞ ball of radius r (paper eq. 9): (2r)^d.
+double CubeVolume(size_t d, double r);
+
+/// Volume of the metric ball of radius r — dispatches on the metric
+/// (the paper's V_query).
+double BallVolume(size_t d, double r, Metric metric);
+
+/// Radius of the metric ball with the given volume (inverse of
+/// BallVolume); used for the expected NN distance, eq. 7/14.
+double BallRadiusForVolume(size_t d, double volume, Metric metric);
+
+/// Minkowski sum volume of a box with side lengths `sides` and the
+/// metric ball of radius r.
+///
+/// For L∞ this is exact (paper eq. 11): prod_i (sides_i + 2r).
+/// For L2 the paper's eq. 12 approximation is used with a = geometric
+/// mean of the sides: sum_k C(d,k) a^(d-k) sqrt(pi)^k / Gamma(k/2+1) r^k.
+double MinkowskiSumVolume(std::span<const double> sides, double r,
+                          Metric metric);
+
+/// Convenience overload for a hypercube with equal sides.
+double MinkowskiSumVolume(size_t d, double side, double r, Metric metric);
+
+}  // namespace iq
+
+#endif  // IQ_GEOM_VOLUMES_H_

@@ -1,0 +1,56 @@
+#include "io/block_cache.h"
+
+#include <cstring>
+
+namespace iq {
+
+bool BlockCache::Lookup(uint32_t file_id, uint64_t block, void* out) {
+  if (capacity_ == 0) return false;
+  const auto it = entries_.find(Key{file_id, block});
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  std::memcpy(out, it->second->data.data(), block_size_);
+  return true;
+}
+
+void BlockCache::Insert(uint32_t file_id, uint64_t block, const void* data) {
+  if (capacity_ == 0) return;
+  const Key key{file_id, block};
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    std::memcpy(it->second->data.data(), data, block_size_);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::vector<uint8_t>(
+                                 static_cast<const uint8_t*>(data),
+                                 static_cast<const uint8_t*>(data) +
+                                     block_size_)});
+  entries_[key] = lru_.begin();
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void BlockCache::EraseFile(uint32_t file_id) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file_id == file_id) {
+      entries_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace iq

@@ -1,0 +1,83 @@
+#ifndef IQ_IO_BLOCK_CACHE_H_
+#define IQ_IO_BLOCK_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace iq {
+
+/// LRU cache of disk blocks — the buffer manager the paper's cold-query
+/// measurements deliberately exclude, provided here so warm-cache
+/// behavior can be studied (`bench/abl_cache`).
+///
+/// Keys are (file id, block index); values are whole blocks. Attach one
+/// cache to any number of BlockFiles via BlockFile::set_cache(): hits
+/// are served without charging the disk model, misses read through and
+/// populate the cache. Capacity is in blocks; 0 disables caching.
+class BlockCache {
+ public:
+  BlockCache(uint32_t block_size, size_t capacity_blocks)
+      : block_size_(block_size), capacity_(capacity_blocks) {}
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  uint32_t block_size() const { return block_size_; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+  /// Copies the cached block into `out` (block_size bytes) and marks it
+  /// most-recently-used. Returns false on miss.
+  bool Lookup(uint32_t file_id, uint64_t block, void* out);
+
+  /// Inserts (or refreshes) a block, evicting the least-recently-used
+  /// entries if over capacity.
+  void Insert(uint32_t file_id, uint64_t block, const void* data);
+
+  /// Drops every cached block of the given file (call after rewriting
+  /// a file wholesale, e.g. Reoptimize).
+  void EraseFile(uint32_t file_id);
+
+  void Clear();
+
+ private:
+  struct Key {
+    uint32_t file_id;
+    uint64_t block;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      uint64_t x = (static_cast<uint64_t>(key.file_id) << 48) ^ key.block;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+
+  struct Entry {
+    Key key;
+    std::vector<uint8_t> data;
+  };
+
+  uint32_t block_size_;
+  size_t capacity_;
+  /// LRU order: front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace iq
+
+#endif  // IQ_IO_BLOCK_CACHE_H_

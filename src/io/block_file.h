@@ -1,0 +1,73 @@
+#ifndef IQ_IO_BLOCK_FILE_H_
+#define IQ_IO_BLOCK_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/block_cache.h"
+#include "io/disk_model.h"
+#include "io/storage.h"
+
+namespace iq {
+
+/// A file of fixed-size blocks with simulated-disk accounting.
+///
+/// Every read/write is charged to the shared DiskModel: a seek if the
+/// head is elsewhere plus t_xfer per block. ReadRange is the primitive
+/// the page schedulers build on — reading blocks [first, first+count)
+/// in one call models one sequential transfer (possibly over-reading
+/// blocks the caller does not need).
+class BlockFile {
+ public:
+  /// Opens or creates `name` inside `storage`. The DiskModel must
+  /// outlive the BlockFile.
+  static Result<std::unique_ptr<BlockFile>> Open(Storage& storage,
+                                                 const std::string& name,
+                                                 DiskModel& disk,
+                                                 bool create);
+
+  uint32_t block_size() const { return disk_->params().block_size; }
+  uint64_t NumBlocks() const;
+
+  /// Reads `count` blocks starting at `first` into `out` (must hold
+  /// count * block_size bytes). Charges one access to the disk model.
+  Status ReadRange(uint64_t first, uint64_t count, void* out) const;
+
+  /// Reads one block.
+  Status ReadBlock(uint64_t index, void* out) const;
+
+  /// Writes one block (extends the file if index == NumBlocks()).
+  Status WriteBlock(uint64_t index, const void* data);
+
+  /// Appends a block and returns its index.
+  Result<uint64_t> AppendBlock(const void* data);
+
+  /// Disk-model file id (used by schedulers to reason about the head).
+  uint32_t file_id() const { return file_id_; }
+
+  /// Attaches an LRU block cache (not owned; nullptr detaches). Cache
+  /// hits are served without charging the disk model; misses read
+  /// through and populate the cache. Writes keep the cache coherent.
+  void set_cache(BlockCache* cache) { cache_ = cache; }
+  BlockCache* cache() const { return cache_; }
+
+ private:
+  BlockFile(std::shared_ptr<File> file, DiskModel& disk)
+      : file_(std::move(file)), disk_(&disk), file_id_(disk.RegisterFile()) {}
+
+  /// Reads from the backing file without touching disk accounting or
+  /// the cache.
+  Status ReadRaw(uint64_t first, uint64_t count, void* out) const;
+
+  std::shared_ptr<File> file_;
+  DiskModel* disk_;
+  uint32_t file_id_;
+  BlockCache* cache_ = nullptr;
+};
+
+}  // namespace iq
+
+#endif  // IQ_IO_BLOCK_FILE_H_

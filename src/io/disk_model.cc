@@ -1,0 +1,43 @@
+#include "io/disk_model.h"
+
+namespace iq {
+
+void DiskModel::Access(uint32_t file_id, uint64_t first_block, uint64_t count,
+                       bool is_write) {
+  if (count == 0) return;
+  if (!head_valid_ || head_file_ != file_id || head_block_ != first_block) {
+    stats_.seeks += 1;
+    stats_.io_time_s += params_.seek_time_s;
+  }
+  stats_.io_time_s += params_.xfer_time_s * static_cast<double>(count);
+  if (is_write) {
+    stats_.blocks_written += count;
+  } else {
+    stats_.blocks_read += count;
+  }
+  head_valid_ = true;
+  head_file_ = file_id;
+  head_block_ = first_block + count;
+}
+
+void DiskModel::ChargeRead(uint32_t file_id, uint64_t first_block,
+                           uint64_t count) {
+  Access(file_id, first_block, count, /*is_write=*/false);
+}
+
+void DiskModel::ChargeWrite(uint32_t file_id, uint64_t first_block,
+                            uint64_t count) {
+  Access(file_id, first_block, count, /*is_write=*/true);
+}
+
+void DiskModel::ChargeReadBytes(uint32_t file_id, uint64_t offset,
+                                uint64_t length) {
+  if (length == 0) return;
+  const uint64_t first = offset / params_.block_size;
+  const uint64_t last = (offset + length - 1) / params_.block_size;
+  ChargeRead(file_id, first, last - first + 1);
+}
+
+void DiskModel::InvalidateHead() { head_valid_ = false; }
+
+}  // namespace iq

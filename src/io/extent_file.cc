@@ -1,0 +1,53 @@
+#include "io/extent_file.h"
+
+namespace iq {
+
+Result<std::unique_ptr<ExtentFile>> ExtentFile::Open(Storage& storage,
+                                                     const std::string& name,
+                                                     DiskModel& disk,
+                                                     bool create) {
+  Result<std::shared_ptr<File>> file =
+      create ? storage.Create(name) : storage.Open(name);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<ExtentFile>(new ExtentFile(std::move(file).value(),
+                                                    disk));
+}
+
+Result<Extent> ExtentFile::Append(const void* data, uint64_t length) {
+  Extent extent{file_->Size(), length};
+  if (length > 0) {
+    disk_->ChargeWrite(file_id_, extent.offset / disk_->params().block_size,
+                       BlocksSpanned(extent));
+    IQ_RETURN_NOT_OK(file_->Write(extent.offset, length, data));
+  }
+  return extent;
+}
+
+Status ExtentFile::Read(const Extent& extent, void* out) const {
+  if (extent.offset + extent.length > file_->Size()) {
+    return Status::OutOfRange("extent past end of file");
+  }
+  if (extent.length == 0) return Status::OK();
+  disk_->ChargeReadBytes(file_id_, extent.offset, extent.length);
+  return file_->Read(extent.offset, extent.length, out);
+}
+
+Status ExtentFile::Overwrite(const Extent& extent, const void* data) {
+  if (extent.offset + extent.length > file_->Size()) {
+    return Status::OutOfRange("extent past end of file");
+  }
+  if (extent.length == 0) return Status::OK();
+  disk_->ChargeWrite(file_id_, extent.offset / disk_->params().block_size,
+                     BlocksSpanned(extent));
+  return file_->Write(extent.offset, extent.length, data);
+}
+
+uint64_t ExtentFile::BlocksSpanned(const Extent& extent) const {
+  if (extent.length == 0) return 0;
+  const uint64_t bs = disk_->params().block_size;
+  const uint64_t first = extent.offset / bs;
+  const uint64_t last = (extent.offset + extent.length - 1) / bs;
+  return last - first + 1;
+}
+
+}  // namespace iq

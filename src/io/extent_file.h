@@ -1,0 +1,63 @@
+#ifndef IQ_IO_EXTENT_FILE_H_
+#define IQ_IO_EXTENT_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/disk_model.h"
+#include "io/storage.h"
+
+namespace iq {
+
+/// Location of a variable-size record inside an ExtentFile.
+struct Extent {
+  uint64_t offset = 0;  // bytes
+  uint64_t length = 0;  // bytes
+
+  bool operator==(const Extent&) const = default;
+};
+
+/// Append-oriented file of variable-size extents — the IQ-tree's third
+/// level (exact data pages have variable size, paper §3.1).
+///
+/// Reads charge the disk model for every block the extent touches; a
+/// read that continues where the previous one ended is sequential.
+class ExtentFile {
+ public:
+  static Result<std::unique_ptr<ExtentFile>> Open(Storage& storage,
+                                                  const std::string& name,
+                                                  DiskModel& disk,
+                                                  bool create);
+
+  /// Appends `length` bytes and returns where they landed.
+  Result<Extent> Append(const void* data, uint64_t length);
+
+  /// Reads a whole extent into `out` (must hold extent.length bytes).
+  Status Read(const Extent& extent, void* out) const;
+
+  /// Overwrites an extent in place (length must match).
+  Status Overwrite(const Extent& extent, const void* data);
+
+  uint64_t SizeBytes() const { return file_->Size(); }
+
+  /// Blocks an extent occupies (what one Read of it will be charged,
+  /// modulo head position) — used by the cost model for refinement cost.
+  uint64_t BlocksSpanned(const Extent& extent) const;
+
+  uint32_t file_id() const { return file_id_; }
+
+ private:
+  ExtentFile(std::shared_ptr<File> file, DiskModel& disk)
+      : file_(std::move(file)), disk_(&disk), file_id_(disk.RegisterFile()) {}
+
+  std::shared_ptr<File> file_;
+  DiskModel* disk_;
+  uint32_t file_id_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_IO_EXTENT_FILE_H_

@@ -1,0 +1,164 @@
+#include "io/storage.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace iq {
+
+namespace {
+
+class MemoryFile : public File {
+ public:
+  Status Read(uint64_t offset, uint64_t length, void* out) const override {
+    if (offset + length > data_.size()) {
+      return Status::IOError("short read: offset " + std::to_string(offset) +
+                             " + length " + std::to_string(length) +
+                             " past end " + std::to_string(data_.size()));
+    }
+    std::memcpy(out, data_.data() + offset, length);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, uint64_t length, const void* data) override {
+    if (offset + length > data_.size()) data_.resize(offset + length);
+    std::memcpy(data_.data() + offset, data, length);
+    return Status::OK();
+  }
+
+  Status Resize(uint64_t size) override {
+    data_.resize(size);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return data_.size(); }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+// POSIX stdio file. One FILE* per OS file; reads/writes are pread/pwrite
+// style via fseek. Not thread-safe (neither is anything else here).
+class StdioFile : public File {
+ public:
+  StdioFile(std::FILE* f, std::string path)
+      : f_(f), path_(std::move(path)) {}
+  ~StdioFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  StdioFile(const StdioFile&) = delete;
+  StdioFile& operator=(const StdioFile&) = delete;
+
+  Status Read(uint64_t offset, uint64_t length, void* out) const override {
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("fseek failed");
+    }
+    if (std::fread(out, 1, length, f_) != length) {
+      return Status::IOError("short read at offset " + std::to_string(offset));
+    }
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, uint64_t length, const void* data) override {
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("fseek failed");
+    }
+    if (std::fwrite(data, 1, length, f_) != length) {
+      return Status::IOError("short write at offset " +
+                             std::to_string(offset));
+    }
+    size_ = std::max(size_, offset + length);
+    return Status::OK();
+  }
+
+  Status Resize(uint64_t size) override {
+    std::fflush(f_);
+    // There is no portable stdio truncate; go through <filesystem>.
+    std::error_code ec;
+    std::filesystem::resize_file(path_, size, ec);
+    if (ec) {
+      return Status::IOError("resize_file failed for " + path_ + ": " +
+                             ec.message());
+    }
+    size_ = size;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+  void set_size(uint64_t s) { size_ = s; }
+
+ private:
+  std::FILE* f_;
+  std::string path_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<File>> MemoryStorage::Open(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + name);
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<File>> MemoryStorage::Create(const std::string& name) {
+  auto file = std::make_shared<MemoryFile>();
+  files_[name] = file;
+  return std::shared_ptr<File>(file);
+}
+
+bool MemoryStorage::Exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+Status MemoryStorage::Delete(const std::string& name) {
+  if (files_.erase(name) == 0) {
+    return Status::NotFound("no such file: " + name);
+  }
+  return Status::OK();
+}
+
+std::string FileStorage::Path(const std::string& name) const {
+  return root_ + "/" + name;
+}
+
+Result<std::shared_ptr<File>> FileStorage::Open(const std::string& name) {
+  const std::string path = Path(name);
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  auto file = std::make_shared<StdioFile>(f, path);
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (!ec) file->set_size(size);
+  return std::shared_ptr<File>(file);
+}
+
+Result<std::shared_ptr<File>> FileStorage::Create(const std::string& name) {
+  const std::string path = Path(name);
+  std::FILE* f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot create: " + path);
+  }
+  return std::shared_ptr<File>(std::make_shared<StdioFile>(f, path));
+}
+
+bool FileStorage::Exists(const std::string& name) const {
+  return std::filesystem::exists(Path(name));
+}
+
+Status FileStorage::Delete(const std::string& name) {
+  std::error_code ec;
+  if (!std::filesystem::remove(Path(name), ec) || ec) {
+    return Status::NotFound("cannot delete: " + Path(name));
+  }
+  return Status::OK();
+}
+
+}  // namespace iq

@@ -1,0 +1,290 @@
+#include "pyramid/pyramid_technique.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+namespace iq {
+
+namespace {
+
+constexpr const char* kMetaSuffix = ".pyr";
+
+struct PyrHeader {
+  uint32_t magic;
+  uint32_t dims;
+  uint32_t metric;
+  uint32_t reserved;
+};
+constexpr uint32_t kPyrMagic = 0x50595231;  // "PYR1"
+
+/// Pyramid index of a point: the dimension with the largest
+/// center-deviation decides; the sign decides between pyramid j (low
+/// side) and j + d (high side).
+size_t PyramidIndex(PointView p) {
+  const size_t d = p.size();
+  size_t j_max = 0;
+  double dev_max = -1.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double dev = std::abs(0.5 - static_cast<double>(p[j]));
+    if (dev > dev_max) {
+      dev_max = dev;
+      j_max = j;
+    }
+  }
+  return p[j_max] < 0.5f ? j_max : j_max + d;
+}
+
+}  // namespace
+
+double PyramidTechnique::PyramidValue(PointView p) {
+  const size_t i = PyramidIndex(p);
+  const size_t d = p.size();
+  const size_t dim = i % d;
+  const double height = std::abs(0.5 - static_cast<double>(p[dim]));
+  return static_cast<double>(i) + height;
+}
+
+bool PyramidTechnique::HeightInterval(size_t pyramid, const Mbr& window,
+                                      double* h_lo, double* h_hi) const {
+  const size_t dim = pyramid % dims_;
+  const bool low_side = pyramid < dims_;
+  // Center-shifted query interval per dimension: [lb-0.5, ub-0.5].
+  // A point of pyramid `pyramid` at height h has x̂_dim = -h (low side)
+  // or +h (high side), and |x̂_j| <= h for every other dimension. The
+  // window intersects the pyramid at height h iff x̂_dim = ±h lies in
+  // the dim-interval and [-h, h] meets every other interval — which
+  // gives the closed-form interval below (Lemmas 3-4 of [5]).
+  double lo = 0.0;
+  for (size_t j = 0; j < dims_; ++j) {
+    if (j == dim) continue;
+    const double a = window.lb(j) - 0.5;
+    const double b = window.ub(j) - 0.5;
+    if (b < a) return false;
+    const double min_dev =
+        (a <= 0.0 && 0.0 <= b) ? 0.0 : std::min(std::abs(a), std::abs(b));
+    lo = std::max(lo, min_dev);
+  }
+  const double a = window.lb(dim) - 0.5;
+  const double b = window.ub(dim) - 0.5;
+  if (b < a) return false;
+  double hi;
+  if (low_side) {
+    // x̂_dim = -h must lie in [a, b]: h in [-b, -a], h >= 0.
+    if (a > 0.0) return false;  // window entirely on the high side
+    hi = -a;
+    lo = std::max(lo, -b);
+  } else {
+    if (b < 0.0) return false;
+    hi = b;
+    lo = std::max(lo, a);
+  }
+  lo = std::max(lo, 0.0);
+  hi = std::min(hi, 0.5);
+  if (lo > hi) return false;
+  *h_lo = lo;
+  *h_hi = hi;
+  return true;
+}
+
+Status PyramidTechnique::ScanPyramid(
+    size_t pyramid, double h_lo, double h_hi, const Mbr& window,
+    std::vector<std::pair<PointId, Point>>* out) const {
+  const double base = static_cast<double>(pyramid);
+  return btree_->Scan(
+      base + h_lo, base + h_hi,
+      [&](double /*key*/, const uint8_t* payload) -> Status {
+        PointId id;
+        std::memcpy(&id, payload, sizeof(id));
+        Point p(dims_);
+        std::memcpy(p.data(), payload + sizeof(id), sizeof(float) * dims_);
+        if (window.Contains(p)) out->emplace_back(id, std::move(p));
+        return Status::OK();
+      });
+}
+
+Result<std::vector<PointId>> PyramidTechnique::WindowQuery(
+    const Mbr& window) const {
+  if (window.dims() != dims_) {
+    return Status::InvalidArgument("window dimensionality mismatch");
+  }
+  std::vector<std::pair<PointId, Point>> hits;
+  for (size_t pyramid = 0; pyramid < 2 * dims_; ++pyramid) {
+    double h_lo, h_hi;
+    if (!HeightInterval(pyramid, window, &h_lo, &h_hi)) continue;
+    IQ_RETURN_NOT_OK(ScanPyramid(pyramid, h_lo, h_hi, window, &hits));
+  }
+  std::vector<PointId> out;
+  out.reserve(hits.size());
+  for (const auto& [id, p] : hits) out.push_back(id);
+  return out;
+}
+
+Result<std::vector<Neighbor>> PyramidTechnique::RangeSearch(
+    PointView q, double radius) const {
+  if (q.size() != dims_) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (radius < 0) return Status::InvalidArgument("negative radius");
+  // The metric ball's bounding window, clipped to the data space.
+  std::vector<float> lb(dims_), ub(dims_);
+  for (size_t j = 0; j < dims_; ++j) {
+    lb[j] = static_cast<float>(
+        std::max(0.0, static_cast<double>(q[j]) - radius));
+    ub[j] = static_cast<float>(
+        std::min(1.0, static_cast<double>(q[j]) + radius));
+  }
+  const Mbr window = Mbr::FromBounds(std::move(lb), std::move(ub));
+  std::vector<std::pair<PointId, Point>> hits;
+  for (size_t pyramid = 0; pyramid < 2 * dims_; ++pyramid) {
+    double h_lo, h_hi;
+    if (!HeightInterval(pyramid, window, &h_lo, &h_hi)) continue;
+    IQ_RETURN_NOT_OK(ScanPyramid(pyramid, h_lo, h_hi, window, &hits));
+  }
+  std::vector<Neighbor> out;
+  for (const auto& [id, p] : hits) {
+    const double dist = Distance(q, p, options_.metric);
+    if (dist <= radius) out.push_back(Neighbor{id, dist});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance < b.distance;
+            });
+  return out;
+}
+
+Result<std::vector<Neighbor>> PyramidTechnique::KNearestNeighbors(
+    PointView q, size_t k) const {
+  if (q.size() != dims_) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (k == 0 || size() == 0) return std::vector<Neighbor>{};
+  // Iteratively doubled range queries: correct once the k-th candidate
+  // distance is within the queried radius (then no point outside the
+  // window can be closer). Start from the density-suggested radius.
+  double radius = 0.5 * std::pow(static_cast<double>(k + 1) /
+                                     static_cast<double>(size()),
+                                 1.0 / static_cast<double>(dims_));
+  radius = std::clamp(radius, 1e-3, 2.0);
+  for (int round = 0; round < 32; ++round) {
+    IQ_ASSIGN_OR_RETURN(std::vector<Neighbor> hits,
+                        RangeSearch(q, radius));
+    if (hits.size() >= k && hits[k - 1].distance <= radius) {
+      hits.resize(k);
+      return hits;
+    }
+    // The whole space is covered by radius sqrt(d) in L2 (1 in L-max).
+    const double cover =
+        options_.metric == Metric::kL2
+            ? std::sqrt(static_cast<double>(dims_)) + 1.0
+            : 1.1;
+    if (radius > cover) {
+      hits.resize(std::min(hits.size(), k));
+      return hits;
+    }
+    radius *= 2.0;
+  }
+  return Status::Internal("k-NN radius iteration did not converge");
+}
+
+Result<Neighbor> PyramidTechnique::NearestNeighbor(PointView q) const {
+  IQ_ASSIGN_OR_RETURN(std::vector<Neighbor> out, KNearestNeighbors(q, 1));
+  if (out.empty()) return Status::NotFound("empty index");
+  return out.front();
+}
+
+Status PyramidTechnique::Insert(PointId id, PointView p) {
+  if (p.size() != dims_) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  for (size_t j = 0; j < dims_; ++j) {
+    if (p[j] < 0.0f || p[j] > 1.0f) {
+      return Status::InvalidArgument(
+          "the Pyramid-Technique requires points in [0,1]^d");
+    }
+  }
+  std::vector<uint8_t> payload(PayloadBytes());
+  std::memcpy(payload.data(), &id, sizeof(id));
+  std::memcpy(payload.data() + sizeof(id), p.data(), sizeof(float) * dims_);
+  return btree_->Insert(PyramidValue(p), payload);
+}
+
+Status PyramidTechnique::Flush() { return btree_->Flush(); }
+
+Result<std::unique_ptr<PyramidTechnique>> PyramidTechnique::Build(
+    const Dataset& data, Storage& storage, const std::string& name,
+    DiskModel& disk, const Options& options) {
+  if (data.dims() == 0) {
+    return Status::InvalidArgument("cannot build over a 0-dimensional set");
+  }
+  auto pyramid = std::unique_ptr<PyramidTechnique>(new PyramidTechnique());
+  pyramid->options_ = options;
+  pyramid->dims_ = data.dims();
+  // Sort by pyramid value, then bulk-build the B+-tree.
+  std::vector<uint32_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> values(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = 0; j < data.dims(); ++j) {
+      if (data[i][j] < 0.0f || data[i][j] > 1.0f) {
+        return Status::InvalidArgument(
+            "the Pyramid-Technique requires points in [0,1]^d");
+      }
+    }
+    values[i] = PyramidValue(data[i]);
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> keys(data.size());
+  std::vector<uint8_t> payloads(data.size() * pyramid->PayloadBytes());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const uint32_t row = order[i];
+    keys[i] = values[row];
+    uint8_t* p = payloads.data() + i * pyramid->PayloadBytes();
+    const PointId id = row;
+    std::memcpy(p, &id, sizeof(id));
+    std::memcpy(p + sizeof(id), data.row(row),
+                sizeof(float) * data.dims());
+  }
+  BPlusTree::Options bt_options;
+  bt_options.payload_bytes = pyramid->PayloadBytes();
+  IQ_ASSIGN_OR_RETURN(pyramid->btree_,
+                      BPlusTree::Build(keys, payloads, storage, name, disk,
+                                       bt_options));
+  // Persist dims + metric.
+  IQ_ASSIGN_OR_RETURN(auto meta, storage.Create(name + kMetaSuffix));
+  PyrHeader header{kPyrMagic, static_cast<uint32_t>(data.dims()),
+                   static_cast<uint32_t>(options.metric), 0};
+  IQ_RETURN_NOT_OK(meta->Write(0, sizeof(header), &header));
+  return pyramid;
+}
+
+Result<std::unique_ptr<PyramidTechnique>> PyramidTechnique::Open(
+    Storage& storage, const std::string& name, DiskModel& disk) {
+  auto pyramid = std::unique_ptr<PyramidTechnique>(new PyramidTechnique());
+  IQ_ASSIGN_OR_RETURN(auto meta, storage.Open(name + kMetaSuffix));
+  if (meta->Size() < sizeof(PyrHeader)) {
+    return Status::Corruption("pyramid meta file too small");
+  }
+  PyrHeader header;
+  IQ_RETURN_NOT_OK(meta->Read(0, sizeof(header), &header));
+  if (header.magic != kPyrMagic) {
+    return Status::Corruption("bad pyramid meta magic");
+  }
+  if (header.dims == 0) {
+    return Status::Corruption("pyramid meta with zero dims");
+  }
+  pyramid->dims_ = header.dims;
+  pyramid->options_.metric = static_cast<Metric>(header.metric);
+  IQ_ASSIGN_OR_RETURN(pyramid->btree_,
+                      BPlusTree::Open(storage, name, disk));
+  if (pyramid->btree_->payload_bytes() != pyramid->PayloadBytes()) {
+    return Status::Corruption("pyramid payload size mismatch");
+  }
+  return pyramid;
+}
+
+}  // namespace iq

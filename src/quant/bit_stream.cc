@@ -1,0 +1,43 @@
+#include "quant/bit_stream.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace iq {
+
+void BitWriter::Put(uint32_t value, unsigned width) {
+  assert(width <= 32);
+  if (width < 32) value &= (uint32_t{1} << width) - 1;
+  unsigned remaining = width;
+  while (remaining > 0) {
+    const size_t byte = bit_pos_ >> 3;
+    const unsigned bit_in_byte = bit_pos_ & 7;
+    const unsigned take = std::min(remaining, 8 - bit_in_byte);
+    const uint8_t chunk =
+        static_cast<uint8_t>(value & ((uint32_t{1} << take) - 1));
+    out_[byte] = static_cast<uint8_t>(out_[byte] | (chunk << bit_in_byte));
+    value >>= take;
+    bit_pos_ += take;
+    remaining -= take;
+  }
+}
+
+uint32_t BitReader::Get(unsigned width) {
+  assert(width <= 32);
+  uint32_t value = 0;
+  unsigned produced = 0;
+  while (produced < width) {
+    const size_t byte = bit_pos_ >> 3;
+    const unsigned bit_in_byte = bit_pos_ & 7;
+    const unsigned take = std::min(width - produced, 8 - bit_in_byte);
+    const uint32_t chunk =
+        (static_cast<uint32_t>(data_[byte]) >> bit_in_byte) &
+        ((uint32_t{1} << take) - 1);
+    value |= chunk << produced;
+    bit_pos_ += take;
+    produced += take;
+  }
+  return value;
+}
+
+}  // namespace iq

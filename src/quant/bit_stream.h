@@ -1,0 +1,53 @@
+#ifndef IQ_QUANT_BIT_STREAM_H_
+#define IQ_QUANT_BIT_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iq {
+
+/// Appends fixed-width bit fields to a byte buffer, LSB-first within each
+/// byte. Used to pack quantized point coordinates into data pages.
+class BitWriter {
+ public:
+  /// Writes into `out`, starting at bit `bit_offset` from the buffer
+  /// start. The caller guarantees `out` is large enough and zeroed in
+  /// the region written.
+  BitWriter(uint8_t* out, size_t bit_offset = 0)
+      : out_(out), bit_pos_(bit_offset) {}
+
+  /// Appends the low `width` bits of `value` (width in [0, 32]).
+  void Put(uint32_t value, unsigned width);
+
+  /// Bits written so far (including the initial offset).
+  size_t bit_position() const { return bit_pos_; }
+
+ private:
+  uint8_t* out_;
+  size_t bit_pos_;
+};
+
+/// Reads fixed-width bit fields written by BitWriter.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t bit_offset = 0)
+      : data_(data), bit_pos_(bit_offset) {}
+
+  /// Reads the next `width`-bit field (width in [0, 32]).
+  uint32_t Get(unsigned width);
+
+  /// Repositions the cursor to an absolute bit offset.
+  void Seek(size_t bit_offset) { bit_pos_ = bit_offset; }
+
+  size_t bit_position() const { return bit_pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t bit_pos_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_QUANT_BIT_STREAM_H_

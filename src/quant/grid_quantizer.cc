@@ -1,0 +1,60 @@
+#include "quant/grid_quantizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace iq {
+
+GridQuantizer::GridQuantizer(const Mbr& mbr, unsigned bits_per_dim)
+    : mbr_(mbr), bits_(bits_per_dim) {
+  assert(bits_ >= 1 && bits_ <= 31);
+  cells_per_dim_ = uint32_t{1} << bits_;
+  widths_.resize(mbr_.dims());
+  for (size_t i = 0; i < mbr_.dims(); ++i) {
+    widths_[i] = mbr_.Extent(i) / static_cast<float>(cells_per_dim_);
+  }
+}
+
+uint32_t GridQuantizer::CellIndex(size_t dim, float coord) const {
+  const float lb = mbr_.lb(dim);
+  const float w = widths_[dim];
+  if (w <= 0.0f) return 0;
+  const float rel = (coord - lb) / w;
+  uint32_t cell = 0;
+  if (rel > 0.0f) cell = std::min(static_cast<uint32_t>(rel),
+                                  cells_per_dim_ - 1);
+  // Float-safety: division rounding can place `coord` just outside the
+  // computed cell; nudge so the cell interval really contains it (the
+  // search relies on cell boxes being true point enclosures).
+  while (cell > 0 && coord < CellLower(dim, cell)) --cell;
+  while (cell + 1 < cells_per_dim_ && coord > CellUpper(dim, cell)) ++cell;
+  return cell;
+}
+
+void GridQuantizer::Encode(PointView p, std::vector<uint32_t>& cells) const {
+  assert(p.size() == dims());
+  cells.resize(dims());
+  for (size_t i = 0; i < dims(); ++i) cells[i] = CellIndex(i, p[i]);
+}
+
+float GridQuantizer::CellLower(size_t dim, uint32_t index) const {
+  return mbr_.lb(dim) + widths_[dim] * static_cast<float>(index);
+}
+
+float GridQuantizer::CellUpper(size_t dim, uint32_t index) const {
+  if (index + 1 == cells_per_dim_) return mbr_.ub(dim);
+  return mbr_.lb(dim) + widths_[dim] * static_cast<float>(index + 1);
+}
+
+Mbr GridQuantizer::CellBox(const std::vector<uint32_t>& cells) const {
+  assert(cells.size() == dims());
+  std::vector<float> lb(dims()), ub(dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    lb[i] = CellLower(i, cells[i]);
+    ub[i] = CellUpper(i, cells[i]);
+  }
+  return Mbr::FromBounds(std::move(lb), std::move(ub));
+}
+
+}  // namespace iq

@@ -1,0 +1,57 @@
+#ifndef IQ_QUANT_GRID_QUANTIZER_H_
+#define IQ_QUANT_GRID_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/mbr.h"
+#include "geom/point.h"
+
+namespace iq {
+
+/// Grid quantizer relative to an MBR (the paper's "independent
+/// quantization", §3.1): the MBR is divided into 2^g equal slices per
+/// dimension and a point is represented by the g-bit cell index in each
+/// dimension. g must be in [1, 31]; g = 32 means "exact floats" and is
+/// handled by the page layout, not by this class.
+///
+/// Quantizing relative to the page MBR (instead of the whole data space,
+/// as the VA-file does) is what lets the IQ-tree spend fewer bits for
+/// the same accuracy.
+class GridQuantizer {
+ public:
+  GridQuantizer(const Mbr& mbr, unsigned bits_per_dim);
+
+  unsigned bits_per_dim() const { return bits_; }
+  size_t dims() const { return mbr_.dims(); }
+  const Mbr& mbr() const { return mbr_; }
+
+  /// Cell index of `p` in dimension `dim`. Points outside the MBR are
+  /// clamped to the border cells.
+  uint32_t CellIndex(size_t dim, float coord) const;
+
+  /// Encodes all dimensions of `p` into `cells` (resized to dims()).
+  void Encode(PointView p, std::vector<uint32_t>& cells) const;
+
+  /// Lower/upper bound of cell `index` in dimension `dim`.
+  float CellLower(size_t dim, uint32_t index) const;
+  float CellUpper(size_t dim, uint32_t index) const;
+
+  /// The box approximation of a point from its cell indices — the box
+  /// that is inserted into the NN priority list (paper §3.2).
+  Mbr CellBox(const std::vector<uint32_t>& cells) const;
+
+  /// Side length of a cell in dimension `dim` (paper eq. 10 per-dim
+  /// factor (ub-lb)/2^g).
+  float CellWidth(size_t dim) const { return widths_[dim]; }
+
+ private:
+  Mbr mbr_;
+  unsigned bits_;
+  uint32_t cells_per_dim_;
+  std::vector<float> widths_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_QUANT_GRID_QUANTIZER_H_

@@ -1,0 +1,495 @@
+// R*-tree insertion (ChooseSubtree, two-phase split, forced
+// reinsertion) and the Hjaltason/Samet searches.
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "rstar/r_star_tree.h"
+
+namespace iq {
+
+namespace {
+
+double MarginEnlargement(const Mbr& mbr, PointView p) {
+  double enlargement = 0.0;
+  for (size_t i = 0; i < mbr.dims(); ++i) {
+    if (p[i] < mbr.lb(i)) enlargement += mbr.lb(i) - p[i];
+    if (p[i] > mbr.ub(i)) enlargement += p[i] - mbr.ub(i);
+  }
+  return enlargement;
+}
+
+Mbr Enlarged(const Mbr& mbr, PointView p) {
+  Mbr out = mbr;
+  out.Extend(p);
+  return out;
+}
+
+/// Distance from a point to the center of a box (used to pick the
+/// forced-reinsertion victims).
+double CenterDistance(const Mbr& mbr, PointView p) {
+  double s = 0.0;
+  for (size_t i = 0; i < mbr.dims(); ++i) {
+    const double center = 0.5 * (mbr.lb(i) + mbr.ub(i));
+    const double diff = p[i] - center;
+    s += diff * diff;
+  }
+  return s;
+}
+
+struct HsEntry {
+  double mindist;
+  uint32_t id;
+  bool is_node;
+
+  bool operator>(const HsEntry& other) const {
+    return mindist > other.mindist;
+  }
+};
+
+using HsHeap = std::priority_queue<HsEntry, std::vector<HsEntry>,
+                                   std::greater<HsEntry>>;
+
+}  // namespace
+
+size_t RStarTree::ChooseSubtree(const Node& node, PointView p) const {
+  // R* rule: at the level whose children are leaves, minimize overlap
+  // enlargement (ties: area/margin enlargement); above, minimize margin
+  // enlargement (the robust high-dimensional stand-in for area).
+  size_t best = 0;
+  double best_primary = std::numeric_limits<double>::infinity();
+  double best_secondary = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const double margin_enl = MarginEnlargement(node.entries[i].mbr, p);
+    double primary = margin_enl;
+    if (node.leaf_level) {
+      // Overlap enlargement of entry i against its siblings.
+      const Mbr enlarged = Enlarged(node.entries[i].mbr, p);
+      double overlap_delta = 0.0;
+      for (size_t j = 0; j < node.entries.size(); ++j) {
+        if (j == i) continue;
+        overlap_delta +=
+            enlarged.IntersectionVolume(node.entries[j].mbr) -
+            node.entries[i].mbr.IntersectionVolume(node.entries[j].mbr);
+      }
+      primary = overlap_delta;
+    }
+    const double secondary = margin_enl;
+    if (primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary)) {
+      best = i;
+      best_primary = primary;
+      best_secondary = secondary;
+    }
+  }
+  return best;
+}
+
+void RStarTree::SplitNode(uint32_t node_id, Entry* left_entry,
+                          Entry* right_entry) {
+  Node& node = nodes_[node_id];
+  const size_t n = node.entries.size();
+  const size_t min_fill = std::max<size_t>(1, n * 2 / 5);  // R* m = 40%
+  // Phase 1 (ChooseSplitAxis): the axis minimizing the margin sum over
+  // all allowed distributions of the entries sorted by lower bound.
+  size_t best_axis = 0;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  std::vector<uint32_t> perm(n);
+  for (size_t axis = 0; axis < dims_; ++axis) {
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+      return node.entries[a].mbr.lb(axis) < node.entries[b].mbr.lb(axis);
+    });
+    double margin_sum = 0.0;
+    for (size_t k = min_fill; k + min_fill <= n; ++k) {
+      Mbr left = Mbr::Empty(dims_);
+      Mbr right = Mbr::Empty(dims_);
+      for (size_t i = 0; i < n; ++i) {
+        (i < k ? left : right).Extend(node.entries[perm[i]].mbr);
+      }
+      margin_sum += left.Margin() + right.Margin();
+    }
+    if (margin_sum < best_margin_sum) {
+      best_margin_sum = margin_sum;
+      best_axis = axis;
+    }
+  }
+  // Phase 2 (ChooseSplitIndex): on the chosen axis, the distribution
+  // with minimum overlap (ties: minimum total margin).
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return node.entries[a].mbr.lb(best_axis) <
+           node.entries[b].mbr.lb(best_axis);
+  });
+  size_t best_k = min_fill;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_total_margin = std::numeric_limits<double>::infinity();
+  for (size_t k = min_fill; k + min_fill <= n; ++k) {
+    Mbr left = Mbr::Empty(dims_);
+    Mbr right = Mbr::Empty(dims_);
+    for (size_t i = 0; i < n; ++i) {
+      (i < k ? left : right).Extend(node.entries[perm[i]].mbr);
+    }
+    const double overlap = left.IntersectionVolume(right);
+    const double total_margin = left.Margin() + right.Margin();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && total_margin < best_total_margin)) {
+      best_overlap = overlap;
+      best_total_margin = total_margin;
+      best_k = k;
+    }
+  }
+  Node right_node;
+  right_node.leaf_level = node.leaf_level;
+  std::vector<Entry> left_entries;
+  for (size_t i = 0; i < n; ++i) {
+    (i < best_k ? left_entries : right_node.entries)
+        .push_back(std::move(node.entries[perm[i]]));
+  }
+  node.entries = std::move(left_entries);
+  auto summarize = [&](const Node& summarized, uint32_t child) {
+    Mbr mbr = Mbr::Empty(dims_);
+    uint32_t count = 0;
+    for (const Entry& entry : summarized.entries) {
+      mbr.Extend(entry.mbr);
+      count += entry.count;
+    }
+    return Entry{std::move(mbr), child, count};
+  };
+  const uint32_t right_id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(right_node));
+  *left_entry = summarize(nodes_[node_id], node_id);
+  *right_entry = summarize(nodes_[right_id], right_id);
+}
+
+Status RStarTree::SplitDataPage(uint32_t page_id, std::vector<PointId> ids,
+                                std::vector<float> coords,
+                                Entry* left_entry, Entry* right_entry) {
+  const Mbr mbr = Mbr::Of(coords.data(), ids.size(), dims_);
+  const size_t dim = mbr.LongestDimension();
+  std::vector<uint32_t> perm(ids.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  const size_t mid = perm.size() / 2;
+  std::nth_element(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(mid),
+                   perm.end(), [&](uint32_t a, uint32_t b) {
+                     return coords[a * dims_ + dim] < coords[b * dims_ + dim];
+                   });
+  std::vector<PointId> left_ids, right_ids;
+  std::vector<float> left_coords, right_coords;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    auto& out_ids = i < mid ? left_ids : right_ids;
+    auto& out_coords = i < mid ? left_coords : right_coords;
+    out_ids.push_back(ids[perm[i]]);
+    out_coords.insert(out_coords.end(), coords.begin() + perm[i] * dims_,
+                      coords.begin() + (perm[i] + 1) * dims_);
+  }
+  IQ_RETURN_NOT_OK(WriteDataPage(page_id, left_ids, left_coords));
+  const uint32_t right_page = static_cast<uint32_t>(data_pages_.size());
+  IQ_RETURN_NOT_OK(WriteDataPage(right_page, right_ids, right_coords));
+  *left_entry = Entry{Mbr::Of(left_coords.data(), left_ids.size(), dims_),
+                      page_id, static_cast<uint32_t>(left_ids.size())};
+  *right_entry = Entry{Mbr::Of(right_coords.data(), right_ids.size(), dims_),
+                       right_page,
+                       static_cast<uint32_t>(right_ids.size())};
+  return Status::OK();
+}
+
+Status RStarTree::InsertRecursive(
+    uint32_t node_id, PointId id, PointView p, size_t depth,
+    std::vector<bool>* level_reinserted, std::vector<Entry>* promoted,
+    std::vector<std::pair<PointId, Point>>* reinserts) {
+  promoted->clear();
+  Node& node = nodes_[node_id];
+  if (node.entries.empty()) {
+    if (!node.leaf_level) return Status::Internal("empty inner node");
+    std::vector<PointId> ids{id};
+    std::vector<float> coords(p.begin(), p.end());
+    const uint32_t page_id = static_cast<uint32_t>(data_pages_.size());
+    IQ_RETURN_NOT_OK(WriteDataPage(page_id, ids, coords));
+    node.entries.push_back(
+        Entry{Mbr::Of(coords.data(), 1, dims_), page_id, 1});
+    return Status::OK();
+  }
+
+  const size_t best = ChooseSubtree(node, p);
+  node.entries[best].mbr.Extend(p);
+  node.entries[best].count += 1;
+
+  if (node.leaf_level) {
+    const uint32_t page_id = node.entries[best].child;
+    std::vector<PointId> ids;
+    std::vector<float> coords;
+    IQ_RETURN_NOT_OK(ReadDataPage(page_id, &ids, &coords));
+    ids.push_back(id);
+    coords.insert(coords.end(), p.begin(), p.end());
+    if (ids.size() <= DataPageCapacity()) {
+      return WriteDataPage(page_id, ids, coords);
+    }
+    if (depth < level_reinserted->size() && !(*level_reinserted)[depth] &&
+        options_.reinsert_fraction > 0) {
+      // Forced reinsertion: evict the points farthest from the page
+      // center instead of splitting (once per level per insertion).
+      (*level_reinserted)[depth] = true;
+      const size_t evict = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(ids.size()) *
+                                 options_.reinsert_fraction));
+      const Mbr page_mbr = Mbr::Of(coords.data(), ids.size(), dims_);
+      std::vector<uint32_t> order(ids.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return CenterDistance(page_mbr,
+                              PointView(coords.data() + a * dims_, dims_)) >
+               CenterDistance(page_mbr,
+                              PointView(coords.data() + b * dims_, dims_));
+      });
+      std::vector<bool> evicted(ids.size(), false);
+      for (size_t i = 0; i < evict; ++i) {
+        const uint32_t victim = order[i];
+        evicted[victim] = true;
+        reinserts->emplace_back(
+            ids[victim],
+            Point(coords.begin() + victim * dims_,
+                  coords.begin() + (victim + 1) * dims_));
+      }
+      std::vector<PointId> kept_ids;
+      std::vector<float> kept_coords;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (evicted[i]) continue;
+        kept_ids.push_back(ids[i]);
+        kept_coords.insert(kept_coords.end(), coords.begin() + i * dims_,
+                           coords.begin() + (i + 1) * dims_);
+      }
+      IQ_RETURN_NOT_OK(WriteDataPage(page_id, kept_ids, kept_coords));
+      node.entries[best].mbr =
+          Mbr::Of(kept_coords.data(), kept_ids.size(), dims_);
+      node.entries[best].count = static_cast<uint32_t>(kept_ids.size());
+      reinsertions_ += evict;
+      return Status::OK();
+    }
+    Entry left, right;
+    IQ_RETURN_NOT_OK(SplitDataPage(page_id, std::move(ids),
+                                   std::move(coords), &left, &right));
+    node.entries[best] = std::move(left);
+    node.entries.push_back(std::move(right));
+  } else {
+    std::vector<Entry> child_promoted;
+    IQ_RETURN_NOT_OK(InsertRecursive(node.entries[best].child, id, p,
+                                     depth + 1, level_reinserted,
+                                     &child_promoted, reinserts));
+    Node& self = nodes_[node_id];
+    if (!child_promoted.empty()) {
+      self.entries[best] = std::move(child_promoted[0]);
+      self.entries.push_back(std::move(child_promoted[1]));
+    }
+  }
+
+  Node& self = nodes_[node_id];
+  if (self.entries.size() > NodeFanout()) {
+    Entry left, right;
+    SplitNode(node_id, &left, &right);
+    promoted->push_back(std::move(left));
+    promoted->push_back(std::move(right));
+  }
+  return Status::OK();
+}
+
+Status RStarTree::Insert(PointId id, PointView p) {
+  if (p.size() != dims_) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  std::vector<std::pair<PointId, Point>> pending{{id, Point(p.begin(),
+                                                            p.end())}};
+  std::vector<bool> level_reinserted(Height(), false);
+  bool first = true;
+  while (!pending.empty()) {
+    const auto [pending_id, point] = std::move(pending.back());
+    pending.pop_back();
+    std::vector<Entry> promoted;
+    std::vector<std::pair<PointId, Point>> reinserts;
+    // Reinsized points must not trigger reinsertion again (R* does one
+    // round per level per logical insertion).
+    std::vector<bool> no_reinserts(Height(), true);
+    IQ_RETURN_NOT_OK(InsertRecursive(
+        root_, pending_id, point, 0,
+        first ? &level_reinserted : &no_reinserts, &promoted, &reinserts));
+    first = false;
+    if (!promoted.empty()) {
+      Node new_root;
+      new_root.leaf_level = false;
+      new_root.entries = std::move(promoted);
+      nodes_.push_back(std::move(new_root));
+      root_ = static_cast<uint32_t>(nodes_.size() - 1);
+    }
+    for (auto& r : reinserts) pending.push_back(std::move(r));
+  }
+  total_points_ += 1;
+  dirty_ = true;
+  AssignNodeBlocks();
+  return Status::OK();
+}
+
+/// Per-query k-NN state (same traversal as the X-tree searcher).
+class RStarSearcher {
+ public:
+  RStarSearcher(const RStarTree& tree, PointView q, size_t k)
+      : tree_(tree), q_(q), k_(k) {}
+
+  Status Run(std::vector<Neighbor>* out) {
+    HsHeap heap;
+    heap.push(HsEntry{0.0, tree_.root_, true});
+    std::vector<PointId> ids;
+    std::vector<float> coords;
+    while (!heap.empty() && heap.top().mindist < PruneDistance()) {
+      const HsEntry top = heap.top();
+      heap.pop();
+      if (top.is_node) {
+        const RStarTree::Node& node = tree_.nodes_[top.id];
+        tree_.ChargeNodeRead(top.id);
+        for (const RStarTree::Entry& entry : node.entries) {
+          const double mindist =
+              MinDist(q_, entry.mbr, tree_.options_.metric);
+          if (mindist < PruneDistance()) {
+            heap.push(HsEntry{mindist, entry.child, !node.leaf_level});
+          }
+        }
+      } else {
+        IQ_RETURN_NOT_OK(tree_.ReadDataPage(top.id, &ids, &coords));
+        for (size_t s = 0; s < ids.size(); ++s) {
+          const double dist = Distance(
+              q_, PointView(coords.data() + s * tree_.dims_, tree_.dims_),
+              tree_.options_.metric);
+          if (dist < PruneDistance()) AddResult(ids[s], dist);
+        }
+      }
+    }
+    out->assign(results_.begin(), results_.end());
+    std::sort(out->begin(), out->end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance < b.distance;
+              });
+    return Status::OK();
+  }
+
+ private:
+  double PruneDistance() const {
+    return results_.size() < k_ ? std::numeric_limits<double>::infinity()
+                                : worst_;
+  }
+
+  void AddResult(PointId id, double distance) {
+    if (results_.size() < k_) {
+      results_.push_back(Neighbor{id, distance});
+      if (results_.size() == k_) RecomputeWorst();
+      return;
+    }
+    if (distance >= worst_) return;
+    size_t worst_index = 0;
+    for (size_t i = 1; i < results_.size(); ++i) {
+      if (results_[i].distance > results_[worst_index].distance) {
+        worst_index = i;
+      }
+    }
+    results_[worst_index] = Neighbor{id, distance};
+    RecomputeWorst();
+  }
+
+  void RecomputeWorst() {
+    worst_ = 0;
+    for (const Neighbor& r : results_) worst_ = std::max(worst_, r.distance);
+  }
+
+  const RStarTree& tree_;
+  PointView q_;
+  size_t k_;
+  std::vector<Neighbor> results_;
+  double worst_ = std::numeric_limits<double>::infinity();
+};
+
+Result<Neighbor> RStarTree::NearestNeighbor(PointView q) const {
+  IQ_ASSIGN_OR_RETURN(std::vector<Neighbor> out, KNearestNeighbors(q, 1));
+  if (out.empty()) return Status::NotFound("empty index");
+  return out.front();
+}
+
+Result<std::vector<Neighbor>> RStarTree::KNearestNeighbors(PointView q,
+                                                           size_t k) const {
+  if (q.size() != dims_) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (k == 0 || nodes_.empty()) return std::vector<Neighbor>{};
+  RStarSearcher searcher(*this, q, k);
+  std::vector<Neighbor> out;
+  IQ_RETURN_NOT_OK(searcher.Run(&out));
+  return out;
+}
+
+Result<std::vector<Neighbor>> RStarTree::RangeSearch(PointView q,
+                                                     double radius) const {
+  if (q.size() != dims_) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (radius < 0) return Status::InvalidArgument("negative radius");
+  std::vector<Neighbor> out;
+  std::vector<uint32_t> stack{root_};
+  std::vector<PointId> ids;
+  std::vector<float> coords;
+  while (!stack.empty()) {
+    const uint32_t node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    ChargeNodeRead(node_id);
+    for (const Entry& entry : node.entries) {
+      if (MinDist(q, entry.mbr, options_.metric) > radius) continue;
+      if (node.leaf_level) {
+        IQ_RETURN_NOT_OK(ReadDataPage(entry.child, &ids, &coords));
+        for (size_t s = 0; s < ids.size(); ++s) {
+          const double dist = Distance(
+              q, PointView(coords.data() + s * dims_, dims_),
+              options_.metric);
+          if (dist <= radius) out.push_back(Neighbor{ids[s], dist});
+        }
+      } else {
+        stack.push_back(entry.child);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance < b.distance;
+            });
+  return out;
+}
+
+Result<std::vector<PointId>> RStarTree::WindowQuery(const Mbr& window) const {
+  if (window.dims() != dims_) {
+    return Status::InvalidArgument("window dimensionality mismatch");
+  }
+  std::vector<PointId> out;
+  std::vector<uint32_t> stack{root_};
+  std::vector<PointId> ids;
+  std::vector<float> coords;
+  while (!stack.empty()) {
+    const uint32_t node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    ChargeNodeRead(node_id);
+    for (const Entry& entry : node.entries) {
+      if (!window.Intersects(entry.mbr)) continue;
+      if (node.leaf_level) {
+        IQ_RETURN_NOT_OK(ReadDataPage(entry.child, &ids, &coords));
+        for (size_t s = 0; s < ids.size(); ++s) {
+          if (window.Contains(PointView(coords.data() + s * dims_, dims_))) {
+            out.push_back(ids[s]);
+          }
+        }
+      } else {
+        stack.push_back(entry.child);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace iq

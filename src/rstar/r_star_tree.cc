@@ -1,0 +1,303 @@
+#include "rstar/r_star_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/math_utils.h"
+#include "core/format.h"
+#include "core/partitioner.h"
+
+namespace iq {
+
+namespace {
+
+constexpr uint32_t kRStarMagic = 0x52535431;  // "RST1"
+
+struct RStarHeader {
+  uint32_t magic;
+  uint32_t dims;
+  uint64_t total_points;
+  uint32_t metric;
+  uint32_t root;
+  uint32_t num_nodes;
+  uint32_t num_data_pages;
+  double reinsert_fraction;
+  uint64_t reinsertions;
+};
+static_assert(sizeof(RStarHeader) == 48);
+
+size_t REntryBytes(size_t dims) {
+  return 2 * sizeof(float) * dims + 2 * sizeof(uint32_t);
+}
+
+std::string RDirName(const std::string& name) { return name + ".rdir"; }
+std::string RPageName(const std::string& name) { return name + ".rpg"; }
+
+}  // namespace
+
+uint32_t RStarTree::DataPageCapacity() const {
+  return QuantPageCapacity(dims_, kExactBits, disk_->params().block_size);
+}
+
+uint32_t RStarTree::NodeFanout() const {
+  const uint32_t usable = disk_->params().block_size - 16;
+  return std::max<uint32_t>(2, usable / REntryBytes(dims_));
+}
+
+void RStarTree::ChargeNodeRead(uint32_t id) const {
+  disk_->ChargeRead(dir_file_id_, nodes_[id].first_block, 1);
+}
+
+void RStarTree::AssignNodeBlocks() {
+  uint64_t next = 0;
+  for (Node& node : nodes_) node.first_block = next++;
+}
+
+Status RStarTree::ReadDataPage(uint32_t page_id, std::vector<PointId>* ids,
+                               std::vector<float>* coords) const {
+  if (page_id >= data_pages_.size()) {
+    return Status::Corruption("data page id out of range");
+  }
+  std::vector<uint8_t> block(disk_->params().block_size);
+  IQ_RETURN_NOT_OK(page_file_->ReadBlock(data_pages_[page_id].block,
+                                         block.data()));
+  QuantPageCodec codec(dims_, disk_->params().block_size);
+  IQ_RETURN_NOT_OK(codec.DecodeExact(block.data(), ids, coords));
+  if (ids->size() != data_pages_[page_id].count) {
+    return Status::Corruption("data page count mismatch");
+  }
+  return Status::OK();
+}
+
+Status RStarTree::WriteDataPage(uint32_t page_id,
+                                const std::vector<PointId>& ids,
+                                const std::vector<float>& coords) {
+  QuantPageCodec codec(dims_, disk_->params().block_size);
+  std::vector<uint8_t> block(disk_->params().block_size);
+  IQ_RETURN_NOT_OK(codec.EncodeExact(ids, coords, block.data()));
+  if (page_id == data_pages_.size()) {
+    IQ_ASSIGN_OR_RETURN(uint64_t b, page_file_->AppendBlock(block.data()));
+    data_pages_.push_back(
+        DataPageInfo{static_cast<uint32_t>(b),
+                     static_cast<uint32_t>(ids.size())});
+    return Status::OK();
+  }
+  IQ_RETURN_NOT_OK(page_file_->WriteBlock(data_pages_[page_id].block,
+                                          block.data()));
+  data_pages_[page_id].count = static_cast<uint32_t>(ids.size());
+  return Status::OK();
+}
+
+size_t RStarTree::Height() const {
+  size_t height = 1;
+  uint32_t id = root_;
+  while (!nodes_.empty() && !nodes_[id].leaf_level &&
+         !nodes_[id].entries.empty()) {
+    id = nodes_[id].entries.front().child;
+    ++height;
+  }
+  return height;
+}
+
+RStarTree::TreeStats RStarTree::ComputeStats() const {
+  TreeStats stats;
+  stats.num_data_pages = data_pages_.size();
+  stats.num_dir_nodes = nodes_.size();
+  stats.height = Height();
+  stats.reinsertions = reinsertions_;
+  return stats;
+}
+
+Status RStarTree::BulkLoad(const Dataset& data) {
+  nodes_.clear();
+  data_pages_.clear();
+  if (data.size() == 0) {
+    Node root;
+    root.leaf_level = true;
+    nodes_.push_back(std::move(root));
+    root_ = 0;
+    AssignNodeBlocks();
+    return Status::OK();
+  }
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const std::vector<Partition> partitions =
+      PartitionDataset(data, ids, DataPageCapacity());
+  std::vector<Entry> level;
+  level.reserve(partitions.size());
+  std::vector<PointId> page_ids;
+  std::vector<float> page_coords;
+  for (const Partition& partition : partitions) {
+    page_ids.assign(ids.begin() + static_cast<ptrdiff_t>(partition.begin),
+                    ids.begin() + static_cast<ptrdiff_t>(partition.end));
+    page_coords.resize(page_ids.size() * dims_);
+    for (size_t i = 0; i < page_ids.size(); ++i) {
+      const float* row = data.row(page_ids[i]);
+      std::copy(row, row + dims_, page_coords.data() + i * dims_);
+    }
+    const uint32_t page_id = static_cast<uint32_t>(data_pages_.size());
+    IQ_RETURN_NOT_OK(WriteDataPage(page_id, page_ids, page_coords));
+    level.push_back(Entry{partition.mbr, page_id,
+                          static_cast<uint32_t>(page_ids.size())});
+  }
+  const uint32_t fanout = NodeFanout();
+  bool entries_are_pages = true;
+  while (level.size() > fanout) {
+    std::vector<Entry> next_level;
+    const size_t groups = CeilDiv(level.size(), fanout);
+    const size_t per_group = CeilDiv(level.size(), groups);
+    for (size_t g = 0; g < groups; ++g) {
+      const size_t begin = g * per_group;
+      const size_t end = std::min(level.size(), begin + per_group);
+      Node node;
+      node.leaf_level = entries_are_pages;
+      node.entries.assign(level.begin() + static_cast<ptrdiff_t>(begin),
+                          level.begin() + static_cast<ptrdiff_t>(end));
+      Mbr mbr = Mbr::Empty(dims_);
+      uint32_t count = 0;
+      for (const Entry& entry : node.entries) {
+        mbr.Extend(entry.mbr);
+        count += entry.count;
+      }
+      const uint32_t node_id = static_cast<uint32_t>(nodes_.size());
+      nodes_.push_back(std::move(node));
+      next_level.push_back(Entry{std::move(mbr), node_id, count});
+    }
+    level = std::move(next_level);
+    entries_are_pages = false;
+  }
+  Node root;
+  root.leaf_level = entries_are_pages;
+  root.entries = std::move(level);
+  nodes_.push_back(std::move(root));
+  root_ = static_cast<uint32_t>(nodes_.size() - 1);
+  AssignNodeBlocks();
+  return Status::OK();
+}
+
+Status RStarTree::Flush() {
+  if (!dirty_) return Status::OK();
+  AssignNodeBlocks();
+  RStarHeader header{kRStarMagic,
+                     static_cast<uint32_t>(dims_),
+                     total_points_,
+                     static_cast<uint32_t>(options_.metric),
+                     root_,
+                     static_cast<uint32_t>(nodes_.size()),
+                     static_cast<uint32_t>(data_pages_.size()),
+                     options_.reinsert_fraction,
+                     reinsertions_};
+  IQ_RETURN_NOT_OK(dir_file_->Resize(0));
+  uint64_t offset = 0;
+  auto append = [&](const void* data, size_t size) -> Status {
+    IQ_RETURN_NOT_OK(dir_file_->Write(offset, size, data));
+    offset += size;
+    return Status::OK();
+  };
+  IQ_RETURN_NOT_OK(append(&header, sizeof(header)));
+  for (const Node& node : nodes_) {
+    const uint32_t leaf = node.leaf_level ? 1 : 0;
+    const uint32_t n = static_cast<uint32_t>(node.entries.size());
+    IQ_RETURN_NOT_OK(append(&leaf, sizeof(leaf)));
+    IQ_RETURN_NOT_OK(append(&n, sizeof(n)));
+    for (const Entry& entry : node.entries) {
+      IQ_RETURN_NOT_OK(append(entry.mbr.lower().data(),
+                              sizeof(float) * dims_));
+      IQ_RETURN_NOT_OK(append(entry.mbr.upper().data(),
+                              sizeof(float) * dims_));
+      IQ_RETURN_NOT_OK(append(&entry.child, sizeof(entry.child)));
+      IQ_RETURN_NOT_OK(append(&entry.count, sizeof(entry.count)));
+    }
+  }
+  for (const DataPageInfo& page : data_pages_) {
+    IQ_RETURN_NOT_OK(append(&page.block, sizeof(page.block)));
+    IQ_RETURN_NOT_OK(append(&page.count, sizeof(page.count)));
+  }
+  dirty_ = false;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RStarTree>> RStarTree::Open(Storage& storage,
+                                                   const std::string& name,
+                                                   DiskModel& disk) {
+  auto tree = std::unique_ptr<RStarTree>(new RStarTree());
+  tree->disk_ = &disk;
+  IQ_ASSIGN_OR_RETURN(tree->dir_file_, storage.Open(RDirName(name)));
+  File& file = *tree->dir_file_;
+  if (file.Size() < sizeof(RStarHeader)) {
+    return Status::Corruption("R*-tree directory too small");
+  }
+  RStarHeader header;
+  IQ_RETURN_NOT_OK(file.Read(0, sizeof(header), &header));
+  if (header.magic != kRStarMagic) {
+    return Status::Corruption("bad R*-tree directory magic");
+  }
+  tree->dims_ = header.dims;
+  tree->total_points_ = header.total_points;
+  tree->options_.metric = static_cast<Metric>(header.metric);
+  tree->options_.reinsert_fraction = header.reinsert_fraction;
+  tree->reinsertions_ = header.reinsertions;
+  tree->root_ = header.root;
+  tree->dir_file_id_ = disk.RegisterFile();
+  uint64_t offset = sizeof(header);
+  auto read = [&](void* out, size_t size) -> Status {
+    IQ_RETURN_NOT_OK(file.Read(offset, size, out));
+    offset += size;
+    return Status::OK();
+  };
+  tree->nodes_.resize(header.num_nodes);
+  for (Node& node : tree->nodes_) {
+    uint32_t leaf = 0, n = 0;
+    IQ_RETURN_NOT_OK(read(&leaf, sizeof(leaf)));
+    IQ_RETURN_NOT_OK(read(&n, sizeof(n)));
+    node.leaf_level = leaf != 0;
+    node.entries.resize(n);
+    for (Entry& entry : node.entries) {
+      std::vector<float> lb(tree->dims_), ub(tree->dims_);
+      IQ_RETURN_NOT_OK(read(lb.data(), sizeof(float) * tree->dims_));
+      IQ_RETURN_NOT_OK(read(ub.data(), sizeof(float) * tree->dims_));
+      entry.mbr = Mbr::FromBounds(std::move(lb), std::move(ub));
+      IQ_RETURN_NOT_OK(read(&entry.child, sizeof(entry.child)));
+      IQ_RETURN_NOT_OK(read(&entry.count, sizeof(entry.count)));
+    }
+  }
+  tree->data_pages_.resize(header.num_data_pages);
+  for (DataPageInfo& page : tree->data_pages_) {
+    IQ_RETURN_NOT_OK(read(&page.block, sizeof(page.block)));
+    IQ_RETURN_NOT_OK(read(&page.count, sizeof(page.count)));
+  }
+  if (!tree->nodes_.empty() && tree->root_ >= tree->nodes_.size()) {
+    return Status::Corruption("R*-tree root out of range");
+  }
+  tree->AssignNodeBlocks();
+  IQ_ASSIGN_OR_RETURN(tree->page_file_,
+                      BlockFile::Open(storage, RPageName(name), disk,
+                                      /*create=*/false));
+  return tree;
+}
+
+Result<std::unique_ptr<RStarTree>> RStarTree::Build(const Dataset& data,
+                                                    Storage& storage,
+                                                    const std::string& name,
+                                                    DiskModel& disk,
+                                                    const Options& options) {
+  auto tree = std::unique_ptr<RStarTree>(new RStarTree());
+  tree->disk_ = &disk;
+  tree->options_ = options;
+  tree->dims_ = data.dims();
+  tree->total_points_ = data.size();
+  tree->dir_file_id_ = disk.RegisterFile();
+  if (tree->DataPageCapacity() == 0) {
+    return Status::InvalidArgument("block size too small for one point");
+  }
+  IQ_ASSIGN_OR_RETURN(tree->page_file_,
+                      BlockFile::Open(storage, RPageName(name), disk,
+                                      /*create=*/true));
+  IQ_ASSIGN_OR_RETURN(tree->dir_file_, storage.Create(RDirName(name)));
+  IQ_RETURN_NOT_OK(tree->BulkLoad(data));
+  tree->dirty_ = true;
+  IQ_RETURN_NOT_OK(tree->Flush());
+  return tree;
+}
+
+}  // namespace iq

@@ -1,0 +1,140 @@
+#ifndef IQ_RSTAR_R_STAR_TREE_H_
+#define IQ_RSTAR_R_STAR_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "geom/metrics.h"
+#include "geom/neighbor.h"
+#include "io/block_file.h"
+#include "io/disk_model.h"
+#include "io/storage.h"
+
+namespace iq {
+
+/// The classic R*-tree (Beckmann, Kriegel, Schneider, Seeger, SIGMOD
+/// '90) — the index family the paper's X-tree baseline extends (§5).
+/// Included to demonstrate *why* the X-tree's supernodes matter: without
+/// them, directory overlap degrades faster with dimensionality.
+///
+/// Implements the R*-specific insertion machinery — ChooseSubtree with
+/// minimum overlap enlargement at the leaf level, the two-phase
+/// axis/index split (minimum margin sum, then minimum overlap), and
+/// forced reinsertion of the farthest 30% on first overflow per level —
+/// plus the same bulk loader and Hjaltason/Samet searches as the other
+/// trees. I/O is charged one random access per node or data page.
+class RStarTree {
+ public:
+  struct Options {
+    Metric metric = Metric::kL2;
+    /// Fraction of entries evicted for forced reinsertion on the first
+    /// overflow of a node per insertion (the paper's p = 30%).
+    double reinsert_fraction = 0.3;
+  };
+
+  struct TreeStats {
+    size_t num_data_pages = 0;
+    size_t num_dir_nodes = 0;
+    size_t height = 0;
+    uint64_t reinsertions = 0;
+  };
+
+  static Result<std::unique_ptr<RStarTree>> Build(const Dataset& data,
+                                                  Storage& storage,
+                                                  const std::string& name,
+                                                  DiskModel& disk,
+                                                  const Options& options);
+
+  static Result<std::unique_ptr<RStarTree>> Open(Storage& storage,
+                                                 const std::string& name,
+                                                 DiskModel& disk);
+
+  Result<Neighbor> NearestNeighbor(PointView q) const;
+  Result<std::vector<Neighbor>> KNearestNeighbors(PointView q,
+                                                  size_t k) const;
+  Result<std::vector<Neighbor>> RangeSearch(PointView q, double radius) const;
+  Result<std::vector<PointId>> WindowQuery(const Mbr& window) const;
+
+  Status Insert(PointId id, PointView p);
+  Status Flush();
+
+  size_t dims() const { return dims_; }
+  uint64_t size() const { return total_points_; }
+  Metric metric() const { return options_.metric; }
+  TreeStats ComputeStats() const;
+
+ private:
+  friend class RStarSearcher;
+
+  struct Entry {
+    Mbr mbr;
+    uint32_t child = 0;
+    uint32_t count = 0;
+  };
+
+  struct Node {
+    bool leaf_level = false;
+    std::vector<Entry> entries;
+    uint64_t first_block = 0;
+  };
+
+  struct DataPageInfo {
+    uint32_t block = 0;
+    uint32_t count = 0;
+  };
+
+  RStarTree() = default;
+
+  uint32_t DataPageCapacity() const;
+  uint32_t NodeFanout() const;
+  void ChargeNodeRead(uint32_t id) const;
+  void AssignNodeBlocks();
+
+  Status ReadDataPage(uint32_t page_id, std::vector<PointId>* ids,
+                      std::vector<float>* coords) const;
+  Status WriteDataPage(uint32_t page_id, const std::vector<PointId>& ids,
+                       const std::vector<float>& coords);
+
+  Status BulkLoad(const Dataset& data);
+
+  /// R* ChooseSubtree: least overlap enlargement among entries pointing
+  /// to leaf-level nodes, least area (margin) enlargement above.
+  size_t ChooseSubtree(const Node& node, PointView p) const;
+
+  /// Insertion with forced reinsertion. `level_reinserted` tracks which
+  /// levels already did their one reinsertion for this logical insert.
+  Status InsertRecursive(uint32_t node_id, PointId id, PointView p,
+                         size_t depth, std::vector<bool>* level_reinserted,
+                         std::vector<Entry>* promoted,
+                         std::vector<std::pair<PointId, Point>>* reinserts);
+
+  Status SplitDataPage(uint32_t page_id, std::vector<PointId> ids,
+                       std::vector<float> coords, Entry* left_entry,
+                       Entry* right_entry);
+
+  /// The R* two-phase node split; always succeeds (no supernodes).
+  void SplitNode(uint32_t node_id, Entry* left_entry, Entry* right_entry);
+
+  size_t Height() const;
+
+  Options options_;
+  size_t dims_ = 0;
+  uint64_t total_points_ = 0;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  std::vector<DataPageInfo> data_pages_;
+  std::unique_ptr<BlockFile> page_file_;
+  std::shared_ptr<File> dir_file_;
+  DiskModel* disk_ = nullptr;
+  uint32_t dir_file_id_ = 0;
+  uint64_t reinsertions_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace iq
+
+#endif  // IQ_RSTAR_R_STAR_TREE_H_

@@ -1,0 +1,44 @@
+#include "sched/fetch_plan.h"
+
+#include <cassert>
+
+namespace iq {
+
+std::vector<FetchRun> PlanKnownSetFetch(std::span<const uint64_t> blocks,
+                                        const DiskParameters& disk,
+                                        uint64_t max_run_blocks) {
+  std::vector<FetchRun> runs;
+  if (blocks.empty()) return runs;
+  // Gap of `gap` skipped blocks is worth over-reading iff
+  // gap * t_xfer < t_seek (the paper's (p_{i+1} - p_i - 1) * t_xfer
+  // < t_seek condition).
+  const double max_gap_blocks = disk.SeekEquivalentBlocks();
+  runs.push_back({blocks[0], 1});
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    assert(blocks[i] > blocks[i - 1] && "blocks must be sorted and unique");
+    FetchRun& current = runs.back();
+    const uint64_t next_after_run = current.first + current.count;
+    const uint64_t gap = blocks[i] - next_after_run;
+    const uint64_t merged_count = blocks[i] - current.first + 1;
+    const bool fits_buffer =
+        max_run_blocks == 0 || merged_count <= max_run_blocks;
+    if (static_cast<double>(gap) < max_gap_blocks && fits_buffer) {
+      // Over-read the gap and the block itself.
+      current.count = merged_count;
+    } else {
+      runs.push_back({blocks[i], 1});
+    }
+  }
+  return runs;
+}
+
+double PlanCost(std::span<const FetchRun> runs, const DiskParameters& disk) {
+  double cost = 0.0;
+  for (const FetchRun& run : runs) {
+    cost += disk.seek_time_s +
+            disk.xfer_time_s * static_cast<double>(run.count);
+  }
+  return cost;
+}
+
+}  // namespace iq

@@ -1,0 +1,39 @@
+#ifndef IQ_SCHED_FETCH_PLAN_H_
+#define IQ_SCHED_FETCH_PLAN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/disk_model.h"
+
+namespace iq {
+
+/// A maximal sequential run of blocks to read in one disk access.
+struct FetchRun {
+  uint64_t first = 0;
+  uint64_t count = 0;
+
+  bool operator==(const FetchRun&) const = default;
+};
+
+/// Optimal fetch plan for a *known* set of blocks (paper §2, Fig. 1;
+/// Seeger et al. [19]): walk the sorted block list and over-read the gap
+/// to the next block whenever gap * t_xfer < t_seek, else start a new
+/// run with a seek. Blocks must be sorted ascending and unique.
+///
+/// `max_run_blocks` models a limited read buffer ([19]'s generalized
+/// problem): no run exceeds that many blocks; 0 means unbounded. Under
+/// a buffer limit the plan is the optimal greedy one for that limit
+/// (runs are split at the latest possible position).
+std::vector<FetchRun> PlanKnownSetFetch(std::span<const uint64_t> blocks,
+                                        const DiskParameters& disk,
+                                        uint64_t max_run_blocks = 0);
+
+/// Simulated time to execute a plan from a cold head position:
+/// one seek per run plus t_xfer per block in the run.
+double PlanCost(std::span<const FetchRun> runs, const DiskParameters& disk);
+
+}  // namespace iq
+
+#endif  // IQ_SCHED_FETCH_PLAN_H_

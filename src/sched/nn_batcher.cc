@@ -1,0 +1,41 @@
+#include "sched/nn_batcher.h"
+
+#include <cassert>
+
+namespace iq {
+
+BatchRange PlanNnBatch(uint64_t pivot_position, uint64_t num_pages,
+                       const DiskParameters& disk,
+                       const AccessProbabilityFn& probability) {
+  assert(pivot_position < num_pages);
+  BatchRange range{pivot_position, pivot_position};
+  const double t_seek = disk.seek_time_s;
+  const double t_xfer = disk.xfer_time_s;
+
+  // Forward search for pages to load additionally.
+  double ccb = 0.0;
+  for (uint64_t i = pivot_position + 1; i < num_pages; ++i) {
+    const double a = probability(i);
+    ccb += t_xfer - a * (t_seek + t_xfer);
+    if (ccb < 0) {
+      range.last = i;
+      ccb = 0.0;
+    }
+    if (ccb >= t_seek) break;
+  }
+
+  // Backward search.
+  ccb = 0.0;
+  for (uint64_t i = pivot_position; i-- > 0;) {
+    const double a = probability(i);
+    ccb += t_xfer - a * (t_seek + t_xfer);
+    if (ccb < 0) {
+      range.first = i;
+      ccb = 0.0;
+    }
+    if (ccb >= t_seek) break;
+  }
+  return range;
+}
+
+}  // namespace iq

@@ -1,0 +1,41 @@
+#ifndef IQ_SCHED_NN_BATCHER_H_
+#define IQ_SCHED_NN_BATCHER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "io/disk_model.h"
+
+namespace iq {
+
+/// Inclusive page range [first, last] to load in one sequential access.
+struct BatchRange {
+  uint64_t first = 0;
+  uint64_t last = 0;
+
+  uint64_t count() const { return last - first + 1; }
+  bool operator==(const BatchRange&) const = default;
+};
+
+/// Returns the access probability of the page at the given file position
+/// for the current query state: 0 for already-processed or pruned pages,
+/// 1 for the pivot, the §2.2 estimate otherwise.
+using AccessProbabilityFn = std::function<double(uint64_t page_position)>;
+
+/// The paper's time-optimized NN page batching (§2.1,
+/// `time_optimized_nearest_neighbor` inner loops).
+///
+/// Starting from the pivot page (probability 100%), walk forward and
+/// backward through file positions accumulating the cost balance
+/// c_i = t_xfer - p_i * (t_seek + t_xfer) per page (eq. 1). Whenever the
+/// cumulated balance goes negative, extend the range to the current
+/// page and reset the balance; stop a direction once the cumulated
+/// balance exceeds t_seek. The result is the page range to load in one
+/// sequential access.
+BatchRange PlanNnBatch(uint64_t pivot_position, uint64_t num_pages,
+                       const DiskParameters& disk,
+                       const AccessProbabilityFn& probability);
+
+}  // namespace iq
+
+#endif  // IQ_SCHED_NN_BATCHER_H_

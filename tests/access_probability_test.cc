@@ -1,0 +1,97 @@
+#include "costmodel/access_probability.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+TEST(IntersectionFractionTest, FullContainment) {
+  // Ball so large it covers the whole box: fraction 1 (L-max).
+  const Mbr box = Mbr::FromBounds({0, 0}, {1, 1});
+  const std::vector<float> q{0.5f, 0.5f};
+  EXPECT_NEAR(IntersectionFraction(q, 10.0, box, Metric::kLMax), 1.0, 1e-9);
+}
+
+TEST(IntersectionFractionTest, Disjoint) {
+  const Mbr box = Mbr::FromBounds({0, 0}, {1, 1});
+  const std::vector<float> q{5.0f, 5.0f};
+  EXPECT_EQ(IntersectionFraction(q, 0.5, box, Metric::kLMax), 0.0);
+  EXPECT_EQ(IntersectionFraction(q, 0.0, box, Metric::kLMax), 0.0);
+}
+
+TEST(IntersectionFractionTest, HalfOverlap) {
+  // Ball [0.5, 1.5]^1 over box [0,1]: covers half.
+  const Mbr box = Mbr::FromBounds({0}, {1});
+  const std::vector<float> q{1.0f};
+  EXPECT_NEAR(IntersectionFraction(q, 0.5, box, Metric::kLMax), 0.5, 1e-9);
+}
+
+TEST(IntersectionFractionTest, DegenerateSidesUseLimits) {
+  // A point-box (all sides degenerate) inside the ball: fraction 1.
+  const Mbr point_box = Mbr::FromBounds({0.5, 0.5}, {0.5, 0.5});
+  const std::vector<float> q{0.4f, 0.4f};
+  EXPECT_EQ(IntersectionFraction(q, 0.2, point_box, Metric::kLMax), 1.0);
+  // Outside the ball: 0.
+  EXPECT_EQ(IntersectionFraction(q, 0.05, point_box, Metric::kLMax), 0.0);
+}
+
+TEST(PageAccessProbabilityTest, NoCompetitorsMeansCertainAccess) {
+  const std::vector<float> q{0.5f, 0.5f};
+  EXPECT_EQ(PageAccessProbability(q, 0.3, {}, Metric::kLMax), 1.0);
+}
+
+TEST(PageAccessProbabilityTest, KnownCloserPointKillsAccess) {
+  // A degenerate (exact point) region inside the target sphere makes
+  // the access probability exactly 0.
+  const std::vector<float> q{0.5f, 0.5f};
+  const Mbr point_box = Mbr::FromBounds({0.55f, 0.5f}, {0.55f, 0.5f});
+  const PrunerRegion regions[] = {{&point_box, 1}};
+  EXPECT_EQ(PageAccessProbability(q, 0.3, regions, Metric::kLMax), 0.0);
+}
+
+TEST(PageAccessProbabilityTest, MatchesClosedForm) {
+  // One region with m points covering fraction f of its own volume:
+  // P = (1 - f)^m (eq. 3).
+  const std::vector<float> q{1.0f};
+  const Mbr box = Mbr::FromBounds({0}, {1});
+  const double r = 0.25;  // covers fraction 0.25 of the box
+  const PrunerRegion regions[] = {{&box, 10}};
+  const double expected = std::pow(0.75, 10);
+  EXPECT_NEAR(PageAccessProbability(q, r, regions, Metric::kLMax, 1e-12),
+              expected, 1e-9);
+}
+
+TEST(PageAccessProbabilityTest, ProductOverRegions) {
+  const std::vector<float> q{1.0f};
+  const Mbr box_a = Mbr::FromBounds({0}, {1});
+  const Mbr box_b = Mbr::FromBounds({1}, {2});
+  const PrunerRegion regions[] = {{&box_a, 4}, {&box_b, 4}};
+  const double expected = std::pow(0.75, 4) * std::pow(0.75, 4);
+  EXPECT_NEAR(
+      PageAccessProbability(q, 0.25, regions, Metric::kLMax, 1e-12),
+      expected, 1e-9);
+}
+
+TEST(PageAccessProbabilityTest, FloorShortCircuitsToZero) {
+  const std::vector<float> q{0.5f};
+  const Mbr box = Mbr::FromBounds({0}, {1});
+  // Huge point count: probability collapses below any floor.
+  const PrunerRegion regions[] = {{&box, 100000}};
+  EXPECT_EQ(PageAccessProbability(q, 0.4, regions, Metric::kLMax, 1e-6),
+            0.0);
+}
+
+TEST(PageAccessProbabilityTest, MorePointsLowerProbability) {
+  const std::vector<float> q{1.0f};
+  const Mbr box = Mbr::FromBounds({0}, {1});
+  const PrunerRegion few[] = {{&box, 2}};
+  const PrunerRegion many[] = {{&box, 20}};
+  EXPECT_GT(PageAccessProbability(q, 0.25, few, Metric::kLMax, 1e-12),
+            PageAccessProbability(q, 0.25, many, Metric::kLMax, 1e-12));
+}
+
+}  // namespace
+}  // namespace iq

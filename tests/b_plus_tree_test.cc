@@ -1,0 +1,207 @@
+#include "btree/b_plus_tree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace iq {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() : disk_(DiskParameters{0.010, 0.002, 1024}) {}
+
+  /// Builds a tree over `pairs` (sorted by key) with uint32 payloads.
+  std::unique_ptr<BPlusTree> Make(
+      const std::vector<std::pair<double, uint32_t>>& pairs,
+      const std::string& name = "bt") {
+    std::vector<double> keys;
+    std::vector<uint8_t> payloads;
+    for (const auto& [key, value] : pairs) {
+      keys.push_back(key);
+      const uint8_t* v = reinterpret_cast<const uint8_t*>(&value);
+      payloads.insert(payloads.end(), v, v + sizeof(value));
+    }
+    BPlusTree::Options options;
+    options.payload_bytes = sizeof(uint32_t);
+    auto tree = BPlusTree::Build(keys, payloads, storage_, name, disk_,
+                                 options);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return std::move(tree).value();
+  }
+
+  /// Scans [lo, hi] into (key, value) pairs.
+  std::vector<std::pair<double, uint32_t>> Collect(const BPlusTree& tree,
+                                                   double lo, double hi) {
+    std::vector<std::pair<double, uint32_t>> out;
+    Status s = tree.Scan(lo, hi, [&](double key, const uint8_t* payload) {
+      uint32_t value;
+      std::memcpy(&value, payload, sizeof(value));
+      out.emplace_back(key, value);
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return out;
+  }
+
+  MemoryStorage storage_;
+  DiskModel disk_;
+};
+
+TEST_F(BPlusTreeTest, BulkBuildAndFullScan) {
+  std::vector<std::pair<double, uint32_t>> pairs;
+  for (uint32_t i = 0; i < 5000; ++i) pairs.emplace_back(i * 0.001, i);
+  auto tree = Make(pairs);
+  EXPECT_EQ(tree->size(), 5000u);
+  const auto got = Collect(*tree, -1.0, 10.0);
+  ASSERT_EQ(got.size(), 5000u);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(got[i].second, i);
+  }
+  const auto stats = tree->ComputeStats();
+  EXPECT_GT(stats.num_leaves, 1u);
+  EXPECT_GE(stats.height, 2u);
+}
+
+TEST_F(BPlusTreeTest, IntervalScanBoundsInclusive) {
+  std::vector<std::pair<double, uint32_t>> pairs;
+  for (uint32_t i = 0; i < 100; ++i) pairs.emplace_back(i, i);
+  auto tree = Make(pairs);
+  const auto got = Collect(*tree, 10.0, 20.0);
+  ASSERT_EQ(got.size(), 11u);
+  EXPECT_EQ(got.front().second, 10u);
+  EXPECT_EQ(got.back().second, 20u);
+  EXPECT_TRUE(Collect(*tree, 200.0, 300.0).empty());
+  EXPECT_TRUE(Collect(*tree, 20.0, 10.0).empty());
+}
+
+TEST_F(BPlusTreeTest, DuplicateKeysAllFound) {
+  std::vector<std::pair<double, uint32_t>> pairs;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    pairs.emplace_back(static_cast<double>(i / 100), i);  // 100 dups/key
+  }
+  auto tree = Make(pairs);
+  const auto got = Collect(*tree, 7.0, 7.0);
+  EXPECT_EQ(got.size(), 100u);
+  for (const auto& [key, value] : got) {
+    EXPECT_EQ(key, 7.0);
+    EXPECT_EQ(value / 100, 7u);
+  }
+}
+
+TEST_F(BPlusTreeTest, RandomInsertsMatchReference) {
+  auto tree = Make({});
+  Rng rng(5);
+  std::multimap<double, uint32_t> reference;
+  for (uint32_t i = 0; i < 3000; ++i) {
+    const double key = rng.Uniform(0, 10);
+    uint8_t payload[sizeof(uint32_t)];
+    std::memcpy(payload, &i, sizeof(i));
+    ASSERT_TRUE(tree->Insert(key, payload).ok());
+    reference.emplace(key, i);
+  }
+  EXPECT_EQ(tree->size(), 3000u);
+  // Several probe intervals.
+  for (double lo : {0.0, 2.5, 9.9}) {
+    const double hi = lo + 1.0;
+    const auto got = Collect(*tree, lo, hi);
+    size_t expected = 0;
+    for (const auto& [key, value] : reference) {
+      if (key >= lo && key <= hi) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected) << "lo=" << lo;
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_GE(got[i].first, got[i - 1].first);  // key order
+    }
+  }
+}
+
+TEST_F(BPlusTreeTest, MixedBulkAndInserts) {
+  std::vector<std::pair<double, uint32_t>> pairs;
+  for (uint32_t i = 0; i < 1000; ++i) pairs.emplace_back(2.0 * i, i);
+  auto tree = Make(pairs);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const double key = 2.0 * i + 1.0;
+    const uint32_t value = 100000 + i;
+    uint8_t payload[sizeof(uint32_t)];
+    std::memcpy(payload, &value, sizeof(value));
+    ASSERT_TRUE(tree->Insert(key, payload).ok());
+  }
+  const auto got = Collect(*tree, -1.0, 1e9);
+  ASSERT_EQ(got.size(), 2000u);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GT(got[i].first, got[i - 1].first);
+  }
+}
+
+TEST_F(BPlusTreeTest, FlushOpenRoundTrip) {
+  std::vector<std::pair<double, uint32_t>> pairs;
+  for (uint32_t i = 0; i < 500; ++i) pairs.emplace_back(i * 0.5, i);
+  {
+    auto tree = Make(pairs);
+    uint8_t payload[sizeof(uint32_t)];
+    const uint32_t value = 999999;
+    std::memcpy(payload, &value, sizeof(value));
+    ASSERT_TRUE(tree->Insert(123.75, payload).ok());
+    ASSERT_TRUE(tree->Flush().ok());
+  }
+  auto reopened = BPlusTree::Open(storage_, "bt", disk_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 501u);
+  const auto got = Collect(**reopened, 123.75, 123.75);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second, 999999u);
+}
+
+TEST_F(BPlusTreeTest, ScanChargesDescentAndLeaves) {
+  std::vector<std::pair<double, uint32_t>> pairs;
+  for (uint32_t i = 0; i < 20000; ++i) pairs.emplace_back(i, i);
+  auto tree = Make(pairs);
+  disk_.ResetStats();
+  disk_.InvalidateHead();
+  (void)Collect(*tree, 5000.0, 5002.0);
+  // A short interval touches the descent + one or two leaves, not the
+  // whole file.
+  EXPECT_LE(disk_.stats().blocks_read, 8u);
+  EXPECT_GE(disk_.stats().blocks_read, 2u);
+  // A full scan reads all leaves.
+  disk_.ResetStats();
+  (void)Collect(*tree, -1.0, 1e9);
+  EXPECT_GE(disk_.stats().blocks_read, tree->ComputeStats().num_leaves);
+}
+
+TEST_F(BPlusTreeTest, VisitorErrorAborts) {
+  std::vector<std::pair<double, uint32_t>> pairs;
+  for (uint32_t i = 0; i < 100; ++i) pairs.emplace_back(i, i);
+  auto tree = Make(pairs);
+  int visits = 0;
+  Status s = tree->Scan(0, 99, [&](double, const uint8_t*) {
+    if (++visits == 5) return Status::Internal("stop");
+    return Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(visits, 5);
+}
+
+TEST_F(BPlusTreeTest, BuildRejectsBadInputs) {
+  BPlusTree::Options options;
+  options.payload_bytes = 4;
+  std::vector<double> unsorted{2.0, 1.0};
+  std::vector<uint8_t> payloads(8, 0);
+  EXPECT_TRUE(BPlusTree::Build(unsorted, payloads, storage_, "x", disk_,
+                               options)
+                  .status()
+                  .IsInvalidArgument());
+  options.payload_bytes = 0;
+  EXPECT_TRUE(BPlusTree::Build({}, {}, storage_, "x", disk_, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace iq

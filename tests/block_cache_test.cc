@@ -1,0 +1,174 @@
+#include "io/block_cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/iq_tree.h"
+#include "data/generators.h"
+#include "io/block_file.h"
+#include "io/storage.h"
+
+namespace iq {
+namespace {
+
+class BlockCacheTest : public ::testing::Test {
+ protected:
+  BlockCacheTest() : disk_(DiskParameters{0.010, 0.002, 512}) {}
+
+  std::unique_ptr<BlockFile> MakeFile(int blocks) {
+    auto bf = BlockFile::Open(storage_, "bf", disk_, /*create=*/true);
+    EXPECT_TRUE(bf.ok());
+    std::vector<uint8_t> block(512);
+    for (int i = 0; i < blocks; ++i) {
+      block.assign(512, static_cast<uint8_t>(i));
+      EXPECT_TRUE((*bf)->AppendBlock(block.data()).ok());
+    }
+    return std::move(bf).value();
+  }
+
+  MemoryStorage storage_;
+  DiskModel disk_;
+};
+
+TEST_F(BlockCacheTest, LruBasics) {
+  BlockCache cache(512, 2);
+  std::vector<uint8_t> a(512, 1), b(512, 2), c(512, 3), out(512);
+  cache.Insert(0, 10, a.data());
+  cache.Insert(0, 11, b.data());
+  EXPECT_TRUE(cache.Lookup(0, 10, out.data()));
+  EXPECT_EQ(out[0], 1);
+  // Insert a third block: 11 is now LRU and must be evicted.
+  cache.Insert(0, 12, c.data());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(0, 11, out.data()));
+  EXPECT_TRUE(cache.Lookup(0, 12, out.data()));
+  EXPECT_EQ(out[0], 3);
+}
+
+TEST_F(BlockCacheTest, KeysAreFileScoped) {
+  BlockCache cache(512, 4);
+  std::vector<uint8_t> a(512, 7), out(512);
+  cache.Insert(1, 5, a.data());
+  EXPECT_FALSE(cache.Lookup(2, 5, out.data()));
+  EXPECT_TRUE(cache.Lookup(1, 5, out.data()));
+  cache.EraseFile(1);
+  EXPECT_FALSE(cache.Lookup(1, 5, out.data()));
+}
+
+TEST_F(BlockCacheTest, ZeroCapacityDisables) {
+  BlockCache cache(512, 0);
+  std::vector<uint8_t> a(512, 7), out(512);
+  cache.Insert(1, 5, a.data());
+  EXPECT_FALSE(cache.Lookup(1, 5, out.data()));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(BlockCacheTest, BlockFileHitsAreFree) {
+  auto bf = MakeFile(16);
+  BlockCache cache(512, 32);
+  bf->set_cache(&cache);
+  std::vector<uint8_t> out(16 * 512);
+  disk_.ResetStats();
+  disk_.InvalidateHead();
+  ASSERT_TRUE(bf->ReadRange(0, 16, out.data()).ok());
+  const uint64_t cold = disk_.stats().blocks_read;
+  EXPECT_EQ(cold, 16u);
+  // Warm: everything served from cache, no disk charge.
+  disk_.ResetStats();
+  ASSERT_TRUE(bf->ReadRange(0, 16, out.data()).ok());
+  EXPECT_EQ(disk_.stats().blocks_read, 0u);
+  EXPECT_EQ(disk_.stats().seeks, 0u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(out[i * 512], static_cast<uint8_t>(i));
+  }
+}
+
+TEST_F(BlockCacheTest, PartialHitsChargeOnlyMissRuns) {
+  auto bf = MakeFile(8);
+  BlockCache cache(512, 32);
+  bf->set_cache(&cache);
+  std::vector<uint8_t> out(8 * 512);
+  // Prime blocks 2-3 only.
+  ASSERT_TRUE(bf->ReadRange(2, 2, out.data()).ok());
+  disk_.ResetStats();
+  disk_.InvalidateHead();
+  ASSERT_TRUE(bf->ReadRange(0, 8, out.data()).ok());
+  // Misses: [0,1] and [4..7] — 6 blocks, 2 runs.
+  EXPECT_EQ(disk_.stats().blocks_read, 6u);
+  EXPECT_EQ(disk_.stats().seeks, 2u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i * 512], static_cast<uint8_t>(i)) << "block " << i;
+  }
+}
+
+TEST_F(BlockCacheTest, WritesKeepCacheCoherent) {
+  auto bf = MakeFile(4);
+  BlockCache cache(512, 8);
+  bf->set_cache(&cache);
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(bf->ReadBlock(1, out.data()).ok());
+  std::vector<uint8_t> updated(512, 99);
+  ASSERT_TRUE(bf->WriteBlock(1, updated.data()).ok());
+  disk_.ResetStats();
+  ASSERT_TRUE(bf->ReadBlock(1, out.data()).ok());
+  EXPECT_EQ(disk_.stats().blocks_read, 0u);  // served from cache
+  EXPECT_EQ(out[0], 99);                     // and up to date
+}
+
+TEST_F(BlockCacheTest, IqTreeWarmQueriesGetCheaper) {
+  Dataset data = GenerateCadLike(5000, 8, 9);
+  const Dataset queries = data.TakeTail(5);
+  DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+  MemoryStorage storage;
+  auto tree = IqTree::Build(data, storage, "t", disk, {});
+  ASSERT_TRUE(tree.ok());
+  BlockCache cache(2048, 4096);
+  (*tree)->set_block_cache(&cache);
+
+  auto run_queries = [&] {
+    disk.ResetStats();
+    disk.InvalidateHead();
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto nn = (*tree)->NearestNeighbor(queries[qi]);
+      EXPECT_TRUE(nn.ok());
+      disk.InvalidateHead();
+    }
+    return disk.stats().io_time_s;
+  };
+  const double cold = run_queries();
+  const double warm = run_queries();
+  EXPECT_LT(warm, 0.7 * cold);
+  // Correctness is unaffected: warm answers equal a cache-free tree's.
+  (*tree)->set_block_cache(nullptr);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto without = (*tree)->NearestNeighbor(queries[qi]);
+    ASSERT_TRUE(without.ok());
+    (*tree)->set_block_cache(&cache);
+    auto with = (*tree)->NearestNeighbor(queries[qi]);
+    ASSERT_TRUE(with.ok());
+    (*tree)->set_block_cache(nullptr);
+    EXPECT_EQ(without->id, with->id);
+    EXPECT_EQ(without->distance, with->distance);
+  }
+}
+
+TEST_F(BlockCacheTest, SurvivesReoptimize) {
+  Dataset data = GenerateUniform(2000, 5, 11);
+  DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+  MemoryStorage storage;
+  auto tree = IqTree::Build(data, storage, "t", disk, {});
+  ASSERT_TRUE(tree.ok());
+  BlockCache cache(2048, 1024);
+  (*tree)->set_block_cache(&cache);
+  ASSERT_TRUE((*tree)->Remove(0, data[0]).ok());
+  ASSERT_TRUE((*tree)->Reoptimize().ok());
+  // Queries remain correct after the rebuild with the cache attached.
+  auto nn = (*tree)->NearestNeighbor(data[1]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->distance, 0.0);
+  EXPECT_TRUE((*tree)->Validate().ok());
+}
+
+}  // namespace
+}  // namespace iq

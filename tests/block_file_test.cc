@@ -1,0 +1,87 @@
+#include "io/block_file.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+class BlockFileTest : public ::testing::Test {
+ protected:
+  BlockFileTest() : disk_(DiskParameters{0.010, 0.002, 4096}) {}
+
+  std::unique_ptr<BlockFile> Make() {
+    auto bf = BlockFile::Open(storage_, "bf", disk_, /*create=*/true);
+    EXPECT_TRUE(bf.ok());
+    return std::move(bf).value();
+  }
+
+  std::vector<uint8_t> Block(uint8_t fill) {
+    return std::vector<uint8_t>(4096, fill);
+  }
+
+  MemoryStorage storage_;
+  DiskModel disk_;
+};
+
+TEST_F(BlockFileTest, AppendAndReadBack) {
+  auto bf = Make();
+  auto b0 = bf->AppendBlock(Block(0xAA).data());
+  auto b1 = bf->AppendBlock(Block(0xBB).data());
+  ASSERT_TRUE(b0.ok());
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(*b0, 0u);
+  EXPECT_EQ(*b1, 1u);
+  EXPECT_EQ(bf->NumBlocks(), 2u);
+  std::vector<uint8_t> buf(4096);
+  ASSERT_TRUE(bf->ReadBlock(1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0xBB);
+  EXPECT_EQ(buf[4095], 0xBB);
+}
+
+TEST_F(BlockFileTest, ReadRangeChargesOneAccess) {
+  auto bf = Make();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(bf->AppendBlock(Block(static_cast<uint8_t>(i)).data()).ok());
+  }
+  disk_.ResetStats();
+  disk_.InvalidateHead();
+  std::vector<uint8_t> buf(4 * 4096);
+  ASSERT_TRUE(bf->ReadRange(2, 4, buf.data()).ok());
+  EXPECT_EQ(disk_.stats().seeks, 1u);
+  EXPECT_EQ(disk_.stats().blocks_read, 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(buf[i * 4096], static_cast<uint8_t>(2 + i));
+  }
+}
+
+TEST_F(BlockFileTest, ReadPastEndFails) {
+  auto bf = Make();
+  ASSERT_TRUE(bf->AppendBlock(Block(1).data()).ok());
+  std::vector<uint8_t> buf(2 * 4096);
+  Status s = bf->ReadRange(0, 2, buf.data());
+  EXPECT_TRUE(s.IsOutOfRange());
+}
+
+TEST_F(BlockFileTest, OverwriteBlock) {
+  auto bf = Make();
+  ASSERT_TRUE(bf->AppendBlock(Block(1).data()).ok());
+  ASSERT_TRUE(bf->WriteBlock(0, Block(9).data()).ok());
+  std::vector<uint8_t> buf(4096);
+  ASSERT_TRUE(bf->ReadBlock(0, buf.data()).ok());
+  EXPECT_EQ(buf[0], 9);
+  // Writing beyond NumBlocks() (leaving a hole) is rejected.
+  EXPECT_TRUE(bf->WriteBlock(5, Block(2).data()).IsOutOfRange());
+}
+
+TEST_F(BlockFileTest, EmptyReadIsFree) {
+  auto bf = Make();
+  disk_.ResetStats();
+  ASSERT_TRUE(bf->ReadRange(0, 0, nullptr).ok());
+  EXPECT_EQ(disk_.stats().seeks, 0u);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,179 @@
+#include "costmodel/cost_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+CostModelParams UniformParams(size_t dims, uint64_t n) {
+  CostModelParams params;
+  params.disk = DiskParameters{0.010, 0.002, 8192};
+  params.metric = Metric::kL2;
+  params.dims = dims;
+  params.total_points = n;
+  params.fractal_dimension = static_cast<double>(dims);
+  params.dir_entry_bytes = 2 * 4 * dims + 28;
+  params.exact_record_bytes = 4 + 4 * dims;
+  return params;
+}
+
+TEST(CostModelTest, UniformDensityMatchesDefinition) {
+  const CostModel model(UniformParams(2, 1000));
+  const Mbr mbr = Mbr::FromBounds({0, 0}, {0.5, 0.5});
+  // 100 points in volume 0.25 -> density 400.
+  EXPECT_NEAR(model.FractalPointDensity(mbr, 100), 400.0, 1e-6);
+}
+
+TEST(CostModelTest, NnRadiusContainsOneExpectedPoint) {
+  const CostModel model(UniformParams(2, 1000));
+  const Mbr mbr = Mbr::FromBounds({0, 0}, {1, 1});
+  const double r = model.ExpectedNnRadius(mbr, 100);
+  // Ball volume * density == 1.
+  EXPECT_NEAR(M_PI * r * r * 100.0, 1.0, 1e-6);
+}
+
+TEST(CostModelTest, RefinementProbabilityDecreasesWithBits) {
+  const CostModel model(UniformParams(8, 100000));
+  const Mbr mbr = Mbr::FromBounds(std::vector<float>(8, 0.0f),
+                                  std::vector<float>(8, 0.25f));
+  double prev = 1.1;
+  for (unsigned g : {1u, 2u, 4u, 8u, 16u}) {
+    const double p = model.RefinementProbability(mbr, 500, g);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_LT(p, prev) << "g=" << g;
+    prev = p;
+  }
+  EXPECT_EQ(model.RefinementProbability(mbr, 500, 32), 0.0);
+}
+
+TEST(CostModelTest, RefinementImprovementDiminishes) {
+  // The paper's monotonicity property (eqns 24-26): going 1->2 bits
+  // saves more than 2->4, which saves more than 4->8...
+  const CostModel model(UniformParams(8, 100000));
+  const Mbr mbr = Mbr::FromBounds(std::vector<float>(8, 0.0f),
+                                  std::vector<float>(8, 0.25f));
+  const unsigned ladder[] = {1, 2, 4, 8, 16};
+  double prev_drop = 1e9;
+  for (size_t i = 0; i + 1 < std::size(ladder); ++i) {
+    const double drop = model.RefinementProbability(mbr, 500, ladder[i]) -
+                        model.RefinementProbability(mbr, 500, ladder[i + 1]);
+    EXPECT_GE(drop, 0.0);
+    EXPECT_LE(drop, prev_drop + 1e-12);
+    prev_drop = drop;
+  }
+}
+
+TEST(CostModelTest, PageRefinementCostMonotoneInBits) {
+  const CostModel model(UniformParams(16, 500000));
+  const Mbr mbr = Mbr::FromBounds(std::vector<float>(16, 0.2f),
+                                  std::vector<float>(16, 0.6f));
+  double prev = 1e18;
+  for (unsigned g : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double cost = model.PageRefinementCost(mbr, 1000, g);
+    EXPECT_LE(cost, prev);
+    prev = cost;
+  }
+  EXPECT_EQ(model.PageRefinementCost(mbr, 1000, 32), 0.0);
+}
+
+TEST(CostModelTest, ExpectedPagesAccessedBounds) {
+  const CostModel model(UniformParams(16, 500000));
+  for (uint64_t n : {1ull, 10ull, 100ull, 10000ull}) {
+    const double k = model.ExpectedPagesAccessed(n);
+    EXPECT_GE(k, n == 0 ? 0.0 : std::min<double>(1.0, n));
+    EXPECT_LE(k, static_cast<double>(n));
+  }
+}
+
+TEST(CostModelTest, HighDimAccessesMorePagesThanLowDim) {
+  // The dimensionality curse in the model: at equal page count, a
+  // 16-d uniform workload touches a much larger fraction of pages.
+  const CostModel low(UniformParams(4, 100000));
+  const CostModel high(UniformParams(16, 100000));
+  const double k_low = low.ExpectedPagesAccessed(1000);
+  const double k_high = high.ExpectedPagesAccessed(1000);
+  EXPECT_GT(k_high, 2.0 * k_low);
+}
+
+TEST(CostModelTest, OptimizedReadCostBetweenSequentialAndRandom) {
+  const CostModel model(UniformParams(8, 100000));
+  const uint64_t n = 1000;
+  const DiskParameters disk = model.params().disk;
+  for (double k : {2.0, 10.0, 100.0, 500.0, 1000.0}) {
+    const double cost = model.OptimizedReadCost(k, n);
+    const double all_random = k * (disk.seek_time_s + disk.xfer_time_s);
+    const double full_scan =
+        disk.seek_time_s + static_cast<double>(n) * disk.xfer_time_s;
+    EXPECT_LE(cost, all_random + 1e-9) << "k=" << k;
+    EXPECT_LE(cost, full_scan + disk.seek_time_s + 1e-9) << "k=" << k;
+    EXPECT_GE(cost, disk.seek_time_s + k * disk.xfer_time_s - 1e-9);
+  }
+}
+
+TEST(CostModelTest, DirectoryScanCostLinear) {
+  const CostModel model(UniformParams(16, 500000));
+  const double t1 = model.DirectoryScanCost(100);
+  const double t2 = model.DirectoryScanCost(10000);
+  EXPECT_GT(t2, t1);
+  // Roughly linear in n (both dominated by transfer).
+  EXPECT_NEAR(t2 / t1, 60.0, 45.0);
+}
+
+TEST(CostModelTest, TotalCostComposes) {
+  const CostModel model(UniformParams(8, 100000));
+  const double total = model.TotalCost(500, 0.123);
+  EXPECT_NEAR(total, model.DirectoryScanCost(500) +
+                         model.SecondLevelCost(500) + 0.123,
+              1e-12);
+}
+
+TEST(CostModelTest, KnnTargetGrowsRadiusAndAccesses) {
+  // §3.4 footnote: the k-NN model uses the ball expected to hold k
+  // points — monotone in k for both the radius and the page accesses.
+  CostModelParams params = UniformParams(8, 100000);
+  const Mbr mbr = Mbr::FromBounds(std::vector<float>(8, 0.0f),
+                                  std::vector<float>(8, 0.5f));
+  double prev_radius = 0.0;
+  double prev_k_pages = 0.0;
+  for (unsigned k : {1u, 5u, 25u, 100u}) {
+    params.knn_k = k;
+    const CostModel model(params);
+    const double radius = model.ExpectedNnRadius(mbr, 1000);
+    const double pages = model.ExpectedPagesAccessed(500);
+    EXPECT_GT(radius, prev_radius) << "k=" << k;
+    EXPECT_GE(pages, prev_k_pages) << "k=" << k;
+    prev_radius = radius;
+    prev_k_pages = pages;
+  }
+}
+
+TEST(CostModelTest, KnnTargetRaisesRefinementProbability) {
+  CostModelParams params = UniformParams(8, 100000);
+  const Mbr mbr = Mbr::FromBounds(std::vector<float>(8, 0.0f),
+                                  std::vector<float>(8, 0.5f));
+  params.knn_k = 1;
+  const CostModel nn(params);
+  params.knn_k = 50;
+  const CostModel knn(params);
+  EXPECT_GT(knn.RefinementProbability(mbr, 1000, 4),
+            nn.RefinementProbability(mbr, 1000, 4));
+}
+
+TEST(CostModelTest, FractalDimensionReducesAccessedPages) {
+  // Correlated data (low D_F) should predict far fewer page accesses
+  // than uniform data at the same n — the reason the paper's model
+  // handles real data sets well.
+  CostModelParams uniform = UniformParams(16, 500000);
+  CostModelParams correlated = UniformParams(16, 500000);
+  correlated.fractal_dimension = 4.0;
+  const CostModel model_u(uniform);
+  const CostModel model_c(correlated);
+  EXPECT_LT(model_c.ExpectedPagesAccessed(2000),
+            0.5 * model_u.ExpectedPagesAccessed(2000));
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,59 @@
+#include "data/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace iq {
+namespace {
+
+TEST(DatasetIoTest, RoundTrip) {
+  MemoryStorage storage;
+  const Dataset original = GenerateUniform(257, 9, 5);
+  ASSERT_TRUE(WriteDataset(storage, "d", original).ok());
+  auto loaded = ReadDataset(storage, "d");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  ASSERT_EQ(loaded->dims(), original.dims());
+  for (size_t r = 0; r < original.size(); ++r) {
+    for (size_t i = 0; i < original.dims(); ++i) {
+      EXPECT_EQ((*loaded)[r][i], original[r][i]);
+    }
+  }
+}
+
+TEST(DatasetIoTest, EmptyDataset) {
+  MemoryStorage storage;
+  ASSERT_TRUE(WriteDataset(storage, "e", Dataset(4)).ok());
+  auto loaded = ReadDataset(storage, "e");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->dims(), 4u);
+}
+
+TEST(DatasetIoTest, MissingFileIsNotFound) {
+  MemoryStorage storage;
+  EXPECT_TRUE(ReadDataset(storage, "missing").status().IsNotFound());
+}
+
+TEST(DatasetIoTest, BadMagicIsCorruption) {
+  MemoryStorage storage;
+  auto file = storage.Create("bad");
+  ASSERT_TRUE(file.ok());
+  const char junk[64] = "not a dataset";
+  ASSERT_TRUE((*file)->Write(0, sizeof(junk), junk).ok());
+  EXPECT_TRUE(ReadDataset(storage, "bad").status().IsCorruption());
+}
+
+TEST(DatasetIoTest, TruncatedPayloadIsCorruption) {
+  MemoryStorage storage;
+  const Dataset original = GenerateUniform(100, 4, 5);
+  ASSERT_TRUE(WriteDataset(storage, "t", original).ok());
+  auto file = storage.Open("t");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Resize((*file)->Size() / 2).ok());
+  EXPECT_TRUE(ReadDataset(storage, "t").status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,77 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset data(3);
+  EXPECT_TRUE(data.empty());
+  data.Append(std::vector<float>{1, 2, 3});
+  data.Append(std::vector<float>{4, 5, 6});
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[1][0], 4.0f);
+  EXPECT_EQ(data[0][2], 3.0f);
+  EXPECT_EQ(data.row(1)[2], 6.0f);
+}
+
+TEST(DatasetTest, ConstructFromValues) {
+  Dataset data(2, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(data.size(), 3u);
+  EXPECT_EQ(data[2][1], 5.0f);
+}
+
+TEST(DatasetTest, Bounds) {
+  Dataset data(2, {0, 5, 3, -1, 1, 2});
+  const Mbr bounds = data.Bounds();
+  EXPECT_EQ(bounds.lb(0), 0.0f);
+  EXPECT_EQ(bounds.ub(0), 3.0f);
+  EXPECT_EQ(bounds.lb(1), -1.0f);
+  EXPECT_EQ(bounds.ub(1), 5.0f);
+}
+
+TEST(DatasetTest, TakeTailSplitsQueries) {
+  Dataset data(1, {0, 1, 2, 3, 4});
+  Dataset tail = data.TakeTail(2);
+  EXPECT_EQ(data.size(), 3u);
+  EXPECT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0][0], 3.0f);
+  EXPECT_EQ(tail[1][0], 4.0f);
+  EXPECT_EQ(data[2][0], 2.0f);
+}
+
+TEST(DatasetTest, NormalizeToUnitCube) {
+  Dataset data(2, {-10, 0, 10, 100, 0, 50});
+  const Mbr original = data.NormalizeToUnitCube();
+  EXPECT_EQ(original.lb(0), -10.0f);
+  EXPECT_EQ(original.ub(1), 100.0f);
+  const Mbr normalized = data.Bounds();
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(normalized.lb(i), 0.0f);
+    EXPECT_EQ(normalized.ub(i), 1.0f);
+  }
+  EXPECT_FLOAT_EQ(data[2][0], 0.5f);   // 0 in [-10, 10]
+  EXPECT_FLOAT_EQ(data[2][1], 0.5f);   // 50 in [0, 100]
+  // A query mapped with the returned bounds lands at the same relative
+  // position.
+  const Point q = MapIntoUnitCube(std::vector<float>{5.0f, 25.0f}, original);
+  EXPECT_FLOAT_EQ(q[0], 0.75f);
+  EXPECT_FLOAT_EQ(q[1], 0.25f);
+}
+
+TEST(DatasetTest, NormalizeDegenerateDimension) {
+  Dataset data(2, {3, 1, 3, 2, 3, 5});
+  data.NormalizeToUnitCube();
+  for (size_t r = 0; r < 3; ++r) EXPECT_EQ(data[r][0], 0.5f);
+  EXPECT_EQ(data[0][1], 0.0f);
+  EXPECT_EQ(data[2][1], 1.0f);
+}
+
+TEST(DatasetTest, EmptyBounds) {
+  Dataset data(4);
+  EXPECT_TRUE(data.Bounds().IsEmpty());
+}
+
+}  // namespace
+}  // namespace iq

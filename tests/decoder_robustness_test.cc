@@ -1,0 +1,105 @@
+// Random-bytes robustness: feeding arbitrary garbage to every decoder
+// and every Open() path must produce Status errors (or, for headerless
+// formats, garbage-but-bounded data) — never crashes, hangs or
+// out-of-bounds reads. Poor man's fuzzing, deterministic via seeds.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "btree/b_plus_tree.h"
+#include "common/random.h"
+#include "core/format.h"
+#include "core/iq_tree.h"
+#include "data/dataset_io.h"
+#include "pyramid/pyramid_technique.h"
+#include "rstar/r_star_tree.h"
+#include "scan/seq_scan.h"
+#include "vafile/va_file.h"
+#include "xtree/x_tree.h"
+
+namespace iq {
+namespace {
+
+std::vector<uint8_t> RandomBytes(Rng& rng, size_t size) {
+  std::vector<uint8_t> bytes(size);
+  for (uint8_t& b : bytes) {
+    b = static_cast<uint8_t>(rng.Index(256));
+  }
+  return bytes;
+}
+
+TEST(DecoderRobustnessTest, QuantPageCodecOnGarbage) {
+  Rng rng(1);
+  const QuantPageCodec codec(8, 2048);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> page = RandomBytes(rng, 2048);
+    auto header = codec.DecodeHeader(page.data());
+    if (!header.ok()) continue;  // rejected, fine
+    // If the header happens to parse, the decoders must still stay in
+    // bounds and only ever fail with Status.
+    std::vector<uint32_t> cells;
+    std::vector<PointId> ids;
+    std::vector<float> coords;
+    if (header->bits >= kExactBits) {
+      (void)codec.DecodeExact(page.data(), &ids, &coords);
+    } else {
+      (void)codec.DecodeCells(page.data(), &cells);
+    }
+  }
+}
+
+TEST(DecoderRobustnessTest, ExactPageCodecOnGarbage) {
+  Rng rng(2);
+  const ExactPageCodec codec(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t size = rng.Index(300);
+    std::vector<uint8_t> bytes = RandomBytes(rng, size + 1);
+    std::vector<PointId> ids;
+    std::vector<float> coords;
+    (void)codec.Decode(bytes.data(), size, &ids, &coords);
+  }
+}
+
+TEST(DecoderRobustnessTest, AllOpensRejectGarbageFiles) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    MemoryStorage storage;
+    DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+    // Write garbage under every file name each structure expects.
+    for (const char* name :
+         {"g.dir", "g.qpg", "g.dat", "g.xdir", "g.xpg", "g.rdir", "g.rpg",
+          "g.vaa", "g.vav", "g.scn", "g.bpd", "g.bpl", "g.pyr"}) {
+      auto file = storage.Create(name);
+      ASSERT_TRUE(file.ok());
+      const auto bytes = RandomBytes(rng, 64 + rng.Index(4096));
+      ASSERT_TRUE((*file)->Write(0, bytes.size(), bytes.data()).ok());
+    }
+    EXPECT_FALSE(IqTree::Open(storage, "g", disk).ok());
+    EXPECT_FALSE(XTree::Open(storage, "g", disk).ok());
+    EXPECT_FALSE(RStarTree::Open(storage, "g", disk).ok());
+    EXPECT_FALSE(VaFile::Open(storage, "g", disk).ok());
+    EXPECT_FALSE(SeqScan::Open(storage, "g", disk).ok());
+    EXPECT_FALSE(BPlusTree::Open(storage, "g", disk).ok());
+    EXPECT_FALSE(PyramidTechnique::Open(storage, "g", disk).ok());
+    EXPECT_FALSE(ReadDataset(storage, "g.dir").ok());
+  }
+}
+
+TEST(DecoderRobustnessTest, DirectoryReaderOnGarbage) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    MemoryStorage storage;
+    auto file = storage.Create("d");
+    ASSERT_TRUE(file.ok());
+    const auto bytes = RandomBytes(rng, rng.Index(2048));
+    if (!bytes.empty()) {
+      ASSERT_TRUE((*file)->Write(0, bytes.size(), bytes.data()).ok());
+    }
+    std::vector<DirEntry> entries;
+    (void)ReadDirectory(**file, &entries);  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace iq

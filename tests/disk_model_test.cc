@@ -1,0 +1,99 @@
+#include "io/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+DiskParameters TestParams() {
+  DiskParameters p;
+  p.seek_time_s = 0.010;
+  p.xfer_time_s = 0.002;
+  p.block_size = 8192;
+  return p;
+}
+
+TEST(DiskModelTest, FirstAccessPaysSeek) {
+  DiskModel disk(TestParams());
+  const uint32_t f = disk.RegisterFile();
+  disk.ChargeRead(f, 0, 1);
+  EXPECT_EQ(disk.stats().seeks, 1u);
+  EXPECT_EQ(disk.stats().blocks_read, 1u);
+  EXPECT_DOUBLE_EQ(disk.stats().io_time_s, 0.012);
+}
+
+TEST(DiskModelTest, SequentialContinuationIsSeekFree) {
+  DiskModel disk(TestParams());
+  const uint32_t f = disk.RegisterFile();
+  disk.ChargeRead(f, 0, 4);
+  disk.ChargeRead(f, 4, 2);  // continues where the head is
+  EXPECT_EQ(disk.stats().seeks, 1u);
+  EXPECT_DOUBLE_EQ(disk.stats().io_time_s, 0.010 + 6 * 0.002);
+}
+
+TEST(DiskModelTest, GapOrBackwardCausesSeek) {
+  DiskModel disk(TestParams());
+  const uint32_t f = disk.RegisterFile();
+  disk.ChargeRead(f, 0, 1);
+  disk.ChargeRead(f, 5, 1);  // forward gap
+  disk.ChargeRead(f, 0, 1);  // backward
+  EXPECT_EQ(disk.stats().seeks, 3u);
+}
+
+TEST(DiskModelTest, SwitchingFilesCausesSeek) {
+  DiskModel disk(TestParams());
+  const uint32_t a = disk.RegisterFile();
+  const uint32_t b = disk.RegisterFile();
+  disk.ChargeRead(a, 0, 1);
+  disk.ChargeRead(b, 1, 1);
+  disk.ChargeRead(a, 1, 1);  // would have been sequential without b
+  EXPECT_EQ(disk.stats().seeks, 3u);
+}
+
+TEST(DiskModelTest, WritesTrackedSeparately) {
+  DiskModel disk(TestParams());
+  const uint32_t f = disk.RegisterFile();
+  disk.ChargeWrite(f, 0, 3);
+  EXPECT_EQ(disk.stats().blocks_written, 3u);
+  EXPECT_EQ(disk.stats().blocks_read, 0u);
+}
+
+TEST(DiskModelTest, ChargeReadBytesRoundsToBlocks) {
+  DiskModel disk(TestParams());
+  const uint32_t f = disk.RegisterFile();
+  // 1 byte at offset 8191 spans blocks 0 and 1.
+  disk.ChargeReadBytes(f, 8191, 2);
+  EXPECT_EQ(disk.stats().blocks_read, 2u);
+  disk.ResetStats();
+  disk.ChargeReadBytes(f, 0, 0);  // empty read is free
+  EXPECT_EQ(disk.stats().blocks_read, 0u);
+  EXPECT_EQ(disk.stats().seeks, 0u);
+}
+
+TEST(DiskModelTest, InvalidateHeadForcesSeek) {
+  DiskModel disk(TestParams());
+  const uint32_t f = disk.RegisterFile();
+  disk.ChargeRead(f, 0, 2);
+  disk.InvalidateHead();
+  disk.ChargeRead(f, 2, 1);  // would have been sequential
+  EXPECT_EQ(disk.stats().seeks, 2u);
+}
+
+TEST(DiskModelTest, StatsSubtraction) {
+  DiskModel disk(TestParams());
+  const uint32_t f = disk.RegisterFile();
+  disk.ChargeRead(f, 0, 2);
+  const IoStats before = disk.stats();
+  disk.ChargeRead(f, 2, 3);
+  const IoStats delta = disk.stats() - before;
+  EXPECT_EQ(delta.blocks_read, 3u);
+  EXPECT_EQ(delta.seeks, 0u);
+}
+
+TEST(DiskParametersTest, SeekEquivalentBlocks) {
+  DiskParameters p = TestParams();
+  EXPECT_DOUBLE_EQ(p.SeekEquivalentBlocks(), 5.0);
+}
+
+}  // namespace
+}  // namespace iq

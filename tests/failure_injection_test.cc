@@ -1,0 +1,142 @@
+// Failure injection: corrupted or truncated index files must surface as
+// Status errors (Corruption / IOError / NotFound), never as crashes or
+// silently wrong answers.
+
+#include <gtest/gtest.h>
+
+#include "core/iq_tree.h"
+#include "data/generators.h"
+#include "scan/seq_scan.h"
+#include "vafile/va_file.h"
+#include "xtree/x_tree.h"
+
+namespace iq {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() : disk_(DiskParameters{0.010, 0.002, 2048}) {}
+
+  void Corrupt(const std::string& file, uint64_t offset, uint8_t value) {
+    auto f = storage_.Open(file);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(offset, 1, &value).ok());
+  }
+
+  void Truncate(const std::string& file, double fraction) {
+    auto f = storage_.Open(file);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(
+        (*f)->Resize(static_cast<uint64_t>((*f)->Size() * fraction)).ok());
+  }
+
+  MemoryStorage storage_;
+  DiskModel disk_;
+};
+
+TEST_F(FailureInjectionTest, IqTreeBadDirectoryMagic) {
+  const Dataset data = GenerateUniform(500, 4, 1);
+  ASSERT_TRUE(IqTree::Build(data, storage_, "t", disk_, {}).ok());
+  Corrupt("t.dir", 0, 0xFF);
+  EXPECT_TRUE(IqTree::Open(storage_, "t", disk_).status().IsCorruption());
+}
+
+TEST_F(FailureInjectionTest, IqTreeTruncatedDirectory) {
+  const Dataset data = GenerateUniform(2000, 8, 2);
+  ASSERT_TRUE(IqTree::Build(data, storage_, "t", disk_, {}).ok());
+  Truncate("t.dir", 0.5);
+  EXPECT_TRUE(IqTree::Open(storage_, "t", disk_).status().IsCorruption());
+}
+
+TEST_F(FailureInjectionTest, IqTreeMissingQpgFile) {
+  const Dataset data = GenerateUniform(500, 4, 3);
+  ASSERT_TRUE(IqTree::Build(data, storage_, "t", disk_, {}).ok());
+  ASSERT_TRUE(storage_.Delete("t.qpg").ok());
+  EXPECT_FALSE(IqTree::Open(storage_, "t", disk_).ok());
+}
+
+TEST_F(FailureInjectionTest, IqTreeTruncatedQpgDetectedAtQuery) {
+  const Dataset data = GenerateUniform(5000, 8, 4);
+  ASSERT_TRUE(IqTree::Build(data, storage_, "t", disk_, {}).ok());
+  // Zero out a quantized page: its header no longer matches the
+  // directory; the query must fail loudly, not return wrong results.
+  {
+    auto f = storage_.Open("t.qpg");
+    ASSERT_TRUE(f.ok());
+    std::vector<uint8_t> zeros(2048, 0);
+    ASSERT_TRUE((*f)->Write(0, zeros.size(), zeros.data()).ok());
+  }
+  auto tree = IqTree::Open(storage_, "t", disk_);
+  ASSERT_TRUE(tree.ok());
+  bool any_failed = false;
+  for (size_t i = 0; i < 20; ++i) {
+    const Dataset q = GenerateUniform(1, 8, 100 + i);
+    auto nn = (*tree)->NearestNeighbor(q[0]);
+    if (!nn.ok()) {
+      EXPECT_TRUE(nn.status().IsCorruption()) << nn.status().ToString();
+      any_failed = true;
+    }
+  }
+  EXPECT_TRUE(any_failed);
+}
+
+TEST_F(FailureInjectionTest, IqTreeTruncatedDatDetectedAtRefinement) {
+  const Dataset data = GenerateUniform(5000, 8, 5);
+  ASSERT_TRUE(IqTree::Build(data, storage_, "t", disk_, {}).ok());
+  Truncate("t.dat", 0.0);
+  // Open validates extent ranges against the file size.
+  EXPECT_TRUE(IqTree::Open(storage_, "t", disk_).status().IsCorruption());
+}
+
+TEST_F(FailureInjectionTest, XTreeCorruptDirectory) {
+  const Dataset data = GenerateUniform(1000, 4, 6);
+  ASSERT_TRUE(XTree::Build(data, storage_, "x", disk_, {}).ok());
+  Corrupt("x.xdir", 0, 0x00);
+  EXPECT_TRUE(XTree::Open(storage_, "x", disk_).status().IsCorruption());
+}
+
+TEST_F(FailureInjectionTest, XTreeTruncatedDirectory) {
+  const Dataset data = GenerateUniform(1000, 4, 7);
+  ASSERT_TRUE(XTree::Build(data, storage_, "x", disk_, {}).ok());
+  Truncate("x.xdir", 0.6);
+  EXPECT_FALSE(XTree::Open(storage_, "x", disk_).ok());
+}
+
+TEST_F(FailureInjectionTest, VaFileCorruptHeader) {
+  const Dataset data = GenerateUniform(500, 4, 8);
+  {
+    auto va = VaFile::Build(data, storage_, "va", disk_, {});
+    ASSERT_TRUE(va.ok());
+    ASSERT_TRUE((*va)->Flush().ok());
+  }
+  Corrupt("va.vaa", 1, 0xEE);
+  EXPECT_TRUE(VaFile::Open(storage_, "va", disk_).status().IsCorruption());
+}
+
+TEST_F(FailureInjectionTest, VaFileTruncatedVectors) {
+  const Dataset data = GenerateUniform(500, 4, 9);
+  {
+    auto va = VaFile::Build(data, storage_, "va", disk_, {});
+    ASSERT_TRUE(va.ok());
+    ASSERT_TRUE((*va)->Flush().ok());
+  }
+  Truncate("va.vav", 0.5);
+  EXPECT_TRUE(VaFile::Open(storage_, "va", disk_).status().IsCorruption());
+}
+
+TEST_F(FailureInjectionTest, ScanTruncatedPayload) {
+  const Dataset data = GenerateUniform(500, 4, 10);
+  ASSERT_TRUE(SeqScan::Build(data, storage_, "s", disk_, {}).ok());
+  Truncate("s.scn", 0.5);
+  EXPECT_TRUE(SeqScan::Open(storage_, "s", disk_).status().IsCorruption());
+}
+
+TEST_F(FailureInjectionTest, EverythingMissingIsNotFound) {
+  EXPECT_TRUE(IqTree::Open(storage_, "a", disk_).status().IsNotFound());
+  EXPECT_TRUE(XTree::Open(storage_, "b", disk_).status().IsNotFound());
+  EXPECT_TRUE(VaFile::Open(storage_, "c", disk_).status().IsNotFound());
+  EXPECT_TRUE(SeqScan::Open(storage_, "d", disk_).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,143 @@
+#include "sched/fetch_plan.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace iq {
+namespace {
+
+DiskParameters TestDisk() {
+  // v = t_seek / t_xfer = 5 blocks.
+  return DiskParameters{0.010, 0.002, 8192};
+}
+
+TEST(FetchPlanTest, EmptyAndSingle) {
+  EXPECT_TRUE(PlanKnownSetFetch({}, TestDisk()).empty());
+  const std::vector<uint64_t> one{7};
+  const auto runs = PlanKnownSetFetch(one, TestDisk());
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (FetchRun{7, 1}));
+}
+
+TEST(FetchPlanTest, AdjacentBlocksMerge) {
+  const std::vector<uint64_t> blocks{3, 4, 5};
+  const auto runs = PlanKnownSetFetch(blocks, TestDisk());
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (FetchRun{3, 3}));
+}
+
+TEST(FetchPlanTest, SmallGapOverRead) {
+  // Gap of 4 blocks: 4 * t_xfer = 8ms < 10ms seek -> over-read.
+  const std::vector<uint64_t> blocks{0, 5};
+  const auto runs = PlanKnownSetFetch(blocks, TestDisk());
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (FetchRun{0, 6}));
+}
+
+TEST(FetchPlanTest, LargeGapSeeks) {
+  // Gap of 5 blocks: 5 * t_xfer = 10ms == t_seek -> seek (strict <).
+  const std::vector<uint64_t> blocks{0, 6};
+  const auto runs = PlanKnownSetFetch(blocks, TestDisk());
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (FetchRun{0, 1}));
+  EXPECT_EQ(runs[1], (FetchRun{6, 1}));
+}
+
+TEST(FetchPlanTest, MixedRuns) {
+  const std::vector<uint64_t> blocks{0, 2, 3, 100, 101, 200};
+  const auto runs = PlanKnownSetFetch(blocks, TestDisk());
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (FetchRun{0, 4}));
+  EXPECT_EQ(runs[1], (FetchRun{100, 2}));
+  EXPECT_EQ(runs[2], (FetchRun{200, 1}));
+}
+
+TEST(FetchPlanTest, BufferLimitSplitsRuns) {
+  // 8 adjacent blocks with a 3-block buffer: ceil(8/3) = 3 runs.
+  const std::vector<uint64_t> blocks{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto runs = PlanKnownSetFetch(blocks, TestDisk(), 3);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (FetchRun{0, 3}));
+  EXPECT_EQ(runs[1], (FetchRun{3, 3}));
+  EXPECT_EQ(runs[2], (FetchRun{6, 2}));
+  for (const FetchRun& run : runs) EXPECT_LE(run.count, 3u);
+}
+
+TEST(FetchPlanTest, BufferLimitPreventsGapBridging) {
+  // The gap would be over-read without the limit, but the merged run
+  // (6 blocks) exceeds a 4-block buffer.
+  const std::vector<uint64_t> blocks{0, 5};
+  EXPECT_EQ(PlanKnownSetFetch(blocks, TestDisk(), 0).size(), 1u);
+  const auto limited = PlanKnownSetFetch(blocks, TestDisk(), 4);
+  ASSERT_EQ(limited.size(), 2u);
+  EXPECT_EQ(limited[0], (FetchRun{0, 1}));
+  EXPECT_EQ(limited[1], (FetchRun{5, 1}));
+}
+
+TEST(FetchPlanTest, UnboundedEqualsLargeBuffer) {
+  Rng rng(8);
+  const DiskParameters disk = TestDisk();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint64_t> blocks;
+    uint64_t pos = 0;
+    const size_t n = 1 + rng.Index(20);
+    for (size_t i = 0; i < n; ++i) {
+      blocks.push_back(pos);
+      pos += 1 + rng.Index(8);
+    }
+    EXPECT_EQ(PlanKnownSetFetch(blocks, disk, 0),
+              PlanKnownSetFetch(blocks, disk, 1 << 20));
+  }
+}
+
+TEST(FetchPlanTest, PlanCost) {
+  const std::vector<FetchRun> runs{{0, 4}, {100, 2}};
+  const DiskParameters disk = TestDisk();
+  EXPECT_NEAR(PlanCost(runs, disk),
+              2 * disk.seek_time_s + 6 * disk.xfer_time_s, 1e-12);
+}
+
+/// Optimality property (Seeger et al. [19]): the greedy plan's cost
+/// never exceeds the cost of any other contiguous-run partition of the
+/// block list. We verify against brute-force enumeration of all ways to
+/// cut the sorted block list into runs.
+TEST(FetchPlanTest, OptimalAgainstBruteForce) {
+  Rng rng(5);
+  const DiskParameters disk = TestDisk();
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.Index(10);
+    std::vector<uint64_t> blocks;
+    uint64_t pos = rng.Index(4);
+    for (size_t i = 0; i < n; ++i) {
+      blocks.push_back(pos);
+      pos += 1 + rng.Index(12);
+    }
+    const auto greedy = PlanKnownSetFetch(blocks, disk);
+    const double greedy_cost = PlanCost(greedy, disk);
+    // Enumerate all 2^(n-1) cut patterns.
+    double best = 1e300;
+    const size_t cuts = n == 0 ? 0 : (size_t{1} << (n - 1));
+    for (size_t mask = 0; mask < cuts; ++mask) {
+      double cost = 0.0;
+      size_t start = 0;
+      for (size_t i = 0; i + 1 <= n; ++i) {
+        const bool cut_after = i + 1 == n || (mask >> i) & 1;
+        if (cut_after) {
+          const uint64_t span = blocks[i] - blocks[start] + 1;
+          cost += disk.seek_time_s +
+                  disk.xfer_time_s * static_cast<double>(span);
+          start = i + 1;
+        }
+      }
+      best = std::min(best, cost);
+    }
+    EXPECT_NEAR(greedy_cost, best, 1e-9)
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace iq

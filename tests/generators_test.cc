@@ -1,0 +1,105 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fractal/fractal_dimension.h"
+
+namespace iq {
+namespace {
+
+TEST(GeneratorsTest, UniformShapeAndDomain) {
+  const Dataset data = GenerateUniform(1000, 8, 1);
+  EXPECT_EQ(data.size(), 1000u);
+  EXPECT_EQ(data.dims(), 8u);
+  const Mbr bounds = data.Bounds();
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_GE(bounds.lb(i), 0.0f);
+    EXPECT_LE(bounds.ub(i), 1.0f);
+    // With 1000 points the box should nearly fill the cube.
+    EXPECT_GT(bounds.Extent(i), 0.9f);
+  }
+}
+
+TEST(GeneratorsTest, Deterministic) {
+  const Dataset a = GenerateUniform(100, 4, 7);
+  const Dataset b = GenerateUniform(100, 4, 7);
+  const Dataset c = GenerateUniform(100, 4, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    for (size_t i = 0; i < 4; ++i) EXPECT_EQ(a[r][i], b[r][i]);
+  }
+  bool any_diff = false;
+  for (size_t r = 0; r < a.size() && !any_diff; ++r) {
+    for (size_t i = 0; i < 4; ++i) any_diff |= a[r][i] != c[r][i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, ClusteredIsMoreConcentratedThanUniform) {
+  ClusterParams params;
+  params.clusters = 5;
+  params.sigma = 0.02;
+  const Dataset clustered = GenerateClustered(5000, 6, 3, params);
+  const Dataset uniform = GenerateUniform(5000, 6, 3);
+  // Correlation dimension of strongly clustered data is far below d.
+  const double d_clustered =
+      EstimateCorrelationDimension(clustered.data(), clustered.size(), 6)
+          .dimension;
+  const double d_uniform =
+      EstimateCorrelationDimension(uniform.data(), uniform.size(), 6)
+          .dimension;
+  EXPECT_LT(d_clustered, d_uniform);
+}
+
+TEST(GeneratorsTest, ColorLikeLiesNearSimplex) {
+  const Dataset data = GenerateColorLike(2000, 16, 5);
+  for (size_t r = 0; r < data.size(); r += 100) {
+    double sum = 0;
+    for (size_t i = 0; i < 16; ++i) {
+      EXPECT_GE(data[r][i], 0.0f);
+      sum += data[r][i];
+    }
+    EXPECT_NEAR(sum, 1.0, 0.05);
+  }
+}
+
+TEST(GeneratorsTest, WeatherLikeHasLowFractalDimension) {
+  const Dataset data = GenerateWeatherLike(20000, 9, 5);
+  const FractalEstimate est =
+      EstimateCorrelationDimension(data.data(), data.size(), 9);
+  // The paper describes WEATHER as "highly clustered ... rather low
+  // fractal dimension"; the generator is built around a 3-d manifold.
+  EXPECT_LT(est.dimension, 6.0);
+}
+
+TEST(GeneratorsTest, ManifoldDimensionTracksLatentDims) {
+  const Dataset d2 = GenerateManifold(20000, 8, 2, 0.0, 11);
+  const Dataset d5 = GenerateManifold(20000, 8, 5, 0.0, 11);
+  const double est2 =
+      EstimateCorrelationDimension(d2.data(), d2.size(), 8).dimension;
+  const double est5 =
+      EstimateCorrelationDimension(d5.data(), d5.size(), 8).dimension;
+  EXPECT_LT(est2, est5);
+  EXPECT_LT(est2, 4.0);
+}
+
+TEST(GeneratorsTest, AllGeneratorsStayInUnitCube) {
+  const Dataset sets[] = {
+      GenerateCadLike(500, 16, 1),
+      GenerateColorLike(500, 16, 2),
+      GenerateWeatherLike(500, 9, 3),
+      GenerateManifold(500, 12, 3, 0.05, 4),
+  };
+  for (const Dataset& data : sets) {
+    const Mbr bounds = data.Bounds();
+    for (size_t i = 0; i < data.dims(); ++i) {
+      EXPECT_GE(bounds.lb(i), 0.0f);
+      EXPECT_LE(bounds.ub(i), 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iq

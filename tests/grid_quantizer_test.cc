@@ -1,0 +1,107 @@
+#include "quant/grid_quantizer.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/metrics.h"
+
+namespace iq {
+namespace {
+
+TEST(GridQuantizerTest, OneBitSplitsInHalf) {
+  const Mbr mbr = Mbr::FromBounds({0, 0}, {1, 2});
+  GridQuantizer quantizer(mbr, 1);
+  EXPECT_EQ(quantizer.CellIndex(0, 0.25f), 0u);
+  EXPECT_EQ(quantizer.CellIndex(0, 0.75f), 1u);
+  EXPECT_EQ(quantizer.CellIndex(1, 0.5f), 0u);
+  EXPECT_EQ(quantizer.CellIndex(1, 1.5f), 1u);
+}
+
+TEST(GridQuantizerTest, BorderValuesClamp) {
+  const Mbr mbr = Mbr::FromBounds({0}, {1});
+  GridQuantizer quantizer(mbr, 2);
+  EXPECT_EQ(quantizer.CellIndex(0, 0.0f), 0u);
+  EXPECT_EQ(quantizer.CellIndex(0, 1.0f), 3u);  // ub maps to the last cell
+  EXPECT_EQ(quantizer.CellIndex(0, -5.0f), 0u);
+  EXPECT_EQ(quantizer.CellIndex(0, 5.0f), 3u);
+}
+
+TEST(GridQuantizerTest, DegenerateDimension) {
+  const Mbr mbr = Mbr::FromBounds({0.5, 0}, {0.5, 1});
+  GridQuantizer quantizer(mbr, 4);
+  EXPECT_EQ(quantizer.CellIndex(0, 0.5f), 0u);
+  const std::vector<uint32_t> cells{0, 7};
+  const Mbr box = quantizer.CellBox(cells);
+  EXPECT_EQ(box.lb(0), 0.5f);
+  EXPECT_EQ(box.ub(0), 0.5f);
+}
+
+TEST(GridQuantizerTest, CellWidthHalvesWhenBitsDouble) {
+  const Mbr mbr = Mbr::FromBounds({0, 0}, {1, 1});
+  for (unsigned g : {1u, 2u, 4u, 8u}) {
+    GridQuantizer coarse(mbr, g);
+    GridQuantizer fine(mbr, 2 * g);
+    for (size_t i = 0; i < 2; ++i) {
+      // Doubling the bits squares the cell count: width shrinks by 2^g.
+      const float factor = static_cast<float>(1u << g);
+      EXPECT_NEAR(coarse.CellWidth(i) / fine.CellWidth(i), factor, 1e-3);
+    }
+  }
+}
+
+/// The load-bearing invariant for search correctness: the decoded cell
+/// box always contains the encoded point, so MINDIST(q, cell) never
+/// exceeds the true distance.
+class QuantizerRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QuantizerRoundTrip, CellBoxContainsPoint) {
+  const unsigned bits = GetParam();
+  Rng rng(bits * 1000 + 17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t d = 1 + rng.Index(16);
+    std::vector<float> lb(d), ub(d);
+    for (size_t i = 0; i < d; ++i) {
+      const double a = rng.Uniform(-10, 10), b = rng.Uniform(-10, 10);
+      lb[i] = static_cast<float>(std::min(a, b));
+      ub[i] = static_cast<float>(std::max(a, b));
+    }
+    const Mbr mbr = Mbr::FromBounds(lb, ub);
+    GridQuantizer quantizer(mbr, bits);
+    std::vector<uint32_t> cells;
+    for (int s = 0; s < 50; ++s) {
+      std::vector<float> p(d);
+      for (size_t i = 0; i < d; ++i) {
+        p[i] = static_cast<float>(rng.Uniform(mbr.lb(i), mbr.ub(i)));
+      }
+      quantizer.Encode(p, cells);
+      const Mbr box = quantizer.CellBox(cells);
+      EXPECT_TRUE(box.Contains(p))
+          << "bits=" << bits << " d=" << d << " trial=" << trial;
+      // And therefore MINDIST from any query lower-bounds the distance.
+      std::vector<float> q(d);
+      for (size_t i = 0; i < d; ++i) {
+        q[i] = static_cast<float>(rng.Uniform(-12, 12));
+      }
+      EXPECT_LE(MinDist(q, box, Metric::kL2),
+                Distance(q, p, Metric::kL2) + 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLadderLevels, QuantizerRoundTrip,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(GridQuantizerTest, CellBoundsTile) {
+  const Mbr mbr = Mbr::FromBounds({0}, {1});
+  GridQuantizer quantizer(mbr, 3);
+  for (uint32_t c = 0; c + 1 < 8; ++c) {
+    EXPECT_FLOAT_EQ(quantizer.CellUpper(0, c), quantizer.CellLower(0, c + 1));
+  }
+  EXPECT_FLOAT_EQ(quantizer.CellLower(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(quantizer.CellUpper(0, 7), 1.0f);
+}
+
+}  // namespace
+}  // namespace iq

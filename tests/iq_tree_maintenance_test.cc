@@ -1,0 +1,190 @@
+// Tests for the maintenance features of §6: Reoptimize() (restore the
+// optimal layout after updates), Validate() (deep scrub), and the k-NN
+// optimization target of the cost model.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/iq_tree.h"
+#include "data/generators.h"
+
+namespace iq {
+namespace {
+
+class IqTreeMaintenanceTest : public ::testing::Test {
+ protected:
+  IqTreeMaintenanceTest() : disk_(DiskParameters{0.010, 0.002, 2048}) {}
+
+  MemoryStorage storage_;
+  DiskModel disk_;
+};
+
+TEST_F(IqTreeMaintenanceTest, ValidatePassesOnFreshTree) {
+  const Dataset data = GenerateCadLike(3000, 8, 1);
+  auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->Validate().ok());
+}
+
+TEST_F(IqTreeMaintenanceTest, ValidatePassesAfterUpdates) {
+  Dataset data = GenerateUniform(1000, 5, 2);
+  auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const Dataset extra = GenerateUniform(500, 5, 3);
+  for (size_t i = 0; i < extra.size(); ++i) {
+    ASSERT_TRUE(
+        (*tree)->Insert(static_cast<PointId>(1000 + i), extra[i]).ok());
+  }
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE((*tree)->Remove(static_cast<PointId>(i), data[i]).ok());
+  }
+  Status s = (*tree)->Validate();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST_F(IqTreeMaintenanceTest, ValidateCatchesTamperedPage) {
+  const Dataset data = GenerateUniform(2000, 6, 4);
+  ASSERT_TRUE(IqTree::Build(data, storage_, "t", disk_, {}).ok());
+  // Flip bytes in the middle of the first quantized page's payload.
+  auto f = storage_.Open("t.qpg");
+  ASSERT_TRUE(f.ok());
+  const uint8_t junk[8] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE((*f)->Write(100, sizeof(junk), junk).ok());
+  auto tree = IqTree::Open(storage_, "t", disk_);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->Validate().IsCorruption());
+}
+
+TEST_F(IqTreeMaintenanceTest, ReoptimizeReclaimsGarbageAndStaysCorrect) {
+  Dataset data = GenerateCadLike(3020, 6, 5);
+  const Dataset queries = data.TakeTail(20);
+  auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  // Churn: interleaved inserts and removals leave dead extents behind.
+  const Dataset extra = GenerateCadLike(1000, 6, 6);
+  for (size_t i = 0; i < extra.size(); ++i) {
+    ASSERT_TRUE(
+        (*tree)->Insert(static_cast<PointId>(3000 + i), extra[i]).ok());
+  }
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*tree)->Remove(static_cast<PointId>(i), data[i]).ok());
+  }
+  auto dat_before = storage_.Open("t.dat");
+  ASSERT_TRUE(dat_before.ok());
+  const uint64_t dat_size_before = (*dat_before)->Size();
+
+  ASSERT_TRUE((*tree)->Reoptimize().ok());
+
+  EXPECT_EQ((*tree)->size(), 3500u);
+  EXPECT_TRUE((*tree)->Validate().ok());
+  // Garbage reclaimed: the exact file shrank, and the quantized file
+  // has exactly one block per directory entry again.
+  auto dat_after = storage_.Open("t.dat");
+  ASSERT_TRUE(dat_after.ok());
+  EXPECT_LT((*dat_after)->Size(), dat_size_before);
+  auto qpg = storage_.Open("t.qpg");
+  ASSERT_TRUE(qpg.ok());
+  EXPECT_EQ((*qpg)->Size(), (*tree)->num_pages() * 2048u);
+  // Queries remain exact.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    double best = 1e300;
+    for (size_t i = 500; i < 3000; ++i) {
+      best = std::min(best, Distance(queries[qi], data[i], Metric::kL2));
+    }
+    for (size_t i = 0; i < extra.size(); ++i) {
+      best = std::min(best, Distance(queries[qi], extra[i], Metric::kL2));
+    }
+    auto nn = (*tree)->NearestNeighbor(queries[qi]);
+    ASSERT_TRUE(nn.ok());
+    EXPECT_NEAR(nn->distance, best, 1e-6);
+  }
+}
+
+TEST_F(IqTreeMaintenanceTest, ReoptimizePersists) {
+  Dataset data = GenerateUniform(800, 4, 7);
+  {
+    auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+    ASSERT_TRUE(tree.ok());
+    ASSERT_TRUE((*tree)->Remove(0, data[0]).ok());
+    ASSERT_TRUE((*tree)->Reoptimize().ok());
+  }
+  auto reopened = IqTree::Open(storage_, "t", disk_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 799u);
+  EXPECT_TRUE((*reopened)->Validate().ok());
+}
+
+TEST_F(IqTreeMaintenanceTest, ReoptimizeEmptyTree) {
+  auto tree = IqTree::Build(Dataset(3), storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->Reoptimize().ok());
+  EXPECT_EQ((*tree)->num_pages(), 0u);
+}
+
+TEST_F(IqTreeMaintenanceTest, KnnTargetYieldsFinerQuantization) {
+  // Optimizing for k = 25 means larger query balls, hence more expected
+  // refinements per cell, hence finer pages than the k = 1 build.
+  const Dataset data = GenerateCadLike(20000, 8, 8);
+  IqTree::Options for_nn;
+  auto tree_nn = IqTree::Build(data, storage_, "a", disk_, for_nn);
+  ASSERT_TRUE(tree_nn.ok());
+  IqTree::Options for_knn;
+  for_knn.optimize_for_k = 25;
+  auto tree_knn = IqTree::Build(data, storage_, "b", disk_, for_knn);
+  ASSERT_TRUE(tree_knn.ok());
+  EXPECT_GE((*tree_knn)->num_pages(), (*tree_nn)->num_pages());
+  // Both remain exact for any query k.
+  const Dataset queries = GenerateCadLike(5, 8, 9);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto a = (*tree_nn)->KNearestNeighbors(queries[qi], 25);
+    auto b = (*tree_knn)->KNearestNeighbors(queries[qi], 25);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_NEAR((*a)[i].distance, (*b)[i].distance, 1e-6);
+    }
+  }
+}
+
+TEST_F(IqTreeMaintenanceTest, KnnTargetPersists) {
+  const Dataset data = GenerateUniform(500, 4, 10);
+  IqTree::Options options;
+  options.optimize_for_k = 7;
+  ASSERT_TRUE(IqTree::Build(data, storage_, "t", disk_, options).ok());
+  auto reopened = IqTree::Open(storage_, "t", disk_);
+  ASSERT_TRUE(reopened.ok());
+  // Survives a reoptimize round-trip through the persisted metadata.
+  ASSERT_TRUE((*reopened)->Reoptimize().ok());
+  EXPECT_TRUE((*reopened)->Validate().ok());
+}
+
+TEST_F(IqTreeMaintenanceTest, EndToEndOnFileStorage) {
+  // The whole lifecycle against real OS files.
+  const std::string dir =
+      ::testing::TempDir() + "/iq_fs_" +
+      std::to_string(reinterpret_cast<uintptr_t>(this));
+  std::filesystem::create_directories(dir);
+  FileStorage storage(dir);
+  Dataset data = GenerateWeatherLike(2010, 9, 11);
+  const Dataset queries = data.TakeTail(10);
+  {
+    auto tree = IqTree::Build(data, storage, "w", disk_, {});
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    ASSERT_TRUE((*tree)->Insert(99999, queries[0]).ok());
+    ASSERT_TRUE((*tree)->Flush().ok());
+  }
+  auto tree = IqTree::Open(storage, "w", disk_);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->size(), 2001u);
+  EXPECT_TRUE((*tree)->Validate().ok());
+  auto nn = (*tree)->NearestNeighbor(queries[0]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->id, 99999u);
+  EXPECT_EQ(nn->distance, 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace iq

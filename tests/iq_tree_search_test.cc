@@ -1,0 +1,191 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/iq_tree.h"
+#include "data/generators.h"
+#include "scan/seq_scan.h"
+
+namespace iq {
+namespace {
+
+struct SearchCase {
+  const char* name;
+  size_t n;
+  size_t dims;
+  Metric metric;
+  bool optimized_access;
+  bool quantize;
+};
+
+class IqSearchCorrectness : public ::testing::TestWithParam<SearchCase> {};
+
+/// Ground truth via brute force over the dataset.
+std::vector<Neighbor> BruteForceKnn(const Dataset& data, PointView q,
+                                    size_t k, Metric metric) {
+  std::vector<Neighbor> all;
+  all.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    all.push_back(Neighbor{static_cast<PointId>(i),
+                           Distance(q, data[i], metric)});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance < b.distance;
+            });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST_P(IqSearchCorrectness, KnnMatchesBruteForce) {
+  const SearchCase c = GetParam();
+  const Dataset all = GenerateCadLike(c.n + 20, c.dims, 42);
+  Dataset data = all;
+  const Dataset queries = data.TakeTail(20);
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+  IqTree::Options options;
+  options.metric = c.metric;
+  options.quantize = c.quantize;
+  auto tree = IqTree::Build(data, storage, "t", disk, options);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  IqSearchOptions search;
+  search.optimized_access = c.optimized_access;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (size_t k : {1u, 5u}) {
+      const auto expected = BruteForceKnn(data, queries[qi], k, c.metric);
+      auto got = (*tree)->KNearestNeighbors(queries[qi], k, search);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(got->size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        // Distances must match exactly (ids may differ on ties).
+        EXPECT_NEAR((*got)[i].distance, expected[i].distance, 1e-6)
+            << c.name << " query " << qi << " k=" << k << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, IqSearchCorrectness,
+    ::testing::Values(
+        SearchCase{"l2_opt_quant", 3000, 8, Metric::kL2, true, true},
+        SearchCase{"l2_std_quant", 3000, 8, Metric::kL2, false, true},
+        SearchCase{"lmax_opt_quant", 3000, 8, Metric::kLMax, true, true},
+        SearchCase{"l2_opt_noquant", 3000, 8, Metric::kL2, true, false},
+        SearchCase{"l2_opt_highdim", 2000, 16, Metric::kL2, true, true},
+        SearchCase{"l2_opt_lowdim", 3000, 2, Metric::kL2, true, true}),
+    [](const ::testing::TestParamInfo<SearchCase>& info) {
+      return info.param.name;
+    });
+
+TEST(IqRangeSearchTest, MatchesBruteForce) {
+  Dataset data = GenerateWeatherLike(4000, 9, 13);
+  const Dataset queries = data.TakeTail(10);
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+  auto tree = IqTree::Build(data, storage, "t", disk, {});
+  ASSERT_TRUE(tree.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (double radius : {0.0, 0.05, 0.2, 0.8}) {
+      std::set<PointId> expected;
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (Distance(queries[qi], data[i], Metric::kL2) <= radius) {
+          expected.insert(static_cast<PointId>(i));
+        }
+      }
+      auto got = (*tree)->RangeSearch(queries[qi], radius);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      std::set<PointId> got_ids;
+      double prev = -1.0;
+      for (const Neighbor& r : *got) {
+        got_ids.insert(r.id);
+        EXPECT_GE(r.distance, prev);  // ascending
+        prev = r.distance;
+        EXPECT_LE(r.distance, radius + 1e-9);
+      }
+      EXPECT_EQ(got_ids, expected) << "radius " << radius;
+    }
+  }
+}
+
+TEST(IqWindowQueryTest, MatchesBruteForce) {
+  Dataset data = GenerateUniform(5000, 4, 21);
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+  auto tree = IqTree::Build(data, storage, "t", disk, {});
+  ASSERT_TRUE(tree.ok());
+  const Mbr windows[] = {
+      Mbr::FromBounds({0.1f, 0.1f, 0.1f, 0.1f}, {0.3f, 0.4f, 0.9f, 0.2f}),
+      Mbr::FromBounds({0, 0, 0, 0}, {1, 1, 1, 1}),
+      Mbr::FromBounds({0.9f, 0.9f, 0.9f, 0.9f}, {0.91f, 0.91f, 0.91f, 0.91f}),
+  };
+  for (const Mbr& window : windows) {
+    std::set<PointId> expected;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (window.Contains(data[i])) expected.insert(static_cast<PointId>(i));
+    }
+    auto got = (*tree)->WindowQuery(window);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(std::set<PointId>(got->begin(), got->end()), expected);
+  }
+}
+
+TEST(IqSearchIoTest, OptimizedAccessUsesFewerSeeks) {
+  // The whole point of §2: batching neighboring pages trades seeks for
+  // transfers. On a sizeable high-dimensional index the optimized
+  // strategy must issue noticeably fewer seeks.
+  Dataset data = GenerateUniform(30000, 16, 31);
+  const Dataset queries = data.TakeTail(10);
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 4096});
+  auto tree = IqTree::Build(data, storage, "t", disk, {});
+  ASSERT_TRUE(tree.ok());
+
+  auto run = [&](bool optimized) {
+    disk.ResetStats();
+    disk.InvalidateHead();
+    IqSearchOptions search;
+    search.optimized_access = optimized;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_TRUE((*tree)->NearestNeighbor(queries[i], search).ok());
+      disk.InvalidateHead();
+    }
+    return disk.stats();
+  };
+  const IoStats standard = run(false);
+  const IoStats optimized = run(true);
+  EXPECT_LT(optimized.seeks, standard.seeks);
+  EXPECT_LT(optimized.io_time_s, standard.io_time_s);
+}
+
+TEST(IqSearchIoTest, QuantizationReadsFewerBlocksThanExactHighDim) {
+  Dataset data = GenerateUniform(20000, 16, 33);
+  const Dataset queries = data.TakeTail(10);
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 4096});
+  IqTree::Options quantized;
+  auto tree_q = IqTree::Build(data, storage, "q", disk, quantized);
+  ASSERT_TRUE(tree_q.ok());
+  IqTree::Options exact;
+  exact.quantize = false;
+  auto tree_e = IqTree::Build(data, storage, "e", disk, exact);
+  ASSERT_TRUE(tree_e.ok());
+
+  auto run = [&](IqTree& tree) {
+    disk.ResetStats();
+    disk.InvalidateHead();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_TRUE(tree.NearestNeighbor(queries[i]).ok());
+      disk.InvalidateHead();
+    }
+    return disk.stats().io_time_s;
+  };
+  const double with_quant = run(**tree_q);
+  const double without = run(**tree_e);
+  EXPECT_LT(with_quant, without);
+}
+
+}  // namespace
+}  // namespace iq

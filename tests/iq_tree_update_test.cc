@@ -1,0 +1,265 @@
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/iq_tree.h"
+#include "data/generators.h"
+
+namespace iq {
+namespace {
+
+class IqTreeUpdateTest : public ::testing::Test {
+ protected:
+  IqTreeUpdateTest() : disk_(DiskParameters{0.010, 0.002, 2048}) {}
+
+  /// Checks that the tree answers NN queries exactly over `reference`.
+  void ExpectMatchesReference(const IqTree& tree, const Dataset& reference,
+                              const Dataset& queries) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      double best = 1e300;
+      for (size_t i = 0; i < reference.size(); ++i) {
+        best = std::min(best,
+                        Distance(queries[qi], reference[i], Metric::kL2));
+      }
+      auto nn = tree.NearestNeighbor(queries[qi]);
+      ASSERT_TRUE(nn.ok()) << nn.status().ToString();
+      EXPECT_NEAR(nn->distance, best, 1e-6) << "query " << qi;
+    }
+  }
+
+  /// Structural invariants after updates.
+  void ExpectInvariants(const IqTree& tree, uint64_t expected_points) {
+    uint64_t total = 0;
+    for (const DirEntry& entry : tree.directory()) {
+      EXPECT_TRUE(IsQuantLevel(entry.quant_bits));
+      EXPECT_GT(entry.count, 0u);
+      total += entry.count;
+    }
+    EXPECT_EQ(total, expected_points);
+    EXPECT_EQ(tree.size(), expected_points);
+  }
+
+  MemoryStorage storage_;
+  DiskModel disk_;
+};
+
+TEST_F(IqTreeUpdateTest, InsertIntoEmptyTree) {
+  auto tree = IqTree::Build(Dataset(4), storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const std::vector<float> p{0.1f, 0.2f, 0.3f, 0.4f};
+  ASSERT_TRUE((*tree)->Insert(0, p).ok());
+  ExpectInvariants(**tree, 1);
+  auto nn = (*tree)->NearestNeighbor(p);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->id, 0u);
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+TEST_F(IqTreeUpdateTest, BulkThenInsertsKeepCorrectness) {
+  Dataset data = GenerateCadLike(2200, 6, 5);
+  const Dataset queries = data.TakeTail(15);
+  Dataset initial(6);
+  Dataset inserts(6);
+  for (size_t i = 0; i < data.size(); ++i) {
+    (i < 2000 ? initial : inserts).Append(data[i]);
+  }
+  auto tree = IqTree::Build(initial, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  Dataset reference = initial;
+  for (size_t i = 0; i < inserts.size(); ++i) {
+    const PointId id = static_cast<PointId>(2000 + i);
+    ASSERT_TRUE((*tree)->Insert(id, inserts[i]).ok());
+    reference.Append(inserts[i]);
+  }
+  ExpectInvariants(**tree, reference.size());
+  ExpectMatchesReference(**tree, reference, queries);
+}
+
+TEST_F(IqTreeUpdateTest, InsertsCauseSplitsWithoutLosingPoints) {
+  // Insert enough points into a small tree to force page overflows.
+  Dataset small = GenerateUniform(50, 8, 6);
+  auto tree = IqTree::Build(small, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const size_t before_pages = (*tree)->num_pages();
+  const Dataset extra = GenerateUniform(3000, 8, 7);
+  for (size_t i = 0; i < extra.size(); ++i) {
+    ASSERT_TRUE(
+        (*tree)->Insert(static_cast<PointId>(50 + i), extra[i]).ok());
+  }
+  ExpectInvariants(**tree, 3050);
+  EXPECT_GT((*tree)->num_pages(), before_pages);
+}
+
+TEST_F(IqTreeUpdateTest, RemoveFindsAndDeletes) {
+  Dataset data = GenerateUniform(1000, 4, 8);
+  auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  // Remove every 10th point.
+  Dataset reference(4);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i % 10 == 0) {
+      ASSERT_TRUE(
+          (*tree)->Remove(static_cast<PointId>(i), data[i]).ok())
+          << "removing " << i;
+    } else {
+      reference.Append(data[i]);
+    }
+  }
+  ExpectInvariants(**tree, 900);
+  // Removed points are gone: NN of a removed point is non-zero distance
+  // (uniform data has no duplicates).
+  auto nn = (*tree)->NearestNeighbor(data[0]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_GT(nn->distance, 0.0);
+  const Dataset queries = GenerateUniform(10, 4, 9);
+  ExpectMatchesReference(**tree, reference, queries);
+}
+
+TEST_F(IqTreeUpdateTest, RemoveMissingIsNotFound) {
+  Dataset data = GenerateUniform(100, 4, 10);
+  auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const std::vector<float> far{0.5f, 0.5f, 0.5f, 0.5f};
+  EXPECT_TRUE((*tree)->Remove(9999, far).IsNotFound());
+}
+
+TEST_F(IqTreeUpdateTest, RemoveAllEmptiesTree) {
+  Dataset data = GenerateUniform(64, 3, 11);
+  auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE((*tree)->Remove(static_cast<PointId>(i), data[i]).ok());
+  }
+  EXPECT_EQ((*tree)->size(), 0u);
+  EXPECT_EQ((*tree)->num_pages(), 0u);
+}
+
+TEST_F(IqTreeUpdateTest, FlushPersistsUpdates) {
+  Dataset data = GenerateUniform(500, 5, 12);
+  {
+    auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+    ASSERT_TRUE(tree.ok());
+    const std::vector<float> p(5, 0.25f);
+    ASSERT_TRUE((*tree)->Insert(12345, p).ok());
+    ASSERT_TRUE((*tree)->Flush().ok());
+  }
+  auto reopened = IqTree::Open(storage_, "t", disk_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 501u);
+  const std::vector<float> p(5, 0.25f);
+  auto nn = (*reopened)->NearestNeighbor(p);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->id, 12345u);
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+TEST_F(IqTreeUpdateTest, InsertBatchMatchesLoopOfInserts) {
+  Dataset data = GenerateCadLike(1500, 6, 20);
+  const Dataset batch = GenerateCadLike(800, 6, 21);
+  std::vector<PointId> batch_ids(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch_ids[i] = static_cast<PointId>(1500 + i);
+  }
+
+  auto loop_tree = IqTree::Build(data, storage_, "loop", disk_, {});
+  ASSERT_TRUE(loop_tree.ok());
+  const IoStats before_loop = disk_.stats();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE((*loop_tree)->Insert(batch_ids[i], batch[i]).ok());
+  }
+  const uint64_t loop_writes =
+      (disk_.stats() - before_loop).blocks_written;
+
+  auto batch_tree = IqTree::Build(data, storage_, "batch", disk_, {});
+  ASSERT_TRUE(batch_tree.ok());
+  const IoStats before_batch = disk_.stats();
+  ASSERT_TRUE((*batch_tree)->InsertBatch(batch_ids, batch).ok());
+  const uint64_t batch_writes =
+      (disk_.stats() - before_batch).blocks_written;
+
+  EXPECT_EQ((*batch_tree)->size(), (*loop_tree)->size());
+  EXPECT_TRUE((*batch_tree)->Validate().ok());
+  EXPECT_LT(batch_writes, loop_writes / 2) << "batching should save writes";
+  // Identical answers.
+  const Dataset queries = GenerateCadLike(10, 6, 22);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto a = (*loop_tree)->NearestNeighbor(queries[qi]);
+    auto b = (*batch_tree)->NearestNeighbor(queries[qi]);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NEAR(a->distance, b->distance, 1e-6);
+  }
+}
+
+TEST_F(IqTreeUpdateTest, InsertBatchIntoEmptyTree) {
+  auto tree = IqTree::Build(Dataset(4), storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const Dataset batch = GenerateUniform(500, 4, 23);
+  std::vector<PointId> ids(batch.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  ASSERT_TRUE((*tree)->InsertBatch(ids, batch).ok());
+  EXPECT_EQ((*tree)->size(), 500u);
+  EXPECT_TRUE((*tree)->Validate().ok());
+  auto nn = (*tree)->NearestNeighbor(batch[77]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+TEST_F(IqTreeUpdateTest, InsertBatchOverflowingOnePageManyTimes) {
+  // Regression: routing a batch much larger than a page's capacity to a
+  // single target page must cascade-split, not fail.
+  Dataset tiny = GenerateUniform(2, 8, 29);
+  auto tree = IqTree::Build(tiny, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const Dataset batch = GenerateUniform(6000, 8, 30);
+  std::vector<PointId> ids(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ids[i] = static_cast<PointId>(2 + i);
+  }
+  ASSERT_TRUE((*tree)->InsertBatch(ids, batch).ok());
+  EXPECT_EQ((*tree)->size(), 6002u);
+  EXPECT_TRUE((*tree)->Validate().ok());
+}
+
+TEST_F(IqTreeUpdateTest, InsertBatchValidatesInputs) {
+  Dataset data = GenerateUniform(100, 4, 24);
+  auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const Dataset wrong_dims = GenerateUniform(5, 3, 25);
+  std::vector<PointId> ids(5, 0);
+  EXPECT_TRUE(
+      (*tree)->InsertBatch(ids, wrong_dims).IsInvalidArgument());
+  const Dataset ok_dims = GenerateUniform(5, 4, 26);
+  std::vector<PointId> too_few(3, 0);
+  EXPECT_TRUE((*tree)->InsertBatch(too_few, ok_dims).IsInvalidArgument());
+}
+
+TEST_F(IqTreeUpdateTest, QueryStatsAreFilled) {
+  Dataset data = GenerateUniform(20000, 16, 27);
+  auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const Dataset queries = GenerateUniform(3, 16, 28);
+  ASSERT_TRUE((*tree)->NearestNeighbor(queries[0]).ok());
+  const auto& stats = (*tree)->last_query_stats();
+  EXPECT_GT(stats.pages_decoded, 0u);
+  EXPECT_GT(stats.blocks_transferred, 0u);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.cells_enqueued, 0u);
+  EXPECT_GE(stats.blocks_transferred, stats.pages_decoded);
+  // The optimized strategy uses far fewer batches than pages.
+  EXPECT_LT(stats.batches, stats.pages_decoded);
+}
+
+TEST_F(IqTreeUpdateTest, DimensionMismatchRejected) {
+  Dataset data = GenerateUniform(100, 4, 13);
+  auto tree = IqTree::Build(data, storage_, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const std::vector<float> wrong(5, 0.5f);
+  EXPECT_TRUE((*tree)->Insert(1, wrong).IsInvalidArgument());
+  EXPECT_TRUE((*tree)->Remove(1, wrong).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace iq

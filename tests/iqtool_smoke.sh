@@ -1,0 +1,34 @@
+#!/bin/sh
+# End-to-end smoke test of the iqtool CLI: generate -> build -> query ->
+# stats -> validate -> reopt against real files in a temp directory.
+set -eu
+
+IQTOOL="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$IQTOOL" generate --out "$DIR/ds" --workload cad --n 3000 --dims 8 \
+    --seed 7 | grep -q "wrote 3000 x 8"
+"$IQTOOL" build --dir "$DIR" --dataset ds --index idx | grep -q "built 'idx'"
+"$IQTOOL" query --dir "$DIR" --index idx \
+    --point 0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5 --k 3 | grep -qc "id=" \
+    >/dev/null
+"$IQTOOL" query --dir "$DIR" --index idx \
+    --point 0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5 --radius 0.4 \
+    | grep -q "points within"
+"$IQTOOL" stats --dir "$DIR" --index idx | grep -q "points:       3000"
+"$IQTOOL" validate --dir "$DIR" --index idx | grep -q "^OK"
+"$IQTOOL" reopt --dir "$DIR" --index idx | grep -q "reoptimized"
+"$IQTOOL" validate --dir "$DIR" --index idx | grep -q "^OK"
+
+# Error paths exit non-zero.
+if "$IQTOOL" query --dir "$DIR" --index missing --point 0.5 2>/dev/null; then
+  echo "expected failure for missing index" >&2
+  exit 1
+fi
+if "$IQTOOL" bogus-subcommand 2>/dev/null; then
+  echo "expected usage failure" >&2
+  exit 1
+fi
+
+echo "iqtool smoke OK"

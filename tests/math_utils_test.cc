@@ -1,0 +1,61 @@
+#include "common/math_utils.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+TEST(FitLineTest, PerfectLine) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y{1, 3, 5, 7, 9};
+  LineFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineHasLowerR2) {
+  std::vector<double> x{0, 1, 2, 3, 4, 5};
+  std::vector<double> y{0.0, 1.4, 1.6, 3.5, 3.4, 5.2};
+  LineFit fit = FitLine(x, y);
+  EXPECT_GT(fit.slope, 0.8);
+  EXPECT_LT(fit.slope, 1.2);
+  EXPECT_LT(fit.r2, 1.0);
+  EXPECT_GT(fit.r2, 0.9);
+}
+
+TEST(FitLineTest, DegenerateInputsReturnZero) {
+  std::vector<double> one{1.0};
+  EXPECT_EQ(FitLine(one, one).slope, 0.0);
+  std::vector<double> x{2, 2, 2};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(FitLine(x, y).slope, 0.0);  // vertical line: no fit
+}
+
+TEST(CeilDivTest, Values) {
+  EXPECT_EQ(CeilDiv(0, 8), 0u);
+  EXPECT_EQ(CeilDiv(1, 8), 1u);
+  EXPECT_EQ(CeilDiv(8, 8), 1u);
+  EXPECT_EQ(CeilDiv(9, 8), 2u);
+}
+
+TEST(BytesForBitsTest, Values) {
+  EXPECT_EQ(BytesForBits(0), 0u);
+  EXPECT_EQ(BytesForBits(1), 1u);
+  EXPECT_EQ(BytesForBits(8), 1u);
+  EXPECT_EQ(BytesForBits(9), 2u);
+}
+
+TEST(BinomialTest, MatchesPascal) {
+  EXPECT_NEAR(Binomial(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(Binomial(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(Binomial(16, 8), 12870.0, 1e-6);
+  EXPECT_EQ(Binomial(4, 5), 0.0);
+  EXPECT_EQ(Binomial(4, -1), 0.0);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,95 @@
+#include "geom/mbr.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+TEST(MbrTest, EmptyAbsorbsFirstPoint) {
+  Mbr m = Mbr::Empty(3);
+  EXPECT_TRUE(m.IsEmpty());
+  const std::vector<float> p{0.1f, 0.5f, 0.9f};
+  m.Extend(p);
+  EXPECT_FALSE(m.IsEmpty());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.lb(i), p[i]);
+    EXPECT_EQ(m.ub(i), p[i]);
+  }
+}
+
+TEST(MbrTest, OfComputesTightBox) {
+  const float rows[] = {0.0f, 0.5f,  //
+                        1.0f, 0.2f,  //
+                        0.4f, 0.8f};
+  Mbr m = Mbr::Of(rows, 3, 2);
+  EXPECT_EQ(m.lb(0), 0.0f);
+  EXPECT_EQ(m.ub(0), 1.0f);
+  EXPECT_EQ(m.lb(1), 0.2f);
+  EXPECT_EQ(m.ub(1), 0.8f);
+}
+
+TEST(MbrTest, ContainsAndIntersects) {
+  Mbr a = Mbr::FromBounds({0, 0}, {1, 1});
+  Mbr b = Mbr::FromBounds({0.5, 0.5}, {2, 2});
+  Mbr c = Mbr::FromBounds({1.5, 1.5}, {2, 2});
+  const std::vector<float> inside{0.5f, 0.5f};
+  const std::vector<float> outside{1.5f, 0.5f};
+  EXPECT_TRUE(a.Contains(inside));
+  EXPECT_FALSE(a.Contains(outside));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching boxes intersect (closed intervals).
+  Mbr d = Mbr::FromBounds({1.0, 0.0}, {2.0, 1.0});
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+TEST(MbrTest, VolumeAndMargin) {
+  Mbr m = Mbr::FromBounds({0, 0, 0}, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(m.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(m.Margin(), 9.0);
+  Mbr flat = Mbr::FromBounds({0, 0}, {1, 0});
+  EXPECT_DOUBLE_EQ(flat.Volume(), 0.0);
+}
+
+TEST(MbrTest, LongestDimension) {
+  Mbr m = Mbr::FromBounds({0, 0, 0}, {1, 5, 2});
+  EXPECT_EQ(m.LongestDimension(), 1u);
+}
+
+TEST(MbrTest, IntersectionVolume) {
+  Mbr a = Mbr::FromBounds({0, 0}, {2, 2});
+  Mbr b = Mbr::FromBounds({1, 1}, {3, 3});
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(b), 1.0);
+  Mbr c = Mbr::FromBounds({5, 5}, {6, 6});
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(c), 0.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(b.IntersectionVolume(a), a.IntersectionVolume(b));
+}
+
+TEST(MbrTest, ExtendWithBox) {
+  Mbr a = Mbr::FromBounds({0, 0}, {1, 1});
+  a.Extend(Mbr::FromBounds({2, -1}, {3, 0.5}));
+  EXPECT_EQ(a.lb(0), 0.0f);
+  EXPECT_EQ(a.ub(0), 3.0f);
+  EXPECT_EQ(a.lb(1), -1.0f);
+  EXPECT_EQ(a.ub(1), 1.0f);
+}
+
+TEST(MbrTest, MeanExtentIsGeometricMean) {
+  Mbr m = Mbr::FromBounds({0, 0}, {2, 8});
+  EXPECT_NEAR(m.MeanExtent(), 4.0, 1e-9);
+  Mbr flat = Mbr::FromBounds({0, 0}, {1, 0});
+  EXPECT_EQ(flat.MeanExtent(), 0.0);
+}
+
+TEST(MbrTest, UnitCube) {
+  Mbr u = Mbr::UnitCube(4);
+  EXPECT_DOUBLE_EQ(u.Volume(), 1.0);
+  EXPECT_EQ(u.dims(), 4u);
+}
+
+}  // namespace
+}  // namespace iq

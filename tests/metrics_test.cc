@@ -1,0 +1,105 @@
+#include "geom/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/volumes.h"
+
+namespace iq {
+namespace {
+
+TEST(DistanceTest, L2) {
+  const std::vector<float> a{0, 0, 0};
+  const std::vector<float> b{1, 2, 2};
+  EXPECT_NEAR(Distance(a, b, Metric::kL2), 3.0, 1e-9);
+}
+
+TEST(DistanceTest, LMax) {
+  const std::vector<float> a{0, 0, 0};
+  const std::vector<float> b{1, -2, 0.5};
+  EXPECT_NEAR(Distance(a, b, Metric::kLMax), 2.0, 1e-9);
+}
+
+TEST(MinMaxDistTest, InsideBoxMinDistIsZero) {
+  Mbr box = Mbr::FromBounds({0, 0}, {1, 1});
+  const std::vector<float> q{0.5f, 0.5f};
+  EXPECT_EQ(MinDist(q, box, Metric::kL2), 0.0);
+  EXPECT_EQ(MinDist(q, box, Metric::kLMax), 0.0);
+  EXPECT_NEAR(MaxDist(q, box, Metric::kLMax), 0.5, 1e-9);
+}
+
+TEST(MinMaxDistTest, OutsideBox) {
+  Mbr box = Mbr::FromBounds({0, 0}, {1, 1});
+  const std::vector<float> q{2.0f, 0.5f};
+  EXPECT_NEAR(MinDist(q, box, Metric::kL2), 1.0, 1e-9);
+  EXPECT_NEAR(MinDist(q, box, Metric::kLMax), 1.0, 1e-9);
+  EXPECT_NEAR(MaxDist(q, box, Metric::kL2), std::sqrt(4.0 + 0.25), 1e-6);
+  EXPECT_NEAR(MaxDist(q, box, Metric::kLMax), 2.0, 1e-9);
+}
+
+/// Property: for random boxes and points, MINDIST lower-bounds and
+/// MAXDIST upper-bounds the distance to every point sampled inside the
+/// box, in both metrics.
+class MinMaxDistProperty : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MinMaxDistProperty, BoundsHold) {
+  const Metric metric = GetParam();
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t d = 1 + rng.Index(8);
+    std::vector<float> lb(d), ub(d), q(d);
+    for (size_t i = 0; i < d; ++i) {
+      const double a = rng.Uniform(), b = rng.Uniform();
+      lb[i] = static_cast<float>(std::min(a, b));
+      ub[i] = static_cast<float>(std::max(a, b));
+      q[i] = static_cast<float>(rng.Uniform(-0.5, 1.5));
+    }
+    const Mbr box = Mbr::FromBounds(lb, ub);
+    const double mind = MinDist(q, box, metric);
+    const double maxd = MaxDist(q, box, metric);
+    EXPECT_LE(mind, maxd + 1e-9);
+    for (int s = 0; s < 20; ++s) {
+      std::vector<float> p(d);
+      for (size_t i = 0; i < d; ++i) {
+        p[i] = static_cast<float>(rng.Uniform(box.lb(i), box.ub(i)));
+      }
+      const double dist = Distance(q, p, metric);
+      EXPECT_GE(dist, mind - 1e-6);
+      EXPECT_LE(dist, maxd + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, MinMaxDistProperty,
+                         ::testing::Values(Metric::kL2, Metric::kLMax));
+
+TEST(IntersectionVolumeTest, LMaxExact) {
+  // Ball of radius 0.25 around (0.5, 0.5) clipped to the unit box.
+  Mbr box = Mbr::FromBounds({0, 0}, {1, 1});
+  const std::vector<float> q{0.5f, 0.5f};
+  EXPECT_NEAR(IntersectionVolume(q, 0.25, box, Metric::kLMax), 0.25, 1e-9);
+  // Ball centered at a corner: a quarter of it is inside.
+  const std::vector<float> corner{0.0f, 0.0f};
+  EXPECT_NEAR(IntersectionVolume(corner, 0.25, box, Metric::kLMax),
+              0.0625, 1e-9);
+  // Disjoint.
+  const std::vector<float> far{3.0f, 3.0f};
+  EXPECT_EQ(IntersectionVolume(far, 0.25, box, Metric::kLMax), 0.0);
+}
+
+TEST(IntersectionVolumeTest, L2IsScaledBelowLMax) {
+  Mbr box = Mbr::FromBounds({0, 0, 0, 0}, {1, 1, 1, 1});
+  const std::vector<float> q(4, 0.5f);
+  const double lmax = IntersectionVolume(q, 0.2, box, Metric::kLMax);
+  const double l2 = IntersectionVolume(q, 0.2, box, Metric::kL2);
+  EXPECT_LT(l2, lmax);
+  EXPECT_GT(l2, 0.0);
+  // The scaling is the d-ball to d-cube ratio.
+  EXPECT_NEAR(l2 / lmax, SphereVolume(4, 0.2) / CubeVolume(4, 0.2), 1e-9);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,82 @@
+#include "sched/nn_batcher.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+DiskParameters TestDisk() {
+  return DiskParameters{0.010, 0.002, 8192};  // v = 5
+}
+
+TEST(NnBatcherTest, ZeroProbabilityNeighborsLoadOnlyPivot) {
+  const auto range = PlanNnBatch(10, 100, TestDisk(),
+                                 [](uint64_t) { return 0.0; });
+  EXPECT_EQ(range, (BatchRange{10, 10}));
+}
+
+TEST(NnBatcherTest, CertainNeighborsExtendTheRange) {
+  // Probability 1 next to the pivot: c = t_xfer - (t_seek + t_xfer) < 0,
+  // so the range must extend in both directions.
+  const auto range = PlanNnBatch(10, 100, TestDisk(), [](uint64_t i) {
+    return (i >= 9 && i <= 12) ? 1.0 : 0.0;
+  });
+  EXPECT_EQ(range, (BatchRange{9, 12}));
+}
+
+TEST(NnBatcherTest, ProbabilityThresholdMatchesCostBalance) {
+  // A single forward neighbor at distance 1: extend iff
+  // t_xfer - p*(t_seek + t_xfer) < 0, i.e. p > 2/12 = 1/6.
+  auto range_for = [&](double p) {
+    return PlanNnBatch(10, 100, TestDisk(), [p](uint64_t i) {
+      return i == 11 ? p : 0.0;
+    });
+  };
+  EXPECT_EQ(range_for(0.10), (BatchRange{10, 10}));
+  EXPECT_EQ(range_for(0.30), (BatchRange{10, 11}));
+}
+
+TEST(NnBatcherTest, GapBridgedByProbableFarPage) {
+  // A very probable page 3 positions ahead: the cumulated balance over
+  // the two empty gap pages (2 * t_xfer = 4ms) is outweighed by the
+  // expected seek saving (p * 12ms), so the gap is over-read.
+  const auto range = PlanNnBatch(10, 100, TestDisk(), [](uint64_t i) {
+    return i == 13 ? 0.9 : 0.0;
+  });
+  EXPECT_EQ(range, (BatchRange{10, 13}));
+}
+
+TEST(NnBatcherTest, SearchStopsAfterSeekWorthOfDeadPages) {
+  // v = 5 dead pages accumulate ccb = 5 * t_xfer = t_seek: stop. A
+  // probable page beyond that horizon must NOT extend the range.
+  const auto range = PlanNnBatch(10, 100, TestDisk(), [](uint64_t i) {
+    return i == 17 ? 1.0 : 0.0;  // 7 positions ahead
+  });
+  EXPECT_EQ(range, (BatchRange{10, 10}));
+}
+
+TEST(NnBatcherTest, RespectsFileBounds) {
+  const auto at_start = PlanNnBatch(0, 5, TestDisk(),
+                                    [](uint64_t) { return 1.0; });
+  EXPECT_EQ(at_start.first, 0u);
+  EXPECT_EQ(at_start.last, 4u);
+  const auto at_end = PlanNnBatch(4, 5, TestDisk(),
+                                  [](uint64_t) { return 1.0; });
+  EXPECT_EQ(at_end.first, 0u);
+  EXPECT_EQ(at_end.last, 4u);
+  const auto single = PlanNnBatch(0, 1, TestDisk(),
+                                  [](uint64_t) { return 1.0; });
+  EXPECT_EQ(single, (BatchRange{0, 0}));
+}
+
+TEST(NnBatcherTest, BackwardSearchSymmetric) {
+  const auto range = PlanNnBatch(10, 100, TestDisk(), [](uint64_t i) {
+    return i == 7 ? 0.9 : 0.0;
+  });
+  EXPECT_EQ(range, (BatchRange{7, 10}));
+}
+
+}  // namespace
+}  // namespace iq

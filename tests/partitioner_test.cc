@@ -1,0 +1,105 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace iq {
+namespace {
+
+TEST(PartitionerTest, MbrOfIds) {
+  Dataset data(2, {0, 0, 1, 1, 0.5, 2});
+  std::vector<PointId> ids{0, 2};
+  const Mbr mbr = MbrOfIds(data, ids);
+  EXPECT_EQ(mbr.lb(0), 0.0f);
+  EXPECT_EQ(mbr.ub(0), 0.5f);
+  EXPECT_EQ(mbr.ub(1), 2.0f);
+}
+
+TEST(PartitionerTest, SplitAtMedianBalances) {
+  const Dataset data = GenerateUniform(101, 3, 4);
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const Mbr mbr = MbrOfIds(data, ids);
+  const size_t dim = mbr.LongestDimension();
+  const size_t mid = SplitAtMedian(data, ids, mbr);
+  EXPECT_EQ(mid, 50u);
+  const float pivot = data[ids[mid]][dim];
+  for (size_t i = 0; i < mid; ++i) EXPECT_LE(data[ids[i]][dim], pivot);
+  for (size_t i = mid; i < ids.size(); ++i) {
+    EXPECT_GE(data[ids[i]][dim], pivot);
+  }
+}
+
+class PartitionerProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PartitionerProperty, PartitionsAreAValidCover) {
+  const uint32_t capacity = GetParam();
+  const Dataset data = GenerateUniform(1000, 4, 9);
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const auto partitions = PartitionDataset(data, ids, capacity);
+  // Contiguous, ordered, covering ranges.
+  size_t expect_begin = 0;
+  std::set<PointId> seen;
+  for (const Partition& partition : partitions) {
+    EXPECT_EQ(partition.begin, expect_begin);
+    EXPECT_GT(partition.count(), 0u);
+    EXPECT_LE(partition.count(), capacity);
+    expect_begin = partition.end;
+    for (size_t i = partition.begin; i < partition.end; ++i) {
+      EXPECT_TRUE(partition.mbr.Contains(data[ids[i]]));
+      EXPECT_TRUE(seen.insert(ids[i]).second) << "duplicate id";
+    }
+  }
+  EXPECT_EQ(expect_begin, data.size());
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, PartitionerProperty,
+                         ::testing::Values(1u, 7u, 64u, 1000u, 5000u));
+
+TEST(PartitionerTest, PacksPagesFull) {
+  // The capacity-multiple split of [4]: all but one partition are
+  // filled to exactly the page capacity (~100% storage utilization).
+  const Dataset data = GenerateUniform(1024, 2, 10);
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const auto partitions = PartitionDataset(data, ids, 100);
+  ASSERT_EQ(partitions.size(), 11u);  // ceil(1024 / 100)
+  size_t full = 0;
+  size_t total = 0;
+  for (const Partition& partition : partitions) {
+    if (partition.count() == 100) ++full;
+    total += partition.count();
+  }
+  EXPECT_EQ(total, 1024u);
+  EXPECT_GE(full, 10u);
+}
+
+TEST(PartitionerTest, EmptyInput) {
+  const Dataset data(3);
+  std::vector<PointId> ids;
+  EXPECT_TRUE(PartitionDataset(data, ids, 10).empty());
+}
+
+TEST(PartitionerTest, DuplicatePointsStillTerminate) {
+  Dataset data(2);
+  for (int i = 0; i < 300; ++i) data.Append(std::vector<float>{0.5f, 0.5f});
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const auto partitions = PartitionDataset(data, ids, 32);
+  size_t total = 0;
+  for (const Partition& partition : partitions) {
+    EXPECT_LE(partition.count(), 32u);
+    total += partition.count();
+  }
+  EXPECT_EQ(total, 300u);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,182 @@
+#include "pyramid/pyramid_technique.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace iq {
+namespace {
+
+class PyramidTest : public ::testing::Test {
+ protected:
+  PyramidTest() : disk_(DiskParameters{0.010, 0.002, 2048}) {}
+
+  MemoryStorage storage_;
+  DiskModel disk_;
+};
+
+TEST_F(PyramidTest, PyramidValueMapping) {
+  // 2-d: pyramids 0 (x low), 1 (y low), 2 (x high), 3 (y high).
+  const std::vector<float> left{0.1f, 0.5f};
+  EXPECT_NEAR(PyramidTechnique::PyramidValue(left), 0.0 + 0.4, 1e-6);
+  const std::vector<float> bottom{0.5f, 0.2f};
+  EXPECT_NEAR(PyramidTechnique::PyramidValue(bottom), 1.0 + 0.3, 1e-6);
+  const std::vector<float> right{0.9f, 0.5f};
+  EXPECT_NEAR(PyramidTechnique::PyramidValue(right), 2.0 + 0.4, 1e-6);
+  const std::vector<float> top{0.5f, 0.95f};
+  EXPECT_NEAR(PyramidTechnique::PyramidValue(top), 3.0 + 0.45, 1e-6);
+  // The center has height 0.
+  const std::vector<float> center{0.5f, 0.5f};
+  const double pv = PyramidTechnique::PyramidValue(center);
+  EXPECT_NEAR(pv - std::floor(pv), 0.0, 1e-6);
+}
+
+TEST_F(PyramidTest, PyramidValueBounds) {
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t d = 1 + rng.Index(16);
+    std::vector<float> p(d);
+    for (size_t j = 0; j < d; ++j) {
+      p[j] = static_cast<float>(rng.Uniform());
+    }
+    const double pv = PyramidTechnique::PyramidValue(p);
+    EXPECT_GE(pv, 0.0);
+    EXPECT_LT(pv, 2.0 * static_cast<double>(d));
+    // Height part is at most 0.5.
+    EXPECT_LE(pv - std::floor(pv), 0.5 + 1e-9);
+  }
+}
+
+TEST_F(PyramidTest, WindowQueryMatchesBruteForce) {
+  const Dataset data = GenerateUniform(4000, 6, 2);
+  auto pyramid = PyramidTechnique::Build(data, storage_, "p", disk_, {});
+  ASSERT_TRUE(pyramid.ok()) << pyramid.status().ToString();
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> lb(6), ub(6);
+    for (size_t j = 0; j < 6; ++j) {
+      const double a = rng.Uniform(), b = rng.Uniform();
+      lb[j] = static_cast<float>(std::min(a, b));
+      ub[j] = static_cast<float>(std::max(a, b));
+    }
+    const Mbr window = Mbr::FromBounds(lb, ub);
+    std::set<PointId> expected;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (window.Contains(data[i])) expected.insert(static_cast<PointId>(i));
+    }
+    auto got = (*pyramid)->WindowQuery(window);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(std::set<PointId>(got->begin(), got->end()), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST_F(PyramidTest, RangeSearchMatchesBruteForce) {
+  Dataset data = GenerateWeatherLike(3000, 9, 4);
+  const Dataset queries = data.TakeTail(8);
+  auto pyramid = PyramidTechnique::Build(data, storage_, "p", disk_, {});
+  ASSERT_TRUE(pyramid.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (double radius : {0.05, 0.2}) {
+      std::set<PointId> expected;
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (Distance(queries[qi], data[i], Metric::kL2) <= radius) {
+          expected.insert(static_cast<PointId>(i));
+        }
+      }
+      auto got = (*pyramid)->RangeSearch(queries[qi], radius);
+      ASSERT_TRUE(got.ok());
+      std::set<PointId> got_ids;
+      for (const Neighbor& r : *got) got_ids.insert(r.id);
+      EXPECT_EQ(got_ids, expected) << "query " << qi << " r=" << radius;
+    }
+  }
+}
+
+TEST_F(PyramidTest, KnnMatchesBruteForce) {
+  Dataset data = GenerateCadLike(2500, 8, 5);
+  const Dataset queries = data.TakeTail(10);
+  auto pyramid = PyramidTechnique::Build(data, storage_, "p", disk_, {});
+  ASSERT_TRUE(pyramid.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::vector<double> dists;
+    for (size_t i = 0; i < data.size(); ++i) {
+      dists.push_back(Distance(queries[qi], data[i], Metric::kL2));
+    }
+    std::sort(dists.begin(), dists.end());
+    auto got = (*pyramid)->KNearestNeighbors(queries[qi], 4);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR((*got)[i].distance, dists[i], 1e-6)
+          << "query " << qi << " rank " << i;
+    }
+  }
+}
+
+TEST_F(PyramidTest, InsertThenQuery) {
+  auto pyramid =
+      PyramidTechnique::Build(Dataset(4), storage_, "p", disk_, {});
+  ASSERT_TRUE(pyramid.ok());
+  const Dataset points = GenerateUniform(800, 4, 6);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(
+        (*pyramid)->Insert(static_cast<PointId>(i), points[i]).ok());
+  }
+  EXPECT_EQ((*pyramid)->size(), 800u);
+  auto nn = (*pyramid)->NearestNeighbor(points[123]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->id, 123u);
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+TEST_F(PyramidTest, RejectsPointsOutsideUnitCube) {
+  auto pyramid =
+      PyramidTechnique::Build(Dataset(3), storage_, "p", disk_, {});
+  ASSERT_TRUE(pyramid.ok());
+  const std::vector<float> outside{1.5f, 0.5f, 0.5f};
+  EXPECT_TRUE((*pyramid)->Insert(0, outside).IsInvalidArgument());
+}
+
+TEST_F(PyramidTest, FlushOpenRoundTrip) {
+  const Dataset data = GenerateUniform(1000, 5, 7);
+  {
+    auto pyramid = PyramidTechnique::Build(data, storage_, "p", disk_, {});
+    ASSERT_TRUE(pyramid.ok());
+    ASSERT_TRUE((*pyramid)->Flush().ok());
+  }
+  auto reopened = PyramidTechnique::Open(storage_, "p", disk_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 1000u);
+  auto nn = (*reopened)->NearestNeighbor(data[42]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->id, 42u);
+}
+
+TEST_F(PyramidTest, CentralWindowTouchesFewPyramids) {
+  // A small window near a corner of the space must not scan pyramids on
+  // the opposite side: the scan cost stays well below a full pass.
+  const Dataset data = GenerateUniform(20000, 8, 8);
+  auto pyramid = PyramidTechnique::Build(data, storage_, "p", disk_, {});
+  ASSERT_TRUE(pyramid.ok());
+  const Mbr corner = Mbr::FromBounds(std::vector<float>(8, 0.02f),
+                                     std::vector<float>(8, 0.10f));
+  disk_.ResetStats();
+  disk_.InvalidateHead();
+  ASSERT_TRUE((*pyramid)->WindowQuery(corner).ok());
+  const uint64_t corner_blocks = disk_.stats().blocks_read;
+  disk_.ResetStats();
+  const Mbr all = Mbr::FromBounds(std::vector<float>(8, 0.0f),
+                                  std::vector<float>(8, 1.0f));
+  ASSERT_TRUE((*pyramid)->WindowQuery(all).ok());
+  const uint64_t all_blocks = disk_.stats().blocks_read;
+  EXPECT_LT(corner_blocks, all_blocks / 2);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,168 @@
+#include "rstar/r_star_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace iq {
+namespace {
+
+class RStarTreeTest : public ::testing::Test {
+ protected:
+  RStarTreeTest() : disk_(DiskParameters{0.010, 0.002, 2048}) {}
+
+  MemoryStorage storage_;
+  DiskModel disk_;
+};
+
+TEST_F(RStarTreeTest, BuildAndSelfQueries) {
+  const Dataset data = GenerateUniform(3000, 6, 1);
+  auto tree = RStarTree::Build(data, storage_, "r", disk_, {});
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->size(), 3000u);
+  const auto stats = (*tree)->ComputeStats();
+  EXPECT_GT(stats.num_data_pages, 1u);
+  EXPECT_GE(stats.height, 2u);
+  for (size_t i = 0; i < data.size(); i += 311) {
+    auto nn = (*tree)->NearestNeighbor(data[i]);
+    ASSERT_TRUE(nn.ok());
+    EXPECT_EQ(nn->distance, 0.0);
+  }
+}
+
+TEST_F(RStarTreeTest, KnnMatchesBruteForce) {
+  Dataset data = GenerateCadLike(2500, 8, 2);
+  const Dataset queries = data.TakeTail(12);
+  auto tree = RStarTree::Build(data, storage_, "r", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::vector<double> dists;
+    for (size_t i = 0; i < data.size(); ++i) {
+      dists.push_back(Distance(queries[qi], data[i], Metric::kL2));
+    }
+    std::sort(dists.begin(), dists.end());
+    auto got = (*tree)->KNearestNeighbors(queries[qi], 5);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), 5u);
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR((*got)[i].distance, dists[i], 1e-6);
+    }
+  }
+}
+
+TEST_F(RStarTreeTest, DynamicInsertsWithReinsertionStayCorrect) {
+  Dataset initial = GenerateUniform(300, 5, 3);
+  auto tree = RStarTree::Build(initial, storage_, "r", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  Dataset reference = initial;
+  const Dataset extra = GenerateUniform(2700, 5, 4);
+  for (size_t i = 0; i < extra.size(); ++i) {
+    ASSERT_TRUE(
+        (*tree)->Insert(static_cast<PointId>(300 + i), extra[i]).ok());
+    reference.Append(extra[i]);
+  }
+  EXPECT_EQ((*tree)->size(), 3000u);
+  // Forced reinsertion actually happened.
+  EXPECT_GT((*tree)->ComputeStats().reinsertions, 0u);
+  const Dataset queries = GenerateUniform(10, 5, 5);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    double best = 1e300;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      best = std::min(best,
+                      Distance(queries[qi], reference[i], Metric::kL2));
+    }
+    auto nn = (*tree)->NearestNeighbor(queries[qi]);
+    ASSERT_TRUE(nn.ok());
+    EXPECT_NEAR(nn->distance, best, 1e-6);
+  }
+}
+
+TEST_F(RStarTreeTest, InsertFromEmpty) {
+  auto tree = RStarTree::Build(Dataset(4), storage_, "r", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const Dataset points = GenerateUniform(900, 4, 6);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE((*tree)->Insert(static_cast<PointId>(i), points[i]).ok());
+  }
+  EXPECT_EQ((*tree)->size(), 900u);
+  auto nn = (*tree)->NearestNeighbor(points[500]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+TEST_F(RStarTreeTest, RangeAndWindowMatchBruteForce) {
+  Dataset data = GenerateWeatherLike(1500, 9, 7);
+  const Dataset queries = data.TakeTail(4);
+  auto tree = RStarTree::Build(data, storage_, "r", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const double radius = 0.2;
+    std::set<PointId> expected;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (Distance(queries[qi], data[i], Metric::kL2) <= radius) {
+        expected.insert(static_cast<PointId>(i));
+      }
+    }
+    auto got = (*tree)->RangeSearch(queries[qi], radius);
+    ASSERT_TRUE(got.ok());
+    std::set<PointId> got_ids;
+    for (const Neighbor& r : *got) got_ids.insert(r.id);
+    EXPECT_EQ(got_ids, expected);
+  }
+  const Mbr window = Mbr::FromBounds(std::vector<float>(9, 0.25f),
+                                     std::vector<float>(9, 0.75f));
+  std::set<PointId> expected;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (window.Contains(data[i])) expected.insert(static_cast<PointId>(i));
+  }
+  auto got = (*tree)->WindowQuery(window);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::set<PointId>(got->begin(), got->end()), expected);
+}
+
+TEST_F(RStarTreeTest, OpenRoundTrip) {
+  const Dataset data = GenerateUniform(1200, 5, 8);
+  {
+    auto tree = RStarTree::Build(data, storage_, "r", disk_, {});
+    ASSERT_TRUE(tree.ok());
+    ASSERT_TRUE((*tree)->Insert(9999, data[0]).ok());
+    ASSERT_TRUE((*tree)->Flush().ok());
+  }
+  auto reopened = RStarTree::Open(storage_, "r", disk_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 1201u);
+  auto nn = (*reopened)->NearestNeighbor(data[3]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+TEST_F(RStarTreeTest, CorruptDirectoryDetected) {
+  const Dataset data = GenerateUniform(500, 4, 9);
+  ASSERT_TRUE(RStarTree::Build(data, storage_, "r", disk_, {}).ok());
+  auto f = storage_.Open("r.rdir");
+  ASSERT_TRUE(f.ok());
+  const uint8_t junk = 0x00;
+  ASSERT_TRUE((*f)->Write(0, 1, &junk).ok());
+  EXPECT_TRUE(RStarTree::Open(storage_, "r", disk_).status().IsCorruption());
+}
+
+TEST_F(RStarTreeTest, ReinsertionDisabledStillWorks) {
+  RStarTree::Options options;
+  options.reinsert_fraction = 0.0;
+  auto tree = RStarTree::Build(Dataset(4), storage_, "r", disk_, options);
+  ASSERT_TRUE(tree.ok());
+  const Dataset points = GenerateUniform(1000, 4, 10);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE((*tree)->Insert(static_cast<PointId>(i), points[i]).ok());
+  }
+  EXPECT_EQ((*tree)->ComputeStats().reinsertions, 0u);
+  auto nn = (*tree)->NearestNeighbor(points[1]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+}  // namespace
+}  // namespace iq

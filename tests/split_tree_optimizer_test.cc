@@ -1,0 +1,173 @@
+#include "core/split_tree_optimizer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/format.h"
+#include "data/generators.h"
+
+namespace iq {
+namespace {
+
+// A tiny block size makes split trees shallow enough to enumerate all
+// solutions (Definition 1) by brute force.
+constexpr uint32_t kTinyBlock = 64;
+
+CostModelParams ModelParams(size_t dims, uint64_t n, double fractal) {
+  CostModelParams params;
+  params.disk = DiskParameters{0.010, 0.002, kTinyBlock};
+  params.metric = Metric::kL2;
+  params.dims = dims;
+  params.total_points = n;
+  params.fractal_dimension = fractal;
+  params.dir_entry_bytes = DirEntryBytes(dims);
+  params.exact_record_bytes = ExactRecordBytes(dims);
+  return params;
+}
+
+/// All (num_pages, variable_cost_sum) combinations of the solutions of
+/// the split subtree rooted at the given range — mirrors the optimizer's
+/// own deterministic median splits.
+struct SolutionOption {
+  uint64_t pages;
+  double variable_sum;
+};
+
+void EnumerateSolutions(const Dataset& data, std::span<PointId> ids,
+                        const Mbr& mbr, const CostModel& model,
+                        std::vector<SolutionOption>* out) {
+  const unsigned g = BestQuantLevel(data.dims(), ids.size(), kTinyBlock);
+  ASSERT_NE(g, 0u);
+  const double own_cost = model.PageRefinementCost(mbr, ids.size(), g);
+  out->push_back(SolutionOption{1, own_cost});
+  if (g >= kExactBits || ids.size() < 2) return;
+  const size_t mid = SplitAtMedian(data, ids, mbr);
+  const Mbr left_mbr = MbrOfIds(data, ids.subspan(0, mid));
+  const Mbr right_mbr = MbrOfIds(data, ids.subspan(mid));
+  std::vector<SolutionOption> left, right;
+  EnumerateSolutions(data, ids.subspan(0, mid), left_mbr, model, &left);
+  EnumerateSolutions(data, ids.subspan(mid), right_mbr, model, &right);
+  for (const SolutionOption& l : left) {
+    for (const SolutionOption& r : right) {
+      out->push_back(SolutionOption{l.pages + r.pages,
+                                    l.variable_sum + r.variable_sum});
+    }
+  }
+}
+
+class OptimizerOptimality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerOptimality, MatchesBruteForceMinimum) {
+  const uint64_t seed = GetParam();
+  const Dataset data = GenerateUniform(40, 2, seed);
+  const CostModel model(ModelParams(2, data.size(), 2.0));
+
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const std::vector<Partition> initial{
+      Partition{0, data.size(), MbrOfIds(data, ids)}};
+  const OptimizerResult result = OptimizeQuantization(
+      data, ids, initial, model, kTinyBlock);
+
+  // Brute-force all solutions on an identical tree.
+  std::vector<PointId> ids2(data.size());
+  std::iota(ids2.begin(), ids2.end(), 0);
+  std::vector<SolutionOption> options;
+  EnumerateSolutions(data, ids2, initial[0].mbr, model, &options);
+  double best = 1e300;
+  for (const SolutionOption& option : options) {
+    best = std::min(best,
+                    model.TotalCost(option.pages, option.variable_sum));
+  }
+  EXPECT_NEAR(result.expected_cost, best, 1e-9 + 1e-9 * best)
+      << "seed " << seed << " (" << options.size() << " solutions)";
+  EXPECT_GE(result.expected_cost, best - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerOptimality,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(OptimizerTest, SolutionIsAValidCover) {
+  const Dataset data = GenerateCadLike(500, 4, 3);
+  const CostModel model(ModelParams(4, data.size(), 3.0));
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const uint32_t cap1 = QuantPageCapacity(4, 1, kTinyBlock);
+  const std::vector<Partition> initial = PartitionDataset(data, ids, cap1);
+  const OptimizerResult result =
+      OptimizeQuantization(data, ids, initial, model, kTinyBlock);
+  ASSERT_FALSE(result.pages.empty());
+  size_t expect_begin = 0;
+  for (const SolutionPage& page : result.pages) {
+    EXPECT_EQ(page.begin, expect_begin);
+    expect_begin = page.end;
+    EXPECT_TRUE(IsQuantLevel(page.quant_bits));
+    EXPECT_LE(page.count(),
+              QuantPageCapacity(4, page.quant_bits, kTinyBlock));
+    for (size_t i = page.begin; i < page.end; ++i) {
+      EXPECT_TRUE(page.mbr.Contains(data[ids[i]]));
+    }
+  }
+  EXPECT_EQ(expect_begin, data.size());
+  EXPECT_EQ(result.pages.size(), initial.size() + result.splits_kept);
+  EXPECT_LE(result.splits_kept, result.splits_explored);
+}
+
+TEST(OptimizerTest, CostTraceRecordsEveryStep) {
+  const Dataset data = GenerateUniform(100, 3, 5);
+  const CostModel model(ModelParams(3, data.size(), 3.0));
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const std::vector<Partition> initial{
+      Partition{0, data.size(), MbrOfIds(data, ids)}};
+  const OptimizerResult result =
+      OptimizeQuantization(data, ids, initial, model, kTinyBlock);
+  EXPECT_EQ(result.cost_trace.size(), result.splits_explored + 1);
+  // The chosen cost is the minimum of the trace.
+  const double min_trace =
+      *std::min_element(result.cost_trace.begin(), result.cost_trace.end());
+  EXPECT_DOUBLE_EQ(result.expected_cost, min_trace);
+  EXPECT_DOUBLE_EQ(result.cost_trace[result.splits_kept],
+                   result.expected_cost);
+}
+
+TEST(OptimizerTest, CoarseDataStopsEarlyFineWhenRefinementDominates) {
+  // With a huge seek cost, refinement lookups are expensive and the
+  // optimizer should buy accuracy with more pages (more splits kept)
+  // than with a free disk.
+  const Dataset data = GenerateUniform(200, 2, 6);
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const std::vector<Partition> initial{
+      Partition{0, data.size(), MbrOfIds(data, ids)}};
+
+  CostModelParams expensive = ModelParams(2, data.size(), 2.0);
+  expensive.disk.seek_time_s = 1.0;
+  std::vector<PointId> ids_a = ids;
+  const OptimizerResult with_expensive_seek = OptimizeQuantization(
+      data, ids_a, initial, CostModel(expensive), kTinyBlock);
+
+  CostModelParams cheap = ModelParams(2, data.size(), 2.0);
+  cheap.disk.seek_time_s = 1e-7;
+  cheap.disk.xfer_time_s = 1e-7;
+  std::vector<PointId> ids_b = ids;
+  const OptimizerResult with_cheap_disk = OptimizeQuantization(
+      data, ids_b, initial, CostModel(cheap), kTinyBlock);
+
+  EXPECT_GE(with_expensive_seek.splits_kept, with_cheap_disk.splits_kept);
+}
+
+TEST(OptimizerTest, EmptyInput) {
+  const Dataset data(2);
+  std::vector<PointId> ids;
+  const CostModel model(ModelParams(2, 1, 2.0));
+  const OptimizerResult result =
+      OptimizeQuantization(data, ids, {}, model, kTinyBlock);
+  EXPECT_TRUE(result.pages.empty());
+}
+
+}  // namespace
+}  // namespace iq

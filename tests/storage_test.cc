@@ -1,0 +1,113 @@
+#include "io/storage.h"
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+class StorageTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      dir_ = ::testing::TempDir() + "/iq_storage_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this));
+      std::filesystem::create_directories(dir_);
+      storage_ = std::make_unique<FileStorage>(dir_);
+    } else {
+      storage_ = std::make_unique<MemoryStorage>();
+    }
+  }
+
+  void TearDown() override {
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<Storage> storage_;
+  std::string dir_;
+};
+
+TEST_P(StorageTest, CreateWriteReadRoundTrip) {
+  auto file = storage_->Create("f");
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  const char payload[] = "hello disk";
+  ASSERT_TRUE((*file)->Write(0, sizeof(payload), payload).ok());
+  EXPECT_EQ((*file)->Size(), sizeof(payload));
+  char buf[sizeof(payload)] = {};
+  ASSERT_TRUE((*file)->Read(0, sizeof(payload), buf).ok());
+  EXPECT_EQ(std::memcmp(buf, payload, sizeof(payload)), 0);
+}
+
+TEST_P(StorageTest, WriteAtOffsetExtends) {
+  auto file = storage_->Create("f");
+  ASSERT_TRUE(file.ok());
+  const uint32_t v = 0xDEADBEEF;
+  ASSERT_TRUE((*file)->Write(100, sizeof(v), &v).ok());
+  EXPECT_EQ((*file)->Size(), 104u);
+  uint32_t got = 0;
+  ASSERT_TRUE((*file)->Read(100, sizeof(got), &got).ok());
+  EXPECT_EQ(got, v);
+}
+
+TEST_P(StorageTest, ShortReadFails) {
+  auto file = storage_->Create("f");
+  ASSERT_TRUE(file.ok());
+  const char b = 'x';
+  ASSERT_TRUE((*file)->Write(0, 1, &b).ok());
+  char buf[8];
+  Status s = (*file)->Read(0, 8, buf);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_P(StorageTest, OpenMissingIsNotFound) {
+  auto file = storage_->Open("missing");
+  EXPECT_FALSE(file.ok());
+  EXPECT_TRUE(file.status().IsNotFound());
+}
+
+TEST_P(StorageTest, ExistsAndDelete) {
+  EXPECT_FALSE(storage_->Exists("f"));
+  ASSERT_TRUE(storage_->Create("f").ok());
+  EXPECT_TRUE(storage_->Exists("f"));
+  EXPECT_TRUE(storage_->Delete("f").ok());
+  EXPECT_FALSE(storage_->Exists("f"));
+  EXPECT_TRUE(storage_->Delete("f").IsNotFound());
+}
+
+TEST_P(StorageTest, ReopenSeesData) {
+  {
+    auto file = storage_->Create("persist");
+    ASSERT_TRUE(file.ok());
+    const int v = 42;
+    ASSERT_TRUE((*file)->Write(0, sizeof(v), &v).ok());
+  }
+  auto file = storage_->Open("persist");
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  int got = 0;
+  ASSERT_TRUE((*file)->Read(0, sizeof(got), &got).ok());
+  EXPECT_EQ(got, 42);
+}
+
+TEST_P(StorageTest, CreateTruncatesExisting) {
+  {
+    auto file = storage_->Create("t");
+    ASSERT_TRUE(file.ok());
+    const int v = 1;
+    ASSERT_TRUE((*file)->Write(0, sizeof(v), &v).ok());
+  }
+  auto file = storage_->Create("t");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->Size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(MemoryAndFile, StorageTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "File" : "Memory";
+                         });
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,46 @@
+#include "common/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"dim", "IQ-tree", "Scan"});
+  table.AddRow({"4", "0.10", "0.50"});
+  table.AddRow({"16", "1.00", "0.55"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("dim"), std::string::npos);
+  EXPECT_NE(out.find("IQ-tree"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Every line of a well-formed table ends without trailing spaces.
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) {
+      EXPECT_NE(line.back(), ' ') << "line: '" << line << "'";
+    }
+  }
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find('1'), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Num(0.000123, 4), "0.0001");
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,137 @@
+// Randomized torture test: a long interleaved stream of inserts,
+// removals, reoptimizations and all four query types against a
+// brute-force reference model, with structural validation along the
+// way. Catches interaction bugs no single-feature test sees.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/iq_tree.h"
+#include "data/generators.h"
+
+namespace iq {
+namespace {
+
+class TortureTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TortureTest, RandomOperationStream) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const size_t dims = 2 + rng.Index(8);
+  const Metric metric = rng.Uniform() < 0.5 ? Metric::kL2 : Metric::kLMax;
+
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 1024});
+
+  // Start from a moderate bulk load.
+  const Dataset initial = GenerateCadLike(600, dims, seed);
+  IqTree::Options options;
+  options.metric = metric;
+  auto built = IqTree::Build(initial, storage, "t", disk, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  IqTree& tree = **built;
+
+  // Reference model: id -> point.
+  std::map<PointId, Point> reference;
+  for (size_t i = 0; i < initial.size(); ++i) {
+    reference[static_cast<PointId>(i)] =
+        Point(initial[i].begin(), initial[i].end());
+  }
+  PointId next_id = static_cast<PointId>(initial.size());
+
+  auto random_point = [&] {
+    Point p(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      p[i] = static_cast<float>(rng.Uniform());
+    }
+    return p;
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    const double roll = rng.Uniform();
+    if (roll < 0.35) {
+      // Insert.
+      const Point p = random_point();
+      ASSERT_TRUE(tree.Insert(next_id, p).ok()) << "step " << step;
+      reference[next_id] = p;
+      ++next_id;
+    } else if (roll < 0.55 && !reference.empty()) {
+      // Remove a random existing point.
+      auto it = reference.begin();
+      std::advance(it, static_cast<ptrdiff_t>(rng.Index(reference.size())));
+      ASSERT_TRUE(tree.Remove(it->first, it->second).ok())
+          << "step " << step << " id " << it->first;
+      reference.erase(it);
+    } else if (roll < 0.58) {
+      ASSERT_TRUE(tree.Reoptimize().ok()) << "step " << step;
+    } else if (roll < 0.75) {
+      // k-NN against brute force.
+      const Point q = random_point();
+      const size_t k = 1 + rng.Index(5);
+      std::vector<double> expected;
+      for (const auto& [id, p] : reference) {
+        expected.push_back(Distance(q, p, metric));
+      }
+      std::sort(expected.begin(), expected.end());
+      expected.resize(std::min(k, expected.size()));
+      auto got = tree.KNearestNeighbors(q, k);
+      ASSERT_TRUE(got.ok()) << "step " << step;
+      ASSERT_EQ(got->size(), expected.size()) << "step " << step;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_NEAR((*got)[i].distance, expected[i], 1e-6)
+            << "step " << step << " rank " << i;
+      }
+    } else if (roll < 0.88) {
+      // Range query against brute force.
+      const Point q = random_point();
+      const double radius = rng.Uniform(0.0, 0.5);
+      std::set<PointId> expected;
+      for (const auto& [id, p] : reference) {
+        if (Distance(q, p, metric) <= radius) expected.insert(id);
+      }
+      auto got = tree.RangeSearch(q, radius);
+      ASSERT_TRUE(got.ok()) << "step " << step;
+      std::set<PointId> got_ids;
+      for (const Neighbor& r : *got) got_ids.insert(r.id);
+      ASSERT_EQ(got_ids, expected) << "step " << step;
+    } else {
+      // Window query against brute force.
+      std::vector<float> lb(dims), ub(dims);
+      for (size_t i = 0; i < dims; ++i) {
+        const double a = rng.Uniform(), b = rng.Uniform();
+        lb[i] = static_cast<float>(std::min(a, b));
+        ub[i] = static_cast<float>(std::max(a, b));
+      }
+      const Mbr window = Mbr::FromBounds(lb, ub);
+      std::set<PointId> expected;
+      for (const auto& [id, p] : reference) {
+        if (window.Contains(p)) expected.insert(id);
+      }
+      auto got = tree.WindowQuery(window);
+      ASSERT_TRUE(got.ok()) << "step " << step;
+      ASSERT_EQ(std::set<PointId>(got->begin(), got->end()), expected)
+          << "step " << step;
+    }
+    if (step % 50 == 49) {
+      Status s = tree.Validate();
+      ASSERT_TRUE(s.ok()) << "step " << step << ": " << s.ToString();
+      EXPECT_EQ(tree.size(), reference.size()) << "step " << step;
+    }
+  }
+  // Final: persist, reopen, everything still matches.
+  ASSERT_TRUE(tree.Flush().ok());
+  auto reopened = IqTree::Open(storage, "t", disk);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), reference.size());
+  EXPECT_TRUE((*reopened)->Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TortureTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace iq

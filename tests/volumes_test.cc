@@ -1,0 +1,104 @@
+#include "geom/volumes.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace iq {
+namespace {
+
+TEST(SphereVolumeTest, KnownValues) {
+  // V_1 = 2r, V_2 = pi r^2, V_3 = 4/3 pi r^3.
+  EXPECT_NEAR(SphereVolume(1, 1.0), 2.0, 1e-9);
+  EXPECT_NEAR(SphereVolume(2, 1.0), M_PI, 1e-9);
+  EXPECT_NEAR(SphereVolume(3, 1.0), 4.0 / 3.0 * M_PI, 1e-9);
+  EXPECT_NEAR(SphereVolume(2, 2.0), 4.0 * M_PI, 1e-9);
+  EXPECT_EQ(SphereVolume(3, 0.0), 0.0);
+}
+
+TEST(SphereVolumeTest, HighDimensionStaysFinite) {
+  // The unit ball volume vanishes with d but must not over/underflow.
+  const double v16 = SphereVolume(16, 1.0);
+  EXPECT_GT(v16, 0.0);
+  EXPECT_LT(v16, SphereVolume(5, 1.0));
+  EXPECT_TRUE(std::isfinite(SphereVolume(100, 0.5)));
+}
+
+TEST(CubeVolumeTest, KnownValues) {
+  EXPECT_NEAR(CubeVolume(3, 0.5), 1.0, 1e-12);
+  EXPECT_NEAR(CubeVolume(2, 1.0), 4.0, 1e-12);
+}
+
+class BallRadiusRoundTrip : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(BallRadiusRoundTrip, InvertsBallVolume) {
+  const Metric metric = GetParam();
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t d = 1 + rng.Index(16);
+    const double r = rng.Uniform(0.01, 2.0);
+    const double v = BallVolume(d, r, metric);
+    EXPECT_NEAR(BallRadiusForVolume(d, v, metric), r, 1e-6 * r)
+        << "d=" << d << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, BallRadiusRoundTrip,
+                         ::testing::Values(Metric::kL2, Metric::kLMax));
+
+TEST(MinkowskiSumTest, LMaxExactFormula) {
+  // Paper eq. 11: prod (s_i + 2r).
+  std::vector<double> sides{1.0, 2.0};
+  EXPECT_NEAR(MinkowskiSumVolume(sides, 0.5, Metric::kLMax),
+              2.0 * 3.0, 1e-12);
+  // r = 0 degenerates to the box volume.
+  EXPECT_NEAR(MinkowskiSumVolume(sides, 0.0, Metric::kLMax), 2.0, 1e-12);
+}
+
+TEST(MinkowskiSumTest, L2LimitsMatch) {
+  // r -> 0: the box volume. side -> 0: the ball volume.
+  std::vector<double> sides{0.3, 0.3, 0.3};
+  EXPECT_NEAR(MinkowskiSumVolume(sides, 0.0, Metric::kL2), 0.027, 1e-9);
+  const double tiny = MinkowskiSumVolume(3, 1e-9, 0.2, Metric::kL2);
+  EXPECT_NEAR(tiny, SphereVolume(3, 0.2), 1e-4);
+}
+
+TEST(MinkowskiSumTest, L2MonteCarloCube) {
+  // Monte-Carlo check of eq. 12 for an exact cube (where the geometric
+  // mean introduces no additional error): fraction of points within
+  // distance r of the cube [0,s]^2.
+  const double s = 0.4, r = 0.2;
+  Rng rng(11);
+  const int samples = 200000;
+  int hits = 0;
+  // Sample over the bounding box of the Minkowski body.
+  const double lo = -r, hi = s + r;
+  for (int i = 0; i < samples; ++i) {
+    const double x = rng.Uniform(lo, hi);
+    const double y = rng.Uniform(lo, hi);
+    const double dx = x < 0 ? -x : (x > s ? x - s : 0);
+    const double dy = y < 0 ? -y : (y > s ? y - s : 0);
+    if (dx * dx + dy * dy <= r * r) ++hits;
+  }
+  const double mc =
+      (hi - lo) * (hi - lo) * static_cast<double>(hits) / samples;
+  const double formula =
+      MinkowskiSumVolume(2, s, r, Metric::kL2);
+  EXPECT_NEAR(formula, mc, 0.02 * mc);
+}
+
+TEST(MinkowskiSumTest, MonotoneInRadius) {
+  std::vector<double> sides{0.1, 0.2, 0.4, 0.05};
+  double prev = 0.0;
+  for (double r = 0.0; r <= 1.0; r += 0.1) {
+    const double v_l2 = MinkowskiSumVolume(sides, r, Metric::kL2);
+    EXPECT_GE(v_l2, prev);
+    prev = v_l2;
+  }
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,224 @@
+#include "xtree/x_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace iq {
+namespace {
+
+class XTreeTest : public ::testing::Test {
+ protected:
+  XTreeTest() : disk_(DiskParameters{0.010, 0.002, 2048}) {}
+
+  MemoryStorage storage_;
+  DiskModel disk_;
+};
+
+TEST_F(XTreeTest, BuildAndExactSelfQueries) {
+  const Dataset data = GenerateUniform(3000, 6, 1);
+  auto tree = XTree::Build(data, storage_, "x", disk_, {});
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->size(), 3000u);
+  const auto stats = (*tree)->ComputeStats();
+  EXPECT_GT(stats.num_data_pages, 1u);
+  EXPECT_GE(stats.height, 2u);
+  for (size_t i = 0; i < data.size(); i += 211) {
+    auto nn = (*tree)->NearestNeighbor(data[i]);
+    ASSERT_TRUE(nn.ok());
+    EXPECT_EQ(nn->distance, 0.0);
+  }
+}
+
+TEST_F(XTreeTest, KnnMatchesBruteForce) {
+  Dataset data = GenerateCadLike(2500, 8, 2);
+  const Dataset queries = data.TakeTail(15);
+  auto tree = XTree::Build(data, storage_, "x", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::vector<double> dists;
+    for (size_t i = 0; i < data.size(); ++i) {
+      dists.push_back(Distance(queries[qi], data[i], Metric::kL2));
+    }
+    std::sort(dists.begin(), dists.end());
+    auto got = (*tree)->KNearestNeighbors(queries[qi], 7);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), 7u);
+    for (size_t i = 0; i < 7; ++i) {
+      EXPECT_NEAR((*got)[i].distance, dists[i], 1e-6);
+    }
+  }
+}
+
+TEST_F(XTreeTest, RangeAndWindowMatchBruteForce) {
+  Dataset data = GenerateWeatherLike(2000, 9, 3);
+  const Dataset queries = data.TakeTail(5);
+  auto tree = XTree::Build(data, storage_, "x", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const double radius = 0.15;
+    std::set<PointId> expected;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (Distance(queries[qi], data[i], Metric::kL2) <= radius) {
+        expected.insert(static_cast<PointId>(i));
+      }
+    }
+    auto got = (*tree)->RangeSearch(queries[qi], radius);
+    ASSERT_TRUE(got.ok());
+    std::set<PointId> got_ids;
+    for (const Neighbor& r : *got) got_ids.insert(r.id);
+    EXPECT_EQ(got_ids, expected);
+  }
+  const Mbr window = Mbr::FromBounds(std::vector<float>(9, 0.3f),
+                                     std::vector<float>(9, 0.7f));
+  std::set<PointId> expected;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (window.Contains(data[i])) expected.insert(static_cast<PointId>(i));
+  }
+  auto got = (*tree)->WindowQuery(window);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::set<PointId>(got->begin(), got->end()), expected);
+}
+
+TEST_F(XTreeTest, OpenRoundTrip) {
+  const Dataset data = GenerateUniform(1500, 5, 4);
+  {
+    auto tree = XTree::Build(data, storage_, "x", disk_, {});
+    ASSERT_TRUE(tree.ok());
+  }
+  auto reopened = XTree::Open(storage_, "x", disk_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 1500u);
+  auto nn = (*reopened)->NearestNeighbor(data[3]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+TEST_F(XTreeTest, DynamicInsertsStayCorrect) {
+  Dataset initial = GenerateUniform(500, 6, 5);
+  auto tree = XTree::Build(initial, storage_, "x", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  Dataset reference = initial;
+  const Dataset extra = GenerateUniform(2500, 6, 6);
+  for (size_t i = 0; i < extra.size(); ++i) {
+    ASSERT_TRUE(
+        (*tree)->Insert(static_cast<PointId>(500 + i), extra[i]).ok());
+    reference.Append(extra[i]);
+  }
+  EXPECT_EQ((*tree)->size(), 3000u);
+  const Dataset queries = GenerateUniform(10, 6, 7);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    double best = 1e300;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      best = std::min(best, Distance(queries[qi], reference[i],
+                                     Metric::kL2));
+    }
+    auto nn = (*tree)->NearestNeighbor(queries[qi]);
+    ASSERT_TRUE(nn.ok());
+    EXPECT_NEAR(nn->distance, best, 1e-6);
+  }
+}
+
+TEST_F(XTreeTest, InsertFromEmpty) {
+  auto tree = XTree::Build(Dataset(4), storage_, "x", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const Dataset points = GenerateUniform(800, 4, 8);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE((*tree)->Insert(static_cast<PointId>(i), points[i]).ok());
+  }
+  EXPECT_EQ((*tree)->size(), 800u);
+  auto nn = (*tree)->NearestNeighbor(points[123]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+TEST_F(XTreeTest, SupernodesAppearOnPathologicalSplits) {
+  // High-dimensional strongly-overlapping clusters make overlap-free
+  // directory splits impossible: the X-tree must fall back to
+  // supernodes rather than degrade the directory.
+  XTree::Options options;
+  options.max_overlap = 0.0;  // every split is "too much overlap"
+  auto tree = XTree::Build(Dataset(8), storage_, "x", disk_, options);
+  ASSERT_TRUE(tree.ok());
+  const Dataset points = GenerateUniform(4000, 8, 9);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE((*tree)->Insert(static_cast<PointId>(i), points[i]).ok());
+  }
+  EXPECT_GT((*tree)->ComputeStats().num_supernodes, 0u);
+  // Still correct.
+  auto nn = (*tree)->NearestNeighbor(points[42]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+TEST_F(XTreeTest, RemoveDeletesAndTightens) {
+  Dataset data = GenerateUniform(1200, 5, 11);
+  auto tree = XTree::Build(data, storage_, "x", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  Dataset reference(5);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE((*tree)->Remove(static_cast<PointId>(i), data[i]).ok())
+          << "removing " << i;
+    } else {
+      reference.Append(data[i]);
+    }
+  }
+  EXPECT_EQ((*tree)->size(), reference.size());
+  // Removed points are really gone and remaining queries stay exact.
+  const Dataset queries = GenerateUniform(10, 5, 12);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    double best = 1e300;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      best = std::min(best,
+                      Distance(queries[qi], reference[i], Metric::kL2));
+    }
+    auto nn = (*tree)->NearestNeighbor(queries[qi]);
+    ASSERT_TRUE(nn.ok());
+    EXPECT_NEAR(nn->distance, best, 1e-6);
+  }
+}
+
+TEST_F(XTreeTest, RemoveMissingIsNotFound) {
+  Dataset data = GenerateUniform(100, 4, 13);
+  auto tree = XTree::Build(data, storage_, "x", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const std::vector<float> center(4, 0.5f);
+  EXPECT_TRUE((*tree)->Remove(9999, center).IsNotFound());
+  const std::vector<float> wrong(5, 0.5f);
+  EXPECT_TRUE((*tree)->Remove(0, wrong).IsInvalidArgument());
+}
+
+TEST_F(XTreeTest, RemoveAllThenReinsert) {
+  Dataset data = GenerateUniform(300, 3, 14);
+  auto tree = XTree::Build(data, storage_, "x", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE((*tree)->Remove(static_cast<PointId>(i), data[i]).ok());
+  }
+  EXPECT_EQ((*tree)->size(), 0u);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE((*tree)->Insert(static_cast<PointId>(i), data[i]).ok());
+  }
+  EXPECT_EQ((*tree)->size(), 300u);
+  auto nn = (*tree)->NearestNeighbor(data[7]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->distance, 0.0);
+}
+
+TEST_F(XTreeTest, ChargesIoPerQuery) {
+  const Dataset data = GenerateUniform(5000, 8, 10);
+  auto tree = XTree::Build(data, storage_, "x", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  disk_.ResetStats();
+  const std::vector<float> q(8, 0.4f);
+  ASSERT_TRUE((*tree)->NearestNeighbor(q).ok());
+  EXPECT_GT(disk_.stats().seeks, 1u);
+  EXPECT_GT(disk_.stats().io_time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace iq

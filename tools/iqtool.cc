@@ -1,0 +1,299 @@
+// iqtool — command-line driver for the IQ-tree library.
+//
+// Indexes live as real files in a directory (FileStorage); datasets are
+// the binary format of data/dataset_io.h. All query costs are printed
+// in simulated disk seconds (see io/disk_model.h).
+//
+//   iqtool generate --out DIR/NAME --workload uniform|cad|color|weather
+//                   --n N --dims D [--seed S]
+//   iqtool build    --dir DIR --dataset NAME --index NAME
+//                   [--metric l2|lmax] [--no-quantize] [--fixed-bits G]
+//                   [--k K]
+//   iqtool query    --dir DIR --index NAME --point x,y,... [--k K]
+//                   [--radius R]
+//   iqtool stats    --dir DIR --index NAME
+//   iqtool validate --dir DIR --index NAME
+//   iqtool reopt    --dir DIR --index NAME
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/iq_tree.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+#include "io/storage.h"
+
+namespace iq {
+namespace {
+
+/// strtoull with a fallback instead of the throwing std::stoull.
+uint64_t ParseCount(const std::string& text, uint64_t fallback) {
+  if (text.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+double ParseNumber(const std::string& text, double fallback) {
+  if (text.empty()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& flag) const {
+    for (const std::string& f : flags) {
+      if (f == flag) return true;
+    }
+    return false;
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.options[token] = argv[++i];
+    } else {
+      args.flags.push_back(token);
+    }
+  }
+  return args;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: iqtool <generate|build|query|stats|validate|reopt> ...\n"
+      "  generate --out DIR/NAME --workload uniform|cad|color|weather\n"
+      "           --n N --dims D [--seed S]\n"
+      "  build    --dir DIR --dataset NAME --index NAME [--metric l2|lmax]\n"
+      "           [--no-quantize] [--fixed-bits G] [--k K]\n"
+      "  query    --dir DIR --index NAME --point x,y,... [--k K] [--radius R]\n"
+      "  stats    --dir DIR --index NAME\n"
+      "  validate --dir DIR --index NAME\n"
+      "  reopt    --dir DIR --index NAME\n");
+  return 2;
+}
+
+int Generate(const Args& args) {
+  const std::string out = args.Get("out");
+  const std::string workload = args.Get("workload", "uniform");
+  const size_t n = ParseCount(args.Get("n"), 10000);
+  const size_t dims = ParseCount(args.Get("dims"), 16);
+  const uint64_t seed = ParseCount(args.Get("seed"), 42);
+  if (out.empty()) return Usage();
+  const size_t slash = out.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : out.substr(0, slash);
+  const std::string name =
+      slash == std::string::npos ? out : out.substr(slash + 1);
+  Dataset data(dims);
+  if (workload == "uniform") {
+    data = GenerateUniform(n, dims, seed);
+  } else if (workload == "cad") {
+    data = GenerateCadLike(n, dims, seed);
+  } else if (workload == "color") {
+    data = GenerateColorLike(n, dims, seed);
+  } else if (workload == "weather") {
+    data = GenerateWeatherLike(n, dims, seed);
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 2;
+  }
+  FileStorage storage(dir);
+  if (Status s = WriteDataset(storage, name, data); !s.ok()) return Fail(s);
+  std::printf("wrote %zu x %zu '%s' dataset to %s/%s\n", n, dims,
+              workload.c_str(), dir.c_str(), name.c_str());
+  return 0;
+}
+
+int Build(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string dataset = args.Get("dataset");
+  const std::string index = args.Get("index");
+  if (dataset.empty() || index.empty()) return Usage();
+  FileStorage storage(dir);
+  auto data = ReadDataset(storage, dataset);
+  if (!data.ok()) return Fail(data.status());
+  DiskModel disk;
+  IqTree::Options options;
+  options.metric =
+      args.Get("metric", "l2") == "lmax" ? Metric::kLMax : Metric::kL2;
+  options.quantize = !args.Has("no-quantize");
+  options.fixed_quant_bits =
+      static_cast<unsigned>(ParseCount(args.Get("fixed-bits"), 0));
+  options.optimize_for_k =
+      static_cast<unsigned>(ParseCount(args.Get("k"), 1));
+  auto tree = IqTree::Build(*data, storage, index, disk, options);
+  if (!tree.ok()) return Fail(tree.status());
+  const auto& stats = (*tree)->build_stats();
+  std::printf("built '%s': %zu pages over %llu points (D_F=%.2f)\n",
+              index.c_str(), stats.num_pages,
+              static_cast<unsigned long long>((*tree)->size()),
+              stats.fractal_dimension);
+  std::printf("pages per level (g=1,2,4,8,16,32):");
+  for (size_t count : stats.pages_per_level) std::printf(" %zu", count);
+  std::printf("\nmodel-predicted query cost: %.4f s\n",
+              stats.expected_query_cost_s);
+  return 0;
+}
+
+Result<Point> ParsePoint(const std::string& text) {
+  Point p;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    char* end = nullptr;
+    const float value = std::strtof(item.c_str(), &end);
+    if (end == nullptr || *end != '\0' || item.empty()) {
+      return Status::InvalidArgument("bad coordinate '" + item + "'");
+    }
+    p.push_back(value);
+  }
+  if (p.empty()) return Status::InvalidArgument("empty point");
+  return p;
+}
+
+int Query(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string index = args.Get("index");
+  const std::string point = args.Get("point");
+  if (index.empty() || point.empty()) return Usage();
+  FileStorage storage(dir);
+  DiskModel disk;
+  auto tree = IqTree::Open(storage, index, disk);
+  if (!tree.ok()) return Fail(tree.status());
+  auto q = ParsePoint(point);
+  if (!q.ok()) return Fail(q.status());
+  if (q->size() != (*tree)->dims()) {
+    std::fprintf(stderr, "point has %zu dims, index has %zu\n", q->size(),
+                 (*tree)->dims());
+    return 2;
+  }
+  disk.ResetStats();
+  if (!args.Get("radius").empty()) {
+    const double radius = ParseNumber(args.Get("radius"), 0.0);
+    auto hits = (*tree)->RangeSearch(*q, radius);
+    if (!hits.ok()) return Fail(hits.status());
+    std::printf("%zu points within %.4f (%.4f simulated s):\n",
+                hits->size(), radius, disk.stats().io_time_s);
+    for (const Neighbor& r : *hits) {
+      std::printf("  id=%u dist=%.6f\n", r.id, r.distance);
+    }
+    return 0;
+  }
+  const size_t k = ParseCount(args.Get("k"), 1);
+  auto hits = (*tree)->KNearestNeighbors(*q, k);
+  if (!hits.ok()) return Fail(hits.status());
+  std::printf("%zu nearest neighbors (%.4f simulated s):\n", hits->size(),
+              disk.stats().io_time_s);
+  for (const Neighbor& r : *hits) {
+    std::printf("  id=%u dist=%.6f\n", r.id, r.distance);
+  }
+  return 0;
+}
+
+int Stats(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string index = args.Get("index");
+  if (index.empty()) return Usage();
+  FileStorage storage(dir);
+  DiskModel disk;
+  auto tree = IqTree::Open(storage, index, disk);
+  if (!tree.ok()) return Fail(tree.status());
+  std::printf("index:        %s/%s.{dir,qpg,dat}\n", dir.c_str(),
+              index.c_str());
+  std::printf("points:       %llu\n",
+              static_cast<unsigned long long>((*tree)->size()));
+  std::printf("dims:         %zu\n", (*tree)->dims());
+  std::printf("metric:       %s\n",
+              (*tree)->metric() == Metric::kL2 ? "L2" : "L-max");
+  std::printf("pages:        %zu\n", (*tree)->num_pages());
+  std::printf("fractal dim:  %.3f\n", (*tree)->fractal_dimension());
+  std::map<unsigned, size_t> levels;
+  uint64_t quantized_points = 0;
+  for (const DirEntry& entry : (*tree)->directory()) {
+    levels[entry.quant_bits] += 1;
+    if (entry.quant_bits < kExactBits) quantized_points += entry.count;
+  }
+  std::printf("levels:      ");
+  for (const auto& [g, count] : levels) {
+    std::printf(" g=%u:%zu", g, count);
+  }
+  std::printf("\ncompressed:   %.1f%% of points\n",
+              (*tree)->size() > 0
+                  ? 100.0 * static_cast<double>(quantized_points) /
+                        static_cast<double>((*tree)->size())
+                  : 0.0);
+  return 0;
+}
+
+int Validate(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string index = args.Get("index");
+  if (index.empty()) return Usage();
+  FileStorage storage(dir);
+  DiskModel disk;
+  auto tree = IqTree::Open(storage, index, disk);
+  if (!tree.ok()) return Fail(tree.status());
+  if (Status s = (*tree)->Validate(); !s.ok()) return Fail(s);
+  std::printf("OK: %zu pages, %llu points, all invariants hold\n",
+              (*tree)->num_pages(),
+              static_cast<unsigned long long>((*tree)->size()));
+  return 0;
+}
+
+int Reoptimize(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string index = args.Get("index");
+  if (index.empty()) return Usage();
+  FileStorage storage(dir);
+  DiskModel disk;
+  auto tree = IqTree::Open(storage, index, disk);
+  if (!tree.ok()) return Fail(tree.status());
+  const size_t pages_before = (*tree)->num_pages();
+  if (Status s = (*tree)->Reoptimize(); !s.ok()) return Fail(s);
+  std::printf("reoptimized: %zu -> %zu pages, predicted cost %.4f s\n",
+              pages_before, (*tree)->num_pages(),
+              (*tree)->build_stats().expected_query_cost_s);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.command == "generate") return Generate(args);
+  if (args.command == "build") return Build(args);
+  if (args.command == "query") return Query(args);
+  if (args.command == "stats") return Stats(args);
+  if (args.command == "validate") return Validate(args);
+  if (args.command == "reopt") return Reoptimize(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace iq
+
+int main(int argc, char** argv) { return iq::Run(argc, argv); }
