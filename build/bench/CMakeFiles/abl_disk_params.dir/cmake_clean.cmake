@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_disk_params.dir/abl_disk_params.cc.o"
+  "CMakeFiles/abl_disk_params.dir/abl_disk_params.cc.o.d"
+  "abl_disk_params"
+  "abl_disk_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_disk_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fractal.dir/abl_fractal.cc.o"
+  "CMakeFiles/abl_fractal.dir/abl_fractal.cc.o.d"
+  "abl_fractal"
+  "abl_fractal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fractal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_knn.dir/abl_knn.cc.o"
+  "CMakeFiles/abl_knn.dir/abl_knn.cc.o.d"
+  "abl_knn"
+  "abl_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pyramid.dir/abl_pyramid.cc.o"
+  "CMakeFiles/abl_pyramid.dir/abl_pyramid.cc.o.d"
+  "abl_pyramid"
+  "abl_pyramid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pyramid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vafile_bits.dir/abl_vafile_bits.cc.o"
+  "CMakeFiles/abl_vafile_bits.dir/abl_vafile_bits.cc.o.d"
+  "abl_vafile_bits"
+  "abl_vafile_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vafile_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

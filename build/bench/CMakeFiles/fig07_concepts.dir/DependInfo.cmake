@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_concepts.cc" "bench/CMakeFiles/fig07_concepts.dir/fig07_concepts.cc.o" "gcc" "bench/CMakeFiles/fig07_concepts.dir/fig07_concepts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_xtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_rstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_fractal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_pyramid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_vafile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

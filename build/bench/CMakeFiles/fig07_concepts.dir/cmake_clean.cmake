@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_concepts.dir/fig07_concepts.cc.o"
+  "CMakeFiles/fig07_concepts.dir/fig07_concepts.cc.o.d"
+  "fig07_concepts"
+  "fig07_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

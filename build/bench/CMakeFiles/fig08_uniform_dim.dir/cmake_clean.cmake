@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_uniform_dim.dir/fig08_uniform_dim.cc.o"
+  "CMakeFiles/fig08_uniform_dim.dir/fig08_uniform_dim.cc.o.d"
+  "fig08_uniform_dim"
+  "fig08_uniform_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_uniform_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cad.dir/fig10_cad.cc.o"
+  "CMakeFiles/fig10_cad.dir/fig10_cad.cc.o.d"
+  "fig10_cad"
+  "fig10_cad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

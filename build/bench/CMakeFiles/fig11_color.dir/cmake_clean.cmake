@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_color.dir/fig11_color.cc.o"
+  "CMakeFiles/fig11_color.dir/fig11_color.cc.o.d"
+  "fig11_color"
+  "fig11_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_weather.dir/fig12_weather.cc.o"
+  "CMakeFiles/fig12_weather.dir/fig12_weather.cc.o.d"
+  "fig12_weather"
+  "fig12_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

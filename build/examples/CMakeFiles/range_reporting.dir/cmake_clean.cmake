@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_reporting.dir/range_reporting.cpp.o"
+  "CMakeFiles/range_reporting.dir/range_reporting.cpp.o.d"
+  "range_reporting"
+  "range_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_neighbors.dir/weather_neighbors.cpp.o"
+  "CMakeFiles/weather_neighbors.dir/weather_neighbors.cpp.o.d"
+  "weather_neighbors"
+  "weather_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

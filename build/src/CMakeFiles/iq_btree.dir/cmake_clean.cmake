@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_btree.dir/btree/b_plus_tree.cc.o"
+  "CMakeFiles/iq_btree.dir/btree/b_plus_tree.cc.o.d"
+  "libiq_btree.a"
+  "libiq_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_common.dir/common/math_utils.cc.o"
+  "CMakeFiles/iq_common.dir/common/math_utils.cc.o.d"
+  "CMakeFiles/iq_common.dir/common/status.cc.o"
+  "CMakeFiles/iq_common.dir/common/status.cc.o.d"
+  "CMakeFiles/iq_common.dir/common/table.cc.o"
+  "CMakeFiles/iq_common.dir/common/table.cc.o.d"
+  "libiq_common.a"
+  "libiq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/format.cc" "src/CMakeFiles/iq_core.dir/core/format.cc.o" "gcc" "src/CMakeFiles/iq_core.dir/core/format.cc.o.d"
+  "/root/repo/src/core/iq_tree.cc" "src/CMakeFiles/iq_core.dir/core/iq_tree.cc.o" "gcc" "src/CMakeFiles/iq_core.dir/core/iq_tree.cc.o.d"
+  "/root/repo/src/core/iq_tree_builder.cc" "src/CMakeFiles/iq_core.dir/core/iq_tree_builder.cc.o" "gcc" "src/CMakeFiles/iq_core.dir/core/iq_tree_builder.cc.o.d"
+  "/root/repo/src/core/iq_tree_search.cc" "src/CMakeFiles/iq_core.dir/core/iq_tree_search.cc.o" "gcc" "src/CMakeFiles/iq_core.dir/core/iq_tree_search.cc.o.d"
+  "/root/repo/src/core/iq_tree_update.cc" "src/CMakeFiles/iq_core.dir/core/iq_tree_update.cc.o" "gcc" "src/CMakeFiles/iq_core.dir/core/iq_tree_update.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/CMakeFiles/iq_core.dir/core/partitioner.cc.o" "gcc" "src/CMakeFiles/iq_core.dir/core/partitioner.cc.o.d"
+  "/root/repo/src/core/split_tree_optimizer.cc" "src/CMakeFiles/iq_core.dir/core/split_tree_optimizer.cc.o" "gcc" "src/CMakeFiles/iq_core.dir/core/split_tree_optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_fractal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

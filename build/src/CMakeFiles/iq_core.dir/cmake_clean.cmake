@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_core.dir/core/format.cc.o"
+  "CMakeFiles/iq_core.dir/core/format.cc.o.d"
+  "CMakeFiles/iq_core.dir/core/iq_tree.cc.o"
+  "CMakeFiles/iq_core.dir/core/iq_tree.cc.o.d"
+  "CMakeFiles/iq_core.dir/core/iq_tree_builder.cc.o"
+  "CMakeFiles/iq_core.dir/core/iq_tree_builder.cc.o.d"
+  "CMakeFiles/iq_core.dir/core/iq_tree_search.cc.o"
+  "CMakeFiles/iq_core.dir/core/iq_tree_search.cc.o.d"
+  "CMakeFiles/iq_core.dir/core/iq_tree_update.cc.o"
+  "CMakeFiles/iq_core.dir/core/iq_tree_update.cc.o.d"
+  "CMakeFiles/iq_core.dir/core/partitioner.cc.o"
+  "CMakeFiles/iq_core.dir/core/partitioner.cc.o.d"
+  "CMakeFiles/iq_core.dir/core/split_tree_optimizer.cc.o"
+  "CMakeFiles/iq_core.dir/core/split_tree_optimizer.cc.o.d"
+  "libiq_core.a"
+  "libiq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

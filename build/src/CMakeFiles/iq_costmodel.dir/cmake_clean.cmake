@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_costmodel.dir/costmodel/access_probability.cc.o"
+  "CMakeFiles/iq_costmodel.dir/costmodel/access_probability.cc.o.d"
+  "CMakeFiles/iq_costmodel.dir/costmodel/cost_model.cc.o"
+  "CMakeFiles/iq_costmodel.dir/costmodel/cost_model.cc.o.d"
+  "libiq_costmodel.a"
+  "libiq_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

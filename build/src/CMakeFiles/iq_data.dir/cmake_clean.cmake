@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_data.dir/data/dataset.cc.o"
+  "CMakeFiles/iq_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/iq_data.dir/data/dataset_io.cc.o"
+  "CMakeFiles/iq_data.dir/data/dataset_io.cc.o.d"
+  "CMakeFiles/iq_data.dir/data/generators.cc.o"
+  "CMakeFiles/iq_data.dir/data/generators.cc.o.d"
+  "libiq_data.a"
+  "libiq_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiq_data.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_fractal.dir/fractal/fractal_dimension.cc.o"
+  "CMakeFiles/iq_fractal.dir/fractal/fractal_dimension.cc.o.d"
+  "libiq_fractal.a"
+  "libiq_fractal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_fractal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/mbr.cc" "src/CMakeFiles/iq_geom.dir/geom/mbr.cc.o" "gcc" "src/CMakeFiles/iq_geom.dir/geom/mbr.cc.o.d"
+  "/root/repo/src/geom/metrics.cc" "src/CMakeFiles/iq_geom.dir/geom/metrics.cc.o" "gcc" "src/CMakeFiles/iq_geom.dir/geom/metrics.cc.o.d"
+  "/root/repo/src/geom/volumes.cc" "src/CMakeFiles/iq_geom.dir/geom/volumes.cc.o" "gcc" "src/CMakeFiles/iq_geom.dir/geom/volumes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

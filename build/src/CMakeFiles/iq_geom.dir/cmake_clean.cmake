@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_geom.dir/geom/mbr.cc.o"
+  "CMakeFiles/iq_geom.dir/geom/mbr.cc.o.d"
+  "CMakeFiles/iq_geom.dir/geom/metrics.cc.o"
+  "CMakeFiles/iq_geom.dir/geom/metrics.cc.o.d"
+  "CMakeFiles/iq_geom.dir/geom/volumes.cc.o"
+  "CMakeFiles/iq_geom.dir/geom/volumes.cc.o.d"
+  "libiq_geom.a"
+  "libiq_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

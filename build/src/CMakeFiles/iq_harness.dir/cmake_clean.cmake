@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/iq_harness.dir/harness/experiment.cc.o.d"
+  "libiq_harness.a"
+  "libiq_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

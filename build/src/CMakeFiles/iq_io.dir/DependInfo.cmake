@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/block_cache.cc" "src/CMakeFiles/iq_io.dir/io/block_cache.cc.o" "gcc" "src/CMakeFiles/iq_io.dir/io/block_cache.cc.o.d"
+  "/root/repo/src/io/block_file.cc" "src/CMakeFiles/iq_io.dir/io/block_file.cc.o" "gcc" "src/CMakeFiles/iq_io.dir/io/block_file.cc.o.d"
+  "/root/repo/src/io/disk_model.cc" "src/CMakeFiles/iq_io.dir/io/disk_model.cc.o" "gcc" "src/CMakeFiles/iq_io.dir/io/disk_model.cc.o.d"
+  "/root/repo/src/io/extent_file.cc" "src/CMakeFiles/iq_io.dir/io/extent_file.cc.o" "gcc" "src/CMakeFiles/iq_io.dir/io/extent_file.cc.o.d"
+  "/root/repo/src/io/storage.cc" "src/CMakeFiles/iq_io.dir/io/storage.cc.o" "gcc" "src/CMakeFiles/iq_io.dir/io/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

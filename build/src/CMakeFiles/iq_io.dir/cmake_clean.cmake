@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_io.dir/io/block_cache.cc.o"
+  "CMakeFiles/iq_io.dir/io/block_cache.cc.o.d"
+  "CMakeFiles/iq_io.dir/io/block_file.cc.o"
+  "CMakeFiles/iq_io.dir/io/block_file.cc.o.d"
+  "CMakeFiles/iq_io.dir/io/disk_model.cc.o"
+  "CMakeFiles/iq_io.dir/io/disk_model.cc.o.d"
+  "CMakeFiles/iq_io.dir/io/extent_file.cc.o"
+  "CMakeFiles/iq_io.dir/io/extent_file.cc.o.d"
+  "CMakeFiles/iq_io.dir/io/storage.cc.o"
+  "CMakeFiles/iq_io.dir/io/storage.cc.o.d"
+  "libiq_io.a"
+  "libiq_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_pyramid.dir/pyramid/pyramid_technique.cc.o"
+  "CMakeFiles/iq_pyramid.dir/pyramid/pyramid_technique.cc.o.d"
+  "libiq_pyramid.a"
+  "libiq_pyramid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_pyramid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/bit_stream.cc" "src/CMakeFiles/iq_quant.dir/quant/bit_stream.cc.o" "gcc" "src/CMakeFiles/iq_quant.dir/quant/bit_stream.cc.o.d"
+  "/root/repo/src/quant/grid_quantizer.cc" "src/CMakeFiles/iq_quant.dir/quant/grid_quantizer.cc.o" "gcc" "src/CMakeFiles/iq_quant.dir/quant/grid_quantizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

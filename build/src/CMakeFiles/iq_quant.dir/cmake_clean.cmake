@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_quant.dir/quant/bit_stream.cc.o"
+  "CMakeFiles/iq_quant.dir/quant/bit_stream.cc.o.d"
+  "CMakeFiles/iq_quant.dir/quant/grid_quantizer.cc.o"
+  "CMakeFiles/iq_quant.dir/quant/grid_quantizer.cc.o.d"
+  "libiq_quant.a"
+  "libiq_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rstar/r_star_ops.cc" "src/CMakeFiles/iq_rstar.dir/rstar/r_star_ops.cc.o" "gcc" "src/CMakeFiles/iq_rstar.dir/rstar/r_star_ops.cc.o.d"
+  "/root/repo/src/rstar/r_star_tree.cc" "src/CMakeFiles/iq_rstar.dir/rstar/r_star_tree.cc.o" "gcc" "src/CMakeFiles/iq_rstar.dir/rstar/r_star_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_fractal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_rstar.dir/rstar/r_star_ops.cc.o"
+  "CMakeFiles/iq_rstar.dir/rstar/r_star_ops.cc.o.d"
+  "CMakeFiles/iq_rstar.dir/rstar/r_star_tree.cc.o"
+  "CMakeFiles/iq_rstar.dir/rstar/r_star_tree.cc.o.d"
+  "libiq_rstar.a"
+  "libiq_rstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_rstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_scan.dir/scan/seq_scan.cc.o"
+  "CMakeFiles/iq_scan.dir/scan/seq_scan.cc.o.d"
+  "libiq_scan.a"
+  "libiq_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

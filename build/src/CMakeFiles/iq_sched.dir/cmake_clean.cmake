@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_sched.dir/sched/fetch_plan.cc.o"
+  "CMakeFiles/iq_sched.dir/sched/fetch_plan.cc.o.d"
+  "CMakeFiles/iq_sched.dir/sched/nn_batcher.cc.o"
+  "CMakeFiles/iq_sched.dir/sched/nn_batcher.cc.o.d"
+  "libiq_sched.a"
+  "libiq_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

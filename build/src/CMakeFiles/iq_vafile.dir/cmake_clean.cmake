@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_vafile.dir/vafile/va_file.cc.o"
+  "CMakeFiles/iq_vafile.dir/vafile/va_file.cc.o.d"
+  "libiq_vafile.a"
+  "libiq_vafile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_vafile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

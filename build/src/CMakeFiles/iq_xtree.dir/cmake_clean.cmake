@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_xtree.dir/xtree/x_tree.cc.o"
+  "CMakeFiles/iq_xtree.dir/xtree/x_tree.cc.o.d"
+  "CMakeFiles/iq_xtree.dir/xtree/x_tree_build.cc.o"
+  "CMakeFiles/iq_xtree.dir/xtree/x_tree_build.cc.o.d"
+  "CMakeFiles/iq_xtree.dir/xtree/x_tree_search.cc.o"
+  "CMakeFiles/iq_xtree.dir/xtree/x_tree_search.cc.o.d"
+  "CMakeFiles/iq_xtree.dir/xtree/x_tree_update.cc.o"
+  "CMakeFiles/iq_xtree.dir/xtree/x_tree_update.cc.o.d"
+  "libiq_xtree.a"
+  "libiq_xtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_xtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

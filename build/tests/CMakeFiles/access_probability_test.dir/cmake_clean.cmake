@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_probability_test.dir/access_probability_test.cc.o"
+  "CMakeFiles/access_probability_test.dir/access_probability_test.cc.o.d"
+  "access_probability_test"
+  "access_probability_test.pdb"
+  "access_probability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_probability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

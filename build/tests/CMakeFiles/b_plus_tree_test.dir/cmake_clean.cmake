@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b_plus_tree_test.dir/b_plus_tree_test.cc.o"
+  "CMakeFiles/b_plus_tree_test.dir/b_plus_tree_test.cc.o.d"
+  "b_plus_tree_test"
+  "b_plus_tree_test.pdb"
+  "b_plus_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b_plus_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_stream_test.dir/bit_stream_test.cc.o"
+  "CMakeFiles/bit_stream_test.dir/bit_stream_test.cc.o.d"
+  "bit_stream_test"
+  "bit_stream_test.pdb"
+  "bit_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_file_test.dir/block_file_test.cc.o"
+  "CMakeFiles/block_file_test.dir/block_file_test.cc.o.d"
+  "block_file_test"
+  "block_file_test.pdb"
+  "block_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

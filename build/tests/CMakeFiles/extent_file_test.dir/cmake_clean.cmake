@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extent_file_test.dir/extent_file_test.cc.o"
+  "CMakeFiles/extent_file_test.dir/extent_file_test.cc.o.d"
+  "extent_file_test"
+  "extent_file_test.pdb"
+  "extent_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extent_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_plan_test.dir/fetch_plan_test.cc.o"
+  "CMakeFiles/fetch_plan_test.dir/fetch_plan_test.cc.o.d"
+  "fetch_plan_test"
+  "fetch_plan_test.pdb"
+  "fetch_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

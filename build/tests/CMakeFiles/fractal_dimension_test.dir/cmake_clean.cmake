@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractal_dimension_test.dir/fractal_dimension_test.cc.o"
+  "CMakeFiles/fractal_dimension_test.dir/fractal_dimension_test.cc.o.d"
+  "fractal_dimension_test"
+  "fractal_dimension_test.pdb"
+  "fractal_dimension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractal_dimension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_quantizer_test.dir/grid_quantizer_test.cc.o"
+  "CMakeFiles/grid_quantizer_test.dir/grid_quantizer_test.cc.o.d"
+  "grid_quantizer_test"
+  "grid_quantizer_test.pdb"
+  "grid_quantizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_quantizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

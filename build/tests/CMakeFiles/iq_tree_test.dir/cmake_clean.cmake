@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_tree_test.dir/iq_tree_test.cc.o"
+  "CMakeFiles/iq_tree_test.dir/iq_tree_test.cc.o.d"
+  "iq_tree_test"
+  "iq_tree_test.pdb"
+  "iq_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_batcher_test.dir/nn_batcher_test.cc.o"
+  "CMakeFiles/nn_batcher_test.dir/nn_batcher_test.cc.o.d"
+  "nn_batcher_test"
+  "nn_batcher_test.pdb"
+  "nn_batcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_batcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyramid_technique_test.dir/pyramid_technique_test.cc.o"
+  "CMakeFiles/pyramid_technique_test.dir/pyramid_technique_test.cc.o.d"
+  "pyramid_technique_test"
+  "pyramid_technique_test.pdb"
+  "pyramid_technique_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyramid_technique_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_correctness_test.dir/search_correctness_test.cc.o"
+  "CMakeFiles/search_correctness_test.dir/search_correctness_test.cc.o.d"
+  "search_correctness_test"
+  "search_correctness_test.pdb"
+  "search_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_tree_optimizer_test.dir/split_tree_optimizer_test.cc.o"
+  "CMakeFiles/split_tree_optimizer_test.dir/split_tree_optimizer_test.cc.o.d"
+  "split_tree_optimizer_test"
+  "split_tree_optimizer_test.pdb"
+  "split_tree_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_tree_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/va_file_test.dir/va_file_test.cc.o"
+  "CMakeFiles/va_file_test.dir/va_file_test.cc.o.d"
+  "va_file_test"
+  "va_file_test.pdb"
+  "va_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/va_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volumes_test.dir/volumes_test.cc.o"
+  "CMakeFiles/volumes_test.dir/volumes_test.cc.o.d"
+  "volumes_test"
+  "volumes_test.pdb"
+  "volumes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volumes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

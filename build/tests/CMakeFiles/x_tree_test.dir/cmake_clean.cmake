@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x_tree_test.dir/x_tree_test.cc.o"
+  "CMakeFiles/x_tree_test.dir/x_tree_test.cc.o.d"
+  "x_tree_test"
+  "x_tree_test.pdb"
+  "x_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

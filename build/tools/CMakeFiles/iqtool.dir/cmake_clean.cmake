@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqtool.dir/iqtool.cc.o"
+  "CMakeFiles/iqtool.dir/iqtool.cc.o.d"
+  "iqtool"
+  "iqtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
