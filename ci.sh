@@ -1,0 +1,7 @@
+#!/bin/sh
+# CI entry point: the Release + ASan/UBSan + clang-tidy matrix.
+# Thin wrapper over tools/run_checks.sh so CI and local runs stay
+# identical; the fuzz-corpus replay tests (fuzz_corpus_*) run inside
+# every ctest invocation.
+set -eu
+exec "$(dirname "$0")/tools/run_checks.sh" release sanitize tidy

@@ -1,0 +1,29 @@
+// Fuzz target for directory-entry parsing: the first input byte picks a
+// dimensionality, the rest is fed both to the single-entry parser
+// (ParseDirEntry) and, via MemoryStorage, to the whole-file reader
+// (ReadDirectory). Any outcome other than a clean Status is a bug.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/format.h"
+#include "io/storage.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 1) return 0;
+  const size_t dims = static_cast<size_t>(data[0] % 16) + 1;
+  const uint8_t* body = data + 1;
+  const size_t body_size = size - 1;
+
+  (void)iq::ParseDirEntry(std::span(body, body_size), dims);
+
+  iq::MemoryStorage storage;
+  auto file = storage.Create("d");
+  if (!file.ok()) return 0;
+  if (body_size > 0 && !(*file)->Write(0, body_size, body).ok()) return 0;
+  std::vector<iq::DirEntry> entries;
+  (void)iq::ReadDirectory(**file, &entries);
+  return 0;
+}

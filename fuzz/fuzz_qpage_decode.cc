@@ -1,0 +1,43 @@
+// Fuzz target for quantized-page decode: the first input byte picks a
+// dimensionality, the rest becomes the front of a zero-padded page fed
+// through DecodeHeader/DecodeCells/DecodeExact, plus the variable-size
+// exact-record codec on the raw bytes. Any outcome other than a clean
+// Status is a bug.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 1) return 0;
+  const size_t dims = static_cast<size_t>(data[0] % 32) + 1;
+  const uint8_t* body = data + 1;
+  const size_t body_size = size - 1;
+
+  constexpr uint32_t kBlockSize = 512;
+  std::vector<uint8_t> page(kBlockSize, 0);
+  std::memcpy(page.data(), body, std::min<size_t>(body_size, kBlockSize));
+
+  const iq::QuantPageCodec codec(dims, kBlockSize);
+  auto header = codec.DecodeHeader(page.data());
+  if (header.ok()) {
+    std::vector<uint32_t> cells;
+    std::vector<iq::PointId> ids;
+    std::vector<float> coords;
+    if (header->bits >= iq::kExactBits) {
+      (void)codec.DecodeExact(page.data(), &ids, &coords);
+    } else {
+      (void)codec.DecodeCells(page.data(), &cells);
+    }
+  }
+
+  const iq::ExactPageCodec exact(dims);
+  std::vector<iq::PointId> ids;
+  std::vector<float> coords;
+  (void)exact.Decode(body, body_size, &ids, &coords);
+  return 0;
+}

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Regenerates the checked-in fuzz seed corpus under fuzz/corpus/.
+
+Each seed's first byte selects the dimensionality inside the fuzz
+target; the rest is the serialized structure. The set covers the
+interesting decode branches: valid inputs, every rejection path
+(magic, dims, quantization level, truncation, capacity, NaN bounds),
+and plain garbage. Run from the repo root:  python3 fuzz/make_seed_corpus.py
+"""
+
+import os
+import struct
+
+ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "corpus")
+
+DIR_MAGIC = 0x49514431  # "IQD1"
+QP_MAGIC = 0x5150  # "QP"
+
+
+def dir_header(dims, total, block, metric, fractal, quantized, entries, k):
+    return struct.pack("<IIQIIdIIII", DIR_MAGIC, dims, total, block, metric,
+                       fractal, quantized, entries, k, 0)
+
+
+def dir_entry(dims, lb, ub, qpage, count, bits, off, length):
+    return (struct.pack(f"<{dims}f", *lb) + struct.pack(f"<{dims}f", *ub) +
+            struct.pack("<IIII", qpage, count, bits, 0) +
+            struct.pack("<QQ", off, length))
+
+
+def qpage(bits, count, payload=b""):
+    return struct.pack("<HHI", QP_MAGIC, bits, count) + payload
+
+
+def write(name, target, body, dims_byte):
+    path = os.path.join(ROOT, target, name)
+    with open(path, "wb") as f:
+        f.write(bytes([dims_byte]) + body)
+
+
+def main():
+    for target in ("fuzz_dir_parse", "fuzz_qpage_decode"):
+        os.makedirs(os.path.join(ROOT, target), exist_ok=True)
+
+    d = 4
+    exact_rec = 4 + 4 * d
+    lb, ub = [0.0] * d, [1.0] * d
+    valid = (dir_header(d, 7, 2048, 0, 2.5, 1, 2, 1) +
+             dir_entry(d, lb, ub, 0, 3, 2, 0, 3 * exact_rec) +
+             dir_entry(d, lb, ub, 1, 4, 32, 0, 0))
+    # dims_byte 3 -> dims 4 in the target (data[0] % 16 + 1)
+    write("valid_two_entries", "fuzz_dir_parse", valid, 3)
+    write("truncated_mid_entry", "fuzz_dir_parse", valid[:60], 3)
+    write("bad_magic", "fuzz_dir_parse", b"\xde\xad\xbe\xef" + valid[4:], 3)
+    write("zero_dims", "fuzz_dir_parse",
+          dir_header(0, 0, 2048, 0, 0.0, 1, 0, 1), 3)
+    write("huge_dims", "fuzz_dir_parse",
+          dir_header(1 << 20, 0, 2048, 0, 0.0, 1, 0, 1), 3)
+    write("huge_num_entries", "fuzz_dir_parse",
+          dir_header(d, 7, 2048, 0, 2.5, 1, 0xFFFFFFFF, 1), 3)
+    write("bad_quant_bits", "fuzz_dir_parse",
+          dir_header(d, 3, 2048, 0, 2.5, 1, 1, 1) +
+          dir_entry(d, lb, ub, 0, 3, 7, 0, 3 * exact_rec), 3)
+    write("nan_mbr", "fuzz_dir_parse",
+          dir_header(d, 3, 2048, 0, 2.5, 1, 1, 1) +
+          dir_entry(d, [float("nan")] * d, ub, 0, 3, 2, 0, 3 * exact_rec), 3)
+    write("inverted_mbr", "fuzz_dir_parse",
+          dir_header(d, 3, 2048, 0, 2.5, 1, 1, 1) +
+          dir_entry(d, ub, lb, 0, 3, 2, 0, 3 * exact_rec), 3)
+    write("oversized_extent", "fuzz_dir_parse",
+          dir_header(d, 3, 2048, 0, 2.5, 1, 1, 1) +
+          dir_entry(d, lb, ub, 0, 3, 2, 0xFFFFFFFFFFFFFF00, 3 * exact_rec), 3)
+    write("raw_entry_only", "fuzz_dir_parse",
+          dir_entry(d, lb, ub, 0, 3, 4, 0, 3 * exact_rec), 3)
+    write("garbage", "fuzz_dir_parse",
+          bytes((i * 37 + 11) % 256 for i in range(257)), 3)
+
+    # Quantized pages: target uses dims = data[0] % 32 + 1, block 512.
+    # dims_byte 7 -> dims 8; g=2 payload: 5 points * 8 dims * 2 bits = 10B.
+    write("valid_g2", "fuzz_qpage_decode", qpage(2, 5, bytes(10)), 7)
+    # Exact page: 3 records of (id, 8 floats) = 108 bytes.
+    write("valid_exact", "fuzz_qpage_decode",
+          qpage(32, 3, struct.pack("<I8f", 1, *([0.5] * 8)) * 3), 7)
+    write("bad_magic", "fuzz_qpage_decode", b"\xff\xff" + qpage(2, 5)[2:], 7)
+    write("bad_bits", "fuzz_qpage_decode", qpage(7, 5), 7)
+    write("count_over_capacity", "fuzz_qpage_decode",
+          qpage(16, 0xFFFF, bytes(64)), 7)
+    # Capacity-boundary count for g=16, dims=8: (504*8)//(16*8) = 31.
+    write("count_at_capacity", "fuzz_qpage_decode",
+          qpage(16, 31, bytes(498)), 7)
+    write("exact_over_capacity", "fuzz_qpage_decode", qpage(32, 200), 7)
+    write("empty_page", "fuzz_qpage_decode", qpage(2, 0), 7)
+    write("header_only", "fuzz_qpage_decode", qpage(2, 5)[:5], 7)
+    write("garbage", "fuzz_qpage_decode",
+          bytes((i * 101 + 53) % 256 for i in range(300)), 7)
+
+    print(f"wrote corpus under {ROOT}")
+
+
+if __name__ == "__main__":
+    main()

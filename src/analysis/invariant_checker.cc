@@ -1,0 +1,157 @@
+#include "analysis/invariant_checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "geom/metrics.h"
+#include "quant/grid_quantizer.h"
+
+namespace iq {
+namespace {
+
+std::string Where(size_t index) { return "entry " + std::to_string(index); }
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(const IndexMeta& meta, uint32_t block_size)
+    : meta_(meta), block_size_(block_size) {}
+
+Status InvariantChecker::CheckMeta() const {
+  if (meta_.dims == 0 || meta_.dims > 4096) {
+    return Status::Corruption("implausible dimensionality " +
+                              std::to_string(meta_.dims));
+  }
+  if (block_size_ <= kQuantPageHeaderBytes) {
+    return Status::Corruption("block size " + std::to_string(block_size_) +
+                              " not larger than the page header");
+  }
+  if (meta_.block_size != 0 && meta_.block_size != block_size_) {
+    return Status::Corruption("metadata block size " +
+                              std::to_string(meta_.block_size) +
+                              " disagrees with configured " +
+                              std::to_string(block_size_));
+  }
+  if (meta_.quantized > 1) {
+    return Status::Corruption("quantized flag out of range");
+  }
+  if (meta_.metric > static_cast<uint32_t>(Metric::kLMax)) {
+    return Status::Corruption("metric enum out of range");
+  }
+  return Status::OK();
+}
+
+Status InvariantChecker::CheckEntry(const DirEntry& entry, size_t index,
+                                    const FileBounds& bounds) const {
+  if (entry.mbr.dims() != meta_.dims) {
+    return Status::Corruption(Where(index) + ": MBR dimensionality mismatch");
+  }
+  for (size_t i = 0; i < entry.mbr.dims(); ++i) {
+    if (!std::isfinite(entry.mbr.lb(i)) || !std::isfinite(entry.mbr.ub(i)) ||
+        entry.mbr.lb(i) > entry.mbr.ub(i)) {
+      return Status::Corruption(Where(index) + ": MBR bounds invalid in dim " +
+                                std::to_string(i));
+    }
+  }
+  if (!IsQuantLevel(entry.quant_bits)) {
+    return Status::Corruption(Where(index) + ": quantization level " +
+                              std::to_string(entry.quant_bits) +
+                              " not on the ladder");
+  }
+  if (entry.count == 0) {
+    return Status::Corruption(Where(index) + ": empty page in directory");
+  }
+  if (entry.count >
+      QuantPageCapacity(meta_.dims, entry.quant_bits, block_size_)) {
+    return Status::Corruption(Where(index) + ": count over page capacity");
+  }
+  if (entry.qpage_block >= bounds.qpg_blocks) {
+    return Status::Corruption(Where(index) + ": quantized page " +
+                              std::to_string(entry.qpage_block) +
+                              " past end of .qpg");
+  }
+  if (entry.quant_bits >= kExactBits) {
+    if (entry.exact.length != 0) {
+      return Status::Corruption(Where(index) +
+                                ": exact page with a third level");
+    }
+  } else {
+    const uint64_t want =
+        static_cast<uint64_t>(entry.count) * ExactRecordBytes(meta_.dims);
+    if (entry.exact.length != want) {
+      return Status::Corruption(Where(index) + ": extent length " +
+                                std::to_string(entry.exact.length) +
+                                " != " + std::to_string(want));
+    }
+    // Overflow-safe in-bounds check: offset + length could wrap uint64.
+    if (entry.exact.length > bounds.dat_bytes ||
+        entry.exact.offset > bounds.dat_bytes - entry.exact.length) {
+      return Status::Corruption(Where(index) + ": extent past end of .dat");
+    }
+  }
+  return Status::OK();
+}
+
+Status InvariantChecker::CheckDirectory(const std::vector<DirEntry>& dir,
+                                        const FileBounds& bounds) const {
+  IQ_RETURN_NOT_OK(CheckMeta());
+  std::unordered_set<uint32_t> qpages;
+  qpages.reserve(dir.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < dir.size(); ++i) {
+    IQ_RETURN_NOT_OK(CheckEntry(dir[i], i, bounds));
+    if (!qpages.insert(dir[i].qpage_block).second) {
+      return Status::Corruption(Where(i) + ": quantized page " +
+                                std::to_string(dir[i].qpage_block) +
+                                " shared with another entry");
+    }
+    total += dir[i].count;
+  }
+  if (total != meta_.total_points) {
+    return Status::Corruption("directory counts sum to " +
+                              std::to_string(total) + ", metadata says " +
+                              std::to_string(meta_.total_points));
+  }
+  return Status::OK();
+}
+
+Status InvariantChecker::CheckPage(const DirEntry& entry, size_t index,
+                                   std::span<const uint8_t> page) const {
+  if (page.size() != block_size_) {
+    return Status::InvalidArgument(Where(index) +
+                                   ": page buffer is not one block");
+  }
+  const QuantPageCodec codec(meta_.dims, block_size_);
+  IQ_ASSIGN_OR_RETURN(QuantPageHeader header, codec.DecodeHeader(page.data()));
+  if (header.count != entry.count || header.bits != entry.quant_bits) {
+    return Status::Corruption(Where(index) +
+                              ": quantized page disagrees with directory");
+  }
+  if (entry.quant_bits >= kExactBits) return Status::OK();
+  std::vector<uint32_t> cells;
+  IQ_RETURN_NOT_OK(codec.DecodeCells(page.data(), &cells));
+  const GridQuantizer quantizer(entry.mbr, entry.quant_bits);
+  std::vector<uint32_t> point_cells(meta_.dims);
+  for (uint32_t s = 0; s < entry.count; ++s) {
+    std::copy(cells.begin() + static_cast<ptrdiff_t>(s) * meta_.dims,
+              cells.begin() + static_cast<ptrdiff_t>(s + 1) * meta_.dims,
+              point_cells.begin());
+    const Mbr box = quantizer.CellBox(point_cells);
+    for (size_t i = 0; i < meta_.dims; ++i) {
+      // Cell edges are computed in float from the MBR subdivision;
+      // allow a few rounding ulps before calling it a violation.
+      const float tol =
+          1e-4f * std::max(entry.mbr.Extent(i), 1e-6f);
+      if (box.lb(i) < entry.mbr.lb(i) - tol ||
+          box.ub(i) > entry.mbr.ub(i) + tol) {
+        return Status::Corruption(
+            Where(index) + ": decoded cell box escapes the page MBR in dim " +
+            std::to_string(i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace iq

@@ -1,0 +1,66 @@
+#ifndef IQ_ANALYSIS_INVARIANT_CHECKER_H_
+#define IQ_ANALYSIS_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/format.h"
+
+namespace iq {
+
+/// Validates the structural invariants of an IQ-tree index, at three
+/// depths (each used by `iqtool validate`, IqTree::Open and the
+/// IQ_DEBUG_INVARIANTS after-update hook):
+///
+///   meta        dims in [1, 4096], block size larger than the page
+///               header, metric/quantized flags in range
+///   directory   per entry: MBR finite, ordered and of meta dims;
+///               quant_bits on the ladder {1,2,4,8,16,32}; count > 0 and
+///               within page capacity; qpage_block inside the .qpg file;
+///               exact extent inside the .dat file (overflow-safe) with
+///               length exactly count exact records for g < 32 and 0 for
+///               g = 32; no two entries sharing a quantized page; counts
+///               summing to meta.total_points
+///   page        decoded page header agrees with the directory entry,
+///               and for g < 32 every decoded grid cell box is contained
+///               in the entry MBR (the level-1 ⊇ level-2 invariant)
+///
+/// All violations are reported as Corruption with the entry index.
+class InvariantChecker {
+ public:
+  /// File-size context for the bounds checks.
+  struct FileBounds {
+    uint64_t qpg_blocks = 0;  // blocks in the quantized-page file
+    uint64_t dat_bytes = 0;   // bytes in the exact-data file
+  };
+
+  InvariantChecker(const IndexMeta& meta, uint32_t block_size);
+
+  /// Index-wide metadata plausibility.
+  Status CheckMeta() const;
+
+  /// One directory entry against the file bounds.
+  Status CheckEntry(const DirEntry& entry, size_t index,
+                    const FileBounds& bounds) const;
+
+  /// CheckMeta + CheckEntry for every entry + cross-entry invariants
+  /// (unique quantized pages, total count agreement).
+  Status CheckDirectory(const std::vector<DirEntry>& dir,
+                        const FileBounds& bounds) const;
+
+  /// A loaded quantized page (block_size bytes) against its directory
+  /// entry: header agreement and, for g < 32, containment of every
+  /// decoded cell box in the entry MBR.
+  Status CheckPage(const DirEntry& entry, size_t index,
+                   std::span<const uint8_t> page) const;
+
+ private:
+  IndexMeta meta_;
+  uint32_t block_size_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_ANALYSIS_INVARIANT_CHECKER_H_

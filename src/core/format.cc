@@ -1,6 +1,7 @@
 #include "core/format.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "quant/bit_stream.h"
@@ -76,6 +77,45 @@ Status WriteDirectory(File& file, const IndexMeta& meta,
   return Status::OK();
 }
 
+Result<DirEntry> ParseDirEntry(std::span<const uint8_t> bytes, size_t dims) {
+  if (dims == 0) {
+    return Status::InvalidArgument("directory entry with zero dims");
+  }
+  if (bytes.size() < DirEntryBytes(dims)) {
+    return Status::Corruption("short directory entry: " +
+                              std::to_string(bytes.size()) + " bytes, need " +
+                              std::to_string(DirEntryBytes(dims)));
+  }
+  const uint8_t* p = bytes.data();
+  std::vector<float> lb(dims), ub(dims);
+  std::memcpy(lb.data(), p, sizeof(float) * dims);
+  p += sizeof(float) * dims;
+  std::memcpy(ub.data(), p, sizeof(float) * dims);
+  p += sizeof(float) * dims;
+  for (size_t i = 0; i < dims; ++i) {
+    if (!std::isfinite(lb[i]) || !std::isfinite(ub[i]) || lb[i] > ub[i]) {
+      return Status::Corruption("directory entry MBR bounds invalid in dim " +
+                                std::to_string(i));
+    }
+  }
+  DirEntry entry;
+  entry.mbr = Mbr::FromBounds(std::move(lb), std::move(ub));
+  std::memcpy(&entry.qpage_block, p, sizeof(uint32_t));
+  p += sizeof(uint32_t);
+  std::memcpy(&entry.count, p, sizeof(uint32_t));
+  p += sizeof(uint32_t);
+  std::memcpy(&entry.quant_bits, p, sizeof(uint32_t));
+  p += sizeof(uint32_t) + sizeof(uint32_t);  // skip reserved
+  std::memcpy(&entry.exact.offset, p, sizeof(uint64_t));
+  p += sizeof(uint64_t);
+  std::memcpy(&entry.exact.length, p, sizeof(uint64_t));
+  if (!IsQuantLevel(entry.quant_bits)) {
+    return Status::Corruption("invalid quantization level " +
+                              std::to_string(entry.quant_bits));
+  }
+  return entry;
+}
+
 Result<IndexMeta> ReadDirectory(File& file, std::vector<DirEntry>* entries) {
   if (file.Size() < sizeof(DirFileHeader)) {
     return Status::Corruption("directory file too small");
@@ -103,27 +143,8 @@ Result<IndexMeta> ReadDirectory(File& file, std::vector<DirEntry>* entries) {
   for (uint32_t i = 0; i < header.num_entries; ++i) {
     IQ_RETURN_NOT_OK(file.Read(offset, entry_bytes, buf.data()));
     offset += entry_bytes;
-    const uint8_t* p = buf.data();
-    std::vector<float> lb(dims), ub(dims);
-    std::memcpy(lb.data(), p, sizeof(float) * dims);
-    p += sizeof(float) * dims;
-    std::memcpy(ub.data(), p, sizeof(float) * dims);
-    p += sizeof(float) * dims;
-    DirEntry entry;
-    entry.mbr = Mbr::FromBounds(std::move(lb), std::move(ub));
-    std::memcpy(&entry.qpage_block, p, sizeof(uint32_t));
-    p += sizeof(uint32_t);
-    std::memcpy(&entry.count, p, sizeof(uint32_t));
-    p += sizeof(uint32_t);
-    std::memcpy(&entry.quant_bits, p, sizeof(uint32_t));
-    p += sizeof(uint32_t) + sizeof(uint32_t);  // skip reserved
-    std::memcpy(&entry.exact.offset, p, sizeof(uint64_t));
-    p += sizeof(uint64_t);
-    std::memcpy(&entry.exact.length, p, sizeof(uint64_t));
-    if (!IsQuantLevel(entry.quant_bits)) {
-      return Status::Corruption("invalid quantization level " +
-                                std::to_string(entry.quant_bits));
-    }
+    IQ_ASSIGN_OR_RETURN(DirEntry entry,
+                        ParseDirEntry(std::span(buf.data(), buf.size()), dims));
     entries->push_back(std::move(entry));
   }
   IndexMeta meta;
@@ -140,6 +161,9 @@ Result<IndexMeta> ReadDirectory(File& file, std::vector<DirEntry>* entries) {
 Status QuantPageCodec::EncodeCells(unsigned g,
                                    const std::vector<uint32_t>& cells,
                                    uint8_t* page) const {
+  if (dims_ == 0 || block_size_ <= kQuantPageHeaderBytes) {
+    return Status::InvalidArgument("quantized page codec misconfigured");
+  }
   if (g >= kExactBits || !IsQuantLevel(g)) {
     return Status::InvalidArgument("EncodeCells requires g in {1,2,4,8,16}");
   }
@@ -161,6 +185,9 @@ Status QuantPageCodec::EncodeCells(unsigned g,
 Status QuantPageCodec::EncodeExact(const std::vector<PointId>& ids,
                                    const std::vector<float>& coords,
                                    uint8_t* page) const {
+  if (dims_ == 0 || block_size_ <= kQuantPageHeaderBytes) {
+    return Status::InvalidArgument("quantized page codec misconfigured");
+  }
   if (coords.size() != ids.size() * dims_) {
     return Status::InvalidArgument("coords/ids size mismatch");
   }
@@ -183,6 +210,9 @@ Status QuantPageCodec::EncodeExact(const std::vector<PointId>& ids,
 
 Result<QuantPageHeader> QuantPageCodec::DecodeHeader(
     const uint8_t* page) const {
+  if (dims_ == 0 || block_size_ <= kQuantPageHeaderBytes) {
+    return Status::InvalidArgument("quantized page codec misconfigured");
+  }
   QuantPageHeader header;
   std::memcpy(&header, page, sizeof(header));
   if (header.magic != kQuantPageMagic) {
@@ -204,8 +234,15 @@ Status QuantPageCodec::DecodeCells(const uint8_t* page,
     return Status::InvalidArgument("DecodeCells on an exact page");
   }
   cells->resize(static_cast<size_t>(header.count) * dims_);
-  BitReader reader(page + kQuantPageHeaderBytes);
-  for (uint32_t& cell : *cells) cell = reader.Get(header.bits);
+  // The capacity check in DecodeHeader already bounds count, but the
+  // page bytes are untrusted input — read them through the checked
+  // reader so a bad header can only ever produce a Status.
+  CheckedBitReader reader(
+      std::span(page + kQuantPageHeaderBytes,
+                block_size_ - kQuantPageHeaderBytes));
+  for (uint32_t& cell : *cells) {
+    IQ_RETURN_NOT_OK(reader.Get(header.bits, &cell));
+  }
   return Status::OK();
 }
 
@@ -215,6 +252,11 @@ Status QuantPageCodec::DecodeExact(const uint8_t* page,
   IQ_ASSIGN_OR_RETURN(QuantPageHeader header, DecodeHeader(page));
   if (header.bits != kExactBits) {
     return Status::InvalidArgument("DecodeExact on a quantized page");
+  }
+  const uint64_t need = static_cast<uint64_t>(header.count) *
+                        (sizeof(uint32_t) + sizeof(float) * dims_);
+  if (need > block_size_ - kQuantPageHeaderBytes) {
+    return Status::Corruption("exact records exceed page payload");
   }
   ids->resize(header.count);
   coords->resize(static_cast<size_t>(header.count) * dims_);

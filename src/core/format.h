@@ -2,6 +2,7 @@
 #define IQ_CORE_FORMAT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -121,6 +122,13 @@ struct IndexMeta {
 Status WriteDirectory(File& file, const IndexMeta& meta,
                       const std::vector<DirEntry>& entries);
 Result<IndexMeta> ReadDirectory(File& file, std::vector<DirEntry>* entries);
+
+/// Checked parse of one serialized directory entry: `bytes` must hold
+/// exactly DirEntryBytes(dims) bytes. Rejects short buffers,
+/// out-of-ladder quant_bits and non-finite or inverted MBR bounds with
+/// Corruption — corrupt input never becomes a constructed entry. This
+/// is the only entry deserializer; ReadDirectory goes through it.
+Result<DirEntry> ParseDirEntry(std::span<const uint8_t> bytes, size_t dims);
 
 /// Encodes/decodes one quantized page payload.
 ///

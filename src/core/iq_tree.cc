@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/invariant_checker.h"
 #include "common/math_utils.h"
 #include "fractal/fractal_dimension.h"
 #include "quant/grid_quantizer.h"
@@ -31,20 +32,12 @@ Result<std::unique_ptr<IqTree>> IqTree::Open(Storage& storage,
   IQ_ASSIGN_OR_RETURN(
       tree->exact_, ExtentFile::Open(storage, DatFileName(name), disk,
                                      /*create=*/false));
-  // Structural sanity: entries must point inside their files.
-  const uint64_t qpage_blocks = tree->qpages_->NumBlocks();
-  const uint64_t dat_bytes = tree->exact_->SizeBytes();
-  for (const DirEntry& entry : tree->dir_) {
-    if (entry.qpage_block >= qpage_blocks) {
-      return Status::Corruption("directory entry points past .qpg");
-    }
-    if (entry.exact.offset + entry.exact.length > dat_bytes) {
-      return Status::Corruption("directory entry points past .dat");
-    }
-    if (entry.mbr.dims() != tree->meta_.dims) {
-      return Status::Corruption("directory entry dimensionality mismatch");
-    }
-  }
+  // Structural sanity: every entry must be internally consistent and
+  // point inside its files before anything trusts the directory.
+  const InvariantChecker checker(tree->meta_, disk.params().block_size);
+  IQ_RETURN_NOT_OK(checker.CheckDirectory(
+      tree->dir_, InvariantChecker::FileBounds{
+                      tree->qpages_->NumBlocks(), tree->exact_->SizeBytes()}));
   return tree;
 }
 
@@ -137,44 +130,35 @@ Status IqTree::Reoptimize() {
   options.optimize_for_k = meta_.knn_k;
   IQ_RETURN_NOT_OK(PopulateFromDataset(snapshot, &row_ids, options));
   dirty_ = true;
-  return Flush();
+  IQ_RETURN_NOT_OK(Flush());
+  return DebugCheckInvariants();
 }
 
 Status IqTree::Validate() const {
+  // Shallow pass first: metadata, every directory entry, and cross-entry
+  // invariants, without touching the data files.
+  const InvariantChecker checker(meta_, disk_->params().block_size);
+  IQ_RETURN_NOT_OK(checker.CheckDirectory(
+      dir_, InvariantChecker::FileBounds{qpages_->NumBlocks(),
+                                         exact_->SizeBytes()}));
+  // Deep scrub: decode every page of all three levels against the
+  // directory.
   QuantPageCodec codec(meta_.dims, disk_->params().block_size);
   std::vector<uint8_t> page(disk_->params().block_size);
   std::vector<bool> seen;  // id uniqueness, grown on demand
-  uint64_t total = 0;
   for (size_t i = 0; i < dir_.size(); ++i) {
     const DirEntry& entry = dir_[i];
     const std::string where = "entry " + std::to_string(i);
-    if (entry.count == 0) {
-      return Status::Corruption(where + ": empty page in directory");
-    }
-    total += entry.count;
-    if (entry.count > QuantPageCapacity(meta_.dims, entry.quant_bits,
-                                        disk_->params().block_size)) {
-      return Status::Corruption(where + ": count over page capacity");
-    }
     IQ_RETURN_NOT_OK(qpages_->ReadBlock(entry.qpage_block, page.data()));
-    IQ_ASSIGN_OR_RETURN(QuantPageHeader header,
-                        codec.DecodeHeader(page.data()));
-    if (header.count != entry.count || header.bits != entry.quant_bits) {
-      return Status::Corruption(where +
-                                ": quantized page disagrees with directory");
-    }
+    // Header agreement + decoded cell boxes contained in the entry MBR.
+    IQ_RETURN_NOT_OK(
+        checker.CheckPage(entry, i, std::span(page.data(), page.size())));
     std::vector<PointId> ids;
     std::vector<float> coords;
     std::vector<uint32_t> cells;
     if (entry.quant_bits >= kExactBits) {
-      if (entry.exact.length != 0) {
-        return Status::Corruption(where + ": exact page with a third level");
-      }
       IQ_RETURN_NOT_OK(codec.DecodeExact(page.data(), &ids, &coords));
     } else {
-      if (entry.exact.length != entry.count * ExactRecordBytes(meta_.dims)) {
-        return Status::Corruption(where + ": extent size mismatch");
-      }
       IQ_RETURN_NOT_OK(codec.DecodeCells(page.data(), &cells));
       IQ_RETURN_NOT_OK(LoadExactPage(i, &ids, &coords));
     }
@@ -203,10 +187,18 @@ Status IqTree::Validate() const {
       seen[ids[s]] = true;
     }
   }
-  if (total != meta_.total_points) {
-    return Status::Corruption("directory counts disagree with metadata");
-  }
   return Status::OK();
+}
+
+Status IqTree::DebugCheckInvariants() const {
+#if defined(IQ_DEBUG_INVARIANTS)
+  const InvariantChecker checker(meta_, disk_->params().block_size);
+  return checker.CheckDirectory(
+      dir_, InvariantChecker::FileBounds{qpages_->NumBlocks(),
+                                         exact_->SizeBytes()});
+#else
+  return Status::OK();
+#endif
 }
 
 Status IqTree::Flush() {

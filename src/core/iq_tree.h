@@ -217,6 +217,11 @@ class IqTree {
 
   CostModel MakeCostModel() const;
 
+  /// Re-checks the directory invariants (analysis/invariant_checker.h)
+  /// after a build/update operation. No-op unless compiled with
+  /// -DIQ_DEBUG_INVARIANTS=ON.
+  Status DebugCheckInvariants() const;
+
   IndexMeta meta_;
   Storage* storage_ = nullptr;
   std::string name_;

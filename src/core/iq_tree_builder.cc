@@ -125,6 +125,7 @@ Result<std::unique_ptr<IqTree>> IqTree::Build(const Dataset& data,
 
   tree->dirty_ = true;
   IQ_RETURN_NOT_OK(tree->Flush());
+  IQ_RETURN_NOT_OK(tree->DebugCheckInvariants());
   return tree;
 }
 

@@ -183,7 +183,8 @@ Status IqTree::Insert(PointId id, PointView p) {
   if (dir_.empty()) {
     std::vector<PointId> ids{id};
     std::vector<float> coords(p.begin(), p.end());
-    return AppendEntry(ids, coords);
+    IQ_RETURN_NOT_OK(AppendEntry(ids, coords));
+    return DebugCheckInvariants();
   }
   // Target page: least margin enlargement, then smaller margin.
   size_t best = 0;
@@ -204,7 +205,8 @@ Status IqTree::Insert(PointId id, PointView p) {
   IQ_RETURN_NOT_OK(LoadExactPage(best, &ids, &coords));
   ids.push_back(id);
   coords.insert(coords.end(), p.begin(), p.end());
-  return RewriteEntry(best, std::move(ids), std::move(coords));
+  IQ_RETURN_NOT_OK(RewriteEntry(best, std::move(ids), std::move(coords)));
+  return DebugCheckInvariants();
 }
 
 Status IqTree::InsertBatch(std::span<const PointId> ids,
@@ -257,7 +259,7 @@ Status IqTree::InsertBatch(std::span<const PointId> ids,
                                   std::move(page_coords)));
   }
   dirty_ = true;
-  return Status::OK();
+  return DebugCheckInvariants();
 }
 
 Status IqTree::Remove(PointId id, PointView p) {
@@ -280,7 +282,8 @@ Status IqTree::Remove(PointId id, PointView p) {
     dirty_ = true;
     // RewriteEntry re-tightens the MBR and re-quantizes at the finest
     // level the shrunk page now fits.
-    return RewriteEntry(i, std::move(ids), std::move(coords));
+    IQ_RETURN_NOT_OK(RewriteEntry(i, std::move(ids), std::move(coords)));
+    return DebugCheckInvariants();
   }
   return Status::NotFound("point " + std::to_string(id) + " not in index");
 }

@@ -17,13 +17,13 @@ class MemoryFile : public File {
                              " + length " + std::to_string(length) +
                              " past end " + std::to_string(data_.size()));
     }
-    std::memcpy(out, data_.data() + offset, length);
+    if (length > 0) std::memcpy(out, data_.data() + offset, length);
     return Status::OK();
   }
 
   Status Write(uint64_t offset, uint64_t length, const void* data) override {
     if (offset + length > data_.size()) data_.resize(offset + length);
-    std::memcpy(data_.data() + offset, data, length);
+    if (length > 0) std::memcpy(data_.data() + offset, data, length);
     return Status::OK();
   }
 

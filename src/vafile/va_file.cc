@@ -172,7 +172,7 @@ Status VaFile::Flush() {
   IQ_RETURN_NOT_OK(approx_file_->Resize(0));
   IQ_RETURN_NOT_OK(approx_file_->Write(0, sizeof(header), &header));
   IQ_RETURN_NOT_OK(approx_file_->Write(
-      sizeof(header), 2 * sizeof(float) * dims_, domain_.lower().data()));
+      sizeof(header), sizeof(float) * dims_, domain_.lower().data()));
   IQ_RETURN_NOT_OK(approx_file_->Write(
       sizeof(header) + sizeof(float) * dims_, sizeof(float) * dims_,
       domain_.upper().data()));

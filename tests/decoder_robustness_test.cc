@@ -3,6 +3,9 @@
 // formats, garbage-but-bounded data) — never crashes, hangs or
 // out-of-bounds reads. Poor man's fuzzing, deterministic via seeds.
 
+#include <cstring>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,7 +15,9 @@
 #include "core/format.h"
 #include "core/iq_tree.h"
 #include "data/dataset_io.h"
+#include "data/generators.h"
 #include "pyramid/pyramid_technique.h"
+#include "quant/bit_stream.h"
 #include "rstar/r_star_tree.h"
 #include "scan/seq_scan.h"
 #include "vafile/va_file.h"
@@ -84,6 +89,158 @@ TEST(DecoderRobustnessTest, AllOpensRejectGarbageFiles) {
     EXPECT_FALSE(PyramidTechnique::Open(storage, "g", disk).ok());
     EXPECT_FALSE(ReadDataset(storage, "g.dir").ok());
   }
+}
+
+// --- Targeted corruption of real index files -------------------------
+//
+// Unlike the random-bytes tests above, these take a correctly built
+// index and damage one specific field, asserting the checked decode
+// path reports a clean Status (and stays in bounds under ASan).
+
+constexpr uint32_t kDirHeaderBytes = 48;
+
+/// Builds a small index whose pages are quantized (g < 32, so they have
+/// third-level extents) and returns its directory entries.
+std::vector<DirEntry> BuildQuantizedIndex(MemoryStorage* storage,
+                                          DiskModel* disk) {
+  const Dataset data = GenerateUniform(3000, 4, 11);
+  IqTree::Options options;
+  options.fixed_quant_bits = 8;  // force g < 32 so pages carry extents
+  auto tree = IqTree::Build(data, *storage, "idx", *disk, options);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return (*tree)->directory();
+}
+
+/// Byte offset of directory entry `index` inside the .dir file.
+uint64_t EntryOffset(size_t index, size_t dims) {
+  return kDirHeaderBytes + index * DirEntryBytes(dims);
+}
+
+/// Index of the first entry stored at a quantized level (has an extent).
+size_t FirstQuantizedEntry(const std::vector<DirEntry>& dir) {
+  for (size_t i = 0; i < dir.size(); ++i) {
+    if (dir[i].quant_bits < kExactBits) return i;
+  }
+  ADD_FAILURE() << "no quantized entry in test index";
+  return 0;
+}
+
+TEST(CorruptIndexTest, TruncatedDirectoryFileRejected) {
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+  const auto dir = BuildQuantizedIndex(&storage, &disk);
+  ASSERT_GE(dir.size(), 2u);
+  auto file = storage.Open("idx.dir");
+  ASSERT_TRUE(file.ok());
+  const uint64_t full = (*file)->Size();
+  // Cut before the header, inside the header, at a whole-entry boundary
+  // minus one, and mid-entry: every truncation must be a clean error.
+  for (const uint64_t cut :
+       {uint64_t{0}, uint64_t{7}, uint64_t{kDirHeaderBytes - 1},
+        EntryOffset(1, 4) - 1, EntryOffset(1, 4) + 13, full - 1}) {
+    ASSERT_TRUE((*file)->Resize(cut).ok());
+    auto opened = IqTree::Open(storage, "idx", disk);
+    EXPECT_FALSE(opened.ok()) << "cut at " << cut;
+    EXPECT_TRUE(opened.status().IsCorruption()) << opened.status().ToString();
+  }
+}
+
+TEST(CorruptIndexTest, OutOfRangeQuantBitsRejected) {
+  for (const uint32_t bad_bits : {0u, 3u, 7u, 33u, 0xFFFFFFFFu}) {
+    MemoryStorage storage;
+    DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+    const auto dir = BuildQuantizedIndex(&storage, &disk);
+    auto file = storage.Open("idx.dir");
+    ASSERT_TRUE(file.ok());
+    // quant_bits sits after the MBR (2*4*dims bytes) and two uint32s.
+    const uint64_t pos = EntryOffset(0, 4) + 2 * sizeof(float) * 4 +
+                         2 * sizeof(uint32_t);
+    ASSERT_TRUE((*file)->Write(pos, sizeof(bad_bits), &bad_bits).ok());
+    auto opened = IqTree::Open(storage, "idx", disk);
+    EXPECT_FALSE(opened.ok()) << "bits " << bad_bits;
+    EXPECT_TRUE(opened.status().IsCorruption()) << opened.status().ToString();
+  }
+}
+
+TEST(CorruptIndexTest, OversizedExtentOffsetRejected) {
+  // Offsets that point past .dat, including one that would wrap uint64
+  // in a naive offset+length check.
+  for (const uint64_t bad_offset :
+       {uint64_t{1} << 40, ~uint64_t{0} - 256, ~uint64_t{0}}) {
+    MemoryStorage storage;
+    DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+    const auto dir = BuildQuantizedIndex(&storage, &disk);
+    const size_t victim = FirstQuantizedEntry(dir);
+    auto file = storage.Open("idx.dir");
+    ASSERT_TRUE(file.ok());
+    const uint64_t pos = EntryOffset(victim, 4) + 2 * sizeof(float) * 4 +
+                         4 * sizeof(uint32_t);
+    ASSERT_TRUE((*file)->Write(pos, sizeof(bad_offset), &bad_offset).ok());
+    auto opened = IqTree::Open(storage, "idx", disk);
+    EXPECT_FALSE(opened.ok()) << "offset " << bad_offset;
+    EXPECT_TRUE(opened.status().IsCorruption()) << opened.status().ToString();
+  }
+}
+
+TEST(CorruptIndexTest, OversizedExtentLengthRejected) {
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+  const auto dir = BuildQuantizedIndex(&storage, &disk);
+  const size_t victim = FirstQuantizedEntry(dir);
+  auto file = storage.Open("idx.dir");
+  ASSERT_TRUE(file.ok());
+  const uint64_t bad_length = ~uint64_t{0} - 64;
+  const uint64_t pos = EntryOffset(victim, 4) + 2 * sizeof(float) * 4 +
+                       4 * sizeof(uint32_t) + sizeof(uint64_t);
+  ASSERT_TRUE((*file)->Write(pos, sizeof(bad_length), &bad_length).ok());
+  auto opened = IqTree::Open(storage, "idx", disk);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCorruption()) << opened.status().ToString();
+}
+
+TEST(CorruptIndexTest, NonFiniteMbrRejected) {
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+  BuildQuantizedIndex(&storage, &disk);
+  auto file = storage.Open("idx.dir");
+  ASSERT_TRUE(file.ok());
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  ASSERT_TRUE((*file)->Write(EntryOffset(0, 4), sizeof(nan), &nan).ok());
+  auto opened = IqTree::Open(storage, "idx", disk);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCorruption()) << opened.status().ToString();
+}
+
+TEST(CheckedBitReaderTest, StopsAtBufferEnd) {
+  const std::vector<uint8_t> buf(2, 0xFF);
+  CheckedBitReader reader(std::span(buf.data(), buf.size()));
+  uint32_t v = 0;
+  ASSERT_TRUE(reader.Get(12, &v).ok());
+  EXPECT_EQ(v, 0xFFFu);
+  EXPECT_EQ(reader.bits_remaining(), 4u);
+  EXPECT_TRUE(reader.Get(5, &v).IsOutOfRange());
+  // A failed read leaves the cursor (and value) untouched.
+  EXPECT_EQ(reader.bit_position(), 12u);
+  ASSERT_TRUE(reader.Get(4, &v).ok());
+  EXPECT_TRUE(reader.Get(1, &v).IsOutOfRange());
+  EXPECT_TRUE(reader.Seek(17).IsOutOfRange());
+  ASSERT_TRUE(reader.Seek(0).ok());
+  ASSERT_TRUE(reader.Get(16, &v).ok());
+  EXPECT_EQ(v, 0xFFFFu);
+}
+
+TEST(CheckedBitReaderTest, RejectsOversizedWidth) {
+  const std::vector<uint8_t> buf(16, 0);
+  CheckedBitReader reader(std::span(buf.data(), buf.size()));
+  uint32_t v = 0;
+  EXPECT_TRUE(reader.Get(33, &v).IsInvalidArgument());
+}
+
+TEST(ParseDirEntryTest, ShortBufferRejected) {
+  const std::vector<uint8_t> bytes(DirEntryBytes(4) - 1, 0);
+  auto parsed = ParseDirEntry(std::span(bytes.data(), bytes.size()), 4);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption());
 }
 
 TEST(DecoderRobustnessTest, DirectoryReaderOnGarbage) {

@@ -76,8 +76,8 @@ INSTANTIATE_TEST_SUITE_P(
         SearchCase{"l2_opt_noquant", 3000, 8, Metric::kL2, true, false},
         SearchCase{"l2_opt_highdim", 2000, 16, Metric::kL2, true, true},
         SearchCase{"l2_opt_lowdim", 3000, 2, Metric::kL2, true, true}),
-    [](const ::testing::TestParamInfo<SearchCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<SearchCase>& param) {
+      return param.param.name;
     });
 
 TEST(IqRangeSearchTest, MatchesBruteForce) {

@@ -105,8 +105,8 @@ TEST_P(StorageTest, CreateTruncatesExisting) {
 
 INSTANTIATE_TEST_SUITE_P(MemoryAndFile, StorageTest,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "File" : "Memory";
+                         [](const ::testing::TestParamInfo<bool>& param) {
+                           return param.param ? "File" : "Memory";
                          });
 
 }  // namespace

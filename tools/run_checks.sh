@@ -1,0 +1,60 @@
+#!/bin/sh
+# End-to-end check driver: builds and tests the repo in its three
+# hardening configurations (see docs/hardening.md):
+#
+#   release   RelWithDebInfo, -Werror, full ctest suite
+#   sanitize  ASan+UBSan (-DIQ_SANITIZE=address,undefined), full ctest
+#   tidy      clang-tidy over src/ via -DIQ_CLANG_TIDY=ON (skipped with
+#             a notice when no clang-tidy is installed)
+#
+# Usage: tools/run_checks.sh [release|sanitize|tidy]...
+#        (no arguments runs all three)
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+STEPS="${*:-release sanitize tidy}"
+
+run_suite() {
+    build_dir="$1"
+    shift
+    echo "==> configure $build_dir: $*"
+    cmake -B "$ROOT/$build_dir" -S "$ROOT" "$@" >/dev/null
+    echo "==> build $build_dir"
+    cmake --build "$ROOT/$build_dir" -j "$JOBS"
+    echo "==> ctest $build_dir"
+    (cd "$ROOT/$build_dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+for step in $STEPS; do
+    case "$step" in
+    release)
+        run_suite build-release -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DIQ_WERROR=ON
+        ;;
+    sanitize)
+        # Leak checking is part of ASan by default; fail on the first
+        # UBSan finding (-fno-sanitize-recover is set by the build).
+        run_suite build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DIQ_SANITIZE=address,undefined -DIQ_WERROR=ON \
+            -DIQ_DEBUG_INVARIANTS=ON
+        ;;
+    tidy)
+        if command -v clang-tidy >/dev/null 2>&1; then
+            echo "==> clang-tidy (via IQ_CLANG_TIDY build)"
+            cmake -B "$ROOT/build-tidy" -S "$ROOT" \
+                -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIQ_CLANG_TIDY=ON \
+                >/dev/null
+            cmake --build "$ROOT/build-tidy" -j "$JOBS"
+        else
+            echo "==> tidy: clang-tidy not installed, skipping (config: .clang-tidy)"
+        fi
+        ;;
+    *)
+        echo "unknown step '$step' (want release|sanitize|tidy)" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "all checks passed: $STEPS"
