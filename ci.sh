@@ -1,7 +1,8 @@
 #!/bin/sh
-# CI entry point: the Release + ASan/UBSan + clang-tidy matrix.
+# CI entry point: the Release + ASan/UBSan + TSan + clang-tidy matrix.
 # Thin wrapper over tools/run_checks.sh so CI and local runs stay
 # identical; the fuzz-corpus replay tests (fuzz_corpus_*) run inside
-# every ctest invocation.
+# every ctest invocation, and the thread leg runs the concurrency
+# stress suite under a real race detector (docs/concurrency.md).
 set -eu
-exec "$(dirname "$0")/tools/run_checks.sh" release sanitize tidy
+exec "$(dirname "$0")/tools/run_checks.sh" release sanitize thread tidy

@@ -1,0 +1,81 @@
+#ifndef IQ_COMMON_THREAD_ANNOTATIONS_H_
+#define IQ_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros (the Abseil/LevelDB
+/// convention; see docs/concurrency.md). Annotating a mutex with
+/// IQ_CAPABILITY and the data it protects with IQ_GUARDED_BY turns
+/// "this field is only touched under the cache mutex" from a comment
+/// into a compile-time check: any access outside a critical section is
+/// a -Wthread-safety error (promoted to a build break for all iq
+/// targets when the compiler is Clang).
+///
+/// GCC has no -Wthread-safety, so under GCC every macro expands to
+/// nothing — the code compiles identically and the dynamic layer
+/// (IQ_SANITIZE=thread, see docs/hardening.md) carries the race
+/// detection instead. Static screening where available, runtime
+/// verification everywhere: both legs check the same lock discipline.
+
+#if defined(__clang__)
+#define IQ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IQ_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in
+/// diagnostics).
+#define IQ_CAPABILITY(x) IQ_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define IQ_SCOPED_CAPABILITY IQ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a field/variable may only be accessed while holding
+/// the given capability.
+#define IQ_GUARDED_BY(x) IQ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the data pointed to may only be accessed while
+/// holding the given capability (the pointer itself is unguarded).
+#define IQ_PT_GUARDED_BY(x) IQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: acquires the capability (exclusively / shared).
+#define IQ_ACQUIRE(...) IQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IQ_ACQUIRE_SHARED(...) \
+  IQ_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases the capability. IQ_RELEASE_GENERIC
+/// covers RAII destructors that release either mode.
+#define IQ_RELEASE(...) IQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IQ_RELEASE_SHARED(...) \
+  IQ_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define IQ_RELEASE_GENERIC(...) \
+  IQ_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must hold the capability
+/// (exclusively / shared) on entry, and still holds it on exit.
+#define IQ_REQUIRES(...) IQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IQ_REQUIRES_SHARED(...) \
+  IQ_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must NOT hold the capability (the
+/// function acquires it itself; calling with it held would deadlock).
+#define IQ_EXCLUDES(...) IQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations for deadlock detection.
+#define IQ_ACQUIRED_BEFORE(...) \
+  IQ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define IQ_ACQUIRED_AFTER(...) IQ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the named capability.
+#define IQ_RETURN_CAPABILITY(x) IQ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Function attribute: asserts (at runtime) that the capability is
+/// held, teaching the analysis it is from here on.
+#define IQ_ASSERT_CAPABILITY(x) IQ_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use
+/// must carry a comment justifying why the analysis cannot see the
+/// invariant that makes the code safe.
+#define IQ_NO_THREAD_SAFETY_ANALYSIS \
+  IQ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // IQ_COMMON_THREAD_ANNOTATIONS_H_

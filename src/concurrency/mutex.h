@@ -1,0 +1,126 @@
+#ifndef IQ_CONCURRENCY_MUTEX_H_
+#define IQ_CONCURRENCY_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace iq {
+
+/// std::mutex carrying the Clang Thread Safety Analysis capability
+/// attributes, so `IQ_GUARDED_BY(mu_)` declarations on the data it
+/// protects are compile-time enforced (see
+/// common/thread_annotations.h). Always prefer the scoped MutexLock
+/// over manual Lock/Unlock pairs.
+///
+/// Locking hierarchy (IQ_ACQUIRED_AFTER is declared where two locks
+/// can nest): leaf mutexes only so far — BlockCache::mu_ and
+/// DiskModel::mu_ are never held while acquiring another iq lock.
+class IQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() IQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() IQ_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section over a Mutex.
+class IQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) IQ_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() IQ_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// std::shared_mutex with the capability attributes: one writer or
+/// many readers. Use for state that is read on every query but written
+/// rarely (directory swaps, config reloads).
+class IQ_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() IQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() IQ_RELEASE() { mu_.unlock(); }
+  void ReaderLock() IQ_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() IQ_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive (writer) section over a SharedMutex.
+class IQ_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) IQ_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() IQ_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) section over a SharedMutex.
+class IQ_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) IQ_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() IQ_RELEASE_SHARED() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to one Mutex (the LevelDB port::CondVar
+/// shape). Wait/Signal carry no thread-safety attributes: the caller
+/// holds the mutex across Wait() from the analysis' point of view
+/// (Wait releases and reacquires it internally via the adopt-lock
+/// dance, which the analysis cannot model — the net lock state is
+/// unchanged, so no annotation is the accurate one).
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu, blocks until signaled, reacquires *mu.
+  /// Spurious wakeups happen: always wait in a predicate loop.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_CONCURRENCY_MUTEX_H_

@@ -1,0 +1,54 @@
+#include "concurrency/parallel_query_runner.h"
+
+#include <future>
+#include <utility>
+
+namespace iq {
+
+ParallelQueryRunner::ParallelQueryRunner(const IqTree& tree,
+                                         size_t num_threads)
+    : tree_(tree), pool_(num_threads) {}
+
+template <typename RunOne>
+Status ParallelQueryRunner::RunAll(size_t n, const RunOne& run_one) {
+  std::vector<std::future<Status>> pending;
+  pending.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pending.push_back(pool_.Submit([&run_one, i]() { return run_one(i); }));
+  }
+  // Always drain every future — early return on the first error would
+  // leave workers writing into result slots the caller is abandoning.
+  Status first_error = Status::OK();
+  for (std::future<Status>& f : pending) {
+    Status s = f.get();
+    if (!s.ok() && first_error.ok()) first_error = std::move(s);
+  }
+  return first_error;
+}
+
+Result<std::vector<std::vector<Neighbor>>> ParallelQueryRunner::KnnBatch(
+    const Dataset& queries, size_t k, const IqSearchOptions& options) {
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  IQ_RETURN_NOT_OK(RunAll(queries.size(), [&](size_t i) -> Status {
+    Result<std::vector<Neighbor>> r =
+        tree_.KNearestNeighbors(queries[i], k, options);
+    if (!r.ok()) return r.status();
+    results[i] = std::move(r).value();
+    return Status::OK();
+  }));
+  return results;
+}
+
+Result<std::vector<std::vector<Neighbor>>> ParallelQueryRunner::RangeBatch(
+    const Dataset& queries, double radius) {
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  IQ_RETURN_NOT_OK(RunAll(queries.size(), [&](size_t i) -> Status {
+    Result<std::vector<Neighbor>> r = tree_.RangeSearch(queries[i], radius);
+    if (!r.ok()) return r.status();
+    results[i] = std::move(r).value();
+    return Status::OK();
+  }));
+  return results;
+}
+
+}  // namespace iq

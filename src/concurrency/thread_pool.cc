@@ -1,0 +1,48 @@
+#include "concurrency/thread_pool.h"
+
+#include <algorithm>
+
+namespace iq {
+
+ThreadPool::ThreadPool(size_t num_threads) : cv_(&mu_) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  cv_.SignalAll();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    MutexLock lock(&mu_);
+    // Scheduling after the destructor has started would race with the
+    // drain; the single-owner usage model makes it a programming error.
+    queue_.push_back(std::move(task));
+  }
+  cv_.Signal();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !shutdown_) cv_.Wait();
+      if (queue_.empty()) return;  // shutdown and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace iq

@@ -1,0 +1,71 @@
+#ifndef IQ_CONCURRENCY_THREAD_POOL_H_
+#define IQ_CONCURRENCY_THREAD_POOL_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "concurrency/mutex.h"
+
+namespace iq {
+
+/// Fixed-size worker pool. Tasks run FIFO; with one worker the pool is
+/// a deterministic serial executor, which the parallel-equivalence
+/// tests exploit.
+///
+/// Shutdown semantics: the destructor stops accepting work, lets the
+/// workers drain every task already queued, then joins. Nothing
+/// submitted before destruction is dropped — "shutdown while busy"
+/// means "finish what you took".
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a fire-and-forget task. The task must not throw — an
+  /// exception escaping a Schedule()d task terminates the process
+  /// (use Submit when the caller needs the outcome).
+  void Schedule(std::function<void()> task) IQ_EXCLUDES(mu_);
+
+  /// Enqueues a task and returns a future for its result; exceptions
+  /// thrown by the task surface from future::get() in the caller.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // shared_ptr because std::function requires copyable callables and
+    // packaged_task is move-only.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return result;
+  }
+
+ private:
+  void WorkerLoop() IQ_EXCLUDES(mu_);
+
+  Mutex mu_;
+  CondVar cv_;  // signaled on enqueue and on shutdown
+  std::deque<std::function<void()>> queue_ IQ_GUARDED_BY(mu_);
+  bool shutdown_ IQ_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, joined by the destructor; never
+  /// touched by the workers themselves.
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_CONCURRENCY_THREAD_POOL_H_

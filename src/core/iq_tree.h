@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
+#include "concurrency/mutex.h"
 #include "core/format.h"
 #include "core/split_tree_optimizer.h"
 #include "costmodel/cost_model.h"
@@ -39,6 +41,16 @@ struct IqSearchOptions {
 /// Every disk access of a query is charged to the shared DiskModel;
 /// query results report exact (not approximate) answers, with the
 /// compressed level used to avoid most exact-data reads.
+///
+/// Concurrency contract (docs/concurrency.md): the const query methods
+/// — NearestNeighbor, KNearestNeighbors, RangeSearch, WindowQuery —
+/// may run concurrently with each other on one tree (the mutable state
+/// they touch is internally synchronized: DiskModel accounting,
+/// BlockCache, the last_query_stats_ publication). Updates (Insert,
+/// InsertBatch, Remove, Flush, Reoptimize) require external exclusion
+/// against everything, single-writer style. ParallelQueryRunner
+/// (concurrency/parallel_query_runner.h) is the batch front-end built
+/// on this contract.
 class IqTree {
  public:
   /// Build-time options.
@@ -89,8 +101,11 @@ class IqTree {
     std::array<size_t, 6> pages_per_level{};
   };
 
-  IqTree(IqTree&&) = default;
-  IqTree& operator=(IqTree&&) = default;
+  // Not movable: the tree owns a mutex (query-stats publication) and
+  // concurrent readers hold references. Build/Open return unique_ptr,
+  // so address stability is the natural ownership model anyway.
+  IqTree(IqTree&&) = delete;
+  IqTree& operator=(IqTree&&) = delete;
 
   /// Bulk-loads an IQ-tree over `data` (§3.3): top-down partitioning to
   /// 1-bit pages, then cost-model-driven optimal quantization (§3.5),
@@ -169,8 +184,14 @@ class IqTree {
   size_t num_pages() const { return dir_.size(); }
   double fractal_dimension() const { return meta_.fractal_dimension; }
   const BuildStats& build_stats() const { return build_stats_; }
-  /// Counters of the most recent query on this tree.
-  const QueryStats& last_query_stats() const { return last_query_stats_; }
+  /// Counters of the most recent completed query on this tree. Each
+  /// query accumulates privately and publishes once at the end; with
+  /// concurrent queries "most recent" means whichever finished last
+  /// (always one query's consistent counters, never a blend).
+  QueryStats last_query_stats() const IQ_EXCLUDES(query_stats_mu_) {
+    MutexLock lock(&query_stats_mu_);
+    return last_query_stats_;
+  }
   const std::vector<DirEntry>& directory() const { return dir_; }
 
  private:
@@ -181,6 +202,13 @@ class IqTree {
   /// Charges the per-query sequential scan of the first-level directory
   /// (T_1st, eq. 22).
   void ChargeDirectoryScan() const;
+
+  /// Publishes one finished query's counters as last_query_stats().
+  void PublishQueryStats(const QueryStats& stats) const
+      IQ_EXCLUDES(query_stats_mu_) {
+    MutexLock lock(&query_stats_mu_);
+    last_query_stats_ = stats;
+  }
 
   /// Loads and decodes the exact data page backing directory entry
   /// `dir_index` (reads the whole variable-size extent; for g=32 pages
@@ -232,7 +260,8 @@ class IqTree {
   DiskModel* disk_ = nullptr;
   uint32_t dir_file_id_ = 0;
   BuildStats build_stats_;
-  mutable QueryStats last_query_stats_;
+  mutable Mutex query_stats_mu_;
+  mutable QueryStats last_query_stats_ IQ_GUARDED_BY(query_stats_mu_);
   bool dirty_ = false;
 };
 

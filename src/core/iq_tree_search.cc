@@ -57,7 +57,6 @@ class IqTreeSearcher {
 
   Status RunKnn(size_t k, std::vector<Neighbor>* out) {
     k_ = k;
-    tree_.last_query_stats_ = IqTree::QueryStats{};
     tree_.ChargeDirectoryScan();
     InitPages();
     MinHeap heap;
@@ -77,8 +76,8 @@ class IqTreeSearcher {
         } else {
           IQ_RETURN_NOT_OK(tree_.qpages_->ReadBlock(
               tree_.dir_[top.dir_index].qpage_block, block.data()));
-          tree_.last_query_stats_.batches += 1;
-          tree_.last_query_stats_.blocks_transferred += 1;
+          stats_.batches += 1;
+          stats_.blocks_transferred += 1;
           IQ_RETURN_NOT_OK(ProcessPage(top.dir_index, block.data(), &heap));
         }
       } else {
@@ -90,11 +89,11 @@ class IqTreeSearcher {
               [](const Neighbor& a, const Neighbor& b) {
                 return a.distance < b.distance;
               });
+    tree_.PublishQueryStats(stats_);
     return Status::OK();
   }
 
   Status RunRange(double radius, std::vector<Neighbor>* out) {
-    tree_.last_query_stats_ = IqTree::QueryStats{};
     tree_.ChargeDirectoryScan();
     InitPages();
     // The page set is known in advance: all pages whose MBR intersects
@@ -113,8 +112,8 @@ class IqTreeSearcher {
       buf.resize(run.count * block_size_);
       IQ_RETURN_NOT_OK(tree_.qpages_->ReadRange(run.first, run.count,
                                                 buf.data()));
-      tree_.last_query_stats_.batches += 1;
-      tree_.last_query_stats_.blocks_transferred += run.count;
+      stats_.batches += 1;
+      stats_.blocks_transferred += run.count;
       for (uint64_t b = 0; b < run.count; ++b) {
         const auto it = block_to_dir_.find(run.first + b);
         if (it == block_to_dir_.end()) continue;  // over-read gap page
@@ -129,6 +128,7 @@ class IqTreeSearcher {
               [](const Neighbor& a, const Neighbor& b) {
                 return a.distance < b.distance;
               });
+    tree_.PublishQueryStats(stats_);
     return Status::OK();
   }
 
@@ -227,8 +227,8 @@ class IqTreeSearcher {
     buf->resize(range.count() * block_size_);
     IQ_RETURN_NOT_OK(
         tree_.qpages_->ReadRange(range.first, range.count(), buf->data()));
-    tree_.last_query_stats_.batches += 1;
-    tree_.last_query_stats_.blocks_transferred += range.count();
+    stats_.batches += 1;
+    stats_.blocks_transferred += range.count();
     for (uint64_t b = 0; b < range.count(); ++b) {
       const auto it = block_to_dir_.find(range.first + b);
       if (it == block_to_dir_.end()) continue;
@@ -251,7 +251,7 @@ class IqTreeSearcher {
   /// directly; cell approximations enter the priority queue (§3.2).
   Status ProcessPage(size_t dir_index, const uint8_t* page, MinHeap* heap) {
     processed_[dir_index] = 1;
-    tree_.last_query_stats_.pages_decoded += 1;
+    stats_.pages_decoded += 1;
     const DirEntry& entry = tree_.dir_[dir_index];
     IQ_ASSIGN_OR_RETURN(QuantPageHeader header, codec_.DecodeHeader(page));
     if (header.count != entry.count || header.bits != entry.quant_bits) {
@@ -281,7 +281,7 @@ class IqTreeSearcher {
       const double mindist = MinDist(q_, box, metric_);
       if (mindist < PruneDistance()) {
         heap->push(QueueEntry{mindist, static_cast<uint32_t>(dir_index), s});
-        tree_.last_query_stats_.cells_enqueued += 1;
+        stats_.cells_enqueued += 1;
       }
     }
     return Status::OK();
@@ -301,7 +301,7 @@ class IqTreeSearcher {
     const Extent record_extent{entry.exact.offset + slot * record, record};
     std::vector<uint8_t> buf(record);
     IQ_RETURN_NOT_OK(tree_.exact_->Read(record_extent, buf.data()));
-    tree_.last_query_stats_.refinements += 1;
+    stats_.refinements += 1;
     PointId id;
     std::memcpy(&id, buf.data(), sizeof(PointId));
     std::vector<float> coords(dims_);
@@ -317,7 +317,7 @@ class IqTreeSearcher {
   /// most once.
   Status CollectInBall(size_t dir_index, const uint8_t* page, double radius,
                        std::vector<Neighbor>* out) {
-    tree_.last_query_stats_.pages_decoded += 1;
+    stats_.pages_decoded += 1;
     const DirEntry& entry = tree_.dir_[dir_index];
     IQ_ASSIGN_OR_RETURN(QuantPageHeader header, codec_.DecodeHeader(page));
     if (header.count != entry.count || header.bits != entry.quant_bits) {
@@ -348,7 +348,7 @@ class IqTreeSearcher {
       if (MinDist(q_, box, metric_) <= radius) candidates.push_back(s);
     }
     if (candidates.empty()) return Status::OK();
-    tree_.last_query_stats_.refinements += candidates.size();
+    stats_.refinements += candidates.size();
     ExactPage exact;
     IQ_RETURN_NOT_OK(tree_.LoadExactPage(dir_index, &exact.ids,
                                          &exact.coords));
@@ -377,6 +377,10 @@ class IqTreeSearcher {
 
   std::vector<Neighbor> results_;
   double results_top_ = std::numeric_limits<double>::infinity();
+
+  /// Accumulated privately per query (searchers on other threads have
+  /// their own); published to the tree once, when the query completes.
+  IqTree::QueryStats stats_;
 };
 
 Result<Neighbor> IqTree::NearestNeighbor(

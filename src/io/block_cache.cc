@@ -4,8 +4,29 @@
 
 namespace iq {
 
+size_t BlockCache::size() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+uint64_t BlockCache::hits() const {
+  MutexLock lock(&mu_);
+  return hits_;
+}
+
+uint64_t BlockCache::misses() const {
+  MutexLock lock(&mu_);
+  return misses_;
+}
+
+void BlockCache::ResetStats() {
+  MutexLock lock(&mu_);
+  hits_ = misses_ = 0;
+}
+
 bool BlockCache::Lookup(uint32_t file_id, uint64_t block, void* out) {
   if (capacity_ == 0) return false;
+  MutexLock lock(&mu_);
   const auto it = entries_.find(Key{file_id, block});
   if (it == entries_.end()) {
     ++misses_;
@@ -19,6 +40,7 @@ bool BlockCache::Lookup(uint32_t file_id, uint64_t block, void* out) {
 
 void BlockCache::Insert(uint32_t file_id, uint64_t block, const void* data) {
   if (capacity_ == 0) return;
+  MutexLock lock(&mu_);
   const Key key{file_id, block};
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -38,6 +60,7 @@ void BlockCache::Insert(uint32_t file_id, uint64_t block, const void* data) {
 }
 
 void BlockCache::EraseFile(uint32_t file_id) {
+  MutexLock lock(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.file_id == file_id) {
       entries_.erase(it->key);
@@ -49,6 +72,7 @@ void BlockCache::EraseFile(uint32_t file_id) {
 }
 
 void BlockCache::Clear() {
+  MutexLock lock(&mu_);
   lru_.clear();
   entries_.clear();
 }

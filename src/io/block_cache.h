@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
+#include "concurrency/mutex.h"
+
 namespace iq {
 
 /// LRU cache of disk blocks — the buffer manager the paper's cold-query
@@ -17,6 +20,15 @@ namespace iq {
 /// cache to any number of BlockFiles via BlockFile::set_cache(): hits
 /// are served without charging the disk model, misses read through and
 /// populate the cache. Capacity is in blocks; 0 disables caching.
+///
+/// Thread-safe: one internal mutex guards the LRU list, the map, and
+/// the hit/miss counters, so concurrent queries can share a cache (a
+/// "read-only" Lookup moves the entry to the LRU front and bumps a
+/// counter — exactly the const-query mutation that made the
+/// single-threaded version racy). Each method is one critical section;
+/// BlockFile's read-through sequences (miss, then Insert) interleave
+/// across threads, which at worst double-loads a block — never
+/// corruption.
 class BlockCache {
  public:
   BlockCache(uint32_t block_size, size_t capacity_blocks)
@@ -27,25 +39,27 @@ class BlockCache {
 
   uint32_t block_size() const { return block_size_; }
   size_t capacity() const { return capacity_; }
-  size_t size() const { return entries_.size(); }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  void ResetStats() { hits_ = misses_ = 0; }
+  size_t size() const IQ_EXCLUDES(mu_);
+
+  uint64_t hits() const IQ_EXCLUDES(mu_);
+  uint64_t misses() const IQ_EXCLUDES(mu_);
+  void ResetStats() IQ_EXCLUDES(mu_);
 
   /// Copies the cached block into `out` (block_size bytes) and marks it
   /// most-recently-used. Returns false on miss.
-  bool Lookup(uint32_t file_id, uint64_t block, void* out);
+  bool Lookup(uint32_t file_id, uint64_t block, void* out) IQ_EXCLUDES(mu_);
 
   /// Inserts (or refreshes) a block, evicting the least-recently-used
   /// entries if over capacity.
-  void Insert(uint32_t file_id, uint64_t block, const void* data);
+  void Insert(uint32_t file_id, uint64_t block, const void* data)
+      IQ_EXCLUDES(mu_);
 
   /// Drops every cached block of the given file (call after rewriting
   /// a file wholesale, e.g. Reoptimize).
-  void EraseFile(uint32_t file_id);
+  void EraseFile(uint32_t file_id) IQ_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() IQ_EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -69,13 +83,16 @@ class BlockCache {
     std::vector<uint8_t> data;
   };
 
-  uint32_t block_size_;
-  size_t capacity_;
+  const uint32_t block_size_;
+  const size_t capacity_;
+
+  mutable Mutex mu_;
   /// LRU order: front = most recently used.
-  std::list<Entry> lru_;
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::list<Entry> lru_ IQ_GUARDED_BY(mu_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_
+      IQ_GUARDED_BY(mu_);
+  uint64_t hits_ IQ_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ IQ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace iq

@@ -20,6 +20,13 @@ namespace iq {
 /// the page schedulers build on — reading blocks [first, first+count)
 /// in one call models one sequential transfer (possibly over-reading
 /// blocks the caller does not need).
+///
+/// Concurrency: ReadRange/ReadBlock are safe from many threads at once
+/// — the backing File reads positionally (pread-style), the DiskModel
+/// and the attached BlockCache synchronize internally, and the cached
+/// read-through at worst double-loads a block two threads both missed
+/// (Insert refreshes idempotently). Writes and set_cache need external
+/// exclusion, per the single-writer model (docs/concurrency.md).
 class BlockFile {
  public:
   /// Opens or creates `name` inside `storage`. The DiskModel must

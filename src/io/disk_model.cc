@@ -22,11 +22,13 @@ void DiskModel::Access(uint32_t file_id, uint64_t first_block, uint64_t count,
 
 void DiskModel::ChargeRead(uint32_t file_id, uint64_t first_block,
                            uint64_t count) {
+  MutexLock lock(&mu_);
   Access(file_id, first_block, count, /*is_write=*/false);
 }
 
 void DiskModel::ChargeWrite(uint32_t file_id, uint64_t first_block,
                             uint64_t count) {
+  MutexLock lock(&mu_);
   Access(file_id, first_block, count, /*is_write=*/true);
 }
 
@@ -38,6 +40,9 @@ void DiskModel::ChargeReadBytes(uint32_t file_id, uint64_t offset,
   ChargeRead(file_id, first, last - first + 1);
 }
 
-void DiskModel::InvalidateHead() { head_valid_ = false; }
+void DiskModel::InvalidateHead() {
+  MutexLock lock(&mu_);
+  head_valid_ = false;
+}
 
 }  // namespace iq

@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "common/math_utils.h"
+#include "common/thread_annotations.h"
+#include "concurrency/mutex.h"
 
 namespace iq {
 
@@ -56,45 +58,73 @@ struct IoStats {
 ///
 /// All indexes in this library charge their I/O through one DiskModel so
 /// their simulated query times are directly comparable.
+///
+/// Thread-safe: one internal mutex guards the cumulative stats and the
+/// head position, so concurrent queries can charge the same model
+/// without corrupting the accounting. Head tracking stays meaningful
+/// only for sequential use — under concurrency every thread moves the
+/// one simulated head, so seek counts become an upper bound (the
+/// interleaving is still deterministic accounting, just not a faithful
+/// single-query cost; see docs/concurrency.md).
 class DiskModel {
  public:
   explicit DiskModel(DiskParameters params = DiskParameters())
       : params_(params) {}
 
   const DiskParameters& params() const { return params_; }
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+
+  /// Consistent snapshot of the cumulative accounting.
+  IoStats stats() const IQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+
+  void ResetStats() IQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    stats_.Reset();
+  }
 
   /// Simulated clock (seconds of I/O performed so far).
-  double Now() const { return stats_.io_time_s; }
+  double Now() const IQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_.io_time_s;
+  }
 
   /// Charges a read of `count` blocks starting at `first_block` of file
   /// `file_id`. Charges a seek unless the head is already there.
-  void ChargeRead(uint32_t file_id, uint64_t first_block, uint64_t count);
+  void ChargeRead(uint32_t file_id, uint64_t first_block, uint64_t count)
+      IQ_EXCLUDES(mu_);
 
   /// Charges a write (same cost structure as a read in this model).
-  void ChargeWrite(uint32_t file_id, uint64_t first_block, uint64_t count);
+  void ChargeWrite(uint32_t file_id, uint64_t first_block, uint64_t count)
+      IQ_EXCLUDES(mu_);
 
   /// Charges a read of a byte range, rounded out to whole blocks.
-  void ChargeReadBytes(uint32_t file_id, uint64_t offset, uint64_t length);
+  void ChargeReadBytes(uint32_t file_id, uint64_t offset, uint64_t length)
+      IQ_EXCLUDES(mu_);
 
   /// Forgets the head position (e.g. after another process used the
   /// disk); the next access will pay a seek.
-  void InvalidateHead();
+  void InvalidateHead() IQ_EXCLUDES(mu_);
 
   /// Allocates a unique file id for head tracking.
-  uint32_t RegisterFile() { return next_file_id_++; }
+  uint32_t RegisterFile() IQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_file_id_++;
+  }
 
  private:
   void Access(uint32_t file_id, uint64_t first_block, uint64_t count,
-              bool is_write);
+              bool is_write) IQ_REQUIRES(mu_);
 
-  DiskParameters params_;
-  IoStats stats_;
-  uint32_t next_file_id_ = 0;
-  bool head_valid_ = false;
-  uint32_t head_file_ = 0;
-  uint64_t head_block_ = 0;  // next block under the head
+  const DiskParameters params_;
+
+  mutable Mutex mu_;
+  IoStats stats_ IQ_GUARDED_BY(mu_);
+  uint32_t next_file_id_ IQ_GUARDED_BY(mu_) = 0;
+  bool head_valid_ IQ_GUARDED_BY(mu_) = false;
+  uint32_t head_file_ IQ_GUARDED_BY(mu_) = 0;
+  uint64_t head_block_ IQ_GUARDED_BY(mu_) = 0;  // next block under the head
 };
 
 }  // namespace iq

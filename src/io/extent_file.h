@@ -25,6 +25,11 @@ struct Extent {
 ///
 /// Reads charge the disk model for every block the extent touches; a
 /// read that continues where the previous one ended is sequential.
+///
+/// Concurrency: Read is safe from many threads at once (positional
+/// File reads, internally synchronized DiskModel); Append/Overwrite
+/// need external exclusion, per the single-writer model
+/// (docs/concurrency.md).
 class ExtentFile {
  public:
   static Result<std::unique_ptr<ExtentFile>> Open(Storage& storage,

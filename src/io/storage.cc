@@ -1,7 +1,10 @@
 #include "io/storage.h"
 
-#include <algorithm>
-#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 
@@ -9,6 +12,9 @@ namespace iq {
 
 namespace {
 
+// Byte-vector file. Concurrent Read/Size are plain const accesses and
+// safe together; Write/Resize mutate the vector and need the File
+// contract's external exclusion.
 class MemoryFile : public File {
  public:
   Status Read(uint64_t offset, uint64_t length, void* out) const override {
@@ -38,62 +44,85 @@ class MemoryFile : public File {
   std::vector<uint8_t> data_;
 };
 
-// POSIX stdio file. One FILE* per OS file; reads/writes are pread/pwrite
-// style via fseek. Not thread-safe (neither is anything else here).
-class StdioFile : public File {
+// POSIX fd file. Reads use pread(2) — positional, no shared cursor —
+// so concurrent readers never race the way the previous fseek+fread
+// implementation did (two threads could interleave seek and read on
+// the one stdio cursor and each get the other's bytes). Writes use
+// pwrite(2) and still require external exclusion per the File
+// contract; the cached size is atomic so readers polling Size() while
+// the single writer appends see a clean value.
+class PosixFile : public File {
  public:
-  StdioFile(std::FILE* f, std::string path)
-      : f_(f), path_(std::move(path)) {}
-  ~StdioFile() override {
-    if (f_ != nullptr) std::fclose(f_);
+  PosixFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
   }
 
-  StdioFile(const StdioFile&) = delete;
-  StdioFile& operator=(const StdioFile&) = delete;
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
 
   Status Read(uint64_t offset, uint64_t length, void* out) const override {
-    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
-      return Status::IOError("fseek failed");
-    }
-    if (std::fread(out, 1, length, f_) != length) {
-      return Status::IOError("short read at offset " + std::to_string(offset));
+    uint8_t* dst = static_cast<uint8_t*>(out);
+    uint64_t done = 0;
+    while (done < length) {
+      const ssize_t n = ::pread(fd_, dst + done, length - done,
+                                static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("pread failed at offset " +
+                               std::to_string(offset + done) + ": " +
+                               std::strerror(errno));
+      }
+      if (n == 0) {
+        return Status::IOError("short read at offset " +
+                               std::to_string(offset));
+      }
+      done += static_cast<uint64_t>(n);
     }
     return Status::OK();
   }
 
   Status Write(uint64_t offset, uint64_t length, const void* data) override {
-    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
-      return Status::IOError("fseek failed");
+    const uint8_t* src = static_cast<const uint8_t*>(data);
+    uint64_t done = 0;
+    while (done < length) {
+      const ssize_t n = ::pwrite(fd_, src + done, length - done,
+                                 static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("pwrite failed at offset " +
+                               std::to_string(offset + done) + ": " +
+                               std::strerror(errno));
+      }
+      done += static_cast<uint64_t>(n);
     }
-    if (std::fwrite(data, 1, length, f_) != length) {
-      return Status::IOError("short write at offset " +
-                             std::to_string(offset));
+    // Monotonic max: a concurrent reader's Size() moves forward only.
+    const uint64_t end = offset + length;
+    uint64_t cur = size_.load(std::memory_order_relaxed);
+    while (end > cur &&
+           !size_.compare_exchange_weak(cur, end, std::memory_order_relaxed)) {
     }
-    size_ = std::max(size_, offset + length);
     return Status::OK();
   }
 
   Status Resize(uint64_t size) override {
-    std::fflush(f_);
-    // There is no portable stdio truncate; go through <filesystem>.
-    std::error_code ec;
-    std::filesystem::resize_file(path_, size, ec);
-    if (ec) {
-      return Status::IOError("resize_file failed for " + path_ + ": " +
-                             ec.message());
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IOError("ftruncate failed for " + path_ + ": " +
+                             std::strerror(errno));
     }
-    size_ = size;
+    size_.store(size, std::memory_order_relaxed);
     return Status::OK();
   }
 
-  uint64_t Size() const override { return size_; }
-
-  void set_size(uint64_t s) { size_ = s; }
+  uint64_t Size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::FILE* f_;
-  std::string path_;
-  uint64_t size_ = 0;
+  const int fd_;
+  const std::string path_;
+  std::atomic<uint64_t> size_;
 };
 
 }  // namespace
@@ -129,24 +158,24 @@ std::string FileStorage::Path(const std::string& name) const {
 
 Result<std::shared_ptr<File>> FileStorage::Open(const std::string& name) {
   const std::string path = Path(name);
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  if (f == nullptr) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
     return Status::NotFound("cannot open: " + path);
   }
-  auto file = std::make_shared<StdioFile>(f, path);
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);
-  if (!ec) file->set_size(size);
-  return std::shared_ptr<File>(file);
+  return std::shared_ptr<File>(
+      std::make_shared<PosixFile>(fd, path, ec ? 0 : size));
 }
 
 Result<std::shared_ptr<File>> FileStorage::Create(const std::string& name) {
   const std::string path = Path(name);
-  std::FILE* f = std::fopen(path.c_str(), "w+b");
-  if (f == nullptr) {
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
     return Status::IOError("cannot create: " + path);
   }
-  return std::shared_ptr<File>(std::make_shared<StdioFile>(f, path));
+  return std::shared_ptr<File>(std::make_shared<PosixFile>(fd, path, 0));
 }
 
 bool FileStorage::Exists(const std::string& name) const {

@@ -14,6 +14,12 @@ namespace iq {
 
 /// Random-access byte file. Raw data movement only — simulated timing is
 /// charged separately through DiskModel by the block/extent layers.
+///
+/// Concurrency contract: concurrent Read calls are safe on every
+/// implementation (positional pread-style reads, no shared cursor).
+/// Write/Resize require external exclusion against both writers and
+/// readers of the affected range — the single-writer model the query
+/// engine follows (docs/concurrency.md).
 class File {
  public:
   virtual ~File() = default;
@@ -62,7 +68,7 @@ class MemoryStorage : public Storage {
   std::map<std::string, std::shared_ptr<File>> files_;
 };
 
-/// Storage over a directory of OS files (POSIX stdio).
+/// Storage over a directory of OS files (POSIX fds, pread/pwrite).
 class FileStorage : public Storage {
  public:
   /// `root` must name an existing writable directory.

@@ -1,0 +1,121 @@
+#include "concurrency/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace iq {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  std::future<int> result = pool.Submit([]() { return 41 + 1; });
+  EXPECT_EQ(result.get(), 42);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> done;
+  done.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    // Single worker: tasks must run in submission order, so the
+    // unsynchronized push_back is safe and the sequence exact.
+    done.push_back(pool.Submit([&order, i]() { order.push_back(i); }));
+  }
+  for (auto& f : done) f.get();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> fails = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  std::future<int> succeeds = pool.Submit([]() { return 5; });
+  EXPECT_THROW(
+      {
+        try {
+          fails.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // A throwing task must not take the worker down with it.
+  EXPECT_EQ(succeeds.get(), 5);
+  EXPECT_EQ(pool.Submit([]() { return 6; }).get(), 6);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Schedule([&executed]() {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destruction races the workers mid-queue: every task must still
+    // run ("shutdown while busy" means finish what was accepted).
+  }
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPoolTest, ShutdownWhileWorkersBlockedInTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 16; ++i) {
+      pool.Schedule([&executed]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  EXPECT_EQ(executed.load(), 16);
+}
+
+TEST(ThreadPoolTest, ManyThreadsHammerSharedCounter) {
+  std::atomic<uint64_t> sum{0};
+  constexpr int kTasks = 1000;
+  {
+    ThreadPool pool(8);
+    std::vector<std::future<void>> done;
+    done.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+      done.push_back(pool.Submit(
+          [&sum, i]() { sum.fetch_add(i, std::memory_order_relaxed); }));
+    }
+    for (auto& f : done) f.get();
+  }
+  EXPECT_EQ(sum.load(), static_cast<uint64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitMoreWork) {
+  ThreadPool pool(2);
+  std::future<int> nested = pool.Submit([&pool]() {
+    // Submit from inside a task: must not deadlock (the inner task may
+    // run on the other worker, or on this one after we return — we only
+    // wait via the outer future's value here).
+    pool.Schedule([]() {});
+    return 9;
+  });
+  EXPECT_EQ(nested.get(), 9);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,19 +1,22 @@
 #!/bin/sh
-# End-to-end check driver: builds and tests the repo in its three
+# End-to-end check driver: builds and tests the repo in its four
 # hardening configurations (see docs/hardening.md):
 #
 #   release   RelWithDebInfo, -Werror, full ctest suite
 #   sanitize  ASan+UBSan (-DIQ_SANITIZE=address,undefined), full ctest
+#   thread    TSan (-DIQ_SANITIZE=thread), full ctest — the dynamic leg
+#             of the race-detection pair (docs/concurrency.md); the
+#             concurrency stress tests make it hunt real interleavings
 #   tidy      clang-tidy over src/ via -DIQ_CLANG_TIDY=ON (skipped with
 #             a notice when no clang-tidy is installed)
 #
-# Usage: tools/run_checks.sh [release|sanitize|tidy]...
-#        (no arguments runs all three)
+# Usage: tools/run_checks.sh [release|sanitize|thread|tidy]...
+#        (no arguments runs all four)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-STEPS="${*:-release sanitize tidy}"
+STEPS="${*:-release sanitize thread tidy}"
 
 run_suite() {
     build_dir="$1"
@@ -39,6 +42,14 @@ for step in $STEPS; do
             -DIQ_SANITIZE=address,undefined -DIQ_WERROR=ON \
             -DIQ_DEBUG_INVARIANTS=ON
         ;;
+    thread)
+        # TSan is mutually exclusive with ASan, hence its own build
+        # tree. The whole suite runs — single-threaded tests are cheap
+        # insurance against stray statics — but the signal comes from
+        # the *_concurrency/thread_pool/parallel_query_runner tests.
+        run_suite build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DIQ_SANITIZE=thread -DIQ_WERROR=ON
+        ;;
     tidy)
         if command -v clang-tidy >/dev/null 2>&1; then
             echo "==> clang-tidy (via IQ_CLANG_TIDY build)"
@@ -51,7 +62,7 @@ for step in $STEPS; do
         fi
         ;;
     *)
-        echo "unknown step '$step' (want release|sanitize|tidy)" >&2
+        echo "unknown step '$step' (want release|sanitize|thread|tidy)" >&2
         exit 2
         ;;
     esac
