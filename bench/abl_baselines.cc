@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
               "(%zu points, half bulk-loaded, half inserted)\n\n", n);
   Table table({"workload", "R*-tree", "X-tree", "IQ-tree", "supernodes",
                "reinserts"});
+  bench::JsonReport report("abl_baselines");
+  double workload_index = 0;
   for (NamedWorkload& workload : workloads) {
     const Dataset queries = workload.data.TakeTail(args.queries);
     // Split the data: first half bulk-loaded, second half inserted, so
@@ -99,11 +101,16 @@ int main(int argc, char** argv) {
       if (!t.ok()) std::exit(1);
       return std::move(t).value();
     });
+    report.Add("r_star", workload_index, rstar);
+    report.Add("x_tree", workload_index, xtree);
+    report.Add("iq_tree", workload_index, iq);
+    workload_index += 1;
     table.AddRow({workload.name, Table::Num(rstar), Table::Num(xtree),
                   Table::Num(iq), std::to_string(supernodes),
                   std::to_string(reinserts)});
   }
   table.Print(std::cout);
+  report.Print();
   std::printf(
       "\nExpected: the X-tree matches or beats the R*-tree everywhere and\n"
       "pulls ahead as dimensionality grows (supernodes avoid the\n"

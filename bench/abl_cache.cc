@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
 
   Table table({"cache (blocks)", "pass 1 (cold)", "pass 2 (warm)",
                "hit rate p2"});
+  bench::JsonReport report("abl_cache");
   for (size_t capacity :
        {size_t{0}, index_blocks / 8, index_blocks / 2, index_blocks * 2}) {
     BlockCache cache(disk.params().block_size, capacity);
@@ -53,11 +54,16 @@ int main(int argc, char** argv) {
             ? static_cast<double>(cache.hits()) /
                   static_cast<double>(cache.hits() + cache.misses())
             : 0.0;
+    const double x = static_cast<double>(capacity);
+    report.Add("cold", x, cold);
+    report.Add("warm", x, warm);
+    report.Add("hit_rate", x, hit_rate);
     table.AddRow({std::to_string(capacity), Table::Num(cold),
                   Table::Num(warm), Table::Num(hit_rate, 2)});
   }
   (*tree)->set_block_cache(nullptr);
   table.Print(std::cout);
+  report.Print();
   std::printf(
       "\nExpected: with an index-sized cache the warm pass costs only\n"
       "the directory scan and refinements; smaller caches degrade\n"

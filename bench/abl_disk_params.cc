@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
       "Ablation: seek/transfer ratio sweep, UNIFORM-%zud (%zu points)\n\n",
       dims, n);
   Table table({"seek:xfer", "IQ optNN", "IQ stdNN", "speedup"});
+  bench::JsonReport report("abl_disk_params");
   for (double ratio : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
     DiskParameters disk = args.disk;
     disk.xfer_time_s = 0.002;
@@ -25,10 +26,13 @@ int main(int argc, char** argv) {
     Experiment experiment(data, queries, disk);
     const double optimized = bench::Value(experiment.RunIqTree(true, true));
     const double standard = bench::Value(experiment.RunIqTree(true, false));
+    report.Add("opt_nn", ratio, optimized);
+    report.Add("std_nn", ratio, standard);
     table.AddRow({Table::Num(ratio, 0), Table::Num(optimized),
                   Table::Num(standard), Table::Num(standard / optimized, 2)});
   }
   table.Print(std::cout);
+  report.Print();
   std::printf(
       "\nExpected: the optimized access strategy's advantage grows with\n"
       "the seek cost; at ratio ~1 batching cannot help (over-reading a\n"

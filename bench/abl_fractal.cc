@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
 
   std::printf("Ablation: fractal-dimension correction (%zu points)\n\n", n);
   Table table({"workload", "est. D_F", "IQ (D_F est.)", "IQ (D_F = d)"});
+  bench::JsonReport report("abl_fractal");
+  double workload_index = 0;
   for (NamedWorkload& workload : workloads) {
     const Dataset queries = workload.data.TakeTail(args.queries);
     const double df =
@@ -38,10 +40,14 @@ int main(int argc, char** argv) {
         bench::Value(experiment.RunIqTree(true, true, 0, 0.0));
     const double without = bench::Value(experiment.RunIqTree(
         true, true, 0, static_cast<double>(workload.dims)));
+    report.Add("df_estimated", workload_index, with_fractal);
+    report.Add("df_forced_d", workload_index, without);
+    workload_index += 1;
     table.AddRow({workload.name, Table::Num(df, 2),
                   Table::Num(with_fractal), Table::Num(without)});
   }
   table.Print(std::cout);
+  report.Print();
   std::printf(
       "\nExpected: no difference on UNIFORM (D_F = d anyway); on\n"
       "correlated data the correction steers the optimizer toward the\n"

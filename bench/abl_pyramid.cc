@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   std::printf("Ablation: Pyramid-Technique vs IQ-tree vs X-tree "
               "(%zu points)\n\n", n);
+  bench::JsonReport report("abl_pyramid");
   {
     std::printf("Window queries (cube side 0.2 around each query "
                 "point), UNIFORM:\n");
@@ -25,12 +26,18 @@ int main(int argc, char** argv) {
       Dataset data = GenerateUniform(n + args.queries, dims, args.seed);
       const Dataset queries = data.TakeTail(args.queries);
       Experiment experiment(data, queries, args.disk);
-      table.AddRow(
-          {std::to_string(dims),
-           Table::Num(bench::Value(experiment.RunPyramidWindows(0.2))),
-           Table::Num(bench::Value(experiment.RunIqTreeWindows(0.2))),
-           Table::Num(bench::Value(experiment.RunXTreeWindows(0.2))),
-           Table::Num(bench::Value(experiment.RunVaFileWindows(0.2, 5)))});
+      const double pyramid =
+          bench::Value(experiment.RunPyramidWindows(0.2));
+      const double iq = bench::Value(experiment.RunIqTreeWindows(0.2));
+      const double xtree = bench::Value(experiment.RunXTreeWindows(0.2));
+      const double va = bench::Value(experiment.RunVaFileWindows(0.2, 5));
+      const double x = static_cast<double>(dims);
+      report.Add("window_pyramid", x, pyramid);
+      report.Add("window_iq_tree", x, iq);
+      report.Add("window_x_tree", x, xtree);
+      report.Add("window_va_file", x, va);
+      table.AddRow({std::to_string(dims), Table::Num(pyramid),
+                    Table::Num(iq), Table::Num(xtree), Table::Num(va)});
     }
     table.Print(std::cout);
   }
@@ -45,15 +52,20 @@ int main(int argc, char** argv) {
         {"UNIFORM-8d", GenerateUniform(n + args.queries, 8, args.seed)},
         {"CAD-16d", GenerateCadLike(n + args.queries, 16, args.seed)},
     };
+    double workload_index = 0;
     for (NamedWorkload& workload : workloads) {
       const Dataset queries = workload.data.TakeTail(args.queries);
       Experiment experiment(workload.data, queries, args.disk);
-      table.AddRow({workload.name,
-                    Table::Num(bench::Value(experiment.RunPyramid())),
-                    Table::Num(bench::Value(experiment.RunIqTree()))});
+      const double pyramid = bench::Value(experiment.RunPyramid());
+      const double iq = bench::Value(experiment.RunIqTree());
+      report.Add("nn_pyramid", workload_index, pyramid);
+      report.Add("nn_iq_tree", workload_index, iq);
+      workload_index += 1;
+      table.AddRow({workload.name, Table::Num(pyramid), Table::Num(iq)});
     }
     table.Print(std::cout);
   }
+  report.Print();
   std::printf(
       "\nExpected: on window queries the pyramid scans at most 2d short\n"
       "B+-tree intervals and beats the exact-data X-tree as d grows, but\n"

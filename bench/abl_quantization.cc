@@ -25,18 +25,26 @@ int main(int argc, char** argv) {
               "(%zu points)\n\n", n);
   Table table({"workload", "g=1", "g=2", "g=4", "g=8", "g=16", "g=32",
                "optimal"});
+  bench::JsonReport report("abl_quantization");
+  double workload_index = 0;
   for (NamedWorkload& workload : workloads) {
     const Dataset queries = workload.data.TakeTail(args.queries);
     Experiment experiment(workload.data, queries, args.disk);
     std::vector<std::string> row{workload.name};
     for (unsigned g : {1u, 2u, 4u, 8u, 16u, 32u}) {
-      row.push_back(
-          Table::Num(bench::Value(experiment.RunIqTree(true, true, g))));
+      const double fixed =
+          bench::Value(experiment.RunIqTree(true, true, g));
+      report.Add("fixed_g" + std::to_string(g), workload_index, fixed);
+      row.push_back(Table::Num(fixed));
     }
-    row.push_back(Table::Num(bench::Value(experiment.RunIqTree())));
+    const double optimal = bench::Value(experiment.RunIqTree());
+    report.Add("optimal", workload_index, optimal);
+    workload_index += 1;
+    row.push_back(Table::Num(optimal));
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
+  report.Print();
   std::printf(
       "\nExpected: the optimizer tracks the best fixed level per workload\n"
       "(and can beat it by mixing levels across pages on skewed data).\n");

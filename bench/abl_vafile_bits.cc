@@ -24,17 +24,25 @@ int main(int argc, char** argv) {
               n);
   Table table({"workload", "b=2", "b=3", "b=4", "b=5", "b=6", "b=8",
                "IQ-tree (adaptive)"});
+  bench::JsonReport report("abl_vafile_bits");
+  double workload_index = 0;
   for (NamedWorkload& workload : workloads) {
     const Dataset queries = workload.data.TakeTail(args.queries);
     Experiment experiment(workload.data, queries, args.disk);
     std::vector<std::string> row{workload.name};
     for (unsigned bits : {2u, 3u, 4u, 5u, 6u, 8u}) {
-      row.push_back(Table::Num(bench::Value(experiment.RunVaFile(bits))));
+      const double va = bench::Value(experiment.RunVaFile(bits));
+      report.Add("va_b" + std::to_string(bits), workload_index, va);
+      row.push_back(Table::Num(va));
     }
-    row.push_back(Table::Num(bench::Value(experiment.RunIqTree())));
+    const double iq = bench::Value(experiment.RunIqTree());
+    report.Add("iq_tree", workload_index, iq);
+    workload_index += 1;
+    row.push_back(Table::Num(iq));
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
+  report.Print();
   std::printf(
       "\nThe best b differs per data set, and mis-tuning costs real time;\n"
       "the IQ-tree needs no such knob (its optimizer picks per-page\n"

@@ -6,9 +6,12 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace iq::bench {
 
@@ -58,6 +61,54 @@ inline double Value(const Result<MethodStats>& result) {
   }
   return result->avg_query_time_s;
 }
+
+/// Machine-readable companion to the human tables: every bench collects
+/// its data points here and emits exactly one JSON document on one line
+/// at the end, tagged `IQBENCH`, plus a snapshot of the process-wide
+/// metric registry. Line-oriented consumers do
+/// `grep ^IQBENCH | cut -d' ' -f2-` and get one JSON object per bench
+/// run.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  /// Records one data point of one series (series ~ table column,
+  /// x ~ table row key, value ~ cell: simulated seconds, ratios, ...).
+  void Add(std::string_view series, double x, double value) {
+    rows_.push_back(Row{std::string(series), x, value});
+  }
+
+  /// Prints the `IQBENCH {...}` line to stdout.
+  void Print() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(bench_);
+    w.Key("rows").BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      w.Key("series").String(row.series);
+      w.Key("x").Double(row.x);
+      w.Key("value").Double(row.value);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("metrics").Raw(
+        obs::ExportJson(obs::MetricRegistry::Global().Snapshot()));
+    w.EndObject();
+    std::printf("IQBENCH %s\n", w.str().c_str());
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    double x;
+    double value;
+  };
+
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace iq::bench
 

@@ -15,18 +15,26 @@ int main(int argc, char** argv) {
               "varying dimension)\n\n", n);
   Table table({"dim", "optNN+quant", "optNN,noquant", "stdNN+quant",
                "stdNN,noquant"});
+  bench::JsonReport report("fig07_concepts");
   for (size_t dim : {4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
     Dataset data = GenerateUniform(n + args.queries, dim, args.seed);
     const Dataset queries = data.TakeTail(args.queries);
     Experiment experiment(data, queries, args.disk);
-    table.AddRow({std::to_string(dim),
-                  Table::Num(bench::Value(experiment.RunIqTree(true, true))),
-                  Table::Num(bench::Value(experiment.RunIqTree(false, true))),
-                  Table::Num(bench::Value(experiment.RunIqTree(true, false))),
-                  Table::Num(
-                      bench::Value(experiment.RunIqTree(false, false)))});
+    const double opt_quant = bench::Value(experiment.RunIqTree(true, true));
+    const double std_quant = bench::Value(experiment.RunIqTree(false, true));
+    const double opt_exact = bench::Value(experiment.RunIqTree(true, false));
+    const double std_exact = bench::Value(experiment.RunIqTree(false, false));
+    const double x = static_cast<double>(dim);
+    report.Add("opt_quant", x, opt_quant);
+    report.Add("std_quant", x, std_quant);
+    report.Add("opt_noquant", x, opt_exact);
+    report.Add("std_noquant", x, std_exact);
+    table.AddRow({std::to_string(dim), Table::Num(opt_quant),
+                  Table::Num(std_quant), Table::Num(opt_exact),
+                  Table::Num(std_exact)});
   }
   table.Print(std::cout);
+  report.Print();
   std::printf(
       "\nPaper shape: quantization pays off for d >= 8; the optimized\n"
       "NN page access helps at every dimensionality.\n");

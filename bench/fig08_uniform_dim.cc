@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 8: UNIFORM (%zu points, varying dimension)\n\n", n);
   Table table({"dim", "IQ-tree", "X-tree", "VA-file", "Scan", "VA bits"});
+  bench::JsonReport report("fig08_uniform_dim");
   for (size_t dim : {4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
     Dataset data = GenerateUniform(n + args.queries, dim, args.seed);
     const Dataset queries = data.TakeTail(args.queries);
@@ -19,14 +20,20 @@ int main(int argc, char** argv) {
     unsigned best_bits = 0;
     const double va =
         bench::Value(experiment.RunVaFileBestBits(2, 8, &best_bits));
-    table.AddRow({std::to_string(dim),
-                  Table::Num(bench::Value(experiment.RunIqTree())),
-                  Table::Num(bench::Value(experiment.RunXTree())),
-                  Table::Num(va),
-                  Table::Num(bench::Value(experiment.RunSeqScan())),
+    const double iq = bench::Value(experiment.RunIqTree());
+    const double xtree = bench::Value(experiment.RunXTree());
+    const double scan = bench::Value(experiment.RunSeqScan());
+    const double x = static_cast<double>(dim);
+    report.Add("iq_tree", x, iq);
+    report.Add("x_tree", x, xtree);
+    report.Add("va_file", x, va);
+    report.Add("scan", x, scan);
+    table.AddRow({std::to_string(dim), Table::Num(iq), Table::Num(xtree),
+                  Table::Num(va), Table::Num(scan),
                   std::to_string(best_bits)});
   }
   table.Print(std::cout);
+  report.Print();
   std::printf(
       "\nPaper shape: X-tree ~ IQ-tree for d < 8; X-tree degenerates and\n"
       "falls behind the scan for d > 12; IQ-tree and VA-file stay flat,\n"

@@ -11,18 +11,26 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 11: COLOR-like (16 dimensions, varying N)\n\n");
   Table table({"N", "IQ-tree", "X-tree", "VA-file", "Scan"});
+  bench::JsonReport report("fig11_color");
   for (size_t paper_n : {40000u, 60000u, 80000u, 100000u}) {
     const size_t n = args.Scale(paper_n, paper_n / 4);
     Dataset data = GenerateColorLike(n + args.queries, dims, args.seed);
     const Dataset queries = data.TakeTail(args.queries);
     Experiment experiment(data, queries, args.disk);
-    table.AddRow({std::to_string(n),
-                  Table::Num(bench::Value(experiment.RunIqTree())),
-                  Table::Num(bench::Value(experiment.RunXTree())),
-                  Table::Num(bench::Value(experiment.RunVaFileBestBits())),
-                  Table::Num(bench::Value(experiment.RunSeqScan()))});
+    const double iq = bench::Value(experiment.RunIqTree());
+    const double xtree = bench::Value(experiment.RunXTree());
+    const double va = bench::Value(experiment.RunVaFileBestBits());
+    const double scan = bench::Value(experiment.RunSeqScan());
+    const double x = static_cast<double>(n);
+    report.Add("iq_tree", x, iq);
+    report.Add("x_tree", x, xtree);
+    report.Add("va_file", x, va);
+    report.Add("scan", x, scan);
+    table.AddRow({std::to_string(n), Table::Num(iq), Table::Num(xtree),
+                  Table::Num(va), Table::Num(scan)});
   }
   table.Print(std::cout);
+  report.Print();
   std::printf(
       "\nPaper shape: slightly clustered data — the IQ-tree wins (up to\n"
       "2.6x over the VA-file, 6.6x over the X-tree); the X-tree still\n"

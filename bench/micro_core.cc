@@ -16,6 +16,7 @@
 #include "data/generators.h"
 #include "geom/metrics.h"
 #include "geom/volumes.h"
+#include "obs/metrics.h"
 #include "pyramid/pyramid_technique.h"
 #include "quant/bit_stream.h"
 #include "quant/grid_quantizer.h"
@@ -194,6 +195,36 @@ void BM_PyramidValue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * data.size());
 }
 BENCHMARK(BM_PyramidValue)->Arg(4)->Arg(16);
+
+// Observability overhead: the per-event cost of the instrumentation the
+// rest of the library sprinkles on its hot paths. With IQ_OBS_DISABLED
+// these compile to nothing and the benchmarks measure an empty loop.
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("bench_obs_counter");
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd)->ThreadRange(1, 8);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  static constexpr double kBounds[] = {1e-6, 1e-5, 1e-4, 1e-3,
+                                       1e-2, 0.1,  1.0,  10.0};
+  obs::Histogram* histogram = obs::MetricRegistry::Global().GetHistogram(
+      "bench_obs_histogram", kBounds);
+  double v = 1e-7;
+  for (auto _ : state) {
+    histogram->Observe(v);
+    v = v < 1.0 ? v * 10 : 1e-7;  // rotate through the buckets
+    benchmark::DoNotOptimize(histogram);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
 
 void BM_AccessProbability(benchmark::State& state) {
   const size_t dims = 16;

@@ -1,8 +1,10 @@
 #!/bin/sh
-# CI entry point: the Release + ASan/UBSan + TSan + clang-tidy matrix.
-# Thin wrapper over tools/run_checks.sh so CI and local runs stay
-# identical; the fuzz-corpus replay tests (fuzz_corpus_*) run inside
-# every ctest invocation, and the thread leg runs the concurrency
-# stress suite under a real race detector (docs/concurrency.md).
+# CI entry point: the Release + ASan/UBSan + TSan + clang-tidy + obs
+# matrix. Thin wrapper over tools/run_checks.sh so CI and local runs
+# stay identical; the fuzz-corpus replay tests (fuzz_corpus_*) run
+# inside every ctest invocation, the thread leg runs the concurrency
+# stress suite under a real race detector (docs/concurrency.md), and
+# the obs leg builds the IQ_OBS_DISABLED configuration and validates
+# the `iqtool profile` JSON output (docs/observability.md).
 set -eu
-exec "$(dirname "$0")/tools/run_checks.sh" release sanitize thread tidy
+exec "$(dirname "$0")/tools/run_checks.sh" release sanitize thread tidy obs

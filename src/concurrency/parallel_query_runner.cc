@@ -3,7 +3,26 @@
 #include <future>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace iq {
+
+namespace {
+
+struct RunnerMetrics {
+  obs::Counter* batches;
+  obs::Counter* queries;
+
+  static const RunnerMetrics& Get() {
+    auto& registry = obs::MetricRegistry::Global();
+    static const RunnerMetrics m{
+        registry.GetCounter("iq_runner_batches_total"),
+        registry.GetCounter("iq_runner_queries_total")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ParallelQueryRunner::ParallelQueryRunner(const IqTree& tree,
                                          size_t num_threads)
@@ -11,6 +30,8 @@ ParallelQueryRunner::ParallelQueryRunner(const IqTree& tree,
 
 template <typename RunOne>
 Status ParallelQueryRunner::RunAll(size_t n, const RunOne& run_one) {
+  RunnerMetrics::Get().batches->Increment();
+  RunnerMetrics::Get().queries->Add(n);
   std::vector<std::future<Status>> pending;
   pending.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -40,10 +61,11 @@ Result<std::vector<std::vector<Neighbor>>> ParallelQueryRunner::KnnBatch(
 }
 
 Result<std::vector<std::vector<Neighbor>>> ParallelQueryRunner::RangeBatch(
-    const Dataset& queries, double radius) {
+    const Dataset& queries, double radius, const IqSearchOptions& options) {
   std::vector<std::vector<Neighbor>> results(queries.size());
   IQ_RETURN_NOT_OK(RunAll(queries.size(), [&](size_t i) -> Status {
-    Result<std::vector<Neighbor>> r = tree_.RangeSearch(queries[i], radius);
+    Result<std::vector<Neighbor>> r =
+        tree_.RangeSearch(queries[i], radius, options);
     if (!r.ok()) return r.status();
     results[i] = std::move(r).value();
     return Status::OK();

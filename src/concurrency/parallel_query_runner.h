@@ -44,8 +44,9 @@ class ParallelQueryRunner {
       const Dataset& queries, size_t k, const IqSearchOptions& options = {});
 
   /// Range search of every row of `queries` with the given radius.
-  Result<std::vector<std::vector<Neighbor>>> RangeBatch(const Dataset& queries,
-                                                        double radius);
+  Result<std::vector<std::vector<Neighbor>>> RangeBatch(
+      const Dataset& queries, double radius,
+      const IqSearchOptions& options = {});
 
  private:
   /// Runs `run_one(i)` for every i in [0, n) on the pool and collapses

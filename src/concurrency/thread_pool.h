@@ -1,6 +1,7 @@
 #ifndef IQ_CONCURRENCY_THREAD_POOL_H_
 #define IQ_CONCURRENCY_THREAD_POOL_H_
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "concurrency/mutex.h"
+#include "obs/metrics.h"
 
 namespace iq {
 
@@ -55,11 +57,19 @@ class ThreadPool {
   }
 
  private:
+  /// Queued task plus its enqueue time (feeds the scheduling-latency
+  /// histogram; the timestamp is skipped entirely under
+  /// IQ_OBS_DISABLED).
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop() IQ_EXCLUDES(mu_);
 
   Mutex mu_;
   CondVar cv_;  // signaled on enqueue and on shutdown
-  std::deque<std::function<void()>> queue_ IQ_GUARDED_BY(mu_);
+  std::deque<Task> queue_ IQ_GUARDED_BY(mu_);
   bool shutdown_ IQ_GUARDED_BY(mu_) = false;
   /// Written only by the constructor, joined by the destructor; never
   /// touched by the workers themselves.

@@ -5,9 +5,52 @@
 #include "analysis/invariant_checker.h"
 #include "common/math_utils.h"
 #include "fractal/fractal_dimension.h"
+#include "obs/metrics.h"
 #include "quant/grid_quantizer.h"
 
 namespace iq {
+
+namespace {
+
+// Query-level rollups in the shared namespace: every finished query
+// adds its counters here once, so serving dashboards see aggregate
+// search work without touching per-tree QueryStats.
+struct QueryMetrics {
+  obs::Counter* queries;
+  obs::Counter* pages_decoded;
+  obs::Counter* blocks_transferred;
+  obs::Counter* batches;
+  obs::Counter* refinements;
+  obs::Counter* cells_enqueued;
+
+  static const QueryMetrics& Get() {
+    auto& registry = obs::MetricRegistry::Global();
+    static const QueryMetrics m{
+        registry.GetCounter("iq_query_total"),
+        registry.GetCounter("iq_query_pages_decoded_total"),
+        registry.GetCounter("iq_query_blocks_transferred_total"),
+        registry.GetCounter("iq_query_batches_total"),
+        registry.GetCounter("iq_query_refinements_total"),
+        registry.GetCounter("iq_query_cells_enqueued_total")};
+    return m;
+  }
+};
+
+}  // namespace
+
+void IqTree::PublishQueryStats(const QueryStats& stats) const {
+  {
+    MutexLock lock(&query_stats_mu_);
+    last_query_stats_ = stats;
+  }
+  const QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.queries->Increment();
+  metrics.pages_decoded->Add(stats.pages_decoded);
+  metrics.blocks_transferred->Add(stats.blocks_transferred);
+  metrics.batches->Add(stats.batches);
+  metrics.refinements->Add(stats.refinements);
+  metrics.cells_enqueued->Add(stats.cells_enqueued);
+}
 
 Result<std::unique_ptr<IqTree>> IqTree::Open(Storage& storage,
                                              const std::string& name,

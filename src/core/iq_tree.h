@@ -19,6 +19,7 @@
 #include "io/disk_model.h"
 #include "io/extent_file.h"
 #include "io/storage.h"
+#include "obs/trace.h"
 
 namespace iq {
 
@@ -29,6 +30,12 @@ struct IqSearchOptions {
   /// one-page-per-access HS search (the Fig. 7 "standard NN-search"
   /// variant).
   bool optimized_access = true;
+  /// Optional per-query trace sink (docs/observability.md). When set,
+  /// the search records a span tree — directory scan, batch decisions,
+  /// page decodes, refinements — into it; query results are identical
+  /// either way. The tracer is thread-safe, so one may be shared
+  /// across a ParallelQueryRunner batch.
+  obs::QueryTracer* tracer = nullptr;
 };
 
 /// The IQ-tree (paper §3): a three-level compressed index for exact
@@ -132,7 +139,8 @@ class IqTree {
 
   /// All points within metric distance `radius` of `q`, ascending by
   /// distance.
-  Result<std::vector<Neighbor>> RangeSearch(PointView q, double radius) const;
+  Result<std::vector<Neighbor>> RangeSearch(
+      PointView q, double radius, const IqSearchOptions& options = {}) const;
 
   /// All point ids inside the window (inclusive bounds).
   Result<std::vector<PointId>> WindowQuery(const Mbr& window) const;
@@ -192,6 +200,12 @@ class IqTree {
     MutexLock lock(&query_stats_mu_);
     return last_query_stats_;
   }
+  /// Zeroes last_query_stats() — the uniform snapshot/Reset contract
+  /// shared with DiskModel and BlockCache.
+  void ResetQueryStats() const IQ_EXCLUDES(query_stats_mu_) {
+    MutexLock lock(&query_stats_mu_);
+    last_query_stats_ = QueryStats{};
+  }
   const std::vector<DirEntry>& directory() const { return dir_; }
 
  private:
@@ -203,12 +217,10 @@ class IqTree {
   /// (T_1st, eq. 22).
   void ChargeDirectoryScan() const;
 
-  /// Publishes one finished query's counters as last_query_stats().
+  /// Publishes one finished query's counters as last_query_stats() and
+  /// folds them into the process-wide metric registry.
   void PublishQueryStats(const QueryStats& stats) const
-      IQ_EXCLUDES(query_stats_mu_) {
-    MutexLock lock(&query_stats_mu_);
-    last_query_stats_ = stats;
-  }
+      IQ_EXCLUDES(query_stats_mu_);
 
   /// Loads and decodes the exact data page backing directory entry
   /// `dir_index` (reads the whole variable-size extent; for g=32 pages

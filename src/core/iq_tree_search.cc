@@ -50,6 +50,7 @@ class IqTreeSearcher {
       : tree_(tree),
         q_(q),
         options_(options),
+        tracer_(options.tracer),
         metric_(tree.metric()),
         dims_(tree.dims()),
         block_size_(tree.disk_->params().block_size),
@@ -57,8 +58,10 @@ class IqTreeSearcher {
 
   Status RunKnn(size_t k, std::vector<Neighbor>* out) {
     k_ = k;
-    tree_.ChargeDirectoryScan();
-    InitPages();
+    obs::ScopedSpan root(tracer_, "knn");
+    root_span_ = root.id();
+    root.AddAttr("k", static_cast<double>(k));
+    ScanDirectory();
     MinHeap heap;
     for (size_t i = 0; i < tree_.dir_.size(); ++i) {
       heap.push(QueueEntry{page_mindist_[i], static_cast<uint32_t>(i),
@@ -74,11 +77,19 @@ class IqTreeSearcher {
         if (options_.optimized_access) {
           IQ_RETURN_NOT_OK(LoadBatch(top.dir_index, &batch_buf, &heap));
         } else {
+          obs::ScopedSpan batch_span(tracer_, "batch", root_span_);
+          const double io_before = TraceNow();
           IQ_RETURN_NOT_OK(tree_.qpages_->ReadBlock(
               tree_.dir_[top.dir_index].qpage_block, block.data()));
           stats_.batches += 1;
           stats_.blocks_transferred += 1;
-          IQ_RETURN_NOT_OK(ProcessPage(top.dir_index, block.data(), &heap));
+          batch_span.AddAttr(
+              "first_block",
+              static_cast<double>(tree_.dir_[top.dir_index].qpage_block));
+          batch_span.AddAttr("blocks", 1);
+          batch_span.AddAttr("io_s", TraceNow() - io_before);
+          IQ_RETURN_NOT_OK(ProcessPage(top.dir_index, block.data(), &heap,
+                                       batch_span.id()));
         }
       } else {
         IQ_RETURN_NOT_OK(RefineSlot(top.dir_index, top.slot));
@@ -94,8 +105,10 @@ class IqTreeSearcher {
   }
 
   Status RunRange(double radius, std::vector<Neighbor>* out) {
-    tree_.ChargeDirectoryScan();
-    InitPages();
+    obs::ScopedSpan root(tracer_, "range");
+    root_span_ = root.id();
+    root.AddAttr("radius", radius);
+    ScanDirectory();
     // The page set is known in advance: all pages whose MBR intersects
     // the query ball. Fetch them with the optimal known-set plan (§2).
     std::vector<uint64_t> blocks;
@@ -109,11 +122,16 @@ class IqTreeSearcher {
         PlanKnownSetFetch(blocks, tree_.disk_->params());
     std::vector<uint8_t> buf;
     for (const FetchRun& run : runs) {
+      obs::ScopedSpan batch_span(tracer_, "batch", root_span_);
+      const double io_before = TraceNow();
       buf.resize(run.count * block_size_);
       IQ_RETURN_NOT_OK(tree_.qpages_->ReadRange(run.first, run.count,
                                                 buf.data()));
       stats_.batches += 1;
       stats_.blocks_transferred += run.count;
+      batch_span.AddAttr("first_block", static_cast<double>(run.first));
+      batch_span.AddAttr("blocks", static_cast<double>(run.count));
+      batch_span.AddAttr("io_s", TraceNow() - io_before);
       for (uint64_t b = 0; b < run.count; ++b) {
         const auto it = block_to_dir_.find(run.first + b);
         if (it == block_to_dir_.end()) continue;  // over-read gap page
@@ -121,7 +139,7 @@ class IqTreeSearcher {
         if (page_mindist_[dir_index] > radius) continue;
         IQ_RETURN_NOT_OK(CollectInBall(dir_index,
                                        buf.data() + b * block_size_, radius,
-                                       out));
+                                       out, batch_span.id()));
       }
     }
     std::sort(out->begin(), out->end(),
@@ -133,6 +151,22 @@ class IqTreeSearcher {
   }
 
  private:
+  /// Simulated-I/O clock read for span attributes; free when untraced.
+  double TraceNow() const {
+    return tracer_ != nullptr ? tree_.disk_->Now() : 0.0;
+  }
+
+  /// The charged level-1 directory scan plus in-memory MINDIST setup,
+  /// as one traced span.
+  void ScanDirectory() {
+    obs::ScopedSpan span(tracer_, "dir_scan", root_span_);
+    const double io_before = TraceNow();
+    tree_.ChargeDirectoryScan();
+    InitPages();
+    span.AddAttr("pages", static_cast<double>(tree_.dir_.size()));
+    span.AddAttr("io_s", TraceNow() - io_before);
+  }
+
   void InitPages() {
     const size_t n = tree_.dir_.size();
     page_mindist_.resize(n);
@@ -218,6 +252,8 @@ class IqTreeSearcher {
   /// that was transferred.
   Status LoadBatch(size_t pivot_dir_index, std::vector<uint8_t>* buf,
                    MinHeap* heap) {
+    obs::ScopedSpan batch_span(tracer_, "batch", root_span_);
+    const double io_before = TraceNow();
     const uint64_t pivot_block = tree_.dir_[pivot_dir_index].qpage_block;
     const BatchRange range = PlanNnBatch(
         pivot_block, tree_.qpages_->NumBlocks(), tree_.disk_->params(),
@@ -229,6 +265,11 @@ class IqTreeSearcher {
         tree_.qpages_->ReadRange(range.first, range.count(), buf->data()));
     stats_.batches += 1;
     stats_.blocks_transferred += range.count();
+    batch_span.AddAttr("pivot_block", static_cast<double>(pivot_block));
+    batch_span.AddAttr("first_block", static_cast<double>(range.first));
+    batch_span.AddAttr("blocks", static_cast<double>(range.count()));
+    batch_span.AddAttr("io_s", TraceNow() - io_before);
+    size_t pruned = 0;
     for (uint64_t b = 0; b < range.count(); ++b) {
       const auto it = block_to_dir_.find(range.first + b);
       if (it == block_to_dir_.end()) continue;
@@ -239,20 +280,27 @@ class IqTreeSearcher {
       if (dir_index != pivot_dir_index &&
           page_mindist_[dir_index] >= PruneDistance()) {
         processed_[dir_index] = 1;
+        ++pruned;
         continue;
       }
-      IQ_RETURN_NOT_OK(
-          ProcessPage(dir_index, buf->data() + b * block_size_, heap));
+      IQ_RETURN_NOT_OK(ProcessPage(dir_index, buf->data() + b * block_size_,
+                                   heap, batch_span.id()));
     }
+    batch_span.AddAttr("pages_pruned", static_cast<double>(pruned));
     return Status::OK();
   }
 
   /// Decodes a loaded quantized page: exact points are evaluated
   /// directly; cell approximations enter the priority queue (§3.2).
-  Status ProcessPage(size_t dir_index, const uint8_t* page, MinHeap* heap) {
+  Status ProcessPage(size_t dir_index, const uint8_t* page, MinHeap* heap,
+                     obs::SpanId parent_span) {
     processed_[dir_index] = 1;
     stats_.pages_decoded += 1;
     const DirEntry& entry = tree_.dir_[dir_index];
+    obs::ScopedSpan span(tracer_, "page", parent_span);
+    span.AddAttr("dir_index", static_cast<double>(dir_index));
+    span.AddAttr("g", static_cast<double>(entry.quant_bits));
+    span.AddAttr("points", static_cast<double>(entry.count));
     IQ_ASSIGN_OR_RETURN(QuantPageHeader header, codec_.DecodeHeader(page));
     if (header.count != entry.count || header.bits != entry.quant_bits) {
       return Status::Corruption("quantized page disagrees with directory");
@@ -273,6 +321,7 @@ class IqTreeSearcher {
     IQ_RETURN_NOT_OK(codec_.DecodeCells(page, &cells));
     const GridQuantizer quantizer(entry.mbr, entry.quant_bits);
     std::vector<uint32_t> point_cells(dims_);
+    size_t enqueued = 0;
     for (uint32_t s = 0; s < entry.count; ++s) {
       std::copy(cells.begin() + static_cast<ptrdiff_t>(s) * dims_,
                 cells.begin() + static_cast<ptrdiff_t>(s + 1) * dims_,
@@ -282,8 +331,10 @@ class IqTreeSearcher {
       if (mindist < PruneDistance()) {
         heap->push(QueueEntry{mindist, static_cast<uint32_t>(dir_index), s});
         stats_.cells_enqueued += 1;
+        ++enqueued;
       }
     }
+    span.AddAttr("cells_enqueued", static_cast<double>(enqueued));
     return Status::OK();
   }
 
@@ -292,6 +343,10 @@ class IqTreeSearcher {
   /// a point approximation is refined at most once per query (it leaves
   /// the priority list when popped), so there is nothing to cache.
   Status RefineSlot(size_t dir_index, uint32_t slot) {
+    obs::ScopedSpan span(tracer_, "refine", root_span_);
+    span.AddAttr("dir_index", static_cast<double>(dir_index));
+    span.AddAttr("slot", static_cast<double>(slot));
+    const double io_before = TraceNow();
     const DirEntry& entry = tree_.dir_[dir_index];
     const size_t record = ExactRecordBytes(dims_);
     if (entry.quant_bits >= kExactBits ||
@@ -302,6 +357,7 @@ class IqTreeSearcher {
     std::vector<uint8_t> buf(record);
     IQ_RETURN_NOT_OK(tree_.exact_->Read(record_extent, buf.data()));
     stats_.refinements += 1;
+    span.AddAttr("io_s", TraceNow() - io_before);
     PointId id;
     std::memcpy(&id, buf.data(), sizeof(PointId));
     std::vector<float> coords(dims_);
@@ -316,9 +372,13 @@ class IqTreeSearcher {
   /// cell approximation intersects the ball, loading the exact page at
   /// most once.
   Status CollectInBall(size_t dir_index, const uint8_t* page, double radius,
-                       std::vector<Neighbor>* out) {
+                       std::vector<Neighbor>* out, obs::SpanId parent_span) {
     stats_.pages_decoded += 1;
     const DirEntry& entry = tree_.dir_[dir_index];
+    obs::ScopedSpan span(tracer_, "page", parent_span);
+    span.AddAttr("dir_index", static_cast<double>(dir_index));
+    span.AddAttr("g", static_cast<double>(entry.quant_bits));
+    span.AddAttr("points", static_cast<double>(entry.count));
     IQ_ASSIGN_OR_RETURN(QuantPageHeader header, codec_.DecodeHeader(page));
     if (header.count != entry.count || header.bits != entry.quant_bits) {
       return Status::Corruption("quantized page disagrees with directory");
@@ -349,9 +409,13 @@ class IqTreeSearcher {
     }
     if (candidates.empty()) return Status::OK();
     stats_.refinements += candidates.size();
+    obs::ScopedSpan exact_span(tracer_, "exact_page", span.id());
+    exact_span.AddAttr("refinements", static_cast<double>(candidates.size()));
+    const double io_before = TraceNow();
     ExactPage exact;
     IQ_RETURN_NOT_OK(tree_.LoadExactPage(dir_index, &exact.ids,
                                          &exact.coords));
+    exact_span.AddAttr("io_s", TraceNow() - io_before);
     for (uint32_t s : candidates) {
       const double dist = Distance(
           q_, PointView(exact.coords.data() + s * dims_, dims_), metric_);
@@ -363,6 +427,10 @@ class IqTreeSearcher {
   const IqTree& tree_;
   PointView q_;
   IqSearchOptions options_;
+  /// Null unless this query asked for a trace; all span calls no-op on
+  /// null (one pointer test inside ScopedSpan).
+  obs::QueryTracer* tracer_;
+  obs::SpanId root_span_ = obs::kNoSpan;
   Metric metric_;
   size_t dims_;
   uint32_t block_size_;
@@ -408,15 +476,15 @@ Result<std::vector<Neighbor>> IqTree::KNearestNeighbors(
   return out;
 }
 
-Result<std::vector<Neighbor>> IqTree::RangeSearch(PointView q,
-                                                  double radius) const {
+Result<std::vector<Neighbor>> IqTree::RangeSearch(
+    PointView q, double radius, const IqSearchOptions& options) const {
   if (q.size() != meta_.dims) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   if (radius < 0) {
     return Status::InvalidArgument("negative radius");
   }
-  IqTreeSearcher searcher(*this, q, IqSearchOptions{});
+  IqTreeSearcher searcher(*this, q, options);
   std::vector<Neighbor> out;
   IQ_RETURN_NOT_OK(searcher.RunRange(radius, &out));
   return out;

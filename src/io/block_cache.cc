@@ -2,11 +2,34 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace iq {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics m{
+        obs::MetricRegistry::Global().GetCounter("iq_cache_hits_total"),
+        obs::MetricRegistry::Global().GetCounter("iq_cache_misses_total")};
+    return m;
+  }
+};
+
+}  // namespace
 
 size_t BlockCache::size() const {
   MutexLock lock(&mu_);
   return entries_.size();
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  MutexLock lock(&mu_);
+  return Stats{hits_, misses_};
 }
 
 uint64_t BlockCache::hits() const {
@@ -30,9 +53,11 @@ bool BlockCache::Lookup(uint32_t file_id, uint64_t block, void* out) {
   const auto it = entries_.find(Key{file_id, block});
   if (it == entries_.end()) {
     ++misses_;
+    CacheMetrics::Get().misses->Increment();
     return false;
   }
   ++hits_;
+  CacheMetrics::Get().hits->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);
   std::memcpy(out, it->second->data.data(), block_size_);
   return true;

@@ -31,6 +31,14 @@ namespace iq {
 /// corruption.
 class BlockCache {
  public:
+  /// Hit/miss accounting. Snapshot via stats(), zero via Reset() — the
+  /// same contract DiskModel::stats()/Reset() and
+  /// IqTree::last_query_stats()/ResetQueryStats() follow.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
   BlockCache(uint32_t block_size, size_t capacity_blocks)
       : block_size_(block_size), capacity_(capacity_blocks) {}
 
@@ -41,6 +49,10 @@ class BlockCache {
   size_t capacity() const { return capacity_; }
 
   size_t size() const IQ_EXCLUDES(mu_);
+
+  /// Consistent snapshot of the hit/miss counters.
+  Stats stats() const IQ_EXCLUDES(mu_);
+  void Reset() IQ_EXCLUDES(mu_) { ResetStats(); }
 
   uint64_t hits() const IQ_EXCLUDES(mu_);
   uint64_t misses() const IQ_EXCLUDES(mu_);

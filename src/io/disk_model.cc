@@ -1,19 +1,46 @@
 #include "io/disk_model.h"
 
+#include "obs/metrics.h"
+
 namespace iq {
+
+namespace {
+
+// Registry pointers resolved once; shared by every DiskModel (metrics
+// are a process-wide namespace, per-model numbers come from stats()).
+struct DiskMetrics {
+  obs::Counter* seeks;
+  obs::Counter* blocks_read;
+  obs::Counter* blocks_written;
+
+  static const DiskMetrics& Get() {
+    static const DiskMetrics m{
+        obs::MetricRegistry::Global().GetCounter("iq_disk_seeks_total"),
+        obs::MetricRegistry::Global().GetCounter("iq_disk_blocks_read_total"),
+        obs::MetricRegistry::Global().GetCounter(
+            "iq_disk_blocks_written_total")};
+    return m;
+  }
+};
+
+}  // namespace
 
 void DiskModel::Access(uint32_t file_id, uint64_t first_block, uint64_t count,
                        bool is_write) {
   if (count == 0) return;
+  const DiskMetrics& metrics = DiskMetrics::Get();
   if (!head_valid_ || head_file_ != file_id || head_block_ != first_block) {
     stats_.seeks += 1;
     stats_.io_time_s += params_.seek_time_s;
+    metrics.seeks->Increment();
   }
   stats_.io_time_s += params_.xfer_time_s * static_cast<double>(count);
   if (is_write) {
     stats_.blocks_written += count;
+    metrics.blocks_written->Add(count);
   } else {
     stats_.blocks_read += count;
+    metrics.blocks_read->Add(count);
   }
   head_valid_ = true;
   head_file_ = file_id;

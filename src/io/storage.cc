@@ -8,9 +8,31 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metrics.h"
+
 namespace iq {
 
 namespace {
+
+// Real-I/O counters (POSIX files only; MemoryFile stays metric-free —
+// it backs unit tests and simulated experiments whose accounting is
+// the DiskModel's).
+struct StorageMetrics {
+  obs::Counter* reads;
+  obs::Counter* writes;
+  obs::Counter* read_bytes;
+  obs::Counter* written_bytes;
+
+  static const StorageMetrics& Get() {
+    auto& registry = obs::MetricRegistry::Global();
+    static const StorageMetrics m{
+        registry.GetCounter("iq_storage_reads_total"),
+        registry.GetCounter("iq_storage_writes_total"),
+        registry.GetCounter("iq_storage_read_bytes_total"),
+        registry.GetCounter("iq_storage_written_bytes_total")};
+    return m;
+  }
+};
 
 // Byte-vector file. Concurrent Read/Size are plain const accesses and
 // safe together; Write/Resize mutate the vector and need the File
@@ -80,6 +102,8 @@ class PosixFile : public File {
       }
       done += static_cast<uint64_t>(n);
     }
+    StorageMetrics::Get().reads->Increment();
+    StorageMetrics::Get().read_bytes->Add(length);
     return Status::OK();
   }
 
@@ -97,6 +121,8 @@ class PosixFile : public File {
       }
       done += static_cast<uint64_t>(n);
     }
+    StorageMetrics::Get().writes->Increment();
+    StorageMetrics::Get().written_bytes->Add(length);
     // Monotonic max: a concurrent reader's Size() moves forward only.
     const uint64_t end = offset + length;
     uint64_t cur = size_.load(std::memory_order_relaxed);

@@ -1,0 +1,137 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace iq::obs {
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+}
+
+void JsonWriter::Escape(std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  has_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  has_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+  out_ += '"';
+  Escape(key);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
+}  // namespace iq::obs

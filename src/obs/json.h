@@ -1,0 +1,57 @@
+#ifndef IQ_OBS_JSON_H_
+#define IQ_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iq::obs {
+
+/// Minimal streaming JSON writer used by every machine-readable
+/// exporter in the repo (metric snapshots, trace dumps, bench report
+/// lines). Handles comma placement and string escaping; the caller is
+/// responsible for balanced Begin/End calls. Output is a single line —
+/// consumers are line-oriented (one JSON document per line).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by exactly one value (or
+  /// Begin*). Invalid outside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  /// Non-finite doubles have no JSON representation; they are written
+  /// as null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Splices an already-serialized JSON value verbatim (composition of
+  /// exporter outputs); the caller guarantees `json` is well-formed.
+  JsonWriter& Raw(std::string_view json);
+
+  /// The document so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Emits the separating comma if a value already precedes this one at
+  /// the current nesting level.
+  void BeforeValue();
+  void Escape(std::string_view text);
+
+  std::string out_;
+  /// One flag per open container: whether it already holds a value.
+  std::vector<bool> has_value_;
+  bool after_key_ = false;
+};
+
+}  // namespace iq::obs
+
+#endif  // IQ_OBS_JSON_H_

@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace iq::obs {
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end())
+#if !defined(IQ_OBS_DISABLED)
+      ,
+      buckets_(bounds.size() + 1)
+#endif
+{
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  MutexLock lock(&mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  MutexLock lock(&mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name,
+                                        std::span<const double> bounds) {
+  MutexLock lock(&mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return it->second.get();
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot out;
+  {
+    MutexLock lock(&mu_);
+    for (const auto& [name, counter] : counters_) {
+      MetricSample sample;
+      sample.name = name;
+      sample.type = MetricSample::Type::kCounter;
+      sample.value = static_cast<double>(counter->Value());
+      out.push_back(std::move(sample));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      MetricSample sample;
+      sample.name = name;
+      sample.type = MetricSample::Type::kGauge;
+      sample.value = gauge->Value();
+      out.push_back(std::move(sample));
+    }
+    for (const auto& [name, hist] : histograms_) {
+      MetricSample sample;
+      sample.name = name;
+      sample.type = MetricSample::Type::kHistogram;
+      sample.bounds = hist->bounds();
+      sample.bucket_counts.resize(sample.bounds.size() + 1);
+      for (size_t i = 0; i < sample.bucket_counts.size(); ++i) {
+        sample.bucket_counts[i] = hist->BucketCount(i);
+      }
+      sample.sum = hist->sum();
+      sample.count = hist->count();
+      out.push_back(std::move(sample));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricRegistry::Reset() {
+  MutexLock lock(&mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, hist] : histograms_) hist->Reset();
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // Integral values print without a mantissa tail (counters look like
+  // the integers they are).
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const MetricSample& m : snapshot) {
+    switch (m.type) {
+      case MetricSample::Type::kCounter:
+        out += "# TYPE " + m.name + " counter\n";
+        out += m.name + " " + FormatDouble(m.value) + "\n";
+        break;
+      case MetricSample::Type::kGauge:
+        out += "# TYPE " + m.name + " gauge\n";
+        out += m.name + " " + FormatDouble(m.value) + "\n";
+        break;
+      case MetricSample::Type::kHistogram: {
+        out += "# TYPE " + m.name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < m.bucket_counts.size(); ++i) {
+          cumulative += m.bucket_counts[i];
+          const std::string le =
+              i < m.bounds.size() ? FormatDouble(m.bounds[i]) : "+Inf";
+          out += m.name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += m.name + "_sum " + FormatDouble(m.sum) + "\n";
+        out += m.name + "_count " + std::to_string(m.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExportJson(const RegistrySnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  for (const MetricSample& m : snapshot) {
+    w.Key(m.name);
+    switch (m.type) {
+      case MetricSample::Type::kCounter:
+      case MetricSample::Type::kGauge:
+        w.Double(m.value);
+        break;
+      case MetricSample::Type::kHistogram:
+        w.BeginObject();
+        w.Key("bounds").BeginArray();
+        for (double b : m.bounds) w.Double(b);
+        w.EndArray();
+        w.Key("counts").BeginArray();
+        for (uint64_t c : m.bucket_counts) w.Uint(c);
+        w.EndArray();
+        w.Key("sum").Double(m.sum);
+        w.Key("count").Uint(m.count);
+        w.EndObject();
+        break;
+    }
+  }
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace iq::obs

@@ -1,0 +1,233 @@
+#ifndef IQ_OBS_METRICS_H_
+#define IQ_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "concurrency/mutex.h"
+
+namespace iq::obs {
+
+/// Compile-out switch: with -DIQ_OBS_DISABLED every metric operation is
+/// an inline no-op (empty body, nothing atomic), so the hot paths carry
+/// zero observability cost. Call sites that would otherwise read clocks
+/// for metrics guard on this constant.
+inline constexpr bool kEnabled =
+#if defined(IQ_OBS_DISABLED)
+    false;
+#else
+    true;
+#endif
+
+/// Monotonic counter. The hot path (Add/Increment) is one relaxed
+/// fetch_add on one of a small number of cache-line-padded shards, so
+/// concurrent incrementers from different threads rarely contend on the
+/// same line. Value() sums the shards (racy-but-exact for quiesced
+/// counters: every increment lands in exactly one shard).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+#if defined(IQ_OBS_DISABLED)
+  void Add(uint64_t) {}
+  void Increment() {}
+  uint64_t Value() const { return 0; }
+  void Reset() {}
+#else
+  void Add(uint64_t n) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kShards = 8;  // power of two
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  /// Stable per-thread shard assignment (round-robin at first use).
+  static size_t ShardIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+    return index;
+  }
+
+  std::array<Shard, kShards> shards_;
+#endif
+};
+
+/// Last-write-wins instantaneous value (queue depths, cache sizes).
+/// Set/Add are relaxed atomics; Add is for callers that track a delta
+/// (may go negative transiently under concurrency — gauges are
+/// diagnostics, not invariants).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+#if defined(IQ_OBS_DISABLED)
+  void Set(double) {}
+  void Add(double) {}
+  double Value() const { return 0; }
+  void Reset() {}
+#else
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<double> value_{0};
+#endif
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are set at registration
+/// and never change, so Observe() is a branch-free upper_bound walk plus
+/// relaxed increments (bucket, count, sum) — no locks on the hot path.
+/// Bucket i counts observations v <= bounds[i]; one implicit +Inf
+/// bucket catches the rest (Prometheus "le" semantics, non-cumulative
+/// storage).
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+#if defined(IQ_OBS_DISABLED)
+  void Observe(double) {}
+  uint64_t count() const { return 0; }
+  double sum() const { return 0; }
+  uint64_t BucketCount(size_t) const { return 0; }
+  void Reset() {}
+#else
+  void Observe(double v) {
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Count of bucket `i` in [0, bounds().size()] — the last index is
+  /// the +Inf overflow bucket.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+#endif
+
+ private:
+  std::vector<double> bounds_;
+#if !defined(IQ_OBS_DISABLED)
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+#endif
+};
+
+/// Point-in-time copy of one metric, for exporters.
+struct MetricSample {
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Type type = Type::kCounter;
+  /// Counter/gauge value (counters as exact doubles up to 2^53).
+  double value = 0;
+  /// Histogram payload (empty for counters/gauges). `bucket_counts` has
+  /// one more entry than `bounds` (the +Inf bucket).
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;
+  double sum = 0;
+  uint64_t count = 0;
+};
+
+using RegistrySnapshot = std::vector<MetricSample>;
+
+/// Named metric directory. Get* registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime — callers cache
+/// it (typically in a function-local static) so steady-state metric
+/// updates never touch the registry lock. Names follow Prometheus
+/// conventions: `iq_<component>_<what>[_total]`, all lowercase,
+/// underscores.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Process-wide registry: every component in the library reports
+  /// here, so IQ-tree, baselines and the I/O layer share one namespace.
+  static MetricRegistry& Global();
+
+  Counter* GetCounter(std::string_view name) IQ_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) IQ_EXCLUDES(mu_);
+  /// `bounds` must be ascending; it is fixed by the first registration
+  /// of `name` (later calls ignore the argument).
+  Histogram* GetHistogram(std::string_view name,
+                          std::span<const double> bounds) IQ_EXCLUDES(mu_);
+
+  /// Copies every registered metric, sorted by name.
+  RegistrySnapshot Snapshot() const IQ_EXCLUDES(mu_);
+
+  /// Zeroes every registered metric (names stay registered).
+  void Reset() IQ_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  // Node-based maps: pointers to mapped values are never invalidated.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      IQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      IQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      IQ_GUARDED_BY(mu_);
+};
+
+/// Prometheus text exposition (version 0.0.4) of a snapshot: counters
+/// as `# TYPE c counter` + value, histograms with cumulative `_bucket`
+/// series, `_sum` and `_count`.
+std::string ExportPrometheus(const RegistrySnapshot& snapshot);
+
+/// One JSON object `{"name": value, ...}`; histograms expand to an
+/// object with bounds/counts/sum/count.
+std::string ExportJson(const RegistrySnapshot& snapshot);
+
+}  // namespace iq::obs
+
+#endif  // IQ_OBS_METRICS_H_

@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace iq::obs {
+
+#if !defined(IQ_OBS_DISABLED)
+
+SpanId QueryTracer::BeginSpan(const char* name, SpanId parent) {
+  const int64_t now = NowNs();
+  MutexLock lock(&mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  SpanRecord span;
+  span.name = name;
+  span.parent = parent;
+  span.seq_begin = next_seq_++;
+  span.wall_begin_ns = now;
+  spans_.push_back(std::move(span));
+  return static_cast<SpanId>(spans_.size() - 1);
+}
+
+void QueryTracer::EndSpan(SpanId id) {
+  const int64_t now = NowNs();
+  MutexLock lock(&mu_);
+  if (id >= spans_.size()) return;
+  spans_[id].seq_end = next_seq_++;
+  spans_[id].wall_end_ns = now;
+}
+
+void QueryTracer::AddAttr(SpanId id, const char* key, double value) {
+  MutexLock lock(&mu_);
+  if (id >= spans_.size()) return;
+  for (auto& [k, v] : spans_[id].attrs) {
+    if (k == key) {
+      v += value;
+      return;
+    }
+  }
+  spans_[id].attrs.emplace_back(key, value);
+}
+
+std::vector<SpanRecord> QueryTracer::Snapshot() const {
+  MutexLock lock(&mu_);
+  return spans_;
+}
+
+uint64_t QueryTracer::dropped() const {
+  MutexLock lock(&mu_);
+  return dropped_;
+}
+
+void QueryTracer::Clear() {
+  MutexLock lock(&mu_);
+  spans_.clear();
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+#endif  // !defined(IQ_OBS_DISABLED)
+
+double AggregateSpans(const std::vector<SpanRecord>& spans,
+                      std::string_view name, const char* key) {
+  double total = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name != name) continue;
+    if (key == nullptr) {
+      total += 1;
+      continue;
+    }
+    for (const auto& [k, v] : span.attrs) {
+      if (k == key) {
+        total += v;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+namespace {
+
+std::string FormatAttr(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+void PrintSubtree(const std::vector<SpanRecord>& spans,
+                  const std::vector<std::vector<size_t>>& children,
+                  size_t index, int depth, std::ostream& os) {
+  const SpanRecord& span = spans[index];
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << span.name << "  seq=[" << span.seq_begin << "," << span.seq_end
+     << "]  wall=" << FormatAttr(
+            static_cast<double>(span.wall_end_ns - span.wall_begin_ns) / 1e3)
+     << "us";
+  for (const auto& [key, value] : span.attrs) {
+    os << "  " << key << "=" << FormatAttr(value);
+  }
+  os << "\n";
+  for (size_t child : children[index]) {
+    PrintSubtree(spans, children, child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+void PrintSpanTree(const std::vector<SpanRecord>& spans, std::ostream& os) {
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == kNoSpan || spans[i].parent >= spans.size()) {
+      roots.push_back(i);
+    } else {
+      children[spans[i].parent].push_back(i);
+    }
+  }
+  // Children recorded in SpanId order are already in logical order.
+  for (size_t root : roots) PrintSubtree(spans, children, root, 0, os);
+}
+
+std::string TraceToJson(const std::vector<SpanRecord>& spans) {
+  JsonWriter w;
+  w.BeginArray();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    w.BeginObject();
+    w.Key("id").Uint(i);
+    w.Key("name").String(span.name);
+    w.Key("parent");
+    if (span.parent == kNoSpan) {
+      w.Null();
+    } else {
+      w.Uint(span.parent);
+    }
+    w.Key("seq").BeginArray().Uint(span.seq_begin).Uint(span.seq_end)
+        .EndArray();
+    w.Key("wall_ns")
+        .BeginArray()
+        .Int(span.wall_begin_ns)
+        .Int(span.wall_end_ns)
+        .EndArray();
+    w.Key("attrs").BeginObject();
+    for (const auto& [key, value] : span.attrs) {
+      w.Key(key).Double(value);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+}  // namespace iq::obs

@@ -4,10 +4,19 @@
 #include <limits>
 
 #include "common/math_utils.h"
+#include "obs/metrics.h"
 
 namespace iq {
 
 namespace {
+
+// Baselines share the iq_* metric namespace so dashboards can compare
+// query volume across methods.
+obs::Counter* ScanQueryCounter() {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("iq_scan_queries_total");
+  return counter;
+}
 
 constexpr uint32_t kScanMagic = 0x53434e31;  // "SCN1"
 
@@ -114,6 +123,7 @@ Result<std::vector<Neighbor>> SeqScan::KNearestNeighbors(PointView q,
   if (q.size() != dims_) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
+  ScanQueryCounter()->Increment();
   std::vector<Neighbor> best;
   if (k == 0 || count_ == 0) return best;
   ChargeFullScan();
@@ -156,6 +166,7 @@ Result<std::vector<Neighbor>> SeqScan::RangeSearch(PointView q,
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   if (radius < 0) return Status::InvalidArgument("negative radius");
+  ScanQueryCounter()->Increment();
   ChargeFullScan();
   std::vector<Neighbor> out;
   for (size_t i = 0; i < count_; ++i) {

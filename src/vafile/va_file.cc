@@ -7,11 +7,27 @@
 #include <queue>
 
 #include "common/math_utils.h"
+#include "obs/metrics.h"
 #include "quant/bit_stream.h"
 
 namespace iq {
 
 namespace {
+
+// Baseline query volume and phase-2 refinement counts, in the shared
+// iq_* metric namespace for cross-method comparison.
+struct VaMetrics {
+  obs::Counter* queries;
+  obs::Counter* refinements;
+
+  static const VaMetrics& Get() {
+    auto& registry = obs::MetricRegistry::Global();
+    static const VaMetrics m{
+        registry.GetCounter("iq_vafile_queries_total"),
+        registry.GetCounter("iq_vafile_refinements_total")};
+    return m;
+  }
+};
 
 constexpr uint32_t kVaMagic = 0x56414631;  // "VAF1"
 
@@ -261,6 +277,7 @@ Result<std::vector<Neighbor>> VaFile::KNearestNeighbors(PointView q,
   if (q.size() != dims_) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
+  VaMetrics::Get().queries->Increment();
   std::vector<Neighbor> out;
   if (k == 0 || count_ == 0) {
     last_visit_fraction_ = 0.0;
@@ -315,6 +332,7 @@ Result<std::vector<Neighbor>> VaFile::KNearestNeighbors(PointView q,
       for (const Neighbor& r : best) worst = std::max(worst, r.distance);
     }
   }
+  VaMetrics::Get().refinements->Add(visited);
   last_visit_fraction_ =
       count_ > 0 ? static_cast<double>(visited) / count_ : 0.0;
   std::sort(best.begin(), best.end(),
@@ -380,6 +398,7 @@ Result<std::vector<Neighbor>> VaFile::RangeSearch(PointView q,
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   if (radius < 0) return Status::InvalidArgument("negative radius");
+  VaMetrics::Get().queries->Increment();
   ChargeApproximationScan();
   std::vector<Neighbor> out;
   size_t visited = 0;
@@ -392,6 +411,7 @@ Result<std::vector<Neighbor>> VaFile::RangeSearch(PointView q,
     const double dist = Distance(q, Vector(i), options_.metric);
     if (dist <= radius) out.push_back(Neighbor{static_cast<PointId>(i), dist});
   }
+  VaMetrics::Get().refinements->Add(visited);
   last_visit_fraction_ =
       count_ > 0 ? static_cast<double>(visited) / count_ : 0.0;
   std::sort(out.begin(), out.end(),

@@ -1,6 +1,7 @@
 #!/bin/sh
 # End-to-end smoke test of the iqtool CLI: generate -> build -> query ->
-# stats -> validate -> reopt against real files in a temp directory.
+# stats -> profile -> validate -> reopt against real files in a temp
+# directory.
 set -eu
 
 IQTOOL="$1"
@@ -17,6 +18,19 @@ trap 'rm -rf "$DIR"' EXIT
     --point 0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5 --radius 0.4 \
     | grep -q "points within"
 "$IQTOOL" stats --dir "$DIR" --index idx | grep -q "points:       3000"
+"$IQTOOL" stats --dir "$DIR" --index idx --metrics \
+    | grep -q "# TYPE iq_storage_reads_total counter"
+"$IQTOOL" stats --dir "$DIR" --index idx --json | grep -q '"metrics"'
+# profile: span tree + consistency check (exits non-zero on a
+# trace/stats mismatch), single query and dataset batch, both modes.
+"$IQTOOL" profile --dir "$DIR" --index idx \
+    --point 0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5 --k 3 >/dev/null
+"$IQTOOL" profile --dir "$DIR" --index idx --queries ds --limit 4 \
+    --radius 0.4 >/dev/null
+"$IQTOOL" profile --dir "$DIR" --index idx --queries ds --limit 4 --k 2 \
+    --json | grep -q '"queries"'
+"$IQTOOL" profile --dir "$DIR" --index idx --queries ds --limit 4 --k 2 \
+    --threads 2 --json | grep -q '"queries"'
 "$IQTOOL" validate --dir "$DIR" --index idx | grep -q "^OK"
 "$IQTOOL" reopt --dir "$DIR" --index idx | grep -q "reoptimized"
 "$IQTOOL" validate --dir "$DIR" --index idx | grep -q "^OK"

@@ -1,0 +1,231 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace iq::obs {
+namespace {
+
+// Every test body branches on kEnabled where values matter, so the
+// suite also passes in the -DIQ_OBS_DISABLED build configuration
+// (where all metric operations are no-ops returning zero).
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kEnabled ? kThreads * kPerThread : 0);
+}
+
+TEST(CounterTest, AddAndReset) {
+  Counter counter;
+  counter.Add(5);
+  counter.Add(7);
+  EXPECT_EQ(counter.Value(), kEnabled ? 12u : 0u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(4.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), kEnabled ? 4.5 : 0.0);
+  gauge.Add(-1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), kEnabled ? 3.0 : 0.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  constexpr double kBounds[] = {1.0, 10.0, 100.0};
+  Histogram histogram(kBounds);
+  histogram.Observe(0.5);    // <= 1
+  histogram.Observe(1.0);    // <= 1 (le semantics)
+  histogram.Observe(5.0);    // <= 10
+  histogram.Observe(1000.0); // +Inf
+  if (kEnabled) {
+    EXPECT_EQ(histogram.BucketCount(0), 2u);
+    EXPECT_EQ(histogram.BucketCount(1), 1u);
+    EXPECT_EQ(histogram.BucketCount(2), 0u);
+    EXPECT_EQ(histogram.BucketCount(3), 1u);
+    EXPECT_EQ(histogram.count(), 4u);
+    EXPECT_DOUBLE_EQ(histogram.sum(), 1006.5);
+  } else {
+    EXPECT_EQ(histogram.count(), 0u);
+  }
+}
+
+TEST(HistogramTest, ConcurrentObservationsSumExactly) {
+  constexpr double kBounds[] = {0.5};
+  Histogram histogram(kBounds);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t]() {
+      const double v = t % 2 == 0 ? 0.25 : 0.75;  // alternate buckets
+      for (uint64_t i = 0; i < kPerThread; ++i) histogram.Observe(v);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (kEnabled) {
+    EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+    EXPECT_EQ(histogram.BucketCount(0), 2 * kPerThread);
+    EXPECT_EQ(histogram.BucketCount(1), 2 * kPerThread);
+  } else {
+    EXPECT_EQ(histogram.count(), 0u);
+  }
+}
+
+TEST(MetricRegistryTest, GetReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("test_counter");
+  Counter* b = registry.GetCounter("test_counter");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.GetGauge("test_gauge");
+  Gauge* g2 = registry.GetGauge("test_gauge");
+  EXPECT_EQ(g1, g2);
+  constexpr double kBounds[] = {1.0};
+  Histogram* h1 = registry.GetHistogram("test_histogram", kBounds);
+  Histogram* h2 = registry.GetHistogram("test_histogram", kBounds);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricRegistryTest, SnapshotSortedAndTyped) {
+  MetricRegistry registry;
+  registry.GetCounter("b_counter")->Add(3);
+  registry.GetGauge("a_gauge")->Set(1.5);
+  constexpr double kBounds[] = {1.0, 2.0};
+  registry.GetHistogram("c_histogram", kBounds)->Observe(1.5);
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "a_gauge");
+  EXPECT_EQ(snapshot[0].type, MetricSample::Type::kGauge);
+  EXPECT_EQ(snapshot[1].name, "b_counter");
+  EXPECT_EQ(snapshot[1].type, MetricSample::Type::kCounter);
+  EXPECT_EQ(snapshot[2].name, "c_histogram");
+  EXPECT_EQ(snapshot[2].type, MetricSample::Type::kHistogram);
+  ASSERT_EQ(snapshot[2].bounds.size(), 2u);
+  ASSERT_EQ(snapshot[2].bucket_counts.size(), 3u);
+  if (kEnabled) {
+    EXPECT_DOUBLE_EQ(snapshot[1].value, 3.0);
+    EXPECT_DOUBLE_EQ(snapshot[0].value, 1.5);
+    EXPECT_EQ(snapshot[2].count, 1u);
+    EXPECT_EQ(snapshot[2].bucket_counts[1], 1u);
+  }
+}
+
+TEST(MetricRegistryTest, ResetZeroesValuesKeepsNames) {
+  MetricRegistry registry;
+  registry.GetCounter("x_total")->Add(10);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("x_total")->Value(), 0u);
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
+}
+
+TEST(MetricRegistryTest, ConcurrentRegistrationAndIncrement) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry]() {
+      // Every thread looks the counter up itself: registration races
+      // with increments from the winners.
+      Counter* counter = registry.GetCounter("shared_total");
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared_total")->Value(),
+            kEnabled ? kThreads * kPerThread : 0);
+}
+
+TEST(MetricRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricRegistry::Global(), &MetricRegistry::Global());
+}
+
+TEST(ExportTest, PrometheusFormat) {
+  MetricRegistry registry;
+  registry.GetCounter("iq_test_total")->Add(7);
+  constexpr double kBounds[] = {1.0, 2.0};
+  Histogram* histogram = registry.GetHistogram("iq_test_seconds", kBounds);
+  histogram->Observe(0.5);
+  histogram->Observe(1.5);
+  histogram->Observe(9.0);
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE iq_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE iq_test_seconds histogram"),
+            std::string::npos);
+  if (kEnabled) {
+    EXPECT_NE(text.find("iq_test_total 7"), std::string::npos);
+    // Buckets are cumulative in the exposition format.
+    EXPECT_NE(text.find("iq_test_seconds_bucket{le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("iq_test_seconds_bucket{le=\"2\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("iq_test_seconds_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("iq_test_seconds_count 3"), std::string::npos);
+  }
+}
+
+TEST(ExportTest, JsonFormat) {
+  MetricRegistry registry;
+  registry.GetCounter("iq_test_total")->Add(2);
+  const std::string json = ExportJson(registry.Snapshot());
+  if (kEnabled) {
+    EXPECT_EQ(json, "{\"iq_test_total\":2}");
+  } else {
+    EXPECT_EQ(json, "{\"iq_test_total\":0}");
+  }
+}
+
+TEST(JsonWriterTest, NestedStructure) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("value");
+  w.Key("list").BeginArray().Int(1).Int(2).EndArray();
+  w.Key("nested").BeginObject().Key("flag").Bool(true).EndObject();
+  w.Key("nothing").Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"value\",\"list\":[1,2],"
+            "\"nested\":{\"flag\":true},\"nothing\":null}");
+}
+
+TEST(JsonWriterTest, EscapingAndNonFinite) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("a\"b\\c\nd");
+  w.String(std::string("ctrl:\x01", 6));
+  w.Double(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[\"a\\\"b\\\\c\\nd\",\"ctrl:\\u0001\",null]");
+}
+
+TEST(JsonWriterTest, RawSplicesVerbatim) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("inner").Raw("{\"x\":1}");
+  w.Key("after").Int(2);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"inner\":{\"x\":1},\"after\":2}");
+}
+
+}  // namespace
+}  // namespace iq::obs

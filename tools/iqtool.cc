@@ -11,22 +11,34 @@
 //                   [--k K]
 //   iqtool query    --dir DIR --index NAME --point x,y,... [--k K]
 //                   [--radius R]
-//   iqtool stats    --dir DIR --index NAME
+//   iqtool stats    --dir DIR --index NAME [--metrics] [--json]
+//   iqtool profile  --dir DIR --index NAME (--point x,y,... |
+//                   --queries DSNAME [--limit N]) [--k K] [--radius R]
+//                   [--threads T] [--json]
 //   iqtool validate --dir DIR --index NAME
 //   iqtool reopt    --dir DIR --index NAME
+//
+// `profile` runs the queries with a QueryTracer attached and prints the
+// recorded span tree (or a JSON trace dump with --json); see
+// docs/observability.md for the span schema.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "concurrency/parallel_query_runner.h"
 #include "core/iq_tree.h"
 #include "data/dataset_io.h"
 #include "data/generators.h"
 #include "io/storage.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace iq {
 namespace {
@@ -87,13 +99,17 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: iqtool <generate|build|query|stats|validate|reopt> ...\n"
+      "usage: iqtool <generate|build|query|stats|profile|validate|reopt> "
+      "...\n"
       "  generate --out DIR/NAME --workload uniform|cad|color|weather\n"
       "           --n N --dims D [--seed S]\n"
       "  build    --dir DIR --dataset NAME --index NAME [--metric l2|lmax]\n"
       "           [--no-quantize] [--fixed-bits G] [--k K]\n"
       "  query    --dir DIR --index NAME --point x,y,... [--k K] [--radius R]\n"
-      "  stats    --dir DIR --index NAME\n"
+      "  stats    --dir DIR --index NAME [--metrics] [--json]\n"
+      "  profile  --dir DIR --index NAME (--point x,y,... |\n"
+      "           --queries DSNAME [--limit N]) [--k K] [--radius R]\n"
+      "           [--threads T] [--json]\n"
       "  validate --dir DIR --index NAME\n"
       "  reopt    --dir DIR --index NAME\n");
   return 2;
@@ -224,6 +240,23 @@ int Stats(const Args& args) {
   DiskModel disk;
   auto tree = IqTree::Open(storage, index, disk);
   if (!tree.ok()) return Fail(tree.status());
+  if (args.Has("json")) {
+    // One JSON document on one line: index structure plus a snapshot of
+    // the process-wide metric registry (opening the index already
+    // touched storage/disk metrics).
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("index").String(index);
+    w.Key("points").Uint((*tree)->size());
+    w.Key("dims").Uint((*tree)->dims());
+    w.Key("pages").Uint((*tree)->num_pages());
+    w.Key("fractal_dimension").Double((*tree)->fractal_dimension());
+    w.Key("metrics").Raw(
+        obs::ExportJson(obs::MetricRegistry::Global().Snapshot()));
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
   std::printf("index:        %s/%s.{dir,qpg,dat}\n", dir.c_str(),
               index.c_str());
   std::printf("points:       %llu\n",
@@ -248,6 +281,193 @@ int Stats(const Args& args) {
                   ? 100.0 * static_cast<double>(quantized_points) /
                         static_cast<double>((*tree)->size())
                   : 0.0);
+  if (args.Has("metrics")) {
+    std::printf("\n%s", obs::ExportPrometheus(
+                            obs::MetricRegistry::Global().Snapshot())
+                            .c_str());
+  }
+  return 0;
+}
+
+/// Checks the recorded span tree against the query's QueryStats: the
+/// trace and the counters are produced independently, so agreement is
+/// strong evidence both are right (the acceptance check behind
+/// `iqtool profile`). Returns true when consistent; appends a
+/// `counter trace=X stats=Y` description per mismatch otherwise.
+bool CheckTraceConsistency(const std::vector<obs::SpanRecord>& spans,
+                           const IqTree::QueryStats& stats,
+                           std::string* problems) {
+  const auto check = [&](const char* what, double from_trace,
+                         double from_stats) {
+    if (from_trace == from_stats) return true;
+    *problems += std::string(" ") + what +
+                 " trace=" + std::to_string(from_trace) +
+                 " stats=" + std::to_string(from_stats);
+    return false;
+  };
+  bool ok = true;
+  ok &= check("pages_decoded", obs::AggregateSpans(spans, "page", nullptr),
+              static_cast<double>(stats.pages_decoded));
+  ok &= check("batches", obs::AggregateSpans(spans, "batch", nullptr),
+              static_cast<double>(stats.batches));
+  ok &= check("blocks_transferred",
+              obs::AggregateSpans(spans, "batch", "blocks"),
+              static_cast<double>(stats.blocks_transferred));
+  ok &= check("refinements",
+              obs::AggregateSpans(spans, "refine", nullptr) +
+                  obs::AggregateSpans(spans, "exact_page", "refinements"),
+              static_cast<double>(stats.refinements));
+  ok &= check("cells_enqueued",
+              obs::AggregateSpans(spans, "page", "cells_enqueued"),
+              static_cast<double>(stats.cells_enqueued));
+  return ok;
+}
+
+void WriteStatsJson(obs::JsonWriter& w, const IqTree::QueryStats& stats) {
+  w.BeginObject();
+  w.Key("pages_decoded").Uint(stats.pages_decoded);
+  w.Key("blocks_transferred").Uint(stats.blocks_transferred);
+  w.Key("batches").Uint(stats.batches);
+  w.Key("refinements").Uint(stats.refinements);
+  w.Key("cells_enqueued").Uint(stats.cells_enqueued);
+  w.EndObject();
+}
+
+int Profile(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string index = args.Get("index");
+  if (index.empty()) return Usage();
+  FileStorage storage(dir);
+  DiskModel disk;
+  auto tree = IqTree::Open(storage, index, disk);
+  if (!tree.ok()) return Fail(tree.status());
+
+  // Query set: one --point, or the first --limit rows of a dataset.
+  Dataset queries((*tree)->dims());
+  if (!args.Get("point").empty()) {
+    auto q = ParsePoint(args.Get("point"));
+    if (!q.ok()) return Fail(q.status());
+    if (q->size() != (*tree)->dims()) {
+      std::fprintf(stderr, "point has %zu dims, index has %zu\n", q->size(),
+                   (*tree)->dims());
+      return 2;
+    }
+    queries.Append(PointView(q->data(), q->size()));
+  } else if (!args.Get("queries").empty()) {
+    auto data = ReadDataset(storage, args.Get("queries"));
+    if (!data.ok()) return Fail(data.status());
+    if (data->dims() != (*tree)->dims()) {
+      std::fprintf(stderr, "dataset has %zu dims, index has %zu\n",
+                   data->dims(), (*tree)->dims());
+      return 2;
+    }
+    const size_t limit = ParseCount(args.Get("limit"), 8);
+    for (size_t i = 0; i < data->size() && i < limit; ++i) {
+      queries.Append((*data)[i]);
+    }
+  } else {
+    return Usage();
+  }
+
+  const bool json = args.Has("json");
+  const bool range = !args.Get("radius").empty();
+  const double radius = ParseNumber(args.Get("radius"), 0.0);
+  const size_t k = ParseCount(args.Get("k"), 1);
+  const size_t threads = ParseCount(args.Get("threads"), 0);
+
+  obs::JsonWriter w;
+  if (json) {
+    w.BeginObject();
+    w.Key("index").String(index);
+    w.Key("mode").String(range ? "range" : "knn");
+    w.Key(range ? "radius" : "k");
+    if (range) {
+      w.Double(radius);
+    } else {
+      w.Uint(k);
+    }
+    w.Key("queries").BeginArray();
+  }
+
+  bool all_consistent = true;
+  if (threads > 1) {
+    // Batch mode: all queries share one tracer (it is thread-safe); the
+    // trace holds one root span per query, interleaved in completion
+    // order. Per-query stats consistency is a sequential-mode check —
+    // last_query_stats() only keeps whichever query finished last.
+    obs::QueryTracer tracer;
+    IqSearchOptions options;
+    options.tracer = &tracer;
+    ParallelQueryRunner runner(**tree, threads);
+    const auto batch = range ? runner.RangeBatch(queries, radius, options)
+                             : runner.KnnBatch(queries, k, options);
+    if (!batch.ok()) return Fail(batch.status());
+    const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+    if (json) {
+      w.BeginObject();
+      w.Key("trace").Raw(obs::TraceToJson(spans));
+      w.Key("dropped_spans").Uint(tracer.dropped());
+      w.EndObject();
+    } else {
+      std::printf("profiled %zu queries on %zu threads (one shared trace)\n",
+                  queries.size(), threads);
+      obs::PrintSpanTree(spans, std::cout);
+    }
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      obs::QueryTracer tracer;
+      IqSearchOptions options;
+      options.tracer = &tracer;
+      if (range) {
+        auto hits = (*tree)->RangeSearch(queries[i], radius, options);
+        if (!hits.ok()) return Fail(hits.status());
+      } else {
+        auto hits = (*tree)->KNearestNeighbors(queries[i], k, options);
+        if (!hits.ok()) return Fail(hits.status());
+      }
+      const IqTree::QueryStats stats = (*tree)->last_query_stats();
+      const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+      // With observability compiled out the trace is empty by design —
+      // nothing to cross-check.
+      std::string problems;
+      const bool consistent =
+          !obs::kEnabled || CheckTraceConsistency(spans, stats, &problems);
+      all_consistent &= consistent;
+      if (json) {
+        w.BeginObject();
+        w.Key("trace").Raw(obs::TraceToJson(spans));
+        w.Key("stats");
+        WriteStatsJson(w, stats);
+        w.Key("consistent").Bool(consistent);
+        w.EndObject();
+      } else {
+        std::printf("query %zu:\n", i);
+        obs::PrintSpanTree(spans, std::cout);
+        std::printf(
+            "  stats: pages_decoded=%zu blocks=%zu batches=%zu "
+            "refinements=%zu cells_enqueued=%zu\n",
+            stats.pages_decoded, stats.blocks_transferred, stats.batches,
+            stats.refinements, stats.cells_enqueued);
+        if (obs::kEnabled) {
+          std::printf("  trace/stats consistency: %s%s\n",
+                      consistent ? "OK" : "MISMATCH", problems.c_str());
+        }
+      }
+    }
+  }
+
+  if (json) {
+    w.EndArray();
+    w.Key("metrics").Raw(
+        obs::ExportJson(obs::MetricRegistry::Global().Snapshot()));
+    w.Key("consistent").Bool(all_consistent);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  }
+  if (!all_consistent) {
+    std::fprintf(stderr, "error: trace disagrees with query stats\n");
+    return 1;
+  }
   return 0;
 }
 
@@ -293,6 +513,7 @@ int Run(int argc, char** argv) {
   if (args.command == "build") return Build(args);
   if (args.command == "query") return Query(args);
   if (args.command == "stats") return Stats(args);
+  if (args.command == "profile") return Profile(args);
   if (args.command == "validate") return Validate(args);
   if (args.command == "reopt") return Reoptimize(args);
   return Usage();

@@ -1,0 +1,234 @@
+// json_check — dependency-free JSON syntax validator for CI.
+//
+//   some_tool --json | json_check [--require KEY]...
+//
+// Reads one JSON document from stdin and exits 0 iff it parses. Each
+// --require KEY additionally demands that the top-level value is an
+// object containing KEY. Used by the `obs` check leg to validate the
+// machine output of `iqtool profile --json`, `iqtool stats --json` and
+// the bench JSON report lines without pulling in a JSON library.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Recursive-descent parser over the full RFC 8259 grammar. Collects
+/// top-level object keys so --require can check them.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool ParseDocument(std::vector<std::string>* top_level_keys) {
+    SkipSpace();
+    if (!ParseValue(top_level_keys)) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+  size_t error_pos() const { return pos_; }
+
+ private:
+  bool ParseValue(std::vector<std::string>* keys_out = nullptr) {
+    if (depth_ > kMaxDepth) return false;
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(keys_out);
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString(nullptr);
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject(std::vector<std::string>* keys_out) {
+    ++depth_;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (Peek() != '"' || !ParseString(&key)) return false;
+      if (keys_out != nullptr) keys_out->push_back(key);
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      if (!ParseValue()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++depth_;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      if (!ParseValue()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const unsigned char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (std::strchr("\"\\/bfnrt", esc) != nullptr) {
+          if (out != nullptr) out->push_back(esc);  // close enough for keys
+          ++pos_;
+          continue;
+        }
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+          }
+          ++pos_;
+          continue;
+        }
+        return false;
+      }
+      if (out != nullptr) out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (std::isdigit(Peek()) == 0) return false;
+    if (Peek() == '0') {
+      ++pos_;  // no leading zeros
+    } else {
+      while (std::isdigit(Peek()) != 0) ++pos_;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (std::isdigit(Peek()) == 0) return false;
+      while (std::isdigit(Peek()) != 0) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (std::isdigit(Peek()) == 0) return false;
+      while (std::isdigit(Peek()) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool ParseLiteral(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  /// 0 at end of input (never a valid JSON byte to consume here).
+  unsigned char Peek() const {
+    return pos_ < text_.size() ? static_cast<unsigned char>(text_[pos_]) : 0;
+  }
+
+  static constexpr int kMaxDepth = 512;
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: json_check [--require KEY]... < doc\n");
+      return 2;
+    }
+  }
+  std::string input;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+    input.append(buf, n);
+  }
+  Parser parser(input);
+  std::vector<std::string> keys;
+  if (!parser.ParseDocument(&keys)) {
+    std::fprintf(stderr, "json_check: parse error near byte %zu\n",
+                 parser.error_pos());
+    return 1;
+  }
+  for (const std::string& key : required) {
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+      std::fprintf(stderr, "json_check: missing top-level key \"%s\"\n",
+                   key.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -9,14 +9,20 @@
 #             concurrency stress tests make it hunt real interleavings
 #   tidy      clang-tidy over src/ via -DIQ_CLANG_TIDY=ON (skipped with
 #             a notice when no clang-tidy is installed)
+#   obs       observability smoke (docs/observability.md): builds with
+#             -DIQ_OBS_DISABLED=ON (metrics/tracing compiled out), runs
+#             the full suite there, then exercises `iqtool profile`
+#             against a sample index in both the disabled and the
+#             release build and validates the JSON output with
+#             tools/json_check
 #
-# Usage: tools/run_checks.sh [release|sanitize|thread|tidy]...
-#        (no arguments runs all four)
+# Usage: tools/run_checks.sh [release|sanitize|thread|tidy|obs]...
+#        (no arguments runs all five)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-STEPS="${*:-release sanitize thread tidy}"
+STEPS="${*:-release sanitize thread tidy obs}"
 
 run_suite() {
     build_dir="$1"
@@ -61,8 +67,38 @@ for step in $STEPS; do
             echo "==> tidy: clang-tidy not installed, skipping (config: .clang-tidy)"
         fi
         ;;
+    obs)
+        # The compile-out config must still pass every test, and the
+        # profiler must emit valid JSON with observability on AND off.
+        run_suite build-obsoff -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DIQ_OBS_DISABLED=ON -DIQ_WERROR=ON
+        # A plain release tree for the enabled-side profile run (reuses
+        # the `release` leg's tree when that leg ran first).
+        cmake -B "$ROOT/build-release" -S "$ROOT" \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIQ_WERROR=ON >/dev/null
+        cmake --build "$ROOT/build-release" -j "$JOBS" \
+            --target iqtool json_check
+        echo "==> obs: iqtool profile JSON smoke"
+        OBS_TMP="$(mktemp -d)"
+        trap 'rm -rf "$OBS_TMP"' EXIT
+        for tree in build-obsoff build-release; do
+            IQTOOL="$ROOT/$tree/tools/iqtool"
+            CHECK="$ROOT/build-release/tools/json_check"
+            "$IQTOOL" generate --out "$OBS_TMP/$tree-ds" --workload cad \
+                --n 3000 --dims 8 --seed 7 >/dev/null
+            "$IQTOOL" build --dir "$OBS_TMP" --dataset "$tree-ds" \
+                --index "$tree-idx" >/dev/null
+            "$IQTOOL" profile --dir "$OBS_TMP" --index "$tree-idx" \
+                --queries "$tree-ds" --limit 4 --k 3 --json \
+                | "$CHECK" --require queries --require metrics \
+                    --require consistent
+            "$IQTOOL" stats --dir "$OBS_TMP" --index "$tree-idx" --json \
+                | "$CHECK" --require metrics
+            echo "==> obs: $tree JSON valid"
+        done
+        ;;
     *)
-        echo "unknown step '$step' (want release|sanitize|thread|tidy)" >&2
+        echo "unknown step '$step' (want release|sanitize|thread|tidy|obs)" >&2
         exit 2
         ;;
     esac
