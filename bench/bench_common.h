@@ -22,10 +22,14 @@ struct BenchArgs {
   bool full = false;
   size_t queries = 20;
   uint64_t seed = 42;
+  /// --n: overrides the point count of every Scale() call (CI smoke
+  /// runs shrink the benches far below the reduced defaults).
+  size_t n_override = 0;
   DiskParameters disk;
 
   /// Scales a paper-sized point count down unless --full is given.
   size_t Scale(size_t paper_count, size_t reduced_count) const {
+    if (n_override > 0) return n_override;
     return full ? paper_count : reduced_count;
   }
 };
@@ -39,14 +43,16 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.queries = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      args.n_override = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--seek-ms") == 0 && i + 1 < argc) {
       args.disk.seek_time_s = std::atof(argv[++i]) / 1000.0;
     } else if (std::strcmp(argv[i], "--xfer-ms") == 0 && i + 1 < argc) {
       args.disk.xfer_time_s = std::atof(argv[++i]) / 1000.0;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "options: --full (paper-scale N) --queries N --seed S "
-          "--seek-ms MS --xfer-ms MS\n");
+          "options: --full (paper-scale N) --n N (exact point count) "
+          "--queries N --seed S --seek-ms MS --xfer-ms MS\n");
       std::exit(0);
     }
   }
@@ -79,11 +85,20 @@ class JsonReport {
     rows_.push_back(Row{std::string(series), x, value});
   }
 
-  /// Prints the `IQBENCH {...}` line to stdout.
+  /// Prints the `IQBENCH {...}` line to stdout. schema_version counts
+  /// the IQBENCH line format itself (bump on breaking key changes);
+  /// suite/git_rev come from the IQBENCH_SUITE / IQBENCH_GIT_REV
+  /// environment (the perf-trajectory harness sets them so aggregated
+  /// baselines carry their provenance).
   void Print() const {
     obs::JsonWriter w;
     w.BeginObject();
+    w.Key("schema_version").Uint(1);
     w.Key("bench").String(bench_);
+    const char* suite = std::getenv("IQBENCH_SUITE");
+    w.Key("suite").String(suite != nullptr ? suite : "");
+    const char* git_rev = std::getenv("IQBENCH_GIT_REV");
+    w.Key("git_rev").String(git_rev != nullptr ? git_rev : "");
     w.Key("rows").BeginArray();
     for (const Row& row : rows_) {
       w.BeginObject();

@@ -1,0 +1,110 @@
+#include "analysis/index_health.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace iq {
+
+namespace {
+
+size_t LevelIndex(uint32_t g) {
+  for (size_t i = 0; i < std::size(kQuantLevels); ++i) {
+    if (kQuantLevels[i] == g) return i;
+  }
+  return std::size(kQuantLevels) - 1;
+}
+
+}  // namespace
+
+IndexHealth ComputeIndexHealth(const IndexMeta& meta,
+                               const std::vector<DirEntry>& dir) {
+  IndexHealth h;
+  h.dims = meta.dims;
+  h.total_points = meta.total_points;
+  h.num_pages = dir.size();
+  h.block_size = meta.block_size;
+  if (dir.empty()) return h;
+
+  double occupancy_sum = 0.0;
+  h.occupancy_min = 1e300;
+  double volume_sum = 0.0;
+  uint64_t indirect_pages = 0;
+  for (const DirEntry& entry : dir) {
+    h.pages_per_level[LevelIndex(entry.quant_bits)] += 1;
+    const uint32_t capacity =
+        QuantPageCapacity(meta.dims, entry.quant_bits, meta.block_size);
+    const double occupancy =
+        capacity == 0 ? 0.0
+                      : static_cast<double>(entry.count) / capacity;
+    occupancy_sum += occupancy;
+    h.occupancy_min = std::min(h.occupancy_min, occupancy);
+    h.occupancy_max = std::max(h.occupancy_max, occupancy);
+    const double volume = entry.mbr.Volume();
+    volume_sum += volume;
+    h.mbr_volume_max = std::max(h.mbr_volume_max, volume);
+    if (entry.quant_bits < kExactBits) {
+      indirect_pages += 1;
+      h.exact_bytes += entry.exact.length;
+    }
+  }
+  const double n = static_cast<double>(dir.size());
+  h.occupancy_mean = occupancy_sum / n;
+  h.mbr_volume_mean = volume_sum / n;
+  h.level3_indirection_ratio = static_cast<double>(indirect_pages) / n;
+
+  // Pairwise overlap on a strided sample so a million-page directory
+  // does not turn a diagnostics command into an O(n^2) stall.
+  const uint64_t stride =
+      dir.size() <= kMaxOverlapPages
+          ? 1
+          : (dir.size() + kMaxOverlapPages - 1) / kMaxOverlapPages;
+  std::vector<const DirEntry*> sample;
+  for (size_t i = 0; i < dir.size(); i += stride) sample.push_back(&dir[i]);
+  double overlap_sum = 0.0;
+  uint64_t overlapping = 0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (size_t j = i + 1; j < sample.size(); ++j) {
+      h.mbr_overlap_pairs += 1;
+      const double v = sample[i]->mbr.IntersectionVolume(sample[j]->mbr);
+      if (v > 0.0) {
+        overlapping += 1;
+        overlap_sum += v;
+      }
+    }
+  }
+  if (h.mbr_overlap_pairs > 0) {
+    const double pairs = static_cast<double>(h.mbr_overlap_pairs);
+    h.mbr_overlap_mean = overlap_sum / pairs;
+    h.mbr_overlap_fraction = static_cast<double>(overlapping) / pairs;
+  }
+  return h;
+}
+
+std::string IndexHealthToJson(const IndexHealth& h) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("dims").Uint(h.dims);
+  w.Key("total_points").Uint(h.total_points);
+  w.Key("num_pages").Uint(h.num_pages);
+  w.Key("block_size").Uint(h.block_size);
+  w.Key("pages_per_level").BeginObject();
+  for (size_t i = 0; i < std::size(kQuantLevels); ++i) {
+    w.Key("g" + std::to_string(kQuantLevels[i])).Uint(h.pages_per_level[i]);
+  }
+  w.EndObject();
+  w.Key("occupancy_mean").Double(h.occupancy_mean);
+  w.Key("occupancy_min").Double(h.num_pages == 0 ? 0.0 : h.occupancy_min);
+  w.Key("occupancy_max").Double(h.occupancy_max);
+  w.Key("mbr_volume_mean").Double(h.mbr_volume_mean);
+  w.Key("mbr_volume_max").Double(h.mbr_volume_max);
+  w.Key("mbr_overlap_mean").Double(h.mbr_overlap_mean);
+  w.Key("mbr_overlap_pairs").Uint(h.mbr_overlap_pairs);
+  w.Key("mbr_overlap_fraction").Double(h.mbr_overlap_fraction);
+  w.Key("level3_indirection_ratio").Double(h.level3_indirection_ratio);
+  w.Key("exact_bytes").Uint(h.exact_bytes);
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace iq

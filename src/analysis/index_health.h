@@ -1,0 +1,69 @@
+#ifndef IQ_ANALYSIS_INDEX_HEALTH_H_
+#define IQ_ANALYSIS_INDEX_HEALTH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/format.h"
+
+namespace iq {
+
+/// Structural health summary of one IQ-tree (iqtool health): how the
+/// pages are quantized, how full they are, how the directory MBRs are
+/// shaped, and how much of the index still depends on the third level.
+/// All of it derives from the in-memory directory — computing it reads
+/// no data pages and charges no simulated I/O.
+struct IndexHealth {
+  uint32_t dims = 0;
+  uint64_t total_points = 0;
+  uint64_t num_pages = 0;
+  uint32_t block_size = 0;
+
+  /// Pages per quantization level, indexed 0..5 for g = 1,2,4,8,16,32
+  /// (same layout as IqTree::BuildStats::pages_per_level).
+  std::array<uint64_t, 6> pages_per_level{};
+
+  /// Page occupancy = count / QuantPageCapacity(dims, g, block_size).
+  double occupancy_mean = 0.0;
+  double occupancy_min = 0.0;
+  double occupancy_max = 0.0;
+
+  /// Directory MBR volume statistics (unit-cube data keeps these < 1).
+  double mbr_volume_mean = 0.0;
+  double mbr_volume_max = 0.0;
+  /// Sum over sampled MBR pairs of intersection volume divided by the
+  /// sampled pair count — the paper's clustered bulk-load keeps this
+  /// near zero; update churn grows it.
+  double mbr_overlap_mean = 0.0;
+  /// Number of MBR pairs the overlap statistic saw. Equals
+  /// n*(n-1)/2 up to kMaxOverlapPages pages; beyond that a strided
+  /// sample of kMaxOverlapPages pages stands in (still quadratic in the
+  /// sample, never in the directory).
+  uint64_t mbr_overlap_pairs = 0;
+  /// Fraction of sampled pairs with non-zero intersection volume.
+  double mbr_overlap_fraction = 0.0;
+
+  /// Fraction of pages with g < 32 — those answer refinements through
+  /// the third-level indirection; a ratio near 0 means the index
+  /// degenerated into storing exact data on the second level.
+  double level3_indirection_ratio = 0.0;
+  /// Bytes of third-level extents referenced by the directory.
+  uint64_t exact_bytes = 0;
+};
+
+/// Cap on the number of pages the O(n^2) pairwise-overlap statistic
+/// walks; larger directories are strided down to this many pages.
+inline constexpr uint64_t kMaxOverlapPages = 1024;
+
+IndexHealth ComputeIndexHealth(const IndexMeta& meta,
+                               const std::vector<DirEntry>& dir);
+
+/// One JSON object with every IndexHealth field (iqtool health --json
+/// consumers; keys match the field names).
+std::string IndexHealthToJson(const IndexHealth& health);
+
+}  // namespace iq
+
+#endif  // IQ_ANALYSIS_INDEX_HEALTH_H_

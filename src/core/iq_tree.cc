@@ -128,6 +128,18 @@ CostModel IqTree::MakeCostModel() const {
   return CostModel(params);
 }
 
+obs::CostBreakdown IqTree::PredictCost() const {
+  const CostModel model = MakeCostModel();
+  obs::CostBreakdown out;
+  out.t1 = model.DirectoryScanCost(num_pages());
+  out.t2 = model.SecondLevelCost(num_pages());
+  for (const DirEntry& entry : dir_) {
+    out.t3 += model.PageRefinementCost(entry.mbr, entry.count,
+                                       entry.quant_bits);
+  }
+  return out;
+}
+
 Status IqTree::Reoptimize() {
   // Snapshot every record currently in the index.
   Dataset snapshot(std::max<size_t>(meta_.dims, 1));

@@ -19,6 +19,8 @@
 #include "io/disk_model.h"
 #include "io/extent_file.h"
 #include "io/storage.h"
+#include "obs/calibration.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 
 namespace iq {
@@ -36,6 +38,13 @@ struct IqSearchOptions {
   /// either way. The tracer is thread-safe, so one may be shared
   /// across a ParallelQueryRunner batch.
   obs::QueryTracer* tracer = nullptr;
+  /// Optional slow-query sink (docs/observability.md): every finished
+  /// NN/k-NN/range query is offered with its span tree and the cost
+  /// model's predicted breakdown; the log retains outliers. When no
+  /// `tracer` is set, the query runs with a private tracer so the log
+  /// still sees full span trees. Thread-safe; one log may be shared
+  /// across a ParallelQueryRunner batch.
+  obs::SlowQueryLog* slow_log = nullptr;
 };
 
 /// The IQ-tree (paper §3): a three-level compressed index for exact
@@ -186,6 +195,14 @@ class IqTree {
   /// off unless they study caching (abl_cache).
   void set_block_cache(BlockCache* cache) { qpages_->set_cache(cache); }
 
+  /// The cost model's predicted per-query breakdown for this index —
+  /// T_1st (eq. 22), T_2nd (eqns 16-21) and T_3rd (sum of eqns 6-15
+  /// over the directory) in simulated seconds. This is the "predicted"
+  /// side of the calibration telemetry (docs/observability.md); the
+  /// "observed" side is obs::ObservedBreakdown over a query trace.
+  obs::CostBreakdown PredictCost() const;
+
+  const IndexMeta& meta() const { return meta_; }
   size_t dims() const { return meta_.dims; }
   uint64_t size() const { return meta_.total_points; }
   Metric metric() const { return static_cast<Metric>(meta_.metric); }

@@ -2,6 +2,7 @@
 #include <cassert>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 
@@ -54,7 +55,27 @@ class IqTreeSearcher {
         metric_(tree.metric()),
         dims_(tree.dims()),
         block_size_(tree.disk_->params().block_size),
-        codec_(tree.dims(), tree.disk_->params().block_size) {}
+        codec_(tree.dims(), tree.disk_->params().block_size) {
+    // The slow-query log needs a span tree to retain; a query without
+    // its own tracer gets a private one so the log stays self-serve.
+    if (obs::kEnabled && options_.slow_log != nullptr &&
+        tracer_ == nullptr) {
+      private_tracer_.emplace();
+      tracer_ = &*private_tracer_;
+    }
+  }
+
+  /// Offers the finished query to options_.slow_log (no-op without
+  /// one). Call after RunKnn/RunRange returned — the root span must
+  /// have ended for the trace snapshot to be complete.
+  void OfferSlowLog() {
+    if (!obs::kEnabled || options_.slow_log == nullptr ||
+        tracer_ == nullptr) {
+      return;
+    }
+    options_.slow_log->Offer(tracer_->Snapshot(), root_span_,
+                             tree_.PredictCost(), tracer_->dropped());
+  }
 
   Status RunKnn(size_t k, std::vector<Neighbor>* out) {
     k_ = k;
@@ -87,6 +108,11 @@ class IqTreeSearcher {
               "first_block",
               static_cast<double>(tree_.dir_[top.dir_index].qpage_block));
           batch_span.AddAttr("blocks", 1);
+          batch_span.AddAttr(
+              "pred_io_s",
+              BatchCost(BatchRange{tree_.dir_[top.dir_index].qpage_block,
+                                   tree_.dir_[top.dir_index].qpage_block},
+                        tree_.disk_->params()));
           batch_span.AddAttr("io_s", TraceNow() - io_before);
           IQ_RETURN_NOT_OK(ProcessPage(top.dir_index, block.data(), &heap,
                                        batch_span.id()));
@@ -131,6 +157,8 @@ class IqTreeSearcher {
       stats_.blocks_transferred += run.count;
       batch_span.AddAttr("first_block", static_cast<double>(run.first));
       batch_span.AddAttr("blocks", static_cast<double>(run.count));
+      batch_span.AddAttr("pred_io_s",
+                         PlanCost(std::span(&run, 1), tree_.disk_->params()));
       batch_span.AddAttr("io_s", TraceNow() - io_before);
       for (uint64_t b = 0; b < run.count; ++b) {
         const auto it = block_to_dir_.find(run.first + b);
@@ -268,6 +296,8 @@ class IqTreeSearcher {
     batch_span.AddAttr("pivot_block", static_cast<double>(pivot_block));
     batch_span.AddAttr("first_block", static_cast<double>(range.first));
     batch_span.AddAttr("blocks", static_cast<double>(range.count()));
+    batch_span.AddAttr("pred_io_s",
+                       BatchCost(range, tree_.disk_->params()));
     batch_span.AddAttr("io_s", TraceNow() - io_before);
     size_t pruned = 0;
     for (uint64_t b = 0; b < range.count(); ++b) {
@@ -430,6 +460,8 @@ class IqTreeSearcher {
   /// Null unless this query asked for a trace; all span calls no-op on
   /// null (one pointer test inside ScopedSpan).
   obs::QueryTracer* tracer_;
+  /// Backs tracer_ for slow-log-only queries (no caller tracer).
+  std::optional<obs::QueryTracer> private_tracer_;
   obs::SpanId root_span_ = obs::kNoSpan;
   Metric metric_;
   size_t dims_;
@@ -460,6 +492,7 @@ Result<Neighbor> IqTree::NearestNeighbor(
   IqTreeSearcher searcher(*this, q, options);
   std::vector<Neighbor> out;
   IQ_RETURN_NOT_OK(searcher.RunKnn(1, &out));
+  searcher.OfferSlowLog();
   if (out.empty()) return Status::NotFound("empty index");
   return out.front();
 }
@@ -473,6 +506,7 @@ Result<std::vector<Neighbor>> IqTree::KNearestNeighbors(
   IqTreeSearcher searcher(*this, q, options);
   std::vector<Neighbor> out;
   IQ_RETURN_NOT_OK(searcher.RunKnn(k, &out));
+  searcher.OfferSlowLog();
   return out;
 }
 
@@ -487,6 +521,7 @@ Result<std::vector<Neighbor>> IqTree::RangeSearch(
   IqTreeSearcher searcher(*this, q, options);
   std::vector<Neighbor> out;
   IQ_RETURN_NOT_OK(searcher.RunRange(radius, &out));
+  searcher.OfferSlowLog();
   return out;
 }
 

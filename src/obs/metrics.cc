@@ -16,6 +16,32 @@ Histogram::Histogram(std::span<const double> bounds)
 {
 }
 
+#if !defined(IQ_OBS_DISABLED)
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0 || bounds_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i >= bounds_.size()) return bounds_.back();  // +Inf bucket
+      const double upper = bounds_[i];
+      const double lower =
+          i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+      const double pos =
+          std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      return lower + (upper - lower) * pos;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+#endif
+
 MetricRegistry& MetricRegistry::Global() {
   static MetricRegistry* registry = new MetricRegistry();
   return *registry;

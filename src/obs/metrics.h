@@ -127,6 +127,7 @@ class Histogram {
   uint64_t count() const { return 0; }
   double sum() const { return 0; }
   uint64_t BucketCount(size_t) const { return 0; }
+  double Quantile(double) const { return 0; }
   void Reset() {}
 #else
   void Observe(double v) {
@@ -144,6 +145,18 @@ class Histogram {
   uint64_t BucketCount(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+
+  /// Estimated q-quantile (q in [0, 1]) of the observed values,
+  /// Prometheus `histogram_quantile` style: the target rank q * count
+  /// is located in its bucket and linearly interpolated between the
+  /// bucket's bounds. A rank landing exactly on a bucket's cumulative
+  /// count returns that bucket's upper bound *exactly*, so data
+  /// observed at the bounds round-trips (the unit-testable contract).
+  /// The first bucket interpolates from min(0, bounds[0]); a rank in
+  /// the +Inf overflow bucket clamps to the highest finite bound.
+  /// Returns 0 on an empty histogram. Racy-but-sane under concurrent
+  /// Observe (quantiles are diagnostics, not invariants).
+  double Quantile(double q) const;
 
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);

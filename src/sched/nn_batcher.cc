@@ -38,4 +38,9 @@ BatchRange PlanNnBatch(uint64_t pivot_position, uint64_t num_pages,
   return range;
 }
 
+double BatchCost(const BatchRange& range, const DiskParameters& disk) {
+  return disk.seek_time_s +
+         static_cast<double>(range.count()) * disk.xfer_time_s;
+}
+
 }  // namespace iq

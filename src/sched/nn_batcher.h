@@ -36,6 +36,12 @@ BatchRange PlanNnBatch(uint64_t pivot_position, uint64_t num_pages,
                        const DiskParameters& disk,
                        const AccessProbabilityFn& probability);
 
+/// Simulated time one planned batch costs: one seek plus t_xfer per
+/// block of the range. This is what the scheduler committed to when it
+/// chose the batch, so the tracer records it next to the observed io_s
+/// (calibration telemetry, docs/observability.md).
+double BatchCost(const BatchRange& range, const DiskParameters& disk);
+
 }  // namespace iq
 
 #endif  // IQ_SCHED_NN_BATCHER_H_

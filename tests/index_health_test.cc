@@ -1,0 +1,108 @@
+// Index-health inspector: exact statistics on a hand-built directory,
+// sane ranges on a real bulk-loaded tree, and the JSON export schema.
+
+#include "analysis/index_health.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/iq_tree.h"
+#include "data/generators.h"
+#include "io/storage.h"
+
+namespace iq {
+namespace {
+
+DirEntry MakeEntry(float lo, float hi, uint32_t count, uint32_t g,
+                   uint64_t exact_len) {
+  DirEntry entry;
+  entry.mbr = Mbr::FromBounds({lo, lo}, {hi, hi});
+  entry.count = count;
+  entry.quant_bits = g;
+  entry.exact = Extent{0, exact_len};
+  return entry;
+}
+
+TEST(IndexHealthTest, ExactStatisticsOnSyntheticDirectory) {
+  IndexMeta meta;
+  meta.dims = 2;
+  meta.total_points = 48;
+  meta.block_size = 2048;
+  // Two overlapping unit-ish boxes, one g=2 page and one exact page.
+  std::vector<DirEntry> dir;
+  dir.push_back(MakeEntry(0.0f, 1.0f, 32, 2, 320));
+  dir.push_back(MakeEntry(0.5f, 1.5f, 16, 32, 0));
+  const IndexHealth h = ComputeIndexHealth(meta, dir);
+  EXPECT_EQ(h.num_pages, 2u);
+  EXPECT_EQ(h.pages_per_level[1], 1u);  // g=2
+  EXPECT_EQ(h.pages_per_level[5], 1u);  // g=32
+  const double occ0 = 32.0 / QuantPageCapacity(2, 2, 2048);
+  const double occ1 = 16.0 / QuantPageCapacity(2, 32, 2048);
+  EXPECT_DOUBLE_EQ(h.occupancy_min, std::min(occ0, occ1));
+  EXPECT_DOUBLE_EQ(h.occupancy_max, std::max(occ0, occ1));
+  EXPECT_DOUBLE_EQ(h.occupancy_mean, (occ0 + occ1) / 2.0);
+  EXPECT_DOUBLE_EQ(h.mbr_volume_mean, 1.0);  // both boxes are 1x1
+  EXPECT_DOUBLE_EQ(h.mbr_volume_max, 1.0);
+  EXPECT_EQ(h.mbr_overlap_pairs, 1u);
+  EXPECT_DOUBLE_EQ(h.mbr_overlap_mean, 0.25);  // 0.5 x 0.5 intersection
+  EXPECT_DOUBLE_EQ(h.mbr_overlap_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(h.level3_indirection_ratio, 0.5);  // one of two pages
+  EXPECT_EQ(h.exact_bytes, 320u);  // g=32 pages hold no third-level data
+}
+
+TEST(IndexHealthTest, EmptyDirectoryIsAllZeros) {
+  const IndexHealth h = ComputeIndexHealth(IndexMeta{}, {});
+  EXPECT_EQ(h.num_pages, 0u);
+  EXPECT_DOUBLE_EQ(h.occupancy_mean, 0.0);
+  EXPECT_EQ(h.mbr_overlap_pairs, 0u);
+  // The JSON export must stay well-formed (no 1e300 min sentinel).
+  const std::string json = IndexHealthToJson(h);
+  EXPECT_NE(json.find("\"occupancy_min\":0"), std::string::npos);
+}
+
+TEST(IndexHealthTest, BuiltTreeReportsSaneRanges) {
+  Dataset data = GenerateCadLike(3000, 10, 17);
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+  auto tree = IqTree::Build(data, storage, "t", disk, {});
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const IndexHealth h =
+      ComputeIndexHealth((*tree)->meta(), (*tree)->directory());
+  EXPECT_EQ(h.num_pages, (*tree)->num_pages());
+  EXPECT_EQ(h.total_points, (*tree)->size());
+  uint64_t level_sum = 0;
+  for (uint64_t count : h.pages_per_level) level_sum += count;
+  EXPECT_EQ(level_sum, h.num_pages);
+  EXPECT_GT(h.occupancy_mean, 0.0);
+  EXPECT_LE(h.occupancy_max, 1.0);  // capacity is a hard page limit
+  EXPECT_GE(h.occupancy_min, 0.0);
+  EXPECT_GE(h.level3_indirection_ratio, 0.0);
+  EXPECT_LE(h.level3_indirection_ratio, 1.0);
+  EXPECT_GT(h.mbr_volume_mean, 0.0);
+  EXPECT_EQ(h.mbr_overlap_pairs,
+            h.num_pages * (h.num_pages - 1) / 2);  // under the sample cap
+}
+
+TEST(IndexHealthTest, JsonExportHasSchemaKeys) {
+  IndexMeta meta;
+  meta.dims = 2;
+  meta.block_size = 2048;
+  std::vector<DirEntry> dir;
+  dir.push_back(MakeEntry(0.0f, 1.0f, 8, 4, 96));
+  const std::string json = IndexHealthToJson(ComputeIndexHealth(meta, dir));
+  for (const char* key :
+       {"\"dims\"", "\"total_points\"", "\"num_pages\"", "\"block_size\"",
+        "\"pages_per_level\"", "\"g1\"", "\"g32\"", "\"occupancy_mean\"",
+        "\"occupancy_min\"", "\"occupancy_max\"", "\"mbr_volume_mean\"",
+        "\"mbr_volume_max\"", "\"mbr_overlap_mean\"", "\"mbr_overlap_pairs\"",
+        "\"mbr_overlap_fraction\"", "\"level3_indirection_ratio\"",
+        "\"exact_bytes\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace iq

@@ -67,6 +67,61 @@ TEST(HistogramTest, BucketAssignment) {
   }
 }
 
+TEST(HistogramTest, QuantileIsExactAtBucketBoundaries) {
+  constexpr double kBounds[] = {1.0, 2.0, 4.0};
+  Histogram histogram(kBounds);
+  // One observation per bucket (including the +Inf overflow): every
+  // quartile rank lands exactly on a cumulative bucket count, so the
+  // estimate returns the bucket's upper bound with no interpolation
+  // error — the documented exact-value contract.
+  histogram.Observe(1.0);
+  histogram.Observe(2.0);
+  histogram.Observe(4.0);
+  histogram.Observe(100.0);  // +Inf bucket
+  if (!kEnabled) {
+    EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+    return;
+  }
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.50), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.75), 4.0);
+  // Ranks inside the +Inf bucket clamp to the highest finite bound.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 4.0);
+  // q=0 interpolates to the first bucket's lower edge, min(0, bounds[0]).
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  constexpr double kBounds[] = {10.0};
+  Histogram histogram(kBounds);
+  for (int i = 0; i < 4; ++i) histogram.Observe(3.0);  // all bucket 0
+  if (!kEnabled) return;
+  // Rank 2 of 4 sits halfway through [0, 10).
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  constexpr double kBounds[] = {1.0, 2.0};
+  Histogram histogram(kBounds);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);  // empty
+  histogram.Observe(1.5);
+  if (!kEnabled) return;
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(2.0), 2.0);
+  // Negative-capable first bucket: lower edge is min(0, bounds[0]).
+  constexpr double kSignedBounds[] = {-2.0, 2.0};
+  Histogram signed_histogram(kSignedBounds);
+  signed_histogram.Observe(-3.0);
+  signed_histogram.Observe(-3.0);
+  // Both land in bucket 0; p50 interpolates inside [-2, -2] -> exactly
+  // the bound (lower = min(0, -2) = -2, upper = -2).
+  EXPECT_DOUBLE_EQ(signed_histogram.Quantile(0.5), -2.0);
+}
+
 TEST(HistogramTest, ConcurrentObservationsSumExactly) {
   constexpr double kBounds[] = {0.5};
   Histogram histogram(kBounds);

@@ -1,0 +1,469 @@
+// bench_aggregate — the perf-trajectory harness (docs/observability.md).
+//
+//   bench_binary | bench_aggregate --suite smoke [--out FILE]
+//                 [--baseline FILE] [--tolerance PCT]
+//                 [--git-rev REV] [--machine DESC]
+//
+// Collects the `IQBENCH {...}` lines the benches print (one JSON object
+// per bench run, bench/bench_common.h) from stdin into one aggregate
+// JSON document with a schema_version and suite/machine/git_rev
+// fingerprints — the file format committed as BENCH_<suite>.json so the
+// repo carries its own performance trajectory.
+//
+// With --baseline, every (bench, series, x) data point present in both
+// documents is compared: a new value above baseline * (1 + PCT/100)
+// is a regression. All regressions are listed; any regression exits 3.
+// A missing baseline file is tolerated (first run of a suite): a note
+// is printed and the exit is 0, so CI can gate unconditionally.
+//
+// Values are simulated I/O seconds from the DiskModel, so they are
+// deterministic for a given bench configuration and comparable across
+// machines — the baseline diff detects algorithmic cost changes, not
+// host noise.
+
+#include <sys/utsname.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+/// Minimal JSON document model for the two documents this tool reads
+/// (IQBENCH lines and a previously written aggregate). Numbers are
+/// doubles; \u escapes are kept verbatim (no key this tool reads uses
+/// them).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool ParseValue(JsonValue* out) {
+    if (depth_ > kMaxDepth) return false;
+    SkipSpace();
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        out->type = JsonValue::Type::kNumber;
+        return ParseNumber(&out->number);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++depth_;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (Peek() != '"' || !ParseString(&key)) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++depth_;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const unsigned char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              ++pos_;
+              if (pos_ >= text_.size() ||
+                  std::isxdigit(static_cast<unsigned char>(text_[pos_])) ==
+                      0) {
+                return false;
+              }
+            }
+            out->push_back('?');  // keys this tool reads are ASCII
+            break;
+          }
+          default:
+            return false;
+        }
+        ++pos_;
+        continue;
+      }
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool ParseNumber(double* out) {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (std::isdigit(Peek()) == 0) return false;
+    while (std::isdigit(Peek()) != 0) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (std::isdigit(Peek()) == 0) return false;
+      while (std::isdigit(Peek()) != 0) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (std::isdigit(Peek()) == 0) return false;
+      while (std::isdigit(Peek()) != 0) ++pos_;
+    }
+    *out = std::atof(text_.substr(start, pos_ - start).c_str());
+    return true;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  unsigned char Peek() const {
+    return pos_ < text_.size() ? static_cast<unsigned char>(text_[pos_]) : 0;
+  }
+
+  static constexpr int kMaxDepth = 512;
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+struct DataPoint {
+  std::string series;
+  double x = 0.0;
+  double value = 0.0;
+};
+
+struct BenchResult {
+  std::string bench;
+  std::vector<DataPoint> rows;
+};
+
+/// Parses one IQBENCH payload into (bench, rows); metrics snapshots are
+/// dropped (per-run registry dumps are too machine-shaped to diff).
+bool CollectBench(const JsonValue& doc, std::vector<BenchResult>* out) {
+  const JsonValue* bench = doc.Find("bench");
+  const JsonValue* rows = doc.Find("rows");
+  if (bench == nullptr || bench->type != JsonValue::Type::kString ||
+      rows == nullptr || rows->type != JsonValue::Type::kArray) {
+    return false;
+  }
+  BenchResult result;
+  result.bench = bench->string;
+  for (const JsonValue& row : rows->array) {
+    const JsonValue* series = row.Find("series");
+    const JsonValue* x = row.Find("x");
+    const JsonValue* value = row.Find("value");
+    if (series == nullptr || x == nullptr || value == nullptr) return false;
+    result.rows.push_back(
+        DataPoint{series->string, x->number, value->number});
+  }
+  out->push_back(std::move(result));
+  return true;
+}
+
+std::string MachineFingerprint() {
+  utsname u{};
+  std::string out;
+  if (uname(&u) == 0) {
+    out = std::string(u.sysname) + " " + u.machine;
+  } else {
+    out = "unknown";
+  }
+  out += " cores=" + std::to_string(std::thread::hardware_concurrency());
+  return out;
+}
+
+const JsonValue* FindRow(const JsonValue& baseline, const std::string& bench,
+                         const std::string& series, double x) {
+  const JsonValue* benches = baseline.Find("benches");
+  if (benches == nullptr) return nullptr;
+  for (const JsonValue& b : benches->array) {
+    const JsonValue* name = b.Find("bench");
+    const JsonValue* rows = b.Find("rows");
+    if (name == nullptr || rows == nullptr || name->string != bench) continue;
+    for (const JsonValue& row : rows->array) {
+      const JsonValue* s = row.Find("series");
+      const JsonValue* rx = row.Find("x");
+      if (s != nullptr && rx != nullptr && s->string == series &&
+          rx->number == x) {
+        return row.Find("value");
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string suite = "default";
+  std::string out_path;
+  std::string baseline_path;
+  std::string git_rev;
+  std::string machine;
+  double tolerance_pct = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_aggregate: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--suite") == 0) {
+      suite = next("--suite");
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next("--out");
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = next("--baseline");
+    } else if (std::strcmp(argv[i], "--tolerance") == 0) {
+      tolerance_pct = std::atof(next("--tolerance"));
+    } else if (std::strcmp(argv[i], "--git-rev") == 0) {
+      git_rev = next("--git-rev");
+    } else if (std::strcmp(argv[i], "--machine") == 0) {
+      machine = next("--machine");
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_aggregate [--suite S] [--out FILE] "
+                   "[--baseline FILE] [--tolerance PCT] [--git-rev REV] "
+                   "[--machine DESC] < iqbench-lines\n");
+      return 2;
+    }
+  }
+  if (git_rev.empty()) {
+    const char* env = std::getenv("IQBENCH_GIT_REV");
+    if (env != nullptr) git_rev = env;
+  }
+  if (machine.empty()) machine = MachineFingerprint();
+
+  // Collect IQBENCH lines; everything else on stdin (human tables,
+  // progress chatter) passes through untouched.
+  std::vector<BenchResult> benches;
+  std::string line;
+  size_t bad_lines = 0;
+  while (std::getline(std::cin, line)) {
+    constexpr const char* kTag = "IQBENCH ";
+    if (line.rfind(kTag, 0) != 0) continue;
+    const std::string payload = line.substr(std::strlen(kTag));
+    JsonValue doc;
+    Parser parser(payload);
+    if (!parser.Parse(&doc) || !CollectBench(doc, &benches)) {
+      std::fprintf(stderr, "bench_aggregate: unparseable IQBENCH line\n");
+      ++bad_lines;
+    }
+  }
+  if (bad_lines > 0) return 2;
+  if (benches.empty()) {
+    std::fprintf(stderr, "bench_aggregate: no IQBENCH lines on stdin\n");
+    return 2;
+  }
+
+  iq::obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Uint(1);
+  w.Key("suite").String(suite);
+  w.Key("git_rev").String(git_rev);
+  w.Key("machine").String(machine);
+  w.Key("benches").BeginArray();
+  for (const BenchResult& bench : benches) {
+    w.BeginObject();
+    w.Key("bench").String(bench.bench);
+    w.Key("rows").BeginArray();
+    for (const DataPoint& row : bench.rows) {
+      w.BeginObject();
+      w.Key("series").String(row.series);
+      w.Key("x").Double(row.x);
+      w.Key("value").Double(row.value);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  if (out_path.empty()) {
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_aggregate: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    out << w.str() << "\n";
+  }
+
+  if (baseline_path.empty()) return 0;
+  std::ifstream baseline_file(baseline_path);
+  if (!baseline_file) {
+    std::fprintf(stderr,
+                 "bench_aggregate: baseline %s not found; skipping "
+                 "regression gate (first run of suite \"%s\")\n",
+                 baseline_path.c_str(), suite.c_str());
+    return 0;
+  }
+  std::stringstream buffer;
+  buffer << baseline_file.rdbuf();
+  const std::string baseline_text = buffer.str();
+  JsonValue baseline;
+  Parser baseline_parser(baseline_text);
+  if (!baseline_parser.Parse(&baseline)) {
+    std::fprintf(stderr, "bench_aggregate: baseline %s is not valid JSON\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  size_t compared = 0;
+  size_t regressions = 0;
+  for (const BenchResult& bench : benches) {
+    for (const DataPoint& row : bench.rows) {
+      const JsonValue* base = FindRow(baseline, bench.bench, row.series,
+                                      row.x);
+      if (base == nullptr || base->type != JsonValue::Type::kNumber) {
+        continue;  // new data point: nothing to gate against
+      }
+      ++compared;
+      const double limit = base->number * (1.0 + tolerance_pct / 100.0);
+      if (row.value > limit && std::isfinite(limit)) {
+        ++regressions;
+        std::fprintf(stderr,
+                     "bench_aggregate: REGRESSION %s/%s x=%g: %g > %g "
+                     "(baseline %g, tolerance %g%%)\n",
+                     bench.bench.c_str(), row.series.c_str(), row.x,
+                     row.value, limit, base->number, tolerance_pct);
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "bench_aggregate: %zu data points compared against %s, "
+               "%zu regression(s)\n",
+               compared, baseline_path.c_str(), regressions);
+  return regressions > 0 ? 3 : 0;
+}

@@ -12,15 +12,24 @@
 //   iqtool query    --dir DIR --index NAME --point x,y,... [--k K]
 //                   [--radius R]
 //   iqtool stats    --dir DIR --index NAME [--metrics] [--json]
+//   iqtool health   --dir DIR --index NAME [--json]
 //   iqtool profile  --dir DIR --index NAME (--point x,y,... |
 //                   --queries DSNAME [--limit N]) [--k K] [--radius R]
 //                   [--threads T] [--json]
+//   iqtool slowlog  --dir DIR --index NAME --queries DSNAME [--limit N]
+//                   [--k K] [--radius R] [--threads T] [--capacity C]
+//                   [--threshold S] [--quantile Q] [--json]
 //   iqtool validate --dir DIR --index NAME
 //   iqtool reopt    --dir DIR --index NAME
 //
 // `profile` runs the queries with a QueryTracer attached and prints the
-// recorded span tree (or a JSON trace dump with --json); see
-// docs/observability.md for the span schema.
+// recorded span tree (or a JSON trace dump with --json) plus the
+// cost-model calibration report (predicted vs observed T_1st/T_2nd/
+// T_3rd); `slowlog` runs a query batch through ParallelQueryRunner with
+// a slow-query log attached and dumps the retained outliers; `health`
+// summarizes the index structure (per-page g distribution, occupancy,
+// MBR stats). See docs/observability.md for the span schema and report
+// formats.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,13 +40,16 @@
 #include <string>
 #include <vector>
 
+#include "analysis/index_health.h"
 #include "concurrency/parallel_query_runner.h"
 #include "core/iq_tree.h"
 #include "data/dataset_io.h"
 #include "data/generators.h"
 #include "io/storage.h"
+#include "obs/calibration.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 
 namespace iq {
@@ -99,7 +111,8 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: iqtool <generate|build|query|stats|profile|validate|reopt> "
+      "usage: iqtool "
+      "<generate|build|query|stats|health|profile|slowlog|validate|reopt> "
       "...\n"
       "  generate --out DIR/NAME --workload uniform|cad|color|weather\n"
       "           --n N --dims D [--seed S]\n"
@@ -107,9 +120,13 @@ int Usage() {
       "           [--no-quantize] [--fixed-bits G] [--k K]\n"
       "  query    --dir DIR --index NAME --point x,y,... [--k K] [--radius R]\n"
       "  stats    --dir DIR --index NAME [--metrics] [--json]\n"
+      "  health   --dir DIR --index NAME [--json]\n"
       "  profile  --dir DIR --index NAME (--point x,y,... |\n"
       "           --queries DSNAME [--limit N]) [--k K] [--radius R]\n"
       "           [--threads T] [--json]\n"
+      "  slowlog  --dir DIR --index NAME --queries DSNAME [--limit N]\n"
+      "           [--k K] [--radius R] [--threads T] [--capacity C]\n"
+      "           [--threshold S] [--quantile Q] [--json]\n"
       "  validate --dir DIR --index NAME\n"
       "  reopt    --dir DIR --index NAME\n");
   return 2;
@@ -246,6 +263,7 @@ int Stats(const Args& args) {
     // touched storage/disk metrics).
     obs::JsonWriter w;
     w.BeginObject();
+    w.Key("schema_version").Uint(1);
     w.Key("index").String(index);
     w.Key("points").Uint((*tree)->size());
     w.Key("dims").Uint((*tree)->dims());
@@ -289,6 +307,45 @@ int Stats(const Args& args) {
   return 0;
 }
 
+int Health(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string index = args.Get("index");
+  if (index.empty()) return Usage();
+  FileStorage storage(dir);
+  DiskModel disk;
+  auto tree = IqTree::Open(storage, index, disk);
+  if (!tree.ok()) return Fail(tree.status());
+  const IndexHealth health =
+      ComputeIndexHealth((*tree)->meta(), (*tree)->directory());
+  if (args.Has("json")) {
+    std::printf("%s\n", IndexHealthToJson(health).c_str());
+    return 0;
+  }
+  std::printf("index:              %s/%s\n", dir.c_str(), index.c_str());
+  std::printf("points / pages:     %llu / %llu\n",
+              static_cast<unsigned long long>(health.total_points),
+              static_cast<unsigned long long>(health.num_pages));
+  std::printf("pages per level:   ");
+  for (size_t i = 0; i < std::size(kQuantLevels); ++i) {
+    std::printf(" g=%u:%llu", kQuantLevels[i],
+                static_cast<unsigned long long>(health.pages_per_level[i]));
+  }
+  std::printf("\npage occupancy:     mean=%.3f min=%.3f max=%.3f\n",
+              health.occupancy_mean, health.occupancy_min,
+              health.occupancy_max);
+  std::printf("MBR volume:         mean=%.3e max=%.3e\n",
+              health.mbr_volume_mean, health.mbr_volume_max);
+  std::printf(
+      "MBR overlap:        mean=%.3e over %llu pairs (%.1f%% overlapping)\n",
+      health.mbr_overlap_mean,
+      static_cast<unsigned long long>(health.mbr_overlap_pairs),
+      100.0 * health.mbr_overlap_fraction);
+  std::printf("level-3 indirection: %.1f%% of pages (%llu exact bytes)\n",
+              100.0 * health.level3_indirection_ratio,
+              static_cast<unsigned long long>(health.exact_bytes));
+  return 0;
+}
+
 /// Checks the recorded span tree against the query's QueryStats: the
 /// trace and the counters are produced independently, so agreement is
 /// strong evidence both are right (the acceptance check behind
@@ -321,6 +378,24 @@ bool CheckTraceConsistency(const std::vector<obs::SpanRecord>& spans,
               obs::AggregateSpans(spans, "page", "cells_enqueued"),
               static_cast<double>(stats.cells_enqueued));
   return ok;
+}
+
+/// Human form of the calibration report. rel = (observed-predicted)/
+/// predicted, so bias "under" means the model under-predicts the
+/// observed cost.
+void PrintCalibration(const obs::CalibrationReport& report) {
+  std::printf("cost-model calibration (%llu queries):\n",
+              static_cast<unsigned long long>(report.total.samples));
+  std::printf("  %-6s %13s %13s %9s %9s %9s %s\n", "comp", "pred_mean_s",
+              "obs_mean_s", "mean_rel", "p50|rel|", "p95|rel|", "bias");
+  for (const obs::ComponentCalibration* c :
+       {&report.t1, &report.t2, &report.t3, &report.total}) {
+    std::printf("  %-6s %13.6f %13.6f %+9.3f %9.3f %9.3f %s\n",
+                c->name.c_str(), c->predicted_mean, c->observed_mean,
+                c->mean_rel_error, c->p50_abs_rel_error,
+                c->p95_abs_rel_error,
+                c->bias > 0 ? "under" : (c->bias < 0 ? "over" : "ok"));
+  }
 }
 
 void WriteStatsJson(obs::JsonWriter& w, const IqTree::QueryStats& stats) {
@@ -378,6 +453,7 @@ int Profile(const Args& args) {
   obs::JsonWriter w;
   if (json) {
     w.BeginObject();
+    w.Key("schema_version").Uint(1);
     w.Key("index").String(index);
     w.Key("mode").String(range ? "range" : "knn");
     w.Key(range ? "radius" : "k");
@@ -388,6 +464,12 @@ int Profile(const Args& args) {
     }
     w.Key("queries").BeginArray();
   }
+
+  // Calibration telemetry: the cost model's predicted breakdown is a
+  // per-index constant; every traced query contributes one observed
+  // breakdown (docs/observability.md, "Calibration").
+  obs::CalibrationTracker calibration;
+  const obs::CostBreakdown predicted = (*tree)->PredictCost();
 
   bool all_consistent = true;
   if (threads > 1) {
@@ -403,6 +485,12 @@ int Profile(const Args& args) {
                              : runner.KnnBatch(queries, k, options);
     if (!batch.ok()) return Fail(batch.status());
     const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+    for (size_t i = 0; i < spans.size(); ++i) {
+      if (spans[i].parent != obs::kNoSpan) continue;
+      calibration.Record(
+          predicted,
+          obs::ObservedBreakdown(spans, static_cast<obs::SpanId>(i)));
+    }
     if (json) {
       w.BeginObject();
       w.Key("trace").Raw(obs::TraceToJson(spans));
@@ -427,6 +515,7 @@ int Profile(const Args& args) {
       }
       const IqTree::QueryStats stats = (*tree)->last_query_stats();
       const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+      calibration.Record(predicted, obs::ObservedBreakdown(spans));
       // With observability compiled out the trace is empty by design —
       // nothing to cross-check.
       std::string problems;
@@ -458,15 +547,97 @@ int Profile(const Args& args) {
 
   if (json) {
     w.EndArray();
+    w.Key("calibration").Raw(obs::CalibrationToJson(calibration.Report()));
     w.Key("metrics").Raw(
         obs::ExportJson(obs::MetricRegistry::Global().Snapshot()));
     w.Key("consistent").Bool(all_consistent);
     w.EndObject();
     std::printf("%s\n", w.str().c_str());
+  } else if (obs::kEnabled) {
+    PrintCalibration(calibration.Report());
   }
   if (!all_consistent) {
     std::fprintf(stderr, "error: trace disagrees with query stats\n");
     return 1;
+  }
+  return 0;
+}
+
+int SlowLog(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string index = args.Get("index");
+  const std::string queries_name = args.Get("queries");
+  if (index.empty() || queries_name.empty()) return Usage();
+  FileStorage storage(dir);
+  DiskModel disk;
+  auto tree = IqTree::Open(storage, index, disk);
+  if (!tree.ok()) return Fail(tree.status());
+  auto data = ReadDataset(storage, queries_name);
+  if (!data.ok()) return Fail(data.status());
+  if (data->dims() != (*tree)->dims()) {
+    std::fprintf(stderr, "dataset has %zu dims, index has %zu\n",
+                 data->dims(), (*tree)->dims());
+    return 2;
+  }
+  const size_t limit = ParseCount(args.Get("limit"), 32);
+  Dataset queries((*tree)->dims());
+  for (size_t i = 0; i < data->size() && i < limit; ++i) {
+    queries.Append((*data)[i]);
+  }
+
+  obs::SlowLogOptions log_options;
+  log_options.capacity = ParseCount(args.Get("capacity"), 8);
+  log_options.absolute_threshold_s = ParseNumber(args.Get("threshold"), 0.0);
+  log_options.quantile = ParseNumber(args.Get("quantile"), 0.75);
+  // A CLI batch is small; adapt from the first queries instead of the
+  // library default's 64-query warm-up.
+  log_options.min_samples = queries.size() / 4 + 1;
+  obs::SlowQueryLog slow_log(log_options);
+
+  IqSearchOptions options;
+  options.slow_log = &slow_log;
+  const size_t threads = std::max<size_t>(1, ParseCount(args.Get("threads"), 2));
+  const bool range = !args.Get("radius").empty();
+  const double radius = ParseNumber(args.Get("radius"), 0.0);
+  const size_t k = ParseCount(args.Get("k"), 1);
+  ParallelQueryRunner runner(**tree, threads);
+  const auto batch = range ? runner.RangeBatch(queries, radius, options)
+                           : runner.KnnBatch(queries, k, options);
+  if (!batch.ok()) return Fail(batch.status());
+
+  const std::vector<obs::SlowQueryRecord> records = slow_log.Snapshot();
+  if (args.Has("json")) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").Uint(1);
+    w.Key("index").String(index);
+    w.Key("mode").String(range ? "range" : "knn");
+    w.Key("queries").Uint(queries.size());
+    w.Key("threads").Uint(threads);
+    w.Key("threshold_s").Double(slow_log.current_threshold_s());
+    w.Key("offered").Uint(slow_log.offered());
+    w.Key("retained").Uint(slow_log.retained());
+    w.Key("records").Raw(obs::SlowLogToJson(records));
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf(
+      "slow-query log: %llu of %llu queries retained "
+      "(threshold %.4f simulated s, ring capacity %zu)\n",
+      static_cast<unsigned long long>(slow_log.retained()),
+      static_cast<unsigned long long>(slow_log.offered()),
+      slow_log.current_threshold_s(), log_options.capacity);
+  for (const obs::SlowQueryRecord& record : records) {
+    std::printf(
+        "query %llu (%s): observed %.4f s (t1=%.4f t2=%.4f t3=%.4f), "
+        "predicted %.4f s (t1=%.4f t2=%.4f t3=%.4f)%s\n",
+        static_cast<unsigned long long>(record.query_index),
+        record.kind.c_str(), record.observed.total(), record.observed.t1,
+        record.observed.t2, record.observed.t3, record.predicted.total(),
+        record.predicted.t1, record.predicted.t2, record.predicted.t3,
+        record.truncated ? " [trace truncated]" : "");
+    obs::PrintSpanTree(record.spans, std::cout);
   }
   return 0;
 }
@@ -513,7 +684,9 @@ int Run(int argc, char** argv) {
   if (args.command == "build") return Build(args);
   if (args.command == "query") return Query(args);
   if (args.command == "stats") return Stats(args);
+  if (args.command == "health") return Health(args);
   if (args.command == "profile") return Profile(args);
+  if (args.command == "slowlog") return SlowLog(args);
   if (args.command == "validate") return Validate(args);
   if (args.command == "reopt") return Reoptimize(args);
   return Usage();

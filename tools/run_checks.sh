@@ -11,18 +11,35 @@
 #             a notice when no clang-tidy is installed)
 #   obs       observability smoke (docs/observability.md): builds with
 #             -DIQ_OBS_DISABLED=ON (metrics/tracing compiled out), runs
-#             the full suite there, then exercises `iqtool profile`
-#             against a sample index in both the disabled and the
-#             release build and validates the JSON output with
-#             tools/json_check
+#             the full suite there, then exercises `iqtool profile`,
+#             `iqtool health`, and `iqtool slowlog` against a sample
+#             index in both the disabled and the release build and
+#             validates the JSON output with tools/json_check
+#   bench     perf-trajectory smoke (docs/observability.md): runs a
+#             small deterministic benchmark, aggregates its IQBENCH
+#             lines with tools/bench_aggregate, validates the JSON,
+#             and gates against the committed BENCH_smoke.json
+#             baseline (simulated-I/O seconds are machine-independent,
+#             so the gate is exact across hosts); a missing baseline
+#             is tolerated so the first run of a new suite passes
 #
-# Usage: tools/run_checks.sh [release|sanitize|thread|tidy|obs]...
-#        (no arguments runs all five)
+# Usage: tools/run_checks.sh [release|sanitize|thread|tidy|obs|bench]...
+#        (no arguments runs all six)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-STEPS="${*:-release sanitize thread tidy obs}"
+STEPS="${*:-release sanitize thread tidy obs bench}"
+
+# One shared cleanup trap: legs fill in their tmp dirs as they run.
+OBS_TMP=""
+BENCH_TMP=""
+cleanup() {
+    [ -n "$OBS_TMP" ] && rm -rf "$OBS_TMP"
+    [ -n "$BENCH_TMP" ] && rm -rf "$BENCH_TMP"
+    return 0
+}
+trap cleanup EXIT
 
 run_suite() {
     build_dir="$1"
@@ -78,9 +95,8 @@ for step in $STEPS; do
             -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIQ_WERROR=ON >/dev/null
         cmake --build "$ROOT/build-release" -j "$JOBS" \
             --target iqtool json_check
-        echo "==> obs: iqtool profile JSON smoke"
+        echo "==> obs: iqtool profile/health/slowlog JSON smoke"
         OBS_TMP="$(mktemp -d)"
-        trap 'rm -rf "$OBS_TMP"' EXIT
         for tree in build-obsoff build-release; do
             IQTOOL="$ROOT/$tree/tools/iqtool"
             CHECK="$ROOT/build-release/tools/json_check"
@@ -91,14 +107,47 @@ for step in $STEPS; do
             "$IQTOOL" profile --dir "$OBS_TMP" --index "$tree-idx" \
                 --queries "$tree-ds" --limit 4 --k 3 --json \
                 | "$CHECK" --require queries --require metrics \
-                    --require consistent
+                    --require consistent --require calibration \
+                    --require schema_version
             "$IQTOOL" stats --dir "$OBS_TMP" --index "$tree-idx" --json \
-                | "$CHECK" --require metrics
+                | "$CHECK" --require metrics --require schema_version
+            "$IQTOOL" health --dir "$OBS_TMP" --index "$tree-idx" --json \
+                | "$CHECK" --require num_pages --require pages_per_level \
+                    --require level3_indirection_ratio
+            "$IQTOOL" slowlog --dir "$OBS_TMP" --index "$tree-idx" \
+                --queries "$tree-ds" --limit 8 --k 3 --json \
+                | "$CHECK" --require records --require retained \
+                    --require threshold_s
             echo "==> obs: $tree JSON valid"
         done
         ;;
+    bench)
+        cmake -B "$ROOT/build-release" -S "$ROOT" \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIQ_WERROR=ON >/dev/null
+        cmake --build "$ROOT/build-release" -j "$JOBS" \
+            --target abl_disk_params bench_aggregate json_check
+        BENCH_TMP="$(mktemp -d)"
+        GIT_REV="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+        echo "==> bench: smoke run (abl_disk_params --n 4000 --queries 6)"
+        IQBENCH_SUITE=smoke IQBENCH_GIT_REV="$GIT_REV" \
+            "$ROOT/build-release/bench/abl_disk_params" --n 4000 --queries 6 \
+            > "$BENCH_TMP/smoke.out"
+        echo "==> bench: missing-baseline mode must pass"
+        "$ROOT/build-release/tools/bench_aggregate" --suite smoke \
+            --out "$BENCH_TMP/smoke-nobase.json" --git-rev "$GIT_REV" \
+            --baseline "$BENCH_TMP/no-such-baseline.json" \
+            < "$BENCH_TMP/smoke.out"
+        echo "==> bench: regression gate against committed BENCH_smoke.json"
+        "$ROOT/build-release/tools/bench_aggregate" --suite smoke \
+            --out "$BENCH_TMP/smoke.json" --git-rev "$GIT_REV" \
+            --baseline "$ROOT/BENCH_smoke.json" --tolerance 25 \
+            < "$BENCH_TMP/smoke.out"
+        "$ROOT/build-release/tools/json_check" --require schema_version \
+            --require suite --require benches < "$BENCH_TMP/smoke.json"
+        echo "==> bench: trajectory OK"
+        ;;
     *)
-        echo "unknown step '$step' (want release|sanitize|thread|tidy|obs)" >&2
+        echo "unknown step '$step' (want release|sanitize|thread|tidy|obs|bench)" >&2
         exit 2
         ;;
     esac
