@@ -1,12 +1,14 @@
 #!/bin/sh
 # CI entry point: the Release + ASan/UBSan + TSan + clang-tidy + obs +
-# bench matrix. Thin wrapper over tools/run_checks.sh so CI and local
-# runs stay identical; the fuzz-corpus replay tests (fuzz_corpus_*) run
-# inside every ctest invocation, the thread leg runs the concurrency
+# scalar + bench matrix. Thin wrapper over tools/run_checks.sh so CI and
+# local runs stay identical; the fuzz-corpus replay tests (fuzz_corpus_*)
+# run inside every ctest invocation, the thread leg runs the concurrency
 # stress suite under a real race detector (docs/concurrency.md), the
 # obs leg builds the IQ_OBS_DISABLED configuration and validates the
-# `iqtool profile`/`health`/`slowlog` JSON output, and the bench leg
-# gates a deterministic smoke benchmark against the committed
-# BENCH_smoke.json trajectory baseline (docs/observability.md).
+# `iqtool profile`/`health`/`slowlog` JSON output, the scalar leg
+# re-runs the release suite with IQ_FORCE_SCALAR=1 (SIMD filter kernels
+# disabled, docs/perf_kernels.md), and the bench leg gates deterministic
+# smoke benchmarks against the committed BENCH_smoke.json /
+# BENCH_filter.json trajectory baselines (docs/observability.md).
 set -eu
-exec "$(dirname "$0")/tools/run_checks.sh" release sanitize thread tidy obs bench
+exec "$(dirname "$0")/tools/run_checks.sh" release sanitize thread tidy obs scalar bench

@@ -1,8 +1,22 @@
 #include "common/math_utils.h"
 
+#include <math.h>
+
 #include <cmath>
 
 namespace iq {
+namespace {
+
+/// Thread-safe log-gamma: std::lgamma writes the process-global
+/// `signgam` (POSIX), which races when query threads evaluate the cost
+/// model concurrently. All arguments here are > 0, so the sign
+/// out-parameter is never consulted.
+double LogGamma(double x) {
+  int sign = 0;
+  return lgamma_r(x, &sign);
+}
+
+}  // namespace
 
 LineFit FitLine(std::span<const double> x, std::span<const double> y) {
   LineFit fit;
@@ -36,8 +50,8 @@ LineFit FitLine(std::span<const double> x, std::span<const double> y) {
 
 double Binomial(int n, int k) {
   if (k < 0 || k > n) return 0.0;
-  return std::exp(std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
-                  std::lgamma(n - k + 1.0));
+  return std::exp(LogGamma(n + 1.0) - LogGamma(k + 1.0) -
+                  LogGamma(n - k + 1.0));
 }
 
 }  // namespace iq

@@ -8,7 +8,7 @@
 
 #include "core/iq_tree.h"
 #include "costmodel/access_probability.h"
-#include "quant/grid_quantizer.h"
+#include "quant/filter_kernel.h"
 #include "sched/fetch_plan.h"
 #include "sched/nn_batcher.h"
 
@@ -40,6 +40,12 @@ struct ExactPage {
   std::vector<PointId> ids;
   std::vector<float> coords;
 };
+
+/// Max-heap order for the bounded k-NN result set: the current worst
+/// (largest distance) sits at the front.
+inline bool CloserNeighbor(const Neighbor& a, const Neighbor& b) {
+  return a.distance < b.distance;
+}
 
 }  // namespace
 
@@ -223,28 +229,20 @@ class IqTreeSearcher {
                                 : results_top_;
   }
 
+  /// results_ is a bounded max-heap on distance, so replacing the worst
+  /// of k results is O(log k) instead of the former two O(k) scans.
   void AddResult(PointId id, double distance) {
     if (results_.size() < k_) {
       results_.push_back(Neighbor{id, distance});
-      if (results_.size() == k_) {
-        results_top_ = 0;
-        for (const Neighbor& r : results_) {
-          results_top_ = std::max(results_top_, r.distance);
-        }
-      }
+      std::push_heap(results_.begin(), results_.end(), CloserNeighbor);
+      if (results_.size() == k_) results_top_ = results_.front().distance;
       return;
     }
     if (distance >= results_top_) return;
-    // Replace the current worst.
-    size_t worst = 0;
-    for (size_t i = 1; i < results_.size(); ++i) {
-      if (results_[i].distance > results_[worst].distance) worst = i;
-    }
-    results_[worst] = Neighbor{id, distance};
-    results_top_ = 0;
-    for (const Neighbor& r : results_) {
-      results_top_ = std::max(results_top_, r.distance);
-    }
+    std::pop_heap(results_.begin(), results_.end(), CloserNeighbor);
+    results_.back() = Neighbor{id, distance};
+    std::push_heap(results_.begin(), results_.end(), CloserNeighbor);
+    results_top_ = results_.front().distance;
   }
 
   /// Access probability of the page at file position `block` for the
@@ -336,29 +334,33 @@ class IqTreeSearcher {
       return Status::Corruption("quantized page disagrees with directory");
     }
     if (entry.quant_bits >= kExactBits) {
-      std::vector<PointId> ids;
-      std::vector<float> coords;
-      IQ_RETURN_NOT_OK(codec_.DecodeExact(page, &ids, &coords));
-      for (size_t s = 0; s < ids.size(); ++s) {
-        const double dist =
-            Distance(q_, PointView(coords.data() + s * dims_, dims_),
-                     metric_);
-        if (dist < PruneDistance()) AddResult(ids[s], dist);
+      IQ_RETURN_NOT_OK(codec_.DecodeExact(page, &ids_scratch_,
+                                          &coords_scratch_));
+      dist_scratch_.resize(ids_scratch_.size());
+      FilterKernel::BatchDistances(q_, metric_, coords_scratch_.data(),
+                                   ids_scratch_.size(), dist_scratch_.data());
+      for (size_t s = 0; s < ids_scratch_.size(); ++s) {
+        if (dist_scratch_[s] < PruneDistance()) {
+          AddResult(ids_scratch_[s], dist_scratch_[s]);
+        }
       }
       return Status::OK();
     }
-    std::vector<uint32_t> cells;
-    IQ_RETURN_NOT_OK(codec_.DecodeCells(page, &cells));
-    const GridQuantizer quantizer(entry.mbr, entry.quant_bits);
-    std::vector<uint32_t> point_cells(dims_);
+    IQ_RETURN_NOT_OK(codec_.DecodeCells(page, &cells_scratch_));
+    // Batch the whole page through the filter kernel; PruneDistance()
+    // is constant across the page (nothing below updates results_), so
+    // filtering after the batch is identical to the former per-point
+    // CellBox+MinDist loop — and the kernel's bounds are bit-identical
+    // to it (see quant/filter_kernel.h).
+    kernel_.BindMinDist(q_, metric_, entry.mbr, entry.quant_bits);
+    dist_scratch_.resize(entry.count);
+    kernel_.MinDistLowerBounds(cells_scratch_.data(), entry.count,
+                               dist_scratch_.data());
+    const double prune = PruneDistance();
     size_t enqueued = 0;
     for (uint32_t s = 0; s < entry.count; ++s) {
-      std::copy(cells.begin() + static_cast<ptrdiff_t>(s) * dims_,
-                cells.begin() + static_cast<ptrdiff_t>(s + 1) * dims_,
-                point_cells.begin());
-      const Mbr box = quantizer.CellBox(point_cells);
-      const double mindist = MinDist(q_, box, metric_);
-      if (mindist < PruneDistance()) {
+      const double mindist = dist_scratch_[s];
+      if (mindist < prune) {
         heap->push(QueueEntry{mindist, static_cast<uint32_t>(dir_index), s});
         stats_.cells_enqueued += 1;
         ++enqueued;
@@ -384,16 +386,16 @@ class IqTreeSearcher {
       return Status::Corruption("refinement slot out of range");
     }
     const Extent record_extent{entry.exact.offset + slot * record, record};
-    std::vector<uint8_t> buf(record);
-    IQ_RETURN_NOT_OK(tree_.exact_->Read(record_extent, buf.data()));
+    record_buf_.resize(record);
+    IQ_RETURN_NOT_OK(tree_.exact_->Read(record_extent, record_buf_.data()));
     stats_.refinements += 1;
     span.AddAttr("io_s", TraceNow() - io_before);
     PointId id;
-    std::memcpy(&id, buf.data(), sizeof(PointId));
-    std::vector<float> coords(dims_);
-    std::memcpy(coords.data(), buf.data() + sizeof(PointId),
+    std::memcpy(&id, record_buf_.data(), sizeof(PointId));
+    record_coords_.resize(dims_);
+    std::memcpy(record_coords_.data(), record_buf_.data() + sizeof(PointId),
                 sizeof(float) * dims_);
-    const double dist = Distance(q_, coords, metric_);
+    const double dist = Distance(q_, record_coords_, metric_);
     if (dist < PruneDistance()) AddResult(id, dist);
     return Status::OK();
   }
@@ -414,39 +416,36 @@ class IqTreeSearcher {
       return Status::Corruption("quantized page disagrees with directory");
     }
     if (entry.quant_bits >= kExactBits) {
-      std::vector<PointId> ids;
-      std::vector<float> coords;
-      IQ_RETURN_NOT_OK(codec_.DecodeExact(page, &ids, &coords));
-      for (size_t s = 0; s < ids.size(); ++s) {
-        const double dist =
-            Distance(q_, PointView(coords.data() + s * dims_, dims_),
-                     metric_);
-        if (dist <= radius) out->push_back(Neighbor{ids[s], dist});
+      IQ_RETURN_NOT_OK(codec_.DecodeExact(page, &ids_scratch_,
+                                          &coords_scratch_));
+      dist_scratch_.resize(ids_scratch_.size());
+      FilterKernel::BatchDistances(q_, metric_, coords_scratch_.data(),
+                                   ids_scratch_.size(), dist_scratch_.data());
+      for (size_t s = 0; s < ids_scratch_.size(); ++s) {
+        if (dist_scratch_[s] <= radius) {
+          out->push_back(Neighbor{ids_scratch_[s], dist_scratch_[s]});
+        }
       }
       return Status::OK();
     }
-    std::vector<uint32_t> cells;
-    IQ_RETURN_NOT_OK(codec_.DecodeCells(page, &cells));
-    const GridQuantizer quantizer(entry.mbr, entry.quant_bits);
-    std::vector<uint32_t> point_cells(dims_);
-    std::vector<uint32_t> candidates;
-    for (uint32_t s = 0; s < entry.count; ++s) {
-      std::copy(cells.begin() + static_cast<ptrdiff_t>(s) * dims_,
-                cells.begin() + static_cast<ptrdiff_t>(s + 1) * dims_,
-                point_cells.begin());
-      const Mbr box = quantizer.CellBox(point_cells);
-      if (MinDist(q_, box, metric_) <= radius) candidates.push_back(s);
-    }
-    if (candidates.empty()) return Status::OK();
-    stats_.refinements += candidates.size();
+    IQ_RETURN_NOT_OK(codec_.DecodeCells(page, &cells_scratch_));
+    // One kernel batch instead of per-point CellBox+MinDist (the bounds
+    // are bit-identical, so the candidate set is too).
+    kernel_.BindMinDist(q_, metric_, entry.mbr, entry.quant_bits);
+    candidates_scratch_.clear();
+    kernel_.SelectCandidates(cells_scratch_.data(), entry.count, radius,
+                             &candidates_scratch_);
+    if (candidates_scratch_.empty()) return Status::OK();
+    stats_.refinements += candidates_scratch_.size();
     obs::ScopedSpan exact_span(tracer_, "exact_page", span.id());
-    exact_span.AddAttr("refinements", static_cast<double>(candidates.size()));
+    exact_span.AddAttr("refinements",
+                       static_cast<double>(candidates_scratch_.size()));
     const double io_before = TraceNow();
     ExactPage exact;
     IQ_RETURN_NOT_OK(tree_.LoadExactPage(dir_index, &exact.ids,
                                          &exact.coords));
     exact_span.AddAttr("io_s", TraceNow() - io_before);
-    for (uint32_t s : candidates) {
+    for (uint32_t s : candidates_scratch_) {
       const double dist = Distance(
           q_, PointView(exact.coords.data() + s * dims_, dims_), metric_);
       if (dist <= radius) out->push_back(Neighbor{exact.ids[s], dist});
@@ -477,6 +476,17 @@ class IqTreeSearcher {
 
   std::vector<Neighbor> results_;
   double results_top_ = std::numeric_limits<double>::infinity();
+
+  /// Batch filter kernel plus per-page scratch, reused across pages so
+  /// the steady-state per-point filter loop performs no heap traffic.
+  FilterKernel kernel_;
+  std::vector<uint32_t> cells_scratch_;
+  std::vector<double> dist_scratch_;
+  std::vector<uint32_t> candidates_scratch_;
+  std::vector<PointId> ids_scratch_;
+  std::vector<float> coords_scratch_;
+  std::vector<uint8_t> record_buf_;
+  std::vector<float> record_coords_;
 
   /// Accumulated privately per query (searchers on other threads have
   /// their own); published to the tree once, when the query completes.
@@ -544,6 +554,14 @@ Result<std::vector<PointId>> IqTree::WindowQuery(const Mbr& window) const {
       PlanKnownSetFetch(blocks, disk_->params());
   std::vector<PointId> out;
   std::vector<uint8_t> buf;
+  // Hoisted per-page scratch + filter kernel: the per-point window test
+  // is a table lookup per dimension, and steady state allocates nothing
+  // (the former code built a cell-box Mbr per point).
+  FilterKernel kernel;
+  std::vector<uint32_t> cells;
+  std::vector<uint32_t> candidates;
+  std::vector<PointId> ids;
+  std::vector<float> coords;
   const uint32_t block_size = disk_->params().block_size;
   for (const FetchRun& run : runs) {
     buf.resize(run.count * block_size);
@@ -555,8 +573,6 @@ Result<std::vector<PointId>> IqTree::WindowQuery(const Mbr& window) const {
       const DirEntry& entry = dir_[dir_index];
       const uint8_t* page = buf.data() + b * block_size;
       if (entry.quant_bits >= kExactBits) {
-        std::vector<PointId> ids;
-        std::vector<float> coords;
         IQ_RETURN_NOT_OK(codec.DecodeExact(page, &ids, &coords));
         for (size_t s = 0; s < ids.size(); ++s) {
           if (window.Contains(
@@ -566,22 +582,11 @@ Result<std::vector<PointId>> IqTree::WindowQuery(const Mbr& window) const {
         }
         continue;
       }
-      std::vector<uint32_t> cells;
       IQ_RETURN_NOT_OK(codec.DecodeCells(page, &cells));
-      const GridQuantizer quantizer(entry.mbr, entry.quant_bits);
-      std::vector<uint32_t> point_cells(meta_.dims);
-      std::vector<uint32_t> candidates;
-      for (uint32_t s = 0; s < entry.count; ++s) {
-        std::copy(cells.begin() + static_cast<ptrdiff_t>(s) * meta_.dims,
-                  cells.begin() + static_cast<ptrdiff_t>(s + 1) * meta_.dims,
-                  point_cells.begin());
-        if (window.Intersects(quantizer.CellBox(point_cells))) {
-          candidates.push_back(s);
-        }
-      }
+      kernel.BindWindow(window, entry.mbr, entry.quant_bits);
+      candidates.clear();
+      kernel.WindowCandidates(cells.data(), entry.count, &candidates);
       if (candidates.empty()) continue;
-      std::vector<PointId> ids;
-      std::vector<float> coords;
       IQ_RETURN_NOT_OK(LoadExactPage(dir_index, &ids, &coords));
       for (uint32_t s : candidates) {
         if (window.Contains(

@@ -1,5 +1,7 @@
 #include "geom/volumes.h"
 
+#include <math.h>
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -8,13 +10,26 @@
 #include "common/math_utils.h"
 
 namespace iq {
+namespace {
+
+/// std::lgamma sets the process-global `signgam` (POSIX), so two query
+/// threads evaluating the cost model concurrently race on it (TSan
+/// catches this via IqTree::PredictCost). lgamma_r returns the sign
+/// through an out-parameter instead; every argument here is > 0, so
+/// the sign is never consulted.
+double LogGamma(double x) {
+  int sign = 0;
+  return lgamma_r(x, &sign);
+}
+
+}  // namespace
 
 double SphereVolume(size_t d, double r) {
   if (r <= 0) return 0.0;
   const double dd = static_cast<double>(d);
   // log V = d*log(sqrt(pi)*r) - lgamma(d/2 + 1)
   const double log_v =
-      dd * std::log(std::sqrt(M_PI) * r) - std::lgamma(dd / 2.0 + 1.0);
+      dd * std::log(std::sqrt(M_PI) * r) - LogGamma(dd / 2.0 + 1.0);
   return std::exp(log_v);
 }
 
@@ -35,7 +50,7 @@ double BallRadiusForVolume(size_t d, double volume, Metric metric) {
   }
   // Invert eq. 8: r = (V * Gamma(d/2+1))^(1/d) / sqrt(pi).
   const double log_r =
-      (std::log(volume) + std::lgamma(dd / 2.0 + 1.0)) / dd -
+      (std::log(volume) + LogGamma(dd / 2.0 + 1.0)) / dd -
       std::log(std::sqrt(M_PI));
   return std::exp(log_r);
 }
@@ -60,7 +75,7 @@ double MinkowskiSumVolume(std::span<const double> sides, double r,
     const double term = Binomial(static_cast<int>(d), static_cast<int>(k)) *
                         std::pow(a, static_cast<double>(d - k)) *
                         std::pow(std::sqrt(M_PI), dk) /
-                        std::exp(std::lgamma(dk / 2.0 + 1.0)) *
+                        std::exp(LogGamma(dk / 2.0 + 1.0)) *
                         std::pow(r, dk);
     v += term;
   }

@@ -21,6 +21,7 @@ class BitWriter {
       : out_(out), bit_pos_(bit_offset) {}
 
   /// Appends the low `width` bits of `value` (width in [0, 32]).
+  /// A width-0 put writes nothing and does not advance the cursor.
   void Put(uint32_t value, unsigned width);
 
   /// Bits written so far (including the initial offset).
@@ -37,7 +38,9 @@ class BitReader {
   BitReader(const uint8_t* data, size_t bit_offset = 0)
       : data_(data), bit_pos_(bit_offset) {}
 
-  /// Reads the next `width`-bit field (width in [0, 32]).
+  /// Reads the next `width`-bit field (width in [0, 32]). A width-0
+  /// read returns 0 and does not advance the cursor (so a g = 0 field
+  /// round-trips as the value 0 without touching the buffer).
   uint32_t Get(unsigned width);
 
   /// Repositions the cursor to an absolute bit offset.
@@ -63,6 +66,8 @@ class CheckedBitReader {
   /// Reads the next `width`-bit field (width in [0, 32]) into `*value`.
   /// OutOfRange if the field would extend past the end of the buffer;
   /// InvalidArgument for width > 32. `*value` is untouched on error.
+  /// A width-0 read succeeds even at the end of the buffer, stores 0,
+  /// and does not advance the cursor (mirroring BitReader::Get).
   Status Get(unsigned width, uint32_t* value);
 
   /// Repositions the cursor; OutOfRange past the end of the buffer.

@@ -5,6 +5,7 @@
 
 #include "common/math_utils.h"
 #include "obs/metrics.h"
+#include "quant/filter_kernel.h"
 
 namespace iq {
 
@@ -30,6 +31,15 @@ struct ScanHeader {
 static_assert(sizeof(ScanHeader) == 24);
 
 std::string ScanName(const std::string& name) { return name + ".scn"; }
+
+/// Points per batch-distance call (keeps the output buffer small while
+/// amortizing the kernel dispatch).
+constexpr size_t kScanChunk = 1024;
+
+/// Max-heap order on distance for the bounded k-NN result set.
+bool CloserNeighbor(const Neighbor& a, const Neighbor& b) {
+  return a.distance < b.distance;
+}
 
 }  // namespace
 
@@ -127,25 +137,30 @@ Result<std::vector<Neighbor>> SeqScan::KNearestNeighbors(PointView q,
   std::vector<Neighbor> best;
   if (k == 0 || count_ == 0) return best;
   ChargeFullScan();
+  // Distances in batches through the filter kernel (bit-identical to
+  // Distance() per point); best is a bounded max-heap on distance, so
+  // replacing the worst of k results is O(log k).
+  std::vector<double> dist(std::min(kScanChunk, count_));
   double worst = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < count_; ++i) {
-    const double dist = Distance(q, Vector(i), options_.metric);
-    if (best.size() < k) {
-      best.push_back(Neighbor{static_cast<PointId>(i), dist});
-      if (best.size() == k) {
-        worst = 0;
-        for (const Neighbor& r : best) worst = std::max(worst, r.distance);
+  for (size_t base = 0; base < count_; base += kScanChunk) {
+    const size_t n = std::min(kScanChunk, count_ - base);
+    FilterKernel::BatchDistances(q, options_.metric,
+                                 vectors_.data() + base * dims_, n,
+                                 dist.data());
+    for (size_t j = 0; j < n; ++j) {
+      const PointId id = static_cast<PointId>(base + j);
+      if (best.size() < k) {
+        best.push_back(Neighbor{id, dist[j]});
+        std::push_heap(best.begin(), best.end(), CloserNeighbor);
+        if (best.size() == k) worst = best.front().distance;
+        continue;
       }
-      continue;
+      if (dist[j] >= worst) continue;
+      std::pop_heap(best.begin(), best.end(), CloserNeighbor);
+      best.back() = Neighbor{id, dist[j]};
+      std::push_heap(best.begin(), best.end(), CloserNeighbor);
+      worst = best.front().distance;
     }
-    if (dist >= worst) continue;
-    size_t worst_index = 0;
-    for (size_t j = 1; j < best.size(); ++j) {
-      if (best[j].distance > best[worst_index].distance) worst_index = j;
-    }
-    best[worst_index] = Neighbor{static_cast<PointId>(i), dist};
-    worst = 0;
-    for (const Neighbor& r : best) worst = std::max(worst, r.distance);
   }
   std::sort(best.begin(), best.end(),
             [](const Neighbor& a, const Neighbor& b) {
@@ -169,9 +184,17 @@ Result<std::vector<Neighbor>> SeqScan::RangeSearch(PointView q,
   ScanQueryCounter()->Increment();
   ChargeFullScan();
   std::vector<Neighbor> out;
-  for (size_t i = 0; i < count_; ++i) {
-    const double dist = Distance(q, Vector(i), options_.metric);
-    if (dist <= radius) out.push_back(Neighbor{static_cast<PointId>(i), dist});
+  std::vector<double> dist(std::min(kScanChunk, count_));
+  for (size_t base = 0; base < count_; base += kScanChunk) {
+    const size_t n = std::min(kScanChunk, count_ - base);
+    FilterKernel::BatchDistances(q, options_.metric,
+                                 vectors_.data() + base * dims_, n,
+                                 dist.data());
+    for (size_t j = 0; j < n; ++j) {
+      if (dist[j] <= radius) {
+        out.push_back(Neighbor{static_cast<PointId>(base + j), dist[j]});
+      }
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const Neighbor& a, const Neighbor& b) {

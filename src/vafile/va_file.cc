@@ -9,6 +9,7 @@
 #include "common/math_utils.h"
 #include "obs/metrics.h"
 #include "quant/bit_stream.h"
+#include "quant/filter_kernel.h"
 
 namespace iq {
 
@@ -42,6 +43,15 @@ static_assert(sizeof(VaHeader) == 24);
 
 std::string ApproxName(const std::string& name) { return name + ".vaa"; }
 std::string VectorName(const std::string& name) { return name + ".vav"; }
+
+/// Points per phase-1 batch: large enough to amortize the kernel call,
+/// small enough that the decoded-cell scratch stays cache-resident.
+constexpr size_t kScanChunk = 1024;
+
+/// Max-heap order on distance for the bounded phase-2 result set.
+bool CloserNeighbor(const Neighbor& a, const Neighbor& b) {
+  return a.distance < b.distance;
+}
 
 }  // namespace
 
@@ -166,7 +176,12 @@ Status VaFile::AppendToFiles(PointView p) {
     uint32_t c = 0;
     if (cell_width_[i] > 0) {
       const float rel = (p[i] - domain_.lb(i)) / cell_width_[i];
-      if (rel > 0) c = std::min(static_cast<uint32_t>(rel), cells - 1);
+      // Clamp in double before the uint32_t cast: casting a float at or
+      // above 2^32 is UB (same fix as GridQuantizer::CellIndex).
+      if (rel > 0) {
+        c = static_cast<uint32_t>(std::min(static_cast<double>(rel),
+                                           static_cast<double>(cells - 1)));
+      }
       // Float-safety nudges (same invariant as the IQ-tree quantizer).
       while (c > 0 && p[i] < domain_.lb(i) + cell_width_[i] * c) --c;
       while (c + 1 < cells &&
@@ -284,19 +299,31 @@ Result<std::vector<Neighbor>> VaFile::KNearestNeighbors(PointView q,
     return out;
   }
   // Phase 1 (filter): sequential scan of the approximation file; track
-  // delta = k-th smallest upper bound.
+  // delta = k-th smallest upper bound. The approximations are decoded
+  // in chunks and bounded through the batch filter kernel, which is
+  // bound to the same global grid as Bounds() and produces bit-identical
+  // values (quant/filter_kernel.h).
   ChargeApproximationScan();
+  const unsigned bits = options_.bits_per_dim;
+  FilterKernel kernel;
+  kernel.BindBounds(q, options_.metric, domain_, bits);
   std::vector<double> lower(count_);
+  std::vector<double> upper_chunk(std::min(kScanChunk, count_));
+  std::vector<uint32_t> cells(std::min(kScanChunk, count_) * dims_);
+  BitReader reader(approx_.data(), 0);
   std::priority_queue<double> upper_heap;  // max-heap of k smallest uppers
-  for (size_t i = 0; i < count_; ++i) {
-    double lo, hi;
-    Bounds(q, i, &lo, &hi);
-    lower[i] = lo;
-    if (upper_heap.size() < k) {
-      upper_heap.push(hi);
-    } else if (hi < upper_heap.top()) {
-      upper_heap.pop();
-      upper_heap.push(hi);
+  for (size_t base = 0; base < count_; base += kScanChunk) {
+    const size_t n = std::min(kScanChunk, count_ - base);
+    for (size_t j = 0; j < n * dims_; ++j) cells[j] = reader.Get(bits);
+    kernel.Bounds(cells.data(), n, lower.data() + base, upper_chunk.data());
+    for (size_t j = 0; j < n; ++j) {
+      const double hi = upper_chunk[j];
+      if (upper_heap.size() < k) {
+        upper_heap.push(hi);
+      } else if (hi < upper_heap.top()) {
+        upper_heap.pop();
+        upper_heap.push(hi);
+      }
     }
   }
   const double delta = upper_heap.top();
@@ -316,20 +343,17 @@ Result<std::vector<Neighbor>> VaFile::KNearestNeighbors(PointView q,
     ChargeVectorLookup(index);
     ++visited;
     const double dist = Distance(q, Vector(index), options_.metric);
+    // best is a bounded max-heap on distance: replacing the worst of k
+    // results is O(log k) rather than two O(k) scans.
     if (best.size() < k) {
       best.push_back(Neighbor{index, dist});
-      if (best.size() == k) {
-        worst = 0;
-        for (const Neighbor& r : best) worst = std::max(worst, r.distance);
-      }
+      std::push_heap(best.begin(), best.end(), CloserNeighbor);
+      if (best.size() == k) worst = best.front().distance;
     } else if (dist < worst) {
-      size_t worst_index = 0;
-      for (size_t i = 1; i < best.size(); ++i) {
-        if (best[i].distance > best[worst_index].distance) worst_index = i;
-      }
-      best[worst_index] = Neighbor{index, dist};
-      worst = 0;
-      for (const Neighbor& r : best) worst = std::max(worst, r.distance);
+      std::pop_heap(best.begin(), best.end(), CloserNeighbor);
+      best.back() = Neighbor{index, dist};
+      std::push_heap(best.begin(), best.end(), CloserNeighbor);
+      worst = best.front().distance;
     }
   }
   VaMetrics::Get().refinements->Add(visited);
@@ -400,16 +424,31 @@ Result<std::vector<Neighbor>> VaFile::RangeSearch(PointView q,
   if (radius < 0) return Status::InvalidArgument("negative radius");
   VaMetrics::Get().queries->Increment();
   ChargeApproximationScan();
+  // Phase 1 through the batch kernel (lower bounds only — bit-identical
+  // to Bounds()); phase 2 refines the candidates of each chunk.
+  const unsigned bits = options_.bits_per_dim;
+  FilterKernel kernel;
+  kernel.BindMinDist(q, options_.metric, domain_, bits);
+  const size_t chunk = std::min(kScanChunk, count_);
+  std::vector<uint32_t> cells(chunk * dims_);
+  std::vector<uint32_t> candidates;
+  BitReader reader(approx_.data(), 0);
   std::vector<Neighbor> out;
   size_t visited = 0;
-  for (size_t i = 0; i < count_; ++i) {
-    double lo, hi;
-    Bounds(q, i, &lo, &hi);
-    if (lo > radius) continue;
-    ChargeVectorLookup(i);
-    ++visited;
-    const double dist = Distance(q, Vector(i), options_.metric);
-    if (dist <= radius) out.push_back(Neighbor{static_cast<PointId>(i), dist});
+  for (size_t base = 0; base < count_; base += kScanChunk) {
+    const size_t n = std::min(kScanChunk, count_ - base);
+    for (size_t j = 0; j < n * dims_; ++j) cells[j] = reader.Get(bits);
+    candidates.clear();
+    kernel.SelectCandidates(cells.data(), n, radius, &candidates);
+    for (uint32_t s : candidates) {
+      const size_t i = base + s;
+      ChargeVectorLookup(i);
+      ++visited;
+      const double dist = Distance(q, Vector(i), options_.metric);
+      if (dist <= radius) {
+        out.push_back(Neighbor{static_cast<PointId>(i), dist});
+      }
+    }
   }
   VaMetrics::Get().refinements->Add(visited);
   last_visit_fraction_ =

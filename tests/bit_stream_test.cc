@@ -93,5 +93,48 @@ TEST(BitStreamTest, RandomRoundTrip) {
   }
 }
 
+/// Contract: width-0 operations are no-ops — they return/store 0 and
+/// never touch the buffer or advance the cursor (bit_stream.h).
+TEST(BitStreamTest, WidthZeroReadsReturnZeroWithoutAdvancing) {
+  std::vector<uint8_t> buf(2, 0);
+  BitWriter writer(buf.data());
+  writer.Put(0x2A, 7);
+  BitReader reader(buf.data());
+  EXPECT_EQ(reader.Get(0), 0u);
+  EXPECT_EQ(reader.bit_position(), 0u);
+  EXPECT_EQ(reader.Get(3), 0x2u);  // low bits of 0x2A, unaffected
+  EXPECT_EQ(reader.Get(0), 0u);    // interleaved mid-stream
+  EXPECT_EQ(reader.bit_position(), 3u);
+  EXPECT_EQ(reader.Get(4), 0x5u);  // remaining bits of 0x2A
+}
+
+TEST(BitStreamTest, WidthZeroWritesNothing) {
+  std::vector<uint8_t> buf(1, 0);
+  BitWriter writer(buf.data());
+  writer.Put(0xFFFFFFFF, 0);  // value bits must be ignored entirely
+  EXPECT_EQ(writer.bit_position(), 0u);
+  EXPECT_EQ(buf[0], 0u);
+  writer.Put(0x3, 2);
+  writer.Put(0xFFFFFFFF, 0);
+  EXPECT_EQ(writer.bit_position(), 2u);
+  EXPECT_EQ(buf[0], 0x3u);
+}
+
+TEST(BitStreamTest, CheckedWidthZeroSucceedsEvenAtBufferEnd) {
+  std::vector<uint8_t> buf(1, 0xFF);
+  CheckedBitReader reader{std::span<const uint8_t>(buf)};
+  uint32_t value = 0;
+  ASSERT_TRUE(reader.Get(8, &value).ok());
+  EXPECT_EQ(value, 0xFFu);
+  EXPECT_EQ(reader.bits_remaining(), 0u);
+  // At the very end: a width-0 read still succeeds and stores 0...
+  value = 123;
+  ASSERT_TRUE(reader.Get(0, &value).ok());
+  EXPECT_EQ(value, 0u);
+  EXPECT_EQ(reader.bit_position(), 8u);
+  // ...while any wider read reports OutOfRange.
+  EXPECT_FALSE(reader.Get(1, &value).ok());
+}
+
 }  // namespace
 }  // namespace iq

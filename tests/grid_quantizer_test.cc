@@ -1,5 +1,6 @@
 #include "quant/grid_quantizer.h"
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -92,6 +93,26 @@ TEST_P(QuantizerRoundTrip, CellBoxContainsPoint) {
 
 INSTANTIATE_TEST_SUITE_P(AllLadderLevels, QuantizerRoundTrip,
                          ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(GridQuantizerTest, FarOutsideCoordinatesClampWithoutOverflow) {
+  // Regression: a coordinate far outside the MBR makes rel = (coord -
+  // lb) / w exceed 2^32, and the old direct uint32_t cast of that float
+  // was undefined behavior (UBSan trapped here). The clamp must land on
+  // the nearest edge cell instead.
+  const Mbr mbr = Mbr::FromBounds({0, -1}, {1e-3f, 1});
+  for (unsigned bits : {1u, 8u, 16u}) {
+    GridQuantizer quantizer(mbr, bits);
+    const uint32_t last = (uint32_t{1} << bits) - 1;
+    EXPECT_EQ(quantizer.CellIndex(0, 1e30f), last) << "bits=" << bits;
+    EXPECT_EQ(quantizer.CellIndex(0, -1e30f), 0u) << "bits=" << bits;
+    EXPECT_EQ(quantizer.CellIndex(0, std::numeric_limits<float>::max()),
+              last)
+        << "bits=" << bits;
+    EXPECT_EQ(quantizer.CellIndex(1, 1e9f), last) << "bits=" << bits;
+    // In-range encoding is unaffected by the clamp.
+    EXPECT_EQ(quantizer.CellIndex(1, -1.0f), 0u);
+  }
+}
 
 TEST(GridQuantizerTest, CellBoundsTile) {
   const Mbr mbr = Mbr::FromBounds({0}, {1});

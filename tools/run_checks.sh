@@ -15,21 +15,28 @@
 #             `iqtool health`, and `iqtool slowlog` against a sample
 #             index in both the disabled and the release build and
 #             validates the JSON output with tools/json_check
+#   scalar    full ctest suite with IQ_FORCE_SCALAR=1 (reuses the
+#             release tree): every test must pass with the SIMD filter
+#             kernels disabled, so the portable scalar path stays a
+#             first-class citizen (docs/perf_kernels.md)
 #   bench     perf-trajectory smoke (docs/observability.md): runs a
 #             small deterministic benchmark, aggregates its IQBENCH
 #             lines with tools/bench_aggregate, validates the JSON,
 #             and gates against the committed BENCH_smoke.json
 #             baseline (simulated-I/O seconds are machine-independent,
 #             so the gate is exact across hosts); a missing baseline
-#             is tolerated so the first run of a new suite passes
+#             is tolerated so the first run of a new suite passes.
+#             Also runs bench/micro_filter and gates its kernel-vs-
+#             reference relative-cost ratios against BENCH_filter.json
+#             (wall-clock based, so the tolerance is wide)
 #
-# Usage: tools/run_checks.sh [release|sanitize|thread|tidy|obs|bench]...
-#        (no arguments runs all six)
+# Usage: tools/run_checks.sh [release|sanitize|thread|tidy|obs|scalar|bench]...
+#        (no arguments runs all seven)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-STEPS="${*:-release sanitize thread tidy obs bench}"
+STEPS="${*:-release sanitize thread tidy obs scalar bench}"
 
 # One shared cleanup trap: legs fill in their tmp dirs as they run.
 OBS_TMP=""
@@ -121,11 +128,22 @@ for step in $STEPS; do
             echo "==> obs: $tree JSON valid"
         done
         ;;
+    scalar)
+        # The SIMD kernels are runtime-dispatched, so one binary covers
+        # both paths: re-run the whole release suite with the scalar
+        # override to prove results do not depend on the CPU's ISA.
+        cmake -B "$ROOT/build-release" -S "$ROOT" \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIQ_WERROR=ON >/dev/null
+        cmake --build "$ROOT/build-release" -j "$JOBS"
+        echo "==> ctest build-release (IQ_FORCE_SCALAR=1)"
+        (cd "$ROOT/build-release" && \
+            IQ_FORCE_SCALAR=1 ctest --output-on-failure -j "$JOBS")
+        ;;
     bench)
         cmake -B "$ROOT/build-release" -S "$ROOT" \
             -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIQ_WERROR=ON >/dev/null
         cmake --build "$ROOT/build-release" -j "$JOBS" \
-            --target abl_disk_params bench_aggregate json_check
+            --target abl_disk_params micro_filter bench_aggregate json_check
         BENCH_TMP="$(mktemp -d)"
         GIT_REV="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
         echo "==> bench: smoke run (abl_disk_params --n 4000 --queries 6)"
@@ -144,10 +162,23 @@ for step in $STEPS; do
             < "$BENCH_TMP/smoke.out"
         "$ROOT/build-release/tools/json_check" --require schema_version \
             --require suite --require benches < "$BENCH_TMP/smoke.json"
+        echo "==> bench: filter-kernel micro (bench/micro_filter)"
+        IQBENCH_SUITE=filter IQBENCH_GIT_REV="$GIT_REV" \
+            "$ROOT/build-release/bench/micro_filter" \
+            > "$BENCH_TMP/filter.out"
+        # The gated values are kernel-vs-reference cost ratios measured
+        # on this host, so they cancel absolute machine speed — but
+        # they still ride on wall-clock, hence the wide tolerance.
+        "$ROOT/build-release/tools/bench_aggregate" --suite filter \
+            --out "$BENCH_TMP/filter.json" --git-rev "$GIT_REV" \
+            --baseline "$ROOT/BENCH_filter.json" --tolerance 100 \
+            < "$BENCH_TMP/filter.out"
+        "$ROOT/build-release/tools/json_check" --require schema_version \
+            --require suite --require benches < "$BENCH_TMP/filter.json"
         echo "==> bench: trajectory OK"
         ;;
     *)
-        echo "unknown step '$step' (want release|sanitize|thread|tidy|obs|bench)" >&2
+        echo "unknown step '$step' (want release|sanitize|thread|tidy|obs|scalar|bench)" >&2
         exit 2
         ;;
     esac
