@@ -1,6 +1,6 @@
 #!/bin/sh
-# CI entry point: the Release + ASan/UBSan + TSan + clang-tidy + obs +
-# scalar + bench matrix. Thin wrapper over tools/run_checks.sh so CI and
+# CI entry point: the Release + ASan/UBSan + TSan + clang-tidy + lint +
+# obs + scalar + bench matrix. Thin wrapper over tools/run_checks.sh so CI and
 # local runs stay identical; the fuzz-corpus replay tests (fuzz_corpus_*)
 # run inside every ctest invocation, the thread leg runs the concurrency
 # stress suite under a real race detector (docs/concurrency.md), the
@@ -9,6 +9,9 @@
 # re-runs the release suite with IQ_FORCE_SCALAR=1 (SIMD filter kernels
 # disabled, docs/perf_kernels.md), and the bench leg gates deterministic
 # smoke benchmarks against the committed BENCH_smoke.json /
-# BENCH_filter.json trajectory baselines (docs/observability.md).
+# BENCH_filter.json trajectory baselines (docs/observability.md). The
+# lint leg runs tools/iqlint — the project-contract static analysis
+# (docs/static_analysis.md) — over the whole tree and then proves it
+# can fail by seeding violations into a scratch copy of src/.
 set -eu
-exec "$(dirname "$0")/tools/run_checks.sh" release sanitize thread tidy obs scalar bench
+exec "$(dirname "$0")/tools/run_checks.sh" release sanitize thread tidy lint obs scalar bench

@@ -146,6 +146,8 @@ uint32_t BPlusTree::DescendToLeaf(double key, bool charge) const {
       disk_->ChargeRead(dir_file_id_, 1 + node, 1);
     }
     // children[i] covers keys < keys[i].
+    // iqlint: allow(cast-safety): iterator difference (ptrdiff_t), not
+    // a float value; `key` is only the search argument.
     const size_t child_index = static_cast<size_t>(
         std::upper_bound(inner.keys.begin(), inner.keys.end(), key) -
         inner.keys.begin());
@@ -196,6 +198,8 @@ Status BPlusTree::Insert(double key, std::span<const uint8_t> payload) {
   std::vector<double> keys;
   std::vector<uint8_t> payloads;
   IQ_RETURN_NOT_OK(ReadLeaf(leaf_id, &keys, &payloads));
+  // iqlint: allow(cast-safety): iterator difference (ptrdiff_t), not a
+  // float value; `key` is only the search argument.
   const size_t pos = static_cast<size_t>(
       std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
   keys.insert(keys.begin() + static_cast<ptrdiff_t>(pos), key);

@@ -1,0 +1,48 @@
+#ifndef IQ_COMMON_CAST_H_
+#define IQ_COMMON_CAST_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace iq {
+
+/// Clamping float/double → integral conversions.
+///
+/// Casting a floating value outside the destination's range to an
+/// integer type is undefined behaviour in C++ — not modulo wrapping:
+/// `static_cast<uint32_t>(4.3e9)` can legally produce anything. This
+/// bit us twice before the UB was flushed out by the sanitizer leg
+/// (grid cell indices and VA-file approximations overflowing
+/// uint32_t), so the rule is now enforced by `tools/iqlint` (check
+/// `cast-safety`): every float→integral cast in src/ must go through
+/// one of these helpers, which clamp in the floating domain *before*
+/// converting. docs/static_analysis.md has the details.
+
+/// Converts `value` to Int, clamping to [lo, hi] while still in the
+/// floating-point domain. NaN maps to `lo`.
+template <typename Int, typename Float>
+constexpr Int ClampedCast(Float value, Int lo, Int hi) {
+  static_assert(std::is_integral_v<Int> && std::is_floating_point_v<Float>);
+  // Compare in double: every int32/uint32 bound is exact there, and
+  // the comparison (unlike the cast) is well-defined for any value.
+  const double v = static_cast<double>(value);
+  if (!(v > static_cast<double>(lo))) return lo;  // also catches NaN
+  if (v >= static_cast<double>(hi)) return hi;
+  return static_cast<Int>(v);
+}
+
+/// ClampedCast over the full range of Int. Note the upper clamp is
+/// still exact for uint32_t/int32_t (2^32 and 2^31 are representable
+/// doubles); for 64-bit destinations values at the very top of the
+/// range saturate to max(), which is the desired behaviour.
+template <typename Int, typename Float>
+constexpr Int SaturatingCast(Float value) {
+  return ClampedCast<Int>(value, std::numeric_limits<Int>::lowest(),
+                          std::numeric_limits<Int>::max());
+}
+
+}  // namespace iq
+
+#endif  // IQ_COMMON_CAST_H_

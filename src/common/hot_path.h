@@ -1,0 +1,25 @@
+#ifndef IQ_COMMON_HOT_PATH_H_
+#define IQ_COMMON_HOT_PATH_H_
+
+/// Hot-path annotation macros, consumed by `tools/iqlint` (check
+/// `hotpath-alloc`, docs/static_analysis.md).
+///
+/// A function marked IQ_HOT_NOALLOC promises zero heap allocation in
+/// steady state: no `new`, no `malloc`, and no allocating std calls —
+/// `push_back`/`emplace_back` inside it are flagged unless suppressed
+/// with an inline `// iqlint: allow(hotpath-alloc): <reason>` (the
+/// legitimate cases are growth into pre-reserved capacity or appends
+/// to a caller-owned output vector). The contract these mark is the
+/// one established for the batch filter kernels in
+/// docs/perf_kernels.md: per-query work may touch only reused scratch
+/// buffers.
+///
+/// The macros expand to nothing — they exist for iqlint and for the
+/// reader. IQ_HOT_NOALLOC goes on the line introducing a function
+/// definition; for a hot region inside a larger function, bracket it
+/// with IQ_HOT_NOALLOC_BEGIN / IQ_HOT_NOALLOC_END statements.
+#define IQ_HOT_NOALLOC
+#define IQ_HOT_NOALLOC_BEGIN
+#define IQ_HOT_NOALLOC_END
+
+#endif  // IQ_COMMON_HOT_PATH_H_

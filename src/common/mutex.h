@@ -1,0 +1,285 @@
+#ifndef IQ_COMMON_MUTEX_H_
+#define IQ_COMMON_MUTEX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace iq {
+
+/// Lock-rank tag for the project's lock-ordering discipline
+/// (docs/static_analysis.md). Nested critical sections must acquire
+/// mutexes in strictly increasing rank — outer/coarse locks get low
+/// ranks, inner/leaf locks high ones. Rank 0 means "unranked": the
+/// mutex does not participate in ordering checks.
+///
+/// The discipline is enforced twice from one annotation:
+///   - statically: `tools/iqlint` parses IQ_LOCK_RANK declarations and
+///     flags any function whose nested MutexLock scopes acquire out of
+///     rank order (check `lock-rank`);
+///   - dynamically: with -DIQ_LOCK_RANK_CHECKS=ON (implied by
+///     IQ_DEBUG_INVARIANTS; see CMakeLists) every scoped lock
+///     acquisition is checked against a thread-local rank stack by
+///     LockOrderValidator, which catches orderings the token-level
+///     static pass cannot see (locks taken across function calls).
+struct LockRank {
+  int value = 0;
+};
+
+/// Annotates a Mutex/SharedMutex member with its rank:
+///   Mutex mu_{IQ_LOCK_RANK(70)};
+/// The project's rank table lives in docs/static_analysis.md.
+#define IQ_LOCK_RANK(n) \
+  ::iq::LockRank { (n) }
+
+/// Dynamic side of the lock-ordering check: a thread-local stack of
+/// currently-held ranks, validated on every scoped acquisition of a
+/// ranked mutex. All state is thread-local (plus one atomic handler
+/// pointer), so the validator itself introduces no cross-thread data —
+/// the TSan leg runs with it enabled to prove exactly that.
+///
+/// Violations call the failure handler (default: print + abort). Tests
+/// install their own handler to observe violations without dying.
+class LockOrderValidator {
+ public:
+  using Handler = void (*)(const char* message);
+
+  /// Installs `handler` (nullptr restores the default) and returns the
+  /// previous one.
+  static Handler SetFailureHandler(Handler handler) {
+    return HandlerSlot().exchange(handler, std::memory_order_acq_rel);
+  }
+
+  /// Number of ranked locks the calling thread currently holds.
+  static int HeldDepth() { return TlStack().depth; }
+
+  /// Called before acquiring a mutex of rank `rank` (0 = unranked,
+  /// ignored). Fails when the calling thread already holds a lock of an
+  /// equal or higher rank.
+  static void OnAcquire(int rank) {
+    if (rank == 0) return;
+    Stack& s = TlStack();
+    if (s.depth > 0 && rank <= s.ranks[s.depth - 1]) {
+      char message[160];
+      std::snprintf(
+          message, sizeof(message),
+          "lock-rank violation: acquiring rank %d while holding rank %d",
+          rank, s.ranks[s.depth - 1]);
+      Fail(message);
+    }
+    if (s.depth < kMaxDepth) s.ranks[s.depth] = rank;
+    ++s.depth;
+  }
+
+  /// Called after releasing a mutex of rank `rank` (0 ignored). Scoped
+  /// locks release LIFO, so the rank must be on top of the stack.
+  static void OnRelease(int rank) {
+    if (rank == 0) return;
+    Stack& s = TlStack();
+    char message[160];
+    if (s.depth <= 0) {
+      std::snprintf(
+          message, sizeof(message),
+          "lock-rank violation: releasing rank %d with no ranked lock held",
+          rank);
+      Fail(message);
+      return;
+    }
+    --s.depth;
+    if (s.depth < kMaxDepth && s.ranks[s.depth] != rank) {
+      std::snprintf(
+          message, sizeof(message),
+          "lock-rank violation: releasing rank %d but top of stack is %d",
+          rank, s.ranks[s.depth]);
+      Fail(message);
+    }
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  struct Stack {
+    int ranks[kMaxDepth] = {};
+    int depth = 0;
+  };
+
+  static Stack& TlStack() {
+    thread_local Stack stack;
+    return stack;
+  }
+
+  static std::atomic<Handler>& HandlerSlot() {
+    static std::atomic<Handler> slot{nullptr};
+    return slot;
+  }
+
+  static void Fail(const char* message) {
+    Handler handler = HandlerSlot().load(std::memory_order_acquire);
+    if (handler != nullptr) {
+      handler(message);
+      return;
+    }
+    std::fprintf(stderr, "LockOrderValidator: %s\n", message);
+    std::abort();
+  }
+};
+
+/// std::mutex carrying the Clang Thread Safety Analysis capability
+/// attributes, so `IQ_GUARDED_BY(mu_)` declarations on the data it
+/// protects are compile-time enforced (see
+/// common/thread_annotations.h). Always prefer the scoped MutexLock
+/// over manual Lock/Unlock pairs — only the scoped locks feed the
+/// LockOrderValidator.
+///
+/// Locking hierarchy: see the IQ_LOCK_RANK table in
+/// docs/static_analysis.md. All iq mutexes are ranked; nested
+/// acquisitions must go in strictly increasing rank.
+class IQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(LockRank rank) : rank_(rank.value) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() IQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() IQ_RELEASE() { mu_.unlock(); }
+
+  int rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const int rank_ = 0;
+};
+
+/// RAII critical section over a Mutex.
+class IQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) IQ_ACQUIRE(mu) : mu_(mu) {
+#if defined(IQ_LOCK_RANK_CHECKS)
+    LockOrderValidator::OnAcquire(mu_->rank());
+#endif
+    mu_->Lock();
+  }
+  ~MutexLock() IQ_RELEASE() {
+    mu_->Unlock();
+#if defined(IQ_LOCK_RANK_CHECKS)
+    LockOrderValidator::OnRelease(mu_->rank());
+#endif
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// std::shared_mutex with the capability attributes: one writer or
+/// many readers. Use for state that is read on every query but written
+/// rarely (directory swaps, config reloads).
+class IQ_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(LockRank rank) : rank_(rank.value) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() IQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() IQ_RELEASE() { mu_.unlock(); }
+  void ReaderLock() IQ_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() IQ_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  int rank() const { return rank_; }
+
+ private:
+  std::shared_mutex mu_;
+  const int rank_ = 0;
+};
+
+/// RAII exclusive (writer) section over a SharedMutex.
+class IQ_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) IQ_ACQUIRE(mu) : mu_(mu) {
+#if defined(IQ_LOCK_RANK_CHECKS)
+    LockOrderValidator::OnAcquire(mu_->rank());
+#endif
+    mu_->Lock();
+  }
+  ~WriterMutexLock() IQ_RELEASE() {
+    mu_->Unlock();
+#if defined(IQ_LOCK_RANK_CHECKS)
+    LockOrderValidator::OnRelease(mu_->rank());
+#endif
+  }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) section over a SharedMutex. Readers participate
+/// in the rank order like writers: two reader locks of the same rank
+/// still may not nest.
+class IQ_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) IQ_ACQUIRE_SHARED(mu) : mu_(mu) {
+#if defined(IQ_LOCK_RANK_CHECKS)
+    LockOrderValidator::OnAcquire(mu_->rank());
+#endif
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() IQ_RELEASE_SHARED() {
+    mu_->ReaderUnlock();
+#if defined(IQ_LOCK_RANK_CHECKS)
+    LockOrderValidator::OnRelease(mu_->rank());
+#endif
+  }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to one Mutex (the LevelDB port::CondVar
+/// shape). Wait/Signal carry no thread-safety attributes: the caller
+/// holds the mutex across Wait() from the analysis' point of view
+/// (Wait releases and reacquires it internally via the adopt-lock
+/// dance, which the analysis cannot model — the net lock state is
+/// unchanged, so no annotation is the accurate one). The rank stack is
+/// likewise unchanged: the caller's MutexLock scope stays open across
+/// the wait.
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu, blocks until signaled, reacquires *mu.
+  /// Spurious wakeups happen: always wait in a predicate loop.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_COMMON_MUTEX_H_

@@ -3,6 +3,7 @@
 #include <future>
 #include <utility>
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace iq {
@@ -16,8 +17,8 @@ struct RunnerMetrics {
   static const RunnerMetrics& Get() {
     auto& registry = obs::MetricRegistry::Global();
     static const RunnerMetrics m{
-        registry.GetCounter("iq_runner_batches_total"),
-        registry.GetCounter("iq_runner_queries_total")};
+        registry.GetCounter(obs::metric::kRunnerBatchesTotal),
+        registry.GetCounter(obs::metric::kRunnerQueriesTotal)};
     return m;
   }
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+
 namespace iq {
 
 namespace {
@@ -19,10 +21,10 @@ struct PoolMetrics {
         1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
     auto& registry = obs::MetricRegistry::Global();
     static const PoolMetrics m{
-        registry.GetGauge("iq_pool_queue_depth"),
-        registry.GetCounter("iq_pool_tasks_total"),
-        registry.GetHistogram("iq_pool_task_wait_seconds", kLatencyBounds),
-        registry.GetHistogram("iq_pool_task_run_seconds", kLatencyBounds)};
+        registry.GetGauge(obs::metric::kPoolQueueDepth),
+        registry.GetCounter(obs::metric::kPoolTasksTotal),
+        registry.GetHistogram(obs::metric::kPoolTaskWaitSeconds, kLatencyBounds),
+        registry.GetHistogram(obs::metric::kPoolTaskRunSeconds, kLatencyBounds)};
     return m;
   }
 };

@@ -12,7 +12,7 @@
 #include <utility>
 #include <vector>
 
-#include "concurrency/mutex.h"
+#include "common/mutex.h"
 #include "obs/metrics.h"
 
 namespace iq {
@@ -67,7 +67,7 @@ class ThreadPool {
 
   void WorkerLoop() IQ_EXCLUDES(mu_);
 
-  Mutex mu_;
+  Mutex mu_{IQ_LOCK_RANK(50)};
   CondVar cv_;  // signaled on enqueue and on shutdown
   std::deque<Task> queue_ IQ_GUARDED_BY(mu_);
   bool shutdown_ IQ_GUARDED_BY(mu_) = false;

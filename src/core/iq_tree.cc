@@ -5,6 +5,7 @@
 #include "analysis/invariant_checker.h"
 #include "common/math_utils.h"
 #include "fractal/fractal_dimension.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "quant/grid_quantizer.h"
 
@@ -26,12 +27,12 @@ struct QueryMetrics {
   static const QueryMetrics& Get() {
     auto& registry = obs::MetricRegistry::Global();
     static const QueryMetrics m{
-        registry.GetCounter("iq_query_total"),
-        registry.GetCounter("iq_query_pages_decoded_total"),
-        registry.GetCounter("iq_query_blocks_transferred_total"),
-        registry.GetCounter("iq_query_batches_total"),
-        registry.GetCounter("iq_query_refinements_total"),
-        registry.GetCounter("iq_query_cells_enqueued_total")};
+        registry.GetCounter(obs::metric::kQueryTotal),
+        registry.GetCounter(obs::metric::kQueryPagesDecodedTotal),
+        registry.GetCounter(obs::metric::kQueryBlocksTransferredTotal),
+        registry.GetCounter(obs::metric::kQueryBatchesTotal),
+        registry.GetCounter(obs::metric::kQueryRefinementsTotal),
+        registry.GetCounter(obs::metric::kQueryCellsEnqueuedTotal)};
     return m;
   }
 };

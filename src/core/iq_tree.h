@@ -8,7 +8,7 @@
 
 #include "common/result.h"
 #include "common/thread_annotations.h"
-#include "concurrency/mutex.h"
+#include "common/mutex.h"
 #include "core/format.h"
 #include "core/split_tree_optimizer.h"
 #include "costmodel/cost_model.h"
@@ -289,7 +289,7 @@ class IqTree {
   DiskModel* disk_ = nullptr;
   uint32_t dir_file_id_ = 0;
   BuildStats build_stats_;
-  mutable Mutex query_stats_mu_;
+  mutable Mutex query_stats_mu_{IQ_LOCK_RANK(10)};
   mutable QueryStats last_query_stats_ IQ_GUARDED_BY(query_stats_mu_);
   bool dirty_ = false;
 };

@@ -6,6 +6,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "common/hot_path.h"
 #include "core/iq_tree.h"
 #include "costmodel/access_probability.h"
 #include "quant/filter_kernel.h"
@@ -231,8 +232,11 @@ class IqTreeSearcher {
 
   /// results_ is a bounded max-heap on distance, so replacing the worst
   /// of k results is O(log k) instead of the former two O(k) scans.
+  IQ_HOT_NOALLOC
   void AddResult(PointId id, double distance) {
     if (results_.size() < k_) {
+      // iqlint: allow(hotpath-alloc): bounded by k and reserved at
+      // query setup; never grows past k entries.
       results_.push_back(Neighbor{id, distance});
       std::push_heap(results_.begin(), results_.end(), CloserNeighbor);
       if (results_.size() == k_) results_top_ = results_.front().distance;
@@ -320,6 +324,7 @@ class IqTreeSearcher {
 
   /// Decodes a loaded quantized page: exact points are evaluated
   /// directly; cell approximations enter the priority queue (§3.2).
+  IQ_HOT_NOALLOC
   Status ProcessPage(size_t dir_index, const uint8_t* page, MinHeap* heap,
                      obs::SpanId parent_span) {
     processed_[dir_index] = 1;
@@ -336,6 +341,8 @@ class IqTreeSearcher {
     if (entry.quant_bits >= kExactBits) {
       IQ_RETURN_NOT_OK(codec_.DecodeExact(page, &ids_scratch_,
                                           &coords_scratch_));
+      // iqlint: allow(hotpath-alloc): reused member scratch; steady
+      // state stays under the high-water capacity.
       dist_scratch_.resize(ids_scratch_.size());
       FilterKernel::BatchDistances(q_, metric_, coords_scratch_.data(),
                                    ids_scratch_.size(), dist_scratch_.data());
@@ -353,6 +360,7 @@ class IqTreeSearcher {
     // CellBox+MinDist loop — and the kernel's bounds are bit-identical
     // to it (see quant/filter_kernel.h).
     kernel_.BindMinDist(q_, metric_, entry.mbr, entry.quant_bits);
+    // iqlint: allow(hotpath-alloc): reused member scratch (see above).
     dist_scratch_.resize(entry.count);
     kernel_.MinDistLowerBounds(cells_scratch_.data(), entry.count,
                                dist_scratch_.data());
@@ -361,6 +369,8 @@ class IqTreeSearcher {
     for (uint32_t s = 0; s < entry.count; ++s) {
       const double mindist = dist_scratch_[s];
       if (mindist < prune) {
+        // iqlint: allow(hotpath-alloc): the priority list's backing
+        // vector grows amortized and is reused across pages of a query.
         heap->push(QueueEntry{mindist, static_cast<uint32_t>(dir_index), s});
         stats_.cells_enqueued += 1;
         ++enqueued;
@@ -374,6 +384,7 @@ class IqTreeSearcher {
   /// block(s) of the third-level page that hold this point's record —
   /// a point approximation is refined at most once per query (it leaves
   /// the priority list when popped), so there is nothing to cache.
+  IQ_HOT_NOALLOC
   Status RefineSlot(size_t dir_index, uint32_t slot) {
     obs::ScopedSpan span(tracer_, "refine", root_span_);
     span.AddAttr("dir_index", static_cast<double>(dir_index));
@@ -386,12 +397,16 @@ class IqTreeSearcher {
       return Status::Corruption("refinement slot out of range");
     }
     const Extent record_extent{entry.exact.offset + slot * record, record};
+    // iqlint: allow(hotpath-alloc): fixed record-size member buffer;
+    // allocates once on the first refinement, reused after.
     record_buf_.resize(record);
     IQ_RETURN_NOT_OK(tree_.exact_->Read(record_extent, record_buf_.data()));
     stats_.refinements += 1;
     span.AddAttr("io_s", TraceNow() - io_before);
     PointId id;
     std::memcpy(&id, record_buf_.data(), sizeof(PointId));
+    // iqlint: allow(hotpath-alloc): fixed dims-size member buffer,
+    // reused across refinements.
     record_coords_.resize(dims_);
     std::memcpy(record_coords_.data(), record_buf_.data() + sizeof(PointId),
                 sizeof(float) * dims_);
@@ -403,6 +418,7 @@ class IqTreeSearcher {
   /// Range-search page handler: evaluates every point of the page whose
   /// cell approximation intersects the ball, loading the exact page at
   /// most once.
+  IQ_HOT_NOALLOC
   Status CollectInBall(size_t dir_index, const uint8_t* page, double radius,
                        std::vector<Neighbor>* out, obs::SpanId parent_span) {
     stats_.pages_decoded += 1;
@@ -418,11 +434,14 @@ class IqTreeSearcher {
     if (entry.quant_bits >= kExactBits) {
       IQ_RETURN_NOT_OK(codec_.DecodeExact(page, &ids_scratch_,
                                           &coords_scratch_));
+      // iqlint: allow(hotpath-alloc): reused member scratch (see above).
       dist_scratch_.resize(ids_scratch_.size());
       FilterKernel::BatchDistances(q_, metric_, coords_scratch_.data(),
                                    ids_scratch_.size(), dist_scratch_.data());
       for (size_t s = 0; s < ids_scratch_.size(); ++s) {
         if (dist_scratch_[s] <= radius) {
+          // iqlint: allow(hotpath-alloc): append to the caller-owned
+          // result vector — the query's output, not scratch.
           out->push_back(Neighbor{ids_scratch_[s], dist_scratch_[s]});
         }
       }
@@ -448,6 +467,8 @@ class IqTreeSearcher {
     for (uint32_t s : candidates_scratch_) {
       const double dist = Distance(
           q_, PointView(exact.coords.data() + s * dims_, dims_), metric_);
+      // iqlint: allow(hotpath-alloc): append to the caller-owned
+      // result vector.
       if (dist <= radius) out->push_back(Neighbor{exact.ids[s], dist});
     }
     return Status::OK();

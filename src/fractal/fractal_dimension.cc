@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cast.h"
 #include "common/math_utils.h"
 #include "common/random.h"
 #include "geom/mbr.h"
@@ -41,7 +42,10 @@ LevelStats GridStats(const std::vector<const float*>& sample, size_t dims,
       uint32_t c = 0;
       if (ext > 0) {
         const float rel = (p[i] - bounds.lb(i)) / ext;
-        c = std::min(static_cast<uint32_t>(rel * cells), cells - 1);
+        // ClampedCast (common/cast.h): the old min-after-cast still hit
+        // UB first when rel * cells reached 2^32; clamp before casting.
+        c = ClampedCast<uint32_t>(rel * static_cast<float>(cells), 0,
+                                  cells - 1);
       }
       key = Mix64(key ^ (static_cast<uint64_t>(c) + 1));
     }

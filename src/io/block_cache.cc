@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace iq {
@@ -14,8 +15,8 @@ struct CacheMetrics {
 
   static const CacheMetrics& Get() {
     static const CacheMetrics m{
-        obs::MetricRegistry::Global().GetCounter("iq_cache_hits_total"),
-        obs::MetricRegistry::Global().GetCounter("iq_cache_misses_total")};
+        obs::MetricRegistry::Global().GetCounter(obs::metric::kCacheHitsTotal),
+        obs::MetricRegistry::Global().GetCounter(obs::metric::kCacheMissesTotal)};
     return m;
   }
 };

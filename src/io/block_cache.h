@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
-#include "concurrency/mutex.h"
+#include "common/mutex.h"
 
 namespace iq {
 
@@ -98,7 +98,7 @@ class BlockCache {
   const uint32_t block_size_;
   const size_t capacity_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{IQ_LOCK_RANK(70)};
   /// LRU order: front = most recently used.
   std::list<Entry> lru_ IQ_GUARDED_BY(mu_);
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_

@@ -1,5 +1,6 @@
 #include "io/disk_model.h"
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace iq {
@@ -15,10 +16,10 @@ struct DiskMetrics {
 
   static const DiskMetrics& Get() {
     static const DiskMetrics m{
-        obs::MetricRegistry::Global().GetCounter("iq_disk_seeks_total"),
-        obs::MetricRegistry::Global().GetCounter("iq_disk_blocks_read_total"),
+        obs::MetricRegistry::Global().GetCounter(obs::metric::kDiskSeeksTotal),
+        obs::MetricRegistry::Global().GetCounter(obs::metric::kDiskBlocksReadTotal),
         obs::MetricRegistry::Global().GetCounter(
-            "iq_disk_blocks_written_total")};
+            obs::metric::kDiskBlocksWrittenTotal)};
     return m;
   }
 };

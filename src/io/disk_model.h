@@ -5,7 +5,7 @@
 
 #include "common/math_utils.h"
 #include "common/thread_annotations.h"
-#include "concurrency/mutex.h"
+#include "common/mutex.h"
 
 namespace iq {
 
@@ -124,7 +124,7 @@ class DiskModel {
 
   const DiskParameters params_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{IQ_LOCK_RANK(60)};
   IoStats stats_ IQ_GUARDED_BY(mu_);
   uint32_t next_file_id_ IQ_GUARDED_BY(mu_) = 0;
   bool head_valid_ IQ_GUARDED_BY(mu_) = false;

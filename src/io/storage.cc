@@ -8,6 +8,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace iq {
@@ -26,10 +27,10 @@ struct StorageMetrics {
   static const StorageMetrics& Get() {
     auto& registry = obs::MetricRegistry::Global();
     static const StorageMetrics m{
-        registry.GetCounter("iq_storage_reads_total"),
-        registry.GetCounter("iq_storage_writes_total"),
-        registry.GetCounter("iq_storage_read_bytes_total"),
-        registry.GetCounter("iq_storage_written_bytes_total")};
+        registry.GetCounter(obs::metric::kStorageReadsTotal),
+        registry.GetCounter(obs::metric::kStorageWritesTotal),
+        registry.GetCounter(obs::metric::kStorageReadBytesTotal),
+        registry.GetCounter(obs::metric::kStorageWrittenBytesTotal)};
     return m;
   }
 };

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "obs/json.h"
+#include "obs/metric_names.h"
 
 namespace iq::obs {
 
@@ -133,16 +134,16 @@ void CalibrationTracker::RecordComponent(Accumulator* acc,
 void CalibrationTracker::Record(const CostBreakdown& predicted,
                                 const CostBreakdown& observed) {
   MutexLock lock(&mu_);
-  RecordComponent(&t1_, "iq_calibration_t1_rel_error", predicted.t1,
+  RecordComponent(&t1_, metric::kCalibrationT1RelError, predicted.t1,
                   observed.t1);
-  RecordComponent(&t2_, "iq_calibration_t2_rel_error", predicted.t2,
+  RecordComponent(&t2_, metric::kCalibrationT2RelError, predicted.t2,
                   observed.t2);
-  RecordComponent(&t3_, "iq_calibration_t3_rel_error", predicted.t3,
+  RecordComponent(&t3_, metric::kCalibrationT3RelError, predicted.t3,
                   observed.t3);
-  RecordComponent(&total_, "iq_calibration_total_rel_error",
+  RecordComponent(&total_, metric::kCalibrationTotalRelError,
                   predicted.total(), observed.total());
   MetricRegistry::Global()
-      .GetCounter("iq_calibration_samples_total")
+      .GetCounter(metric::kCalibrationSamplesTotal)
       ->Increment();
 }
 

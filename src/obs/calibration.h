@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
-#include "concurrency/mutex.h"
+#include "common/mutex.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -120,7 +120,7 @@ class CalibrationTracker {
   static ComponentCalibration Summarize(const char* name,
                                         const Accumulator& acc);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{IQ_LOCK_RANK(30)};
   Accumulator t1_ IQ_GUARDED_BY(mu_);
   Accumulator t2_ IQ_GUARDED_BY(mu_);
   Accumulator t3_ IQ_GUARDED_BY(mu_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/cast.h"
 #include "obs/json.h"
 
 namespace iq::obs {
@@ -130,9 +131,13 @@ std::string FormatDouble(double v) {
   char buf[64];
   // Integral values print without a mantissa tail (counters look like
   // the integers they are).
-  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+  // SaturatingCast both avoids UB for out-of-int64-range values (they
+  // fail the round-trip test and print as %g) and is the clamp helper
+  // the cast-safety lint requires.
+  const int64_t iv = SaturatingCast<int64_t>(v);
+  if (v == static_cast<double>(iv)) {
     std::snprintf(buf, sizeof(buf), "%lld",
-                  static_cast<long long>(v));
+                  static_cast<long long>(iv));
   } else {
     std::snprintf(buf, sizeof(buf), "%.17g", v);
   }

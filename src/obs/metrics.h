@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
-#include "concurrency/mutex.h"
+#include "common/mutex.h"
 
 namespace iq::obs {
 
@@ -222,7 +222,7 @@ class MetricRegistry {
   void Reset() IQ_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{IQ_LOCK_RANK(80)};
   // Node-based maps: pointers to mapped values are never invalidated.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       IQ_GUARDED_BY(mu_);

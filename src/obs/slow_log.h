@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
-#include "concurrency/mutex.h"
+#include "common/mutex.h"
 #include "obs/calibration.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -99,7 +99,7 @@ class SlowQueryLog {
  private:
   double ThresholdLocked() const IQ_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{IQ_LOCK_RANK(20)};
   std::deque<SlowQueryRecord> ring_ IQ_GUARDED_BY(mu_);
   uint64_t offered_ IQ_GUARDED_BY(mu_) = 0;
   uint64_t retained_ IQ_GUARDED_BY(mu_) = 0;

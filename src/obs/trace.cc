@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/cast.h"
 #include "obs/json.h"
 
 namespace iq::obs {
@@ -87,8 +88,11 @@ namespace {
 
 std::string FormatAttr(double v) {
   char buf[64];
-  if (v == static_cast<double>(static_cast<int64_t>(v))) {
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  // SaturatingCast: no UB for out-of-int64-range values (they fail the
+  // round-trip test and print as %g), and satisfies cast-safety lint.
+  const int64_t iv = SaturatingCast<int64_t>(v);
+  if (v == static_cast<double>(iv)) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(iv));
   } else {
     std::snprintf(buf, sizeof(buf), "%.6g", v);
   }

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
-#include "concurrency/mutex.h"
+#include "common/mutex.h"
 
 namespace iq::obs {
 
@@ -92,7 +92,7 @@ class QueryTracer {
         .count();
   }
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{IQ_LOCK_RANK(40)};
   std::vector<SpanRecord> spans_ IQ_GUARDED_BY(mu_);
   uint64_t next_seq_ IQ_GUARDED_BY(mu_) = 0;
   uint64_t dropped_ IQ_GUARDED_BY(mu_) = 0;

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/hot_path.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "quant/filter_kernel_simd.h"
 
@@ -28,12 +30,12 @@ struct FilterMetrics {
     static constexpr double kBatchBounds[] = {16, 64, 256, 1024, 4096};
     auto& registry = obs::MetricRegistry::Global();
     static const FilterMetrics m{
-        registry.GetCounter("iq_filter_points_total"),
-        registry.GetCounter("iq_filter_batches_total"),
-        registry.GetCounter("iq_filter_simd_batches_total"),
-        registry.GetCounter("iq_filter_table_binds_total"),
-        registry.GetCounter("iq_filter_direct_binds_total"),
-        registry.GetHistogram("iq_filter_batch_points", kBatchBounds)};
+        registry.GetCounter(obs::metric::kFilterPointsTotal),
+        registry.GetCounter(obs::metric::kFilterBatchesTotal),
+        registry.GetCounter(obs::metric::kFilterSimdBatchesTotal),
+        registry.GetCounter(obs::metric::kFilterTableBindsTotal),
+        registry.GetCounter(obs::metric::kFilterDirectBindsTotal),
+        registry.GetHistogram(obs::metric::kFilterBatchPoints, kBatchBounds)};
     return m;
   }
 };
@@ -203,6 +205,7 @@ void FilterKernel::BindWindow(const Mbr& window, const Mbr& grid_mbr,
   BuildWindowTables();
 }
 
+IQ_HOT_NOALLOC
 void FilterKernel::ComputeScalar(const uint32_t* cells, size_t count,
                                  double* lower, double* upper) const {
   const size_t stride = cells_per_dim_;
@@ -253,6 +256,7 @@ void FilterKernel::ComputeScalar(const uint32_t* cells, size_t count,
   }
 }
 
+IQ_HOT_NOALLOC
 void FilterKernel::MinDistLowerBounds(const uint32_t* cells, size_t count,
                                       double* out) const {
   assert(mode_ == Mode::kMinDist || mode_ == Mode::kBounds);
@@ -276,6 +280,7 @@ void FilterKernel::MinDistLowerBounds(const uint32_t* cells, size_t count,
   ComputeScalar(cells, count, out, nullptr);
 }
 
+IQ_HOT_NOALLOC
 void FilterKernel::Bounds(const uint32_t* cells, size_t count, double* lower,
                           double* upper) const {
   assert(mode_ == Mode::kBounds);
@@ -299,19 +304,24 @@ void FilterKernel::Bounds(const uint32_t* cells, size_t count, double* lower,
   ComputeScalar(cells, count, lower, upper);
 }
 
+IQ_HOT_NOALLOC
 void FilterKernel::SelectCandidates(const uint32_t* cells, size_t count,
                                     double threshold,
                                     std::vector<uint32_t>* out) {
   if (count == 0) return;
+  // iqlint: allow(hotpath-alloc): resize of a reused member scratch
+  // buffer — steady state never exceeds the high-water capacity.
   bounds_scratch_.resize(count);
   MinDistLowerBounds(cells, count, bounds_scratch_.data());
   for (size_t s = 0; s < count; ++s) {
     if (bounds_scratch_[s] <= threshold) {
+      // iqlint: allow(hotpath-alloc): caller-owned candidate vector
       out->push_back(static_cast<uint32_t>(s));
     }
   }
 }
 
+IQ_HOT_NOALLOC
 void FilterKernel::WindowCandidates(const uint32_t* cells, size_t count,
                                     std::vector<uint32_t>* out) const {
   assert(mode_ == Mode::kWindow);
@@ -341,10 +351,13 @@ void FilterKernel::WindowCandidates(const uint32_t* cells, size_t count,
         }
       }
     }
+    // iqlint: allow(hotpath-alloc): append to the caller-owned,
+    // caller-reserved candidate vector.
     if (hit) out->push_back(static_cast<uint32_t>(s));
   }
 }
 
+IQ_HOT_NOALLOC
 void FilterKernel::BatchDistances(PointView q, Metric metric,
                                   const float* points, size_t count,
                                   double* out) {

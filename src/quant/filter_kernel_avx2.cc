@@ -8,6 +8,8 @@
 
 #include "quant/filter_kernel_simd.h"
 
+#include "common/hot_path.h"
+
 #if defined(IQ_HAVE_AVX2)
 
 #include <immintrin.h>
@@ -159,6 +161,7 @@ void DistancesImpl(const float* q, size_t dims, const float* points,
 
 }  // namespace
 
+IQ_HOT_NOALLOC
 void Avx2TableBounds(const double* lo_tab, const double* hi_tab, size_t dims,
                      size_t stride, bool l2, const uint32_t* cells,
                      size_t count, double* lower, double* upper) {
@@ -171,6 +174,7 @@ void Avx2TableBounds(const double* lo_tab, const double* hi_tab, size_t dims,
   }
 }
 
+IQ_HOT_NOALLOC
 void Avx2Distances(const float* q, size_t dims, bool l2, const float* points,
                    size_t count, double* out) {
   if (l2) {

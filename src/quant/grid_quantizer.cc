@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/cast.h"
+
 namespace iq {
 
 GridQuantizer::GridQuantizer(const Mbr& mbr, unsigned bits_per_dim)
@@ -21,16 +23,11 @@ uint32_t GridQuantizer::CellIndex(size_t dim, float coord) const {
   const float w = widths_[dim];
   if (w <= 0.0f) return 0;
   const float rel = (coord - lb) / w;
-  uint32_t cell = 0;
-  // Clamp in double before the uint32_t cast: for a coordinate far
-  // outside the MBR, rel can reach 2^32 and casting such a float to
-  // uint32_t is undefined behavior. The clamp is exact (every uint32_t
-  // is representable as a double) and preserves the in-range result.
-  if (rel > 0.0f) {
-    cell = static_cast<uint32_t>(
-        std::min(static_cast<double>(rel),
-                 static_cast<double>(cells_per_dim_ - 1)));
-  }
+  // ClampedCast (common/cast.h): for a coordinate far outside the MBR,
+  // rel can reach 2^32 and casting such a float to uint32_t is
+  // undefined behavior; the helper clamps in double (exact for every
+  // uint32_t) before converting, and sends negatives and NaN to 0.
+  uint32_t cell = ClampedCast<uint32_t>(rel, 0, cells_per_dim_ - 1);
   // Float-safety: division rounding can place `coord` just outside the
   // computed cell; nudge so the cell interval really contains it (the
   // search relies on cell boxes being true point enclosures).

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <queue>
 
+#include "common/cast.h"
 #include "rstar/r_star_tree.h"
 
 namespace iq {
@@ -232,9 +233,13 @@ Status RStarTree::InsertRecursive(
       // Forced reinsertion: evict the points farthest from the page
       // center instead of splitting (once per level per insertion).
       (*level_reinserted)[depth] = true;
+      // ClampedCast (common/cast.h): a hostile reinsert_fraction could
+      // push the product past what size_t conversion tolerates; clamp
+      // to the page population, which is also the semantic ceiling.
       const size_t evict = std::max<size_t>(
-          1, static_cast<size_t>(static_cast<double>(ids.size()) *
-                                 options_.reinsert_fraction));
+          1, ClampedCast<size_t>(static_cast<double>(ids.size()) *
+                                     options_.reinsert_fraction,
+                                 0, ids.size()));
       const Mbr page_mbr = Mbr::Of(coords.data(), ids.size(), dims_);
       std::vector<uint32_t> order(ids.size());
       std::iota(order.begin(), order.end(), 0);

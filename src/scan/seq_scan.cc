@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/hot_path.h"
 #include "common/math_utils.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "quant/filter_kernel.h"
 
@@ -15,7 +17,7 @@ namespace {
 // query volume across methods.
 obs::Counter* ScanQueryCounter() {
   static obs::Counter* counter =
-      obs::MetricRegistry::Global().GetCounter("iq_scan_queries_total");
+      obs::MetricRegistry::Global().GetCounter(obs::metric::kScanQueriesTotal);
   return counter;
 }
 
@@ -142,6 +144,7 @@ Result<std::vector<Neighbor>> SeqScan::KNearestNeighbors(PointView q,
   // replacing the worst of k results is O(log k).
   std::vector<double> dist(std::min(kScanChunk, count_));
   double worst = std::numeric_limits<double>::infinity();
+  IQ_HOT_NOALLOC_BEGIN;
   for (size_t base = 0; base < count_; base += kScanChunk) {
     const size_t n = std::min(kScanChunk, count_ - base);
     FilterKernel::BatchDistances(q, options_.metric,
@@ -150,6 +153,8 @@ Result<std::vector<Neighbor>> SeqScan::KNearestNeighbors(PointView q,
     for (size_t j = 0; j < n; ++j) {
       const PointId id = static_cast<PointId>(base + j);
       if (best.size() < k) {
+        // iqlint: allow(hotpath-alloc): the result heap is bounded by
+        // k; growth stops after the first k appends.
         best.push_back(Neighbor{id, dist[j]});
         std::push_heap(best.begin(), best.end(), CloserNeighbor);
         if (best.size() == k) worst = best.front().distance;
@@ -162,6 +167,7 @@ Result<std::vector<Neighbor>> SeqScan::KNearestNeighbors(PointView q,
       worst = best.front().distance;
     }
   }
+  IQ_HOT_NOALLOC_END;
   std::sort(best.begin(), best.end(),
             [](const Neighbor& a, const Neighbor& b) {
               return a.distance < b.distance;
@@ -185,6 +191,7 @@ Result<std::vector<Neighbor>> SeqScan::RangeSearch(PointView q,
   ChargeFullScan();
   std::vector<Neighbor> out;
   std::vector<double> dist(std::min(kScanChunk, count_));
+  IQ_HOT_NOALLOC_BEGIN;
   for (size_t base = 0; base < count_; base += kScanChunk) {
     const size_t n = std::min(kScanChunk, count_ - base);
     FilterKernel::BatchDistances(q, options_.metric,
@@ -192,10 +199,13 @@ Result<std::vector<Neighbor>> SeqScan::RangeSearch(PointView q,
                                  dist.data());
     for (size_t j = 0; j < n; ++j) {
       if (dist[j] <= radius) {
+        // iqlint: allow(hotpath-alloc): append to the query's result
+        // vector — output, not scratch.
         out.push_back(Neighbor{static_cast<PointId>(base + j), dist[j]});
       }
     }
   }
+  IQ_HOT_NOALLOC_END;
   std::sort(out.begin(), out.end(),
             [](const Neighbor& a, const Neighbor& b) {
               return a.distance < b.distance;

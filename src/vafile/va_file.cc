@@ -1,12 +1,16 @@
 #include "vafile/va_file.h"
 
+#include <atomic>
 #include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <queue>
 
+#include "common/cast.h"
+#include "common/hot_path.h"
 #include "common/math_utils.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "quant/bit_stream.h"
 #include "quant/filter_kernel.h"
@@ -24,8 +28,8 @@ struct VaMetrics {
   static const VaMetrics& Get() {
     auto& registry = obs::MetricRegistry::Global();
     static const VaMetrics m{
-        registry.GetCounter("iq_vafile_queries_total"),
-        registry.GetCounter("iq_vafile_refinements_total")};
+        registry.GetCounter(obs::metric::kVafileQueriesTotal),
+        registry.GetCounter(obs::metric::kVafileRefinementsTotal)};
     return m;
   }
 };
@@ -176,12 +180,9 @@ Status VaFile::AppendToFiles(PointView p) {
     uint32_t c = 0;
     if (cell_width_[i] > 0) {
       const float rel = (p[i] - domain_.lb(i)) / cell_width_[i];
-      // Clamp in double before the uint32_t cast: casting a float at or
-      // above 2^32 is UB (same fix as GridQuantizer::CellIndex).
-      if (rel > 0) {
-        c = static_cast<uint32_t>(std::min(static_cast<double>(rel),
-                                           static_cast<double>(cells - 1)));
-      }
+      // ClampedCast (common/cast.h): casting a float at or above 2^32
+      // to uint32_t is UB (same fix as GridQuantizer::CellIndex).
+      c = ClampedCast<uint32_t>(rel, 0, cells - 1);
       // Float-safety nudges (same invariant as the IQ-tree quantizer).
       while (c > 0 && p[i] < domain_.lb(i) + cell_width_[i] * c) --c;
       while (c + 1 < cells &&
@@ -295,7 +296,7 @@ Result<std::vector<Neighbor>> VaFile::KNearestNeighbors(PointView q,
   VaMetrics::Get().queries->Increment();
   std::vector<Neighbor> out;
   if (k == 0 || count_ == 0) {
-    last_visit_fraction_ = 0.0;
+    last_visit_fraction_.store(0.0, std::memory_order_relaxed);
     return out;
   }
   // Phase 1 (filter): sequential scan of the approximation file; track
@@ -312,6 +313,7 @@ Result<std::vector<Neighbor>> VaFile::KNearestNeighbors(PointView q,
   std::vector<uint32_t> cells(std::min(kScanChunk, count_) * dims_);
   BitReader reader(approx_.data(), 0);
   std::priority_queue<double> upper_heap;  // max-heap of k smallest uppers
+  IQ_HOT_NOALLOC_BEGIN;
   for (size_t base = 0; base < count_; base += kScanChunk) {
     const size_t n = std::min(kScanChunk, count_ - base);
     for (size_t j = 0; j < n * dims_; ++j) cells[j] = reader.Get(bits);
@@ -319,13 +321,18 @@ Result<std::vector<Neighbor>> VaFile::KNearestNeighbors(PointView q,
     for (size_t j = 0; j < n; ++j) {
       const double hi = upper_chunk[j];
       if (upper_heap.size() < k) {
+        // iqlint: allow(hotpath-alloc): the heap never exceeds k
+        // entries, so growth stops after the first k pushes.
         upper_heap.push(hi);
       } else if (hi < upper_heap.top()) {
         upper_heap.pop();
+        // iqlint: allow(hotpath-alloc): replacement push into capacity
+        // freed by the pop above; the heap stays at k entries.
         upper_heap.push(hi);
       }
     }
   }
+  IQ_HOT_NOALLOC_END;
   const double delta = upper_heap.top();
   std::vector<uint32_t> candidates;
   for (size_t i = 0; i < count_; ++i) {
@@ -357,8 +364,9 @@ Result<std::vector<Neighbor>> VaFile::KNearestNeighbors(PointView q,
     }
   }
   VaMetrics::Get().refinements->Add(visited);
-  last_visit_fraction_ =
-      count_ > 0 ? static_cast<double>(visited) / count_ : 0.0;
+  last_visit_fraction_.store(
+      count_ > 0 ? static_cast<double>(visited) / count_ : 0.0,
+      std::memory_order_relaxed);
   std::sort(best.begin(), best.end(),
             [](const Neighbor& a, const Neighbor& b) {
               return a.distance < b.distance;
@@ -411,8 +419,9 @@ Result<std::vector<PointId>> VaFile::WindowQuery(const Mbr& window) const {
       out.push_back(static_cast<PointId>(index));
     }
   }
-  last_visit_fraction_ =
-      count_ > 0 ? static_cast<double>(visited) / count_ : 0.0;
+  last_visit_fraction_.store(
+      count_ > 0 ? static_cast<double>(visited) / count_ : 0.0,
+      std::memory_order_relaxed);
   return out;
 }
 
@@ -435,6 +444,7 @@ Result<std::vector<Neighbor>> VaFile::RangeSearch(PointView q,
   BitReader reader(approx_.data(), 0);
   std::vector<Neighbor> out;
   size_t visited = 0;
+  IQ_HOT_NOALLOC_BEGIN;
   for (size_t base = 0; base < count_; base += kScanChunk) {
     const size_t n = std::min(kScanChunk, count_ - base);
     for (size_t j = 0; j < n * dims_; ++j) cells[j] = reader.Get(bits);
@@ -446,13 +456,17 @@ Result<std::vector<Neighbor>> VaFile::RangeSearch(PointView q,
       ++visited;
       const double dist = Distance(q, Vector(i), options_.metric);
       if (dist <= radius) {
+        // iqlint: allow(hotpath-alloc): append to the query's result
+        // vector — output, not scratch.
         out.push_back(Neighbor{static_cast<PointId>(i), dist});
       }
     }
   }
+  IQ_HOT_NOALLOC_END;
   VaMetrics::Get().refinements->Add(visited);
-  last_visit_fraction_ =
-      count_ > 0 ? static_cast<double>(visited) / count_ : 0.0;
+  last_visit_fraction_.store(
+      count_ > 0 ? static_cast<double>(visited) / count_ : 0.0,
+      std::memory_order_relaxed);
   std::sort(out.begin(), out.end(),
             [](const Neighbor& a, const Neighbor& b) {
               return a.distance < b.distance;

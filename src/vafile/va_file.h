@@ -1,6 +1,7 @@
 #ifndef IQ_VAFILE_VA_FILE_H_
 #define IQ_VAFILE_VA_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -68,8 +69,12 @@ class VaFile {
   const Mbr& domain() const { return domain_; }
 
   /// Fraction of points whose exact vector the last query visited
-  /// (diagnostic for the bits-per-dim ablation).
-  double last_visit_fraction() const { return last_visit_fraction_; }
+  /// (diagnostic for the bits-per-dim ablation). Relaxed atomic: under
+  /// a parallel runner concurrent queries race on "last", but every
+  /// read observes some complete query's value rather than a torn one.
+  double last_visit_fraction() const {
+    return last_visit_fraction_.load(std::memory_order_relaxed);
+  }
 
  private:
   VaFile() = default;
@@ -105,7 +110,7 @@ class VaFile {
   DiskModel* disk_ = nullptr;
   uint32_t approx_file_id_ = 0;
   uint32_t vector_file_id_ = 0;
-  mutable double last_visit_fraction_ = 0.0;
+  mutable std::atomic<double> last_visit_fraction_{0.0};
 };
 
 }  // namespace iq

@@ -1,0 +1,156 @@
+// Runtime side of the lock-rank contract (common/mutex.h). The static
+// half lives in tools/iqlint; this validates the debug-build
+// LockOrderValidator that backs it at runtime. Compiled in every
+// configuration: when IQ_LOCK_RANK_CHECKS is off the validator hooks
+// compile out and the tests assert that, too.
+
+#include "common/mutex.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace iq {
+namespace {
+
+#if defined(IQ_LOCK_RANK_CHECKS)
+
+/// Installs a failure handler that records instead of aborting, and
+/// restores the default on destruction.
+class CaptureFailures {
+ public:
+  CaptureFailures() {
+    failures().store(0);
+    LockOrderValidator::SetFailureHandler(+[](const char* msg) {
+      failures().fetch_add(1);
+      last_message() = msg;
+    });
+  }
+  ~CaptureFailures() { LockOrderValidator::SetFailureHandler(nullptr); }
+
+  static std::atomic<int>& failures() {
+    static std::atomic<int> n{0};
+    return n;
+  }
+  static std::string& last_message() {
+    static std::string msg;
+    return msg;
+  }
+};
+
+TEST(LockOrderValidator, InOrderAcquisitionPasses) {
+  CaptureFailures capture;
+  Mutex low{IQ_LOCK_RANK(10)};
+  Mutex high{IQ_LOCK_RANK(20)};
+  {
+    MutexLock a(&low);
+    MutexLock b(&high);
+    EXPECT_EQ(LockOrderValidator::HeldDepth(), 2);
+  }
+  EXPECT_EQ(LockOrderValidator::HeldDepth(), 0);
+  EXPECT_EQ(CaptureFailures::failures().load(), 0);
+}
+
+TEST(LockOrderValidator, OutOfOrderAcquisitionFires) {
+  CaptureFailures capture;
+  Mutex low{IQ_LOCK_RANK(10)};
+  Mutex high{IQ_LOCK_RANK(20)};
+  {
+    MutexLock a(&high);
+    MutexLock b(&low);  // rank 10 while holding rank 20: must fire
+  }
+  EXPECT_EQ(CaptureFailures::failures().load(), 1);
+  EXPECT_NE(CaptureFailures::last_message().find("rank 10"),
+            std::string::npos);
+  EXPECT_NE(CaptureFailures::last_message().find("rank 20"),
+            std::string::npos);
+}
+
+TEST(LockOrderValidator, EqualRankAlsoFires) {
+  CaptureFailures capture;
+  Mutex a_mu{IQ_LOCK_RANK(30)};
+  Mutex b_mu{IQ_LOCK_RANK(30)};
+  {
+    MutexLock a(&a_mu);
+    MutexLock b(&b_mu);  // strictly increasing required
+  }
+  EXPECT_EQ(CaptureFailures::failures().load(), 1);
+}
+
+TEST(LockOrderValidator, UnrankedMutexesAreIgnored) {
+  CaptureFailures capture;
+  Mutex ranked{IQ_LOCK_RANK(20)};
+  Mutex unranked;
+  {
+    MutexLock a(&ranked);
+    MutexLock b(&unranked);  // rank 0: not tracked
+    EXPECT_EQ(LockOrderValidator::HeldDepth(), 1);
+  }
+  EXPECT_EQ(CaptureFailures::failures().load(), 0);
+}
+
+TEST(LockOrderValidator, SequentialScopesDoNotNest) {
+  CaptureFailures capture;
+  Mutex low{IQ_LOCK_RANK(10)};
+  Mutex high{IQ_LOCK_RANK(20)};
+  { MutexLock a(&high); }
+  { MutexLock b(&low); }  // previous lock released: no nesting
+  EXPECT_EQ(CaptureFailures::failures().load(), 0);
+}
+
+TEST(LockOrderValidator, ReaderAndWriterLocksParticipate) {
+  CaptureFailures capture;
+  SharedMutex low{IQ_LOCK_RANK(10)};
+  SharedMutex high{IQ_LOCK_RANK(20)};
+  {
+    ReaderMutexLock a(&high);
+    WriterMutexLock b(&low);  // out of order through shared locks too
+  }
+  EXPECT_EQ(CaptureFailures::failures().load(), 1);
+}
+
+// The rank stack is thread_local: concurrent threads each validate
+// their own acquisition order without synchronizing with each other.
+// Under the TSan CI leg this additionally proves the validator itself
+// introduces no data race.
+TEST(LockOrderValidator, ThreadsValidateIndependently) {
+  CaptureFailures capture;
+  Mutex low{IQ_LOCK_RANK(10)};
+  Mutex high{IQ_LOCK_RANK(20)};
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&low, &high, &sum] {
+      for (int i = 0; i < 200; ++i) {
+        MutexLock a(&low);
+        MutexLock b(&high);
+        sum.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(sum.load(), 8 * 200);
+  EXPECT_EQ(CaptureFailures::failures().load(), 0);
+}
+
+#else  // !defined(IQ_LOCK_RANK_CHECKS)
+
+TEST(LockOrderValidator, CompiledOutInReleaseBuilds) {
+  // Without the option the scoped locks must not reference the
+  // validator at all; out-of-order acquisition goes unnoticed here (the
+  // debug and TSan CI legs run with it enabled).
+  Mutex low{IQ_LOCK_RANK(10)};
+  Mutex high{IQ_LOCK_RANK(20)};
+  MutexLock a(&high);
+  MutexLock b(&low);
+  EXPECT_EQ(low.rank(), 10);
+  EXPECT_EQ(high.rank(), 20);
+}
+
+#endif  // IQ_LOCK_RANK_CHECKS
+
+}  // namespace
+}  // namespace iq

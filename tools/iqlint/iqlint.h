@@ -1,0 +1,94 @@
+#ifndef IQ_TOOLS_IQLINT_IQLINT_H_
+#define IQ_TOOLS_IQLINT_IQLINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "iqlint/lexer.h"
+
+namespace iqlint {
+
+/// One diagnostic. `file` is repo-relative; rendered as
+///   file:line: error: [check] message
+struct Finding {
+  std::string check;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// Project contract description. ProjectConfig() returns the checked-in
+/// iq configuration; tests build small ones for fixtures.
+struct LintConfig {
+  /// Declared module DAG: direct dependencies per module, mirroring the
+  /// library graph in src/CMakeLists.txt. Every module may additionally
+  /// include itself and "common". The layering check validates that
+  /// this declaration is acyclic, then verifies every observed include
+  /// edge against its transitive closure.
+  std::map<std::string, std::vector<std::string>> module_deps;
+
+  /// File→module overrides for files whose directory lies about their
+  /// layer (e.g. core/format.* builds as its own iq_format library
+  /// below iq_analysis). Keys are src/-relative paths.
+  std::map<std::string, std::string> file_module_overrides;
+
+  /// The one header allowed to spell `iq_*` metric names as string
+  /// literals (repo-relative).
+  std::string metric_registry = "src/obs/metric_names.h";
+
+  /// Files exempt from cast-safety (the clamp helpers themselves).
+  std::set<std::string> cast_allowlist = {"src/common/cast.h"};
+};
+
+LintConfig ProjectConfig();
+
+struct Options {
+  std::string root;                    // absolute repo root
+  std::vector<std::string> scan_dirs;  // root-relative; default below
+  std::string compile_commands;        // optional compile_commands.json
+  std::set<std::string> checks;        // empty = all
+};
+
+inline const std::vector<std::string>& DefaultScanDirs() {
+  static const std::vector<std::string> kDirs = {"src", "tools", "bench",
+                                                 "tests"};
+  return kDirs;
+}
+
+/// Names of all checks, for --check validation and --help.
+const std::vector<std::string>& AllChecks();
+
+/// Loads and lexes the requested tree. Directories named "testdata"
+/// (deliberate-violation fixtures) and "build*" are skipped. Returns
+/// files sorted by path. On error (unreadable root) returns empty and
+/// sets *error.
+std::vector<LexedFile> LoadTree(const Options& opts, std::string* error);
+
+/// Runs all (or the selected) checks over the lexed files, applies
+/// suppression comments, and returns findings sorted by file and line.
+std::vector<Finding> RunChecks(const std::vector<LexedFile>& files,
+                               const LintConfig& config,
+                               const std::set<std::string>& enabled);
+
+/// Parses the "file" entries of a compile_commands.json (minimal
+/// parser — enough for CMake's output). Returns absolute paths.
+std::vector<std::string> ParseCompileCommands(const std::string& path,
+                                              std::string* error);
+
+// Individual checks (exposed for unit tests).
+void CheckLayering(const std::vector<LexedFile>& files,
+                   const LintConfig& config, std::vector<Finding>* out);
+void CheckHotPathAlloc(const std::vector<LexedFile>& files,
+                       std::vector<Finding>* out);
+void CheckLockRank(const std::vector<LexedFile>& files,
+                   std::vector<Finding>* out);
+void CheckCastSafety(const std::vector<LexedFile>& files,
+                     const LintConfig& config, std::vector<Finding>* out);
+void CheckMetricHygiene(const std::vector<LexedFile>& files,
+                        const LintConfig& config, std::vector<Finding>* out);
+
+}  // namespace iqlint
+
+#endif  // IQ_TOOLS_IQLINT_IQLINT_H_

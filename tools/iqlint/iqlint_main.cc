@@ -1,0 +1,131 @@
+// iqlint — project-contract static analysis for the iq tree.
+//
+//   iqlint --root <repo> [--compile-commands <json>] [--check <name>]...
+//          [dir ...]
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "iqlint/iqlint.h"
+
+namespace {
+
+void Usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: iqlint --root <repo-root> [options] [dir ...]\n"
+               "\n"
+               "options:\n"
+               "  --root <path>              repo root (required)\n"
+               "  --compile-commands <json>  restrict *.cc checking to the\n"
+               "                             translation units listed there\n"
+               "                             (headers are always scanned)\n"
+               "  --check <name>             run one check (repeatable);\n"
+               "                             default: all\n"
+               "  --list-checks              print check names and exit\n"
+               "\n"
+               "positional dirs are root-relative scan roots "
+               "(default: src tools bench tests)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iqlint::Options opts;
+  bool list_checks = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (std::strcmp(arg, "--compile-commands") == 0 && i + 1 < argc) {
+      opts.compile_commands = argv[++i];
+    } else if (std::strcmp(arg, "--check") == 0 && i + 1 < argc) {
+      opts.checks.insert(argv[++i]);
+    } else if (std::strcmp(arg, "--list-checks") == 0) {
+      list_checks = true;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      Usage(stdout);
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "iqlint: unknown option '%s'\n", arg);
+      Usage(stderr);
+      return 2;
+    } else {
+      opts.scan_dirs.push_back(arg);
+    }
+  }
+  if (list_checks) {
+    for (const std::string& c : iqlint::AllChecks()) {
+      std::printf("%s\n", c.c_str());
+    }
+    return 0;
+  }
+  if (opts.root.empty()) {
+    std::fprintf(stderr, "iqlint: --root is required\n");
+    Usage(stderr);
+    return 2;
+  }
+  for (const std::string& c : opts.checks) {
+    const auto& all = iqlint::AllChecks();
+    if (std::find(all.begin(), all.end(), c) == all.end()) {
+      std::fprintf(stderr, "iqlint: unknown check '%s' (--list-checks)\n",
+                   c.c_str());
+      return 2;
+    }
+  }
+
+  std::string error;
+  std::vector<iqlint::LexedFile> files = iqlint::LoadTree(opts, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "iqlint: %s\n", error.c_str());
+    return 2;
+  }
+  if (!opts.compile_commands.empty()) {
+    // Keep headers (not listed in compile_commands) and any *.cc that
+    // the build actually compiles; drop orphaned translation units.
+    std::vector<std::string> units =
+        iqlint::ParseCompileCommands(opts.compile_commands, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "iqlint: %s\n", error.c_str());
+      return 2;
+    }
+    std::set<std::string> suffixes(units.begin(), units.end());
+    auto compiled = [&suffixes](const std::string& rel) {
+      for (const std::string& u : suffixes) {
+        if (u.size() >= rel.size() &&
+            u.compare(u.size() - rel.size(), rel.size(), rel) == 0) {
+          return true;
+        }
+      }
+      return false;
+    };
+    std::vector<iqlint::LexedFile> kept;
+    for (auto& f : files) {
+      const bool is_tu = f.path.size() > 3 &&
+                         (f.path.compare(f.path.size() - 3, 3, ".cc") == 0 ||
+                          f.path.compare(f.path.size() - 4, 4, ".cpp") == 0);
+      if (!is_tu || compiled(f.path)) kept.push_back(std::move(f));
+    }
+    files = std::move(kept);
+  }
+
+  const std::vector<iqlint::Finding> findings =
+      iqlint::RunChecks(files, iqlint::ProjectConfig(), opts.checks);
+  for (const iqlint::Finding& f : findings) {
+    std::fprintf(stderr, "%s:%d: error: [%s] %s\n", f.file.c_str(), f.line,
+                 f.check.c_str(), f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "iqlint: %zu finding(s) in %zu file(s) scanned\n",
+                 findings.size(), files.size());
+    return 1;
+  }
+  std::printf("iqlint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}

@@ -1,0 +1,209 @@
+#include "iqlint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace iqlint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Extracts a suppression marker — the tool name, then a colon, then
+/// `allow(check)[: reason]` — from comment text, if present. (Spelled
+/// obliquely here so this comment does not suppress anything itself.)
+void ParseSuppression(const std::string& comment, int line,
+                      std::vector<Suppression>* out) {
+  const std::string marker = "iqlint: allow(";
+  const size_t at = comment.find(marker);
+  if (at == std::string::npos) return;
+  const size_t name_begin = at + marker.size();
+  const size_t close = comment.find(')', name_begin);
+  if (close == std::string::npos) return;
+  Suppression s;
+  s.check = comment.substr(name_begin, close - name_begin);
+  s.line = line;
+  size_t rest = close + 1;
+  if (rest < comment.size() && comment[rest] == ':') {
+    ++rest;
+    while (rest < comment.size() && comment[rest] == ' ') ++rest;
+    s.reason = comment.substr(rest);
+  }
+  out->push_back(std::move(s));
+}
+
+}  // namespace
+
+LexedFile LexFile(const std::string& path, const std::string& contents) {
+  LexedFile out;
+  out.path = path;
+  const size_t n = contents.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (contents[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = contents[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    // Line comment (suppressions live here).
+    if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+      const size_t end = contents.find('\n', i);
+      const size_t stop = end == std::string::npos ? n : end;
+      ParseSuppression(contents.substr(i + 2, stop - i - 2), line,
+                       &out.suppressions);
+      advance(stop - i);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+      const int start_line = line;
+      const size_t end = contents.find("*/", i + 2);
+      const size_t stop = end == std::string::npos ? n : end + 2;
+      ParseSuppression(contents.substr(i + 2, stop - i - 2), start_line,
+                       &out.suppressions);
+      advance(stop - i);
+      continue;
+    }
+    // Preprocessor directive: record #include, drop the rest of the
+    // line (respecting backslash continuations).
+    if (c == '#' && at_line_start) {
+      size_t end = i;
+      while (end < n) {
+        const size_t nl = contents.find('\n', end);
+        if (nl == std::string::npos) {
+          end = n;
+          break;
+        }
+        size_t back = nl;
+        while (back > end && (contents[back - 1] == '\r')) --back;
+        if (back > end && contents[back - 1] == '\\') {
+          end = nl + 1;
+          continue;
+        }
+        end = nl;
+        break;
+      }
+      const std::string directive = contents.substr(i, end - i);
+      size_t d = 1;
+      while (d < directive.size() && std::isspace(static_cast<unsigned char>(
+                                         directive[d]))) {
+        ++d;
+      }
+      if (directive.compare(d, 7, "include") == 0) {
+        size_t p = d + 7;
+        while (p < directive.size() &&
+               std::isspace(static_cast<unsigned char>(directive[p]))) {
+          ++p;
+        }
+        if (p < directive.size() &&
+            (directive[p] == '"' || directive[p] == '<')) {
+          const char closer = directive[p] == '"' ? '"' : '>';
+          const size_t close = directive.find(closer, p + 1);
+          if (close != std::string::npos) {
+            out.includes.push_back(IncludeDirective{
+                directive.substr(p + 1, close - p - 1),
+                directive[p] == '<', line});
+          }
+        }
+      }
+      advance(end - i);
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && contents[i + 1] == '"') {
+      const size_t paren = contents.find('(', i + 2);
+      if (paren != std::string::npos && paren - (i + 2) <= 16) {
+        const std::string delim = contents.substr(i + 2, paren - (i + 2));
+        const std::string closer = ")" + delim + "\"";
+        const size_t end = contents.find(closer, paren + 1);
+        const size_t stop = end == std::string::npos ? n : end + closer.size();
+        out.tokens.push_back(Token{
+            Token::Kind::kString,
+            contents.substr(paren + 1,
+                            (end == std::string::npos ? n : end) - paren - 1),
+            line});
+        advance(stop - i);
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      size_t j = i + 1;
+      std::string body;
+      while (j < n && contents[j] != quote) {
+        if (contents[j] == '\\' && j + 1 < n) {
+          body.push_back(contents[j]);
+          body.push_back(contents[j + 1]);
+          j += 2;
+          continue;
+        }
+        if (contents[j] == '\n') break;  // unterminated on this line
+        body.push_back(contents[j]);
+        ++j;
+      }
+      const size_t stop = j < n && contents[j] == quote ? j + 1 : j;
+      if (quote == '"') {
+        out.tokens.push_back(
+            Token{Token::Kind::kString, std::move(body), start_line});
+      }
+      advance(stop - i);
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(contents[j])) ++j;
+      out.tokens.push_back(
+          Token{Token::Kind::kIdent, contents.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+    // Numeric literal (decimal, hex, float; good enough to classify).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(contents[i + 1])))) {
+      size_t j = i;
+      while (j < n &&
+             (IsIdentChar(contents[j]) || contents[j] == '.' ||
+              ((contents[j] == '+' || contents[j] == '-') && j > i &&
+               (contents[j - 1] == 'e' || contents[j - 1] == 'E' ||
+                contents[j - 1] == 'p' || contents[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back(
+          Token{Token::Kind::kNumber, contents.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+    // Punctuation: single characters are enough for the checks (the
+    // patterns never need multi-character operators as one token).
+    out.tokens.push_back(Token{Token::Kind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return out;
+}
+
+}  // namespace iqlint

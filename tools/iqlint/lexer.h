@@ -1,0 +1,54 @@
+#ifndef IQ_TOOLS_IQLINT_LEXER_H_
+#define IQ_TOOLS_IQLINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace iqlint {
+
+/// A minimal C++ token. The lexer is intentionally not a full C++
+/// front end: it distinguishes identifiers, numeric literals, string
+/// literals, and punctuation — exactly enough for the token-pattern
+/// checks in checks.cc. Comments and preprocessor directives are
+/// consumed by the lexer itself (suppressions and #include directives
+/// are extracted; everything else on those lines is dropped).
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind;
+  std::string text;  // identifier/number spelling, string body, or punct
+  int line;          // 1-based
+};
+
+/// A suppression comment: the tool name, a colon, then
+/// `allow(<check>): <reason>` (spelled obliquely so this comment does
+/// not itself suppress anything). The suppression applies to findings
+/// of `check` from its own line through the first following line that
+/// carries any code token (so a multi-line comment block still covers
+/// the statement it precedes).
+struct Suppression {
+  std::string check;
+  std::string reason;  // may be empty (docs ask for one; not enforced)
+  int line;
+};
+
+/// A `#include "..."` or `#include <...>` directive.
+struct IncludeDirective {
+  std::string path;
+  bool angled;
+  int line;
+};
+
+struct LexedFile {
+  std::string path;  // as given by the caller (repo-relative)
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Tokenizes `contents`; never fails (unterminated constructs are
+/// closed at end of file).
+LexedFile LexFile(const std::string& path, const std::string& contents);
+
+}  // namespace iqlint
+
+#endif  // IQ_TOOLS_IQLINT_LEXER_H_

@@ -1,0 +1,12 @@
+#include <cstdint>
+#include <cmath>
+
+namespace iq {
+
+uint32_t Cell(float rel, uint32_t cells) {
+  return static_cast<uint32_t>(rel * static_cast<float>(cells));
+}
+
+int64_t Floored(double v) { return static_cast<int64_t>(std::floor(v)); }
+
+}  // namespace iq

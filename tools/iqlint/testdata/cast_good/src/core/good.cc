@@ -1,0 +1,21 @@
+#include <cstdint>
+
+#include "common/cast.h"
+
+namespace iq {
+
+uint32_t Cell(float rel, uint32_t cells) {
+  return ClampedCast<uint32_t>(rel * static_cast<float>(cells), 0u,
+                               cells - 1);
+}
+
+// int -> double and int -> int casts are not the lint's business.
+double Widen(int x) { return static_cast<double>(x); }
+uint32_t Narrow(uint64_t x) { return static_cast<uint32_t>(x); }
+
+// sizeof(float) is a size_t, not a float value.
+uint32_t PayloadBytes(uint32_t dims) {
+  return static_cast<uint32_t>(sizeof(float) * dims);
+}
+
+}  // namespace iq

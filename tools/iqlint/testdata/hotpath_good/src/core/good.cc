@@ -1,0 +1,13 @@
+#include <cstddef>
+
+#define IQ_HOT_NOALLOC
+
+IQ_HOT_NOALLOC
+double Sum(const double* xs, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += xs[i];
+  return acc;
+}
+
+// Unannotated functions may allocate freely.
+int* Fresh() { return new int(7); }

@@ -1,0 +1,4 @@
+// obs must not reach up into io: io depends on obs, not the reverse.
+#include "io/block_cache.h"
+
+inline int ObsBad() { return 1; }

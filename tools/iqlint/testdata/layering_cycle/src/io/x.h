@@ -1,0 +1,4 @@
+// Legal direction: io -> obs.
+#include "obs/a.h"
+
+inline int IoX() { return 1; }

@@ -1,0 +1,4 @@
+// Back edge closing an obs -> io -> obs include cycle.
+#include "io/x.h"
+
+inline int ObsA() { return 1; }

@@ -1,0 +1,5 @@
+// io may include obs (declared dependency) and common (implicit).
+#include "common/status.h"
+#include "obs/metrics.h"
+
+inline int IoGood() { return 1; }

@@ -1,0 +1,22 @@
+#include "common/mutex.h"
+
+namespace iq {
+
+class Backwards {
+ public:
+  void Touch() {
+    MutexLock high(&high_mu_);
+    MutexLock low(&low_mu_);
+  }
+
+ private:
+  Mutex low_mu_{IQ_LOCK_RANK(10)};
+  Mutex high_mu_{IQ_LOCK_RANK(20)};
+};
+
+class Unranked {
+ private:
+  Mutex naked_mu_;
+};
+
+}  // namespace iq

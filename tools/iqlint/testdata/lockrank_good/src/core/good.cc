@@ -1,0 +1,17 @@
+#include "common/mutex.h"
+
+namespace iq {
+
+class Ordered {
+ public:
+  void Touch() {
+    MutexLock low(&low_mu_);
+    MutexLock high(&high_mu_);
+  }
+
+ private:
+  Mutex low_mu_{IQ_LOCK_RANK(10)};
+  Mutex high_mu_{IQ_LOCK_RANK(20)};
+};
+
+}  // namespace iq

@@ -1,0 +1,7 @@
+namespace iq {
+
+// Spelled literal (declared in the registry) and an undeclared one.
+const char* A() { return "iq_queries_total"; }
+const char* B() { return "iq_stray_total"; }
+
+}  // namespace iq

@@ -1,0 +1,12 @@
+#ifndef FIXTURE_METRIC_NAMES_H_
+#define FIXTURE_METRIC_NAMES_H_
+
+namespace iq::obs::metric {
+
+inline constexpr char kQueriesTotal[] = "iq_queries_total";
+inline constexpr char kQueriesAgain[] = "iq_queries_total";
+inline constexpr char kBadCase[] = "iq_Queries_Total";
+
+}  // namespace iq::obs::metric
+
+#endif

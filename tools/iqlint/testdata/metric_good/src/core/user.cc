@@ -1,0 +1,7 @@
+#include "obs/metric_names.h"
+
+namespace iq {
+
+const char* QueriesMetric() { return obs::metric::kQueriesTotal; }
+
+}  // namespace iq

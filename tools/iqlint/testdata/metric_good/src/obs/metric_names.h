@@ -1,0 +1,10 @@
+#ifndef FIXTURE_METRIC_NAMES_H_
+#define FIXTURE_METRIC_NAMES_H_
+
+namespace iq::obs::metric {
+
+inline constexpr char kQueriesTotal[] = "iq_queries_total";
+
+}  // namespace iq::obs::metric
+
+#endif

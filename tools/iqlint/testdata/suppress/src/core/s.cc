@@ -1,0 +1,12 @@
+#include <cstdint>
+
+namespace iq {
+
+float Source();
+
+uint32_t Bucket() {
+  // iqlint: allow(cast-safety): fixture — value is bounded by caller
+  return static_cast<uint32_t>(Source());
+}
+
+}  // namespace iq

@@ -15,6 +15,13 @@
 #             `iqtool health`, and `iqtool slowlog` against a sample
 #             index in both the disabled and the release build and
 #             validates the JSON output with tools/json_check
+#   lint      project-contract static analysis (docs/static_analysis.md):
+#             exports compile_commands.json, builds tools/iqlint, runs
+#             it over src/ tools/ bench/ tests/ (non-zero on findings),
+#             then seeds a layering back-edge, an out-of-rank lock, and
+#             an unclamped float cast into a scratch copy of src/ and
+#             asserts the tool catches each one (the lint leg must be
+#             able to fail, or a green run proves nothing)
 #   scalar    full ctest suite with IQ_FORCE_SCALAR=1 (reuses the
 #             release tree): every test must pass with the SIMD filter
 #             kernels disabled, so the portable scalar path stays a
@@ -30,20 +37,22 @@
 #             reference relative-cost ratios against BENCH_filter.json
 #             (wall-clock based, so the tolerance is wide)
 #
-# Usage: tools/run_checks.sh [release|sanitize|thread|tidy|obs|scalar|bench]...
-#        (no arguments runs all seven)
+# Usage: tools/run_checks.sh [release|sanitize|thread|tidy|lint|obs|scalar|bench]...
+#        (no arguments runs all eight)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-STEPS="${*:-release sanitize thread tidy obs scalar bench}"
+STEPS="${*:-release sanitize thread tidy lint obs scalar bench}"
 
 # One shared cleanup trap: legs fill in their tmp dirs as they run.
 OBS_TMP=""
 BENCH_TMP=""
+LINT_TMP=""
 cleanup() {
     [ -n "$OBS_TMP" ] && rm -rf "$OBS_TMP"
     [ -n "$BENCH_TMP" ] && rm -rf "$BENCH_TMP"
+    [ -n "$LINT_TMP" ] && rm -rf "$LINT_TMP"
     return 0
 }
 trap cleanup EXIT
@@ -77,8 +86,11 @@ for step in $STEPS; do
         # tree. The whole suite runs — single-threaded tests are cheap
         # insurance against stray statics — but the signal comes from
         # the *_concurrency/thread_pool/parallel_query_runner tests.
+        # IQ_LOCK_RANK_CHECKS puts the LockOrderValidator on every
+        # scoped lock here, proving under TSan that the validator
+        # itself is race-free (its state is thread-local by design).
         run_suite build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-            -DIQ_SANITIZE=thread -DIQ_WERROR=ON
+            -DIQ_SANITIZE=thread -DIQ_WERROR=ON -DIQ_LOCK_RANK_CHECKS=ON
         ;;
     tidy)
         if command -v clang-tidy >/dev/null 2>&1; then
@@ -90,6 +102,52 @@ for step in $STEPS; do
         else
             echo "==> tidy: clang-tidy not installed, skipping (config: .clang-tidy)"
         fi
+        ;;
+    lint)
+        echo "==> lint: build tools/iqlint (with compile_commands.json)"
+        cmake -B "$ROOT/build-release" -S "$ROOT" \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIQ_WERROR=ON \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+        cmake --build "$ROOT/build-release" -j "$JOBS" --target iqlint
+        IQLINT="$ROOT/build-release/tools/iqlint/iqlint"
+        echo "==> lint: iqlint over src tools bench tests"
+        "$IQLINT" --root "$ROOT" \
+            --compile-commands "$ROOT/build-release/compile_commands.json"
+        # Seeded-violation smoke: copy src/ aside, plant one violation
+        # per seeded check, and require a non-zero exit naming it.
+        LINT_TMP="$(mktemp -d)"
+        mkdir -p "$LINT_TMP/seeded"
+        cp -r "$ROOT/src" "$LINT_TMP/seeded/src"
+        printf '#include "io/block_cache.h"\n' \
+            >> "$LINT_TMP/seeded/src/obs/metrics.h"          # back-edge
+        cat >> "$LINT_TMP/seeded/src/core/iq_tree.cc" <<'SEED'
+namespace iq { namespace {
+class SeededBackwards {
+ public:
+  void Touch() {
+    MutexLock a(&inner_mu_);
+    MutexLock b(&outer_mu_);
+  }
+ private:
+  Mutex outer_mu_{IQ_LOCK_RANK(11)};
+  Mutex inner_mu_{IQ_LOCK_RANK(12)};
+};
+unsigned SeededCast(float raw) { return static_cast<unsigned>(raw); }
+} }
+SEED
+        for check in layering lock-rank cast-safety; do
+            if "$IQLINT" --root "$LINT_TMP/seeded" --check "$check" src \
+                > "$LINT_TMP/$check.out" 2>&1; then
+                echo "lint: seeded $check violation NOT caught" >&2
+                exit 1
+            fi
+            grep -q "\[$check\]" "$LINT_TMP/$check.out" || {
+                echo "lint: seeded $check run missing its diagnostic" >&2
+                cat "$LINT_TMP/$check.out" >&2
+                exit 1
+            }
+        done
+        echo "==> lint: clean tree + all seeded violations caught"
         ;;
     obs)
         # The compile-out config must still pass every test, and the
@@ -178,7 +236,7 @@ for step in $STEPS; do
         echo "==> bench: trajectory OK"
         ;;
     *)
-        echo "unknown step '$step' (want release|sanitize|thread|tidy|obs|scalar|bench)" >&2
+        echo "unknown step '$step' (want release|sanitize|thread|tidy|lint|obs|scalar|bench)" >&2
         exit 2
         ;;
     esac
