@@ -37,6 +37,7 @@ void BM_BitPackUnpack(benchmark::State& state) {
   for (auto _ : state) {
     BitWriter writer(buf.data());
     for (uint32_t v : values) writer.Put(v, bits);
+    writer.Flush();
     BitReader reader(buf.data());
     uint32_t sum = 0;
     for (size_t i = 0; i < count; ++i) sum += reader.Get(bits);

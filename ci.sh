@@ -11,7 +11,10 @@
 # smoke benchmarks against the committed BENCH_smoke.json /
 # BENCH_filter.json trajectory baselines (docs/observability.md). The
 # lint leg runs tools/iqlint — the project-contract static analysis
-# (docs/static_analysis.md) — over the whole tree and then proves it
-# can fail by seeding violations into a scratch copy of src/.
+# (docs/static_analysis.md), including the flow-aware lock-coverage,
+# lock-set, typestate, and float-determinism checks — over the whole
+# tree (incremental --changed pre-check first, plus a GCC-configured
+# build of the linter) and then proves every check can fail by seeding
+# violations into a scratch copy of src/.
 set -eu
 exec "$(dirname "$0")/tools/run_checks.sh" release sanitize thread tidy lint obs scalar bench

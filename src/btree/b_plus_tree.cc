@@ -292,9 +292,9 @@ Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(Storage& storage,
     IQ_RETURN_NOT_OK(file.Read(offset, sizeof(leaf), &leaf));
     offset += sizeof(leaf);
   }
-  IQ_ASSIGN_OR_RETURN(tree->leaf_file_,
-                      BlockFile::Open(storage, BptLeafName(name), disk,
-                                      /*create=*/false));
+  tree->leaf_file_ = std::make_unique<BlockFile>();
+  IQ_RETURN_NOT_OK(tree->leaf_file_->Open(storage, BptLeafName(name), disk,
+                                          /*create=*/false));
   for (const Leaf& leaf : tree->leaves_) {
     if (leaf.block >= tree->leaf_file_->NumBlocks()) {
       return Status::Corruption("leaf block out of range");
@@ -327,9 +327,9 @@ Result<std::unique_ptr<BPlusTree>> BPlusTree::Build(
       disk.params().block_size - kLeafHeaderBytes) {
     return Status::InvalidArgument("record larger than a leaf block");
   }
-  IQ_ASSIGN_OR_RETURN(tree->leaf_file_,
-                      BlockFile::Open(storage, BptLeafName(name), disk,
-                                      /*create=*/true));
+  tree->leaf_file_ = std::make_unique<BlockFile>();
+  IQ_RETURN_NOT_OK(tree->leaf_file_->Open(storage, BptLeafName(name), disk,
+                                          /*create=*/true));
   IQ_ASSIGN_OR_RETURN(tree->dir_file_, storage.Create(BptDirName(name)));
   const uint32_t capacity = tree->LeafCapacity();
   std::vector<double> leaf_keys;

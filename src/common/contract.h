@@ -1,0 +1,57 @@
+#ifndef IQ_COMMON_CONTRACT_H_
+#define IQ_COMMON_CONTRACT_H_
+
+/// Typestate and coverage-exemption annotation macros, consumed by
+/// `tools/iqlint` (checks `typestate` and `guarded-by-coverage`,
+/// docs/static_analysis.md). All of them expand to nothing — they exist
+/// for the analyzer and for the reader, like common/hot_path.h.
+///
+/// ## Typestate protocols
+///
+/// A class declares a usage protocol — an object-lifecycle state
+/// machine — with class-scope statements, then tags its methods with
+/// the states they require or cause:
+///
+///   class BitWriter {
+///    public:
+///     IQ_TYPESTATE("open");                 // state of a new object
+///     IQ_TS_FINAL("flushed");               // required state at scope exit
+///     void Put(uint32_t v, unsigned w) IQ_TS_REQUIRES("open");
+///     void Flush() IQ_TS_TRANSITION("open", "flushed");
+///   };
+///
+/// States are arbitrary strings. IQ_TS_REQUIRES accepts alternatives
+/// separated by '|' ("mindist|bounds"); IQ_TS_TRANSITION's from-state
+/// may be "*" (legal from any state, e.g. rebinding). IQ_TS_FINAL is
+/// optional — without it any state is fine at destruction.
+///
+/// The `typestate` check tracks local objects (and make_unique locals)
+/// of protocol classes through each function body: calling a method
+/// whose required state the object is not in is a finding, as is
+/// leaving the declaring scope (or passing a `return`) while an
+/// IQ_TS_FINAL class is not in its final state. Objects whose state
+/// the analyzer cannot know — members, parameters, objects that escape
+/// by address or assignment — are tracked from their first known
+/// transition and skipped before it, so the check under-reports rather
+/// than guesses (docs/static_analysis.md, "honest scoping").
+///
+/// ## Guarded-coverage exemption
+///
+/// Every mutable data member of a class that owns a ranked Mutex must
+/// be IQ_GUARDED_BY some mutex, atomic, or const (check
+/// `guarded-by-coverage`). The deliberate exceptions — state protected
+/// by a documented discipline instead of a lock — carry the exemption
+/// inline, with the argument a reviewer gets to reject:
+///
+///   std::vector<std::thread> threads_
+///       IQ_UNGUARDED("ctor writes, dtor joins; workers never touch it");
+///
+/// The reason string is required: an exemption without an argument is
+/// just an unprotected member with extra steps.
+#define IQ_TYPESTATE(initial_state)
+#define IQ_TS_FINAL(state)
+#define IQ_TS_REQUIRES(states)
+#define IQ_TS_TRANSITION(from_state, to_state)
+#define IQ_UNGUARDED(reason)
+
+#endif  // IQ_COMMON_CONTRACT_H_

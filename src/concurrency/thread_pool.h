@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/mutex.h"
 #include "obs/metrics.h"
 
@@ -73,7 +74,7 @@ class ThreadPool {
   bool shutdown_ IQ_GUARDED_BY(mu_) = false;
   /// Written only by the constructor, joined by the destructor; never
   /// touched by the workers themselves.
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_ IQ_UNGUARDED("ctor writes, dtor joins; workers never touch it");
 };
 
 }  // namespace iq

@@ -179,6 +179,7 @@ Status QuantPageCodec::EncodeCells(unsigned g,
   std::memcpy(page, &header, sizeof(header));
   BitWriter writer(page + kQuantPageHeaderBytes);
   for (uint32_t cell : cells) writer.Put(cell, g);
+  writer.Flush();
   return Status::OK();
 }
 

@@ -70,12 +70,12 @@ Result<std::unique_ptr<IqTree>> IqTree::Open(Storage& storage,
         std::to_string(disk.params().block_size));
   }
   tree->dir_file_id_ = disk.RegisterFile();
-  IQ_ASSIGN_OR_RETURN(
-      tree->qpages_, BlockFile::Open(storage, QpgFileName(name), disk,
-                                     /*create=*/false));
-  IQ_ASSIGN_OR_RETURN(
-      tree->exact_, ExtentFile::Open(storage, DatFileName(name), disk,
-                                     /*create=*/false));
+  tree->qpages_ = std::make_unique<BlockFile>();
+  IQ_RETURN_NOT_OK(tree->qpages_->Open(storage, QpgFileName(name), disk,
+                                       /*create=*/false));
+  tree->exact_ = std::make_unique<ExtentFile>();
+  IQ_RETURN_NOT_OK(tree->exact_->Open(storage, DatFileName(name), disk,
+                                      /*create=*/false));
   // Structural sanity: every entry must be internally consistent and
   // point inside its files before anything trusts the directory.
   const InvariantChecker checker(tree->meta_, disk.params().block_size);
@@ -172,13 +172,13 @@ Status IqTree::Reoptimize() {
   // cache, if any, carries over (stale entries of the old file id age
   // out of the LRU naturally).
   BlockCache* cache = qpages_->cache();
-  IQ_ASSIGN_OR_RETURN(qpages_,
-                      BlockFile::Open(*storage_, QpgFileName(name_), *disk_,
-                                      /*create=*/true));
+  qpages_ = std::make_unique<BlockFile>();
+  IQ_RETURN_NOT_OK(qpages_->Open(*storage_, QpgFileName(name_), *disk_,
+                                 /*create=*/true));
   qpages_->set_cache(cache);
-  IQ_ASSIGN_OR_RETURN(exact_,
-                      ExtentFile::Open(*storage_, DatFileName(name_), *disk_,
-                                       /*create=*/true));
+  exact_ = std::make_unique<ExtentFile>();
+  IQ_RETURN_NOT_OK(exact_->Open(*storage_, DatFileName(name_), *disk_,
+                                /*create=*/true));
   Options options;
   options.metric = metric();
   options.quantize = meta_.quantized != 0;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "common/mutex.h"
@@ -279,19 +280,22 @@ class IqTree {
   /// -DIQ_DEBUG_INVARIANTS=ON.
   Status DebugCheckInvariants() const;
 
-  IndexMeta meta_;
-  Storage* storage_ = nullptr;
-  std::string name_;
-  std::vector<DirEntry> dir_;
-  std::unique_ptr<BlockFile> qpages_;
-  std::unique_ptr<ExtentFile> exact_;
-  std::shared_ptr<File> dir_file_;
-  DiskModel* disk_ = nullptr;
-  uint32_t dir_file_id_ = 0;
-  BuildStats build_stats_;
+  // Everything below except the query-stats pair follows the tree's
+  // single-writer model (docs/concurrency.md): concurrent queries only
+  // read, and structural updates require external exclusion.
+  IndexMeta meta_ IQ_UNGUARDED("single-writer: set by Build/Open, updates require external exclusion");
+  Storage* storage_ IQ_UNGUARDED("immutable after Build/Open") = nullptr;
+  std::string name_ IQ_UNGUARDED("immutable after Build/Open");
+  std::vector<DirEntry> dir_ IQ_UNGUARDED("single-writer: updates require external exclusion");
+  std::unique_ptr<BlockFile> qpages_ IQ_UNGUARDED("single-writer: replaced only by Reoptimize under external exclusion");
+  std::unique_ptr<ExtentFile> exact_ IQ_UNGUARDED("single-writer: replaced only by Reoptimize under external exclusion");
+  std::shared_ptr<File> dir_file_ IQ_UNGUARDED("immutable after Build/Open");
+  DiskModel* disk_ IQ_UNGUARDED("immutable after Build/Open") = nullptr;
+  uint32_t dir_file_id_ IQ_UNGUARDED("immutable after Build/Open") = 0;
+  BuildStats build_stats_ IQ_UNGUARDED("single-writer: rewritten by build paths under external exclusion");
   mutable Mutex query_stats_mu_{IQ_LOCK_RANK(10)};
   mutable QueryStats last_query_stats_ IQ_GUARDED_BY(query_stats_mu_);
-  bool dirty_ = false;
+  bool dirty_ IQ_UNGUARDED("single-writer: updates require external exclusion") = false;
 };
 
 }  // namespace iq

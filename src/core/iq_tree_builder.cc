@@ -111,12 +111,12 @@ Result<std::unique_ptr<IqTree>> IqTree::Build(const Dataset& data,
   tree->meta_.fractal_dimension =
       std::min(fractal, static_cast<double>(data.dims()));
 
-  IQ_ASSIGN_OR_RETURN(
-      tree->qpages_, BlockFile::Open(storage, QpgFileName(name), disk,
-                                     /*create=*/true));
-  IQ_ASSIGN_OR_RETURN(
-      tree->exact_, ExtentFile::Open(storage, DatFileName(name), disk,
-                                     /*create=*/true));
+  tree->qpages_ = std::make_unique<BlockFile>();
+  IQ_RETURN_NOT_OK(tree->qpages_->Open(storage, QpgFileName(name), disk,
+                                       /*create=*/true));
+  tree->exact_ = std::make_unique<ExtentFile>();
+  IQ_RETURN_NOT_OK(tree->exact_->Open(storage, DatFileName(name), disk,
+                                      /*create=*/true));
   IQ_ASSIGN_OR_RETURN(tree->dir_file_, storage.Create(DirFileName(name)));
   tree->storage_ = &storage;
   tree->name_ = name;

@@ -4,15 +4,15 @@
 
 namespace iq {
 
-Result<std::unique_ptr<BlockFile>> BlockFile::Open(Storage& storage,
-                                                   const std::string& name,
-                                                   DiskModel& disk,
-                                                   bool create) {
+Status BlockFile::Open(Storage& storage, const std::string& name,
+                       DiskModel& disk, bool create) {
   Result<std::shared_ptr<File>> file =
       create ? storage.Create(name) : storage.Open(name);
   if (!file.ok()) return file.status();
-  return std::unique_ptr<BlockFile>(new BlockFile(std::move(file).value(),
-                                                  disk));
+  file_ = std::move(file).value();
+  disk_ = &disk;
+  file_id_ = disk.RegisterFile();
+  return Status::OK();
 }
 
 uint64_t BlockFile::NumBlocks() const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/result.h"
 #include "io/block_cache.h"
 #include "io/disk_model.h"
@@ -27,30 +28,39 @@ namespace iq {
 /// read-through at worst double-loads a block two threads both missed
 /// (Insert refreshes idempotently). Writes and set_cache need external
 /// exclusion, per the single-writer model (docs/concurrency.md).
+///
+/// Lifecycle: default-construct, then Open() exactly once before any
+/// I/O — the Open-before-I/O protocol (common/contract.h) that the
+/// iqlint `typestate` check enforces statically on tracked handles.
 class BlockFile {
  public:
-  /// Opens or creates `name` inside `storage`. The DiskModel must
-  /// outlive the BlockFile.
-  static Result<std::unique_ptr<BlockFile>> Open(Storage& storage,
-                                                 const std::string& name,
-                                                 DiskModel& disk,
-                                                 bool create);
+  IQ_TYPESTATE("closed");
 
-  uint32_t block_size() const { return disk_->params().block_size; }
-  uint64_t NumBlocks() const;
+  BlockFile() = default;
+
+  /// Opens or creates `name` inside `storage` and registers with the
+  /// disk model. The DiskModel must outlive the BlockFile.
+  Status Open(Storage& storage, const std::string& name, DiskModel& disk,
+              bool create) IQ_TS_TRANSITION("closed", "open");
+
+  uint32_t block_size() const IQ_TS_REQUIRES("open") {
+    return disk_->params().block_size;
+  }
+  uint64_t NumBlocks() const IQ_TS_REQUIRES("open");
 
   /// Reads `count` blocks starting at `first` into `out` (must hold
   /// count * block_size bytes). Charges one access to the disk model.
-  Status ReadRange(uint64_t first, uint64_t count, void* out) const;
+  Status ReadRange(uint64_t first, uint64_t count, void* out) const
+      IQ_TS_REQUIRES("open");
 
   /// Reads one block.
-  Status ReadBlock(uint64_t index, void* out) const;
+  Status ReadBlock(uint64_t index, void* out) const IQ_TS_REQUIRES("open");
 
   /// Writes one block (extends the file if index == NumBlocks()).
-  Status WriteBlock(uint64_t index, const void* data);
+  Status WriteBlock(uint64_t index, const void* data) IQ_TS_REQUIRES("open");
 
   /// Appends a block and returns its index.
-  Result<uint64_t> AppendBlock(const void* data);
+  Result<uint64_t> AppendBlock(const void* data) IQ_TS_REQUIRES("open");
 
   /// Disk-model file id (used by schedulers to reason about the head).
   uint32_t file_id() const { return file_id_; }
@@ -62,16 +72,13 @@ class BlockFile {
   BlockCache* cache() const { return cache_; }
 
  private:
-  BlockFile(std::shared_ptr<File> file, DiskModel& disk)
-      : file_(std::move(file)), disk_(&disk), file_id_(disk.RegisterFile()) {}
-
   /// Reads from the backing file without touching disk accounting or
   /// the cache.
   Status ReadRaw(uint64_t first, uint64_t count, void* out) const;
 
   std::shared_ptr<File> file_;
-  DiskModel* disk_;
-  uint32_t file_id_;
+  DiskModel* disk_ = nullptr;
+  uint32_t file_id_ = 0;
   BlockCache* cache_ = nullptr;
 };
 

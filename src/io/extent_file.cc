@@ -2,15 +2,15 @@
 
 namespace iq {
 
-Result<std::unique_ptr<ExtentFile>> ExtentFile::Open(Storage& storage,
-                                                     const std::string& name,
-                                                     DiskModel& disk,
-                                                     bool create) {
+Status ExtentFile::Open(Storage& storage, const std::string& name,
+                        DiskModel& disk, bool create) {
   Result<std::shared_ptr<File>> file =
       create ? storage.Create(name) : storage.Open(name);
   if (!file.ok()) return file.status();
-  return std::unique_ptr<ExtentFile>(new ExtentFile(std::move(file).value(),
-                                                    disk));
+  file_ = std::move(file).value();
+  disk_ = &disk;
+  file_id_ = disk.RegisterFile();
+  return Status::OK();
 }
 
 Result<Extent> ExtentFile::Append(const void* data, uint64_t length) {

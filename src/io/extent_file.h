@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/result.h"
 #include "io/disk_model.h"
 #include "io/storage.h"
@@ -30,37 +31,44 @@ struct Extent {
 /// File reads, internally synchronized DiskModel); Append/Overwrite
 /// need external exclusion, per the single-writer model
 /// (docs/concurrency.md).
+///
+/// Lifecycle: default-construct, then Open() exactly once before any
+/// I/O — the same Open-before-I/O protocol (common/contract.h) as
+/// BlockFile, enforced by the iqlint `typestate` check.
 class ExtentFile {
  public:
-  static Result<std::unique_ptr<ExtentFile>> Open(Storage& storage,
-                                                  const std::string& name,
-                                                  DiskModel& disk,
-                                                  bool create);
+  IQ_TYPESTATE("closed");
+
+  ExtentFile() = default;
+
+  /// Opens or creates `name` inside `storage` and registers with the
+  /// disk model. The DiskModel must outlive the ExtentFile.
+  Status Open(Storage& storage, const std::string& name, DiskModel& disk,
+              bool create) IQ_TS_TRANSITION("closed", "open");
 
   /// Appends `length` bytes and returns where they landed.
-  Result<Extent> Append(const void* data, uint64_t length);
+  Result<Extent> Append(const void* data, uint64_t length)
+      IQ_TS_REQUIRES("open");
 
   /// Reads a whole extent into `out` (must hold extent.length bytes).
-  Status Read(const Extent& extent, void* out) const;
+  Status Read(const Extent& extent, void* out) const IQ_TS_REQUIRES("open");
 
   /// Overwrites an extent in place (length must match).
-  Status Overwrite(const Extent& extent, const void* data);
+  Status Overwrite(const Extent& extent, const void* data)
+      IQ_TS_REQUIRES("open");
 
-  uint64_t SizeBytes() const { return file_->Size(); }
+  uint64_t SizeBytes() const IQ_TS_REQUIRES("open") { return file_->Size(); }
 
   /// Blocks an extent occupies (what one Read of it will be charged,
   /// modulo head position) — used by the cost model for refinement cost.
-  uint64_t BlocksSpanned(const Extent& extent) const;
+  uint64_t BlocksSpanned(const Extent& extent) const IQ_TS_REQUIRES("open");
 
   uint32_t file_id() const { return file_id_; }
 
  private:
-  ExtentFile(std::shared_ptr<File> file, DiskModel& disk)
-      : file_(std::move(file)), disk_(&disk), file_id_(disk.RegisterFile()) {}
-
   std::shared_ptr<File> file_;
-  DiskModel* disk_;
-  uint32_t file_id_;
+  DiskModel* disk_ = nullptr;
+  uint32_t file_id_ = 0;
 };
 
 }  // namespace iq

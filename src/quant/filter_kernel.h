@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/contract.h"
 #include "geom/mbr.h"
 #include "geom/metrics.h"
 #include "geom/point.h"
@@ -65,6 +66,13 @@ class FilterKernel {
   /// path. Covers the IQ-tree ladder g <= 8 and typical VA-file rates.
   static constexpr unsigned kMaxTableBits = 12;
 
+  /// Bind-before-query protocol (common/contract.h, iqlint check
+  /// `typestate`): batch calls are only legal under the binding that
+  /// builds their tables — the runtime asserts this, and the typestate
+  /// annotations below make the query-before-Bind ordering a static
+  /// finding too.
+  IQ_TYPESTATE("unbound");
+
   FilterKernel() = default;
 
   /// Binds the kernel to lower-bound (MINDIST) filtering against the
@@ -73,17 +81,18 @@ class FilterKernel {
   /// global grid, which uses the same cell arithmetic). `q` must
   /// outlive the binding.
   void BindMinDist(PointView q, Metric metric, const Mbr& grid_mbr,
-                   unsigned bits);
+                   unsigned bits) IQ_TS_TRANSITION("*", "mindist");
 
   /// Binds lower *and* upper bound (MINDIST/MAXDIST) filtering — the
   /// VA-file phase-1 scan needs both.
   void BindBounds(PointView q, Metric metric, const Mbr& grid_mbr,
-                  unsigned bits);
+                  unsigned bits) IQ_TS_TRANSITION("*", "bounds");
 
   /// Binds window-intersection filtering: a point is a candidate when
   /// its cell box intersects `window` (bit-identical to
   /// window.Intersects(quantizer.CellBox(...))). `window` is copied.
-  void BindWindow(const Mbr& window, const Mbr& grid_mbr, unsigned bits);
+  void BindWindow(const Mbr& window, const Mbr& grid_mbr, unsigned bits)
+      IQ_TS_TRANSITION("*", "window");
 
   /// True when the current binding filters through lookup tables
   /// (bits <= kMaxTableBits); false on the direct fallback path.
@@ -96,22 +105,24 @@ class FilterKernel {
   /// QuantPageCodec::DecodeCells); writes count doubles to `out`.
   /// Requires BindMinDist or BindBounds.
   void MinDistLowerBounds(const uint32_t* cells, size_t count,
-                          double* out) const;
+                          double* out) const IQ_TS_REQUIRES("mindist|bounds");
 
   /// Lower and upper bounds per point (requires BindBounds).
   void Bounds(const uint32_t* cells, size_t count, double* lower,
-              double* upper) const;
+              double* upper) const IQ_TS_REQUIRES("bounds");
 
   /// Candidate selection over a whole page: appends to `*out` (not
   /// cleared) the indices s < count whose lower bound is <= threshold.
   /// Requires BindMinDist or BindBounds.
   void SelectCandidates(const uint32_t* cells, size_t count,
-                        double threshold, std::vector<uint32_t>* out);
+                        double threshold, std::vector<uint32_t>* out)
+      IQ_TS_REQUIRES("mindist|bounds");
 
   /// Window candidates: appends indices whose cell box intersects the
   /// bound window (requires BindWindow).
   void WindowCandidates(const uint32_t* cells, size_t count,
-                        std::vector<uint32_t>* out) const;
+                        std::vector<uint32_t>* out) const
+      IQ_TS_REQUIRES("window");
 
   /// Batch exact distances: distances from `q` to `count` row-major
   /// `dims(q)`-dimensional float points, bit-identical to Distance()

@@ -270,9 +270,9 @@ Result<std::unique_ptr<RStarTree>> RStarTree::Open(Storage& storage,
     return Status::Corruption("R*-tree root out of range");
   }
   tree->AssignNodeBlocks();
-  IQ_ASSIGN_OR_RETURN(tree->page_file_,
-                      BlockFile::Open(storage, RPageName(name), disk,
-                                      /*create=*/false));
+  tree->page_file_ = std::make_unique<BlockFile>();
+  IQ_RETURN_NOT_OK(tree->page_file_->Open(storage, RPageName(name), disk,
+                                          /*create=*/false));
   return tree;
 }
 
@@ -290,9 +290,9 @@ Result<std::unique_ptr<RStarTree>> RStarTree::Build(const Dataset& data,
   if (tree->DataPageCapacity() == 0) {
     return Status::InvalidArgument("block size too small for one point");
   }
-  IQ_ASSIGN_OR_RETURN(tree->page_file_,
-                      BlockFile::Open(storage, RPageName(name), disk,
-                                      /*create=*/true));
+  tree->page_file_ = std::make_unique<BlockFile>();
+  IQ_RETURN_NOT_OK(tree->page_file_->Open(storage, RPageName(name), disk,
+                                          /*create=*/true));
   IQ_ASSIGN_OR_RETURN(tree->dir_file_, storage.Create(RDirName(name)));
   IQ_RETURN_NOT_OK(tree->BulkLoad(data));
   tree->dirty_ = true;

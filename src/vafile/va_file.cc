@@ -192,6 +192,7 @@ Status VaFile::AppendToFiles(PointView p) {
     }
     writer.Put(c, bits);
   }
+  writer.Flush();
   vectors_.insert(vectors_.end(), p.begin(), p.end());
   count_ += 1;
   return Status::OK();

@@ -210,9 +210,9 @@ Result<std::unique_ptr<XTree>> XTree::Open(Storage& storage,
   if (!tree->nodes_.empty() && tree->root_ >= tree->nodes_.size()) {
     return Status::Corruption("X-tree root out of range");
   }
-  IQ_ASSIGN_OR_RETURN(tree->page_file_,
-                      BlockFile::Open(storage, XPageName(name), disk,
-                                      /*create=*/false));
+  tree->page_file_ = std::make_unique<BlockFile>();
+  IQ_RETURN_NOT_OK(tree->page_file_->Open(storage, XPageName(name), disk,
+                                          /*create=*/false));
   return tree;
 }
 
@@ -230,9 +230,9 @@ Result<std::unique_ptr<XTree>> XTree::Build(const Dataset& data,
   if (tree->DataPageCapacity() == 0) {
     return Status::InvalidArgument("block size too small for one point");
   }
-  IQ_ASSIGN_OR_RETURN(tree->page_file_,
-                      BlockFile::Open(storage, XPageName(name), disk,
-                                      /*create=*/true));
+  tree->page_file_ = std::make_unique<BlockFile>();
+  IQ_RETURN_NOT_OK(tree->page_file_->Open(storage, XPageName(name), disk,
+                                          /*create=*/true));
   IQ_ASSIGN_OR_RETURN(tree->dir_file_, storage.Create(XDirName(name)));
   IQ_RETURN_NOT_OK(tree->BulkLoad(data));
   tree->dirty_ = true;

@@ -14,6 +14,7 @@ TEST(BitStreamTest, SingleBits) {
   BitWriter writer(buf.data());
   const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1};
   for (int b : pattern) writer.Put(static_cast<uint32_t>(b), 1);
+  writer.Flush();
   BitReader reader(buf.data());
   for (int b : pattern) {
     EXPECT_EQ(reader.Get(1), static_cast<uint32_t>(b));
@@ -26,6 +27,7 @@ TEST(BitStreamTest, CrossByteFields) {
   writer.Put(0x5, 3);
   writer.Put(0x1F3, 9);  // crosses a byte boundary
   writer.Put(0xABCD, 16);
+  writer.Flush();
   BitReader reader(buf.data());
   EXPECT_EQ(reader.Get(3), 0x5u);
   EXPECT_EQ(reader.Get(9), 0x1F3u);
@@ -38,6 +40,7 @@ TEST(BitStreamTest, FullWidth32) {
   writer.Put(0xDEADBEEF, 32);
   writer.Put(0x0, 1);
   writer.Put(0xFFFFFFFF, 32);
+  writer.Flush();
   BitReader reader(buf.data(), 4);
   EXPECT_EQ(reader.Get(32), 0xDEADBEEFu);
   EXPECT_EQ(reader.Get(1), 0u);
@@ -49,6 +52,7 @@ TEST(BitStreamTest, ValueMaskedToWidth) {
   BitWriter writer(buf.data());
   writer.Put(0xFF, 4);  // only the low 4 bits survive
   writer.Put(0x0, 4);
+  writer.Flush();
   BitReader reader(buf.data());
   EXPECT_EQ(reader.Get(4), 0xFu);
   EXPECT_EQ(reader.Get(4), 0u);
@@ -60,6 +64,7 @@ TEST(BitStreamTest, SeekRepositions) {
   writer.Put(0xA, 4);
   writer.Put(0xB, 4);
   writer.Put(0xC, 4);
+  writer.Flush();
   BitReader reader(buf.data());
   reader.Seek(8);
   EXPECT_EQ(reader.Get(4), 0xCu);
@@ -86,6 +91,7 @@ TEST(BitStreamTest, RandomRoundTrip) {
     BitWriter writer(buf.data());
     for (size_t i = 0; i < count; ++i) writer.Put(values[i], widths[i]);
     EXPECT_EQ(writer.bit_position(), total_bits);
+    writer.Flush();
     BitReader reader(buf.data());
     for (size_t i = 0; i < count; ++i) {
       EXPECT_EQ(reader.Get(widths[i]), values[i]) << "field " << i;
@@ -99,6 +105,7 @@ TEST(BitStreamTest, WidthZeroReadsReturnZeroWithoutAdvancing) {
   std::vector<uint8_t> buf(2, 0);
   BitWriter writer(buf.data());
   writer.Put(0x2A, 7);
+  writer.Flush();
   BitReader reader(buf.data());
   EXPECT_EQ(reader.Get(0), 0u);
   EXPECT_EQ(reader.bit_position(), 0u);
@@ -113,11 +120,42 @@ TEST(BitStreamTest, WidthZeroWritesNothing) {
   BitWriter writer(buf.data());
   writer.Put(0xFFFFFFFF, 0);  // value bits must be ignored entirely
   EXPECT_EQ(writer.bit_position(), 0u);
-  EXPECT_EQ(buf[0], 0u);
   writer.Put(0x3, 2);
   writer.Put(0xFFFFFFFF, 0);
   EXPECT_EQ(writer.bit_position(), 2u);
+  writer.Flush();
   EXPECT_EQ(buf[0], 0x3u);
+}
+
+/// Contract: sub-byte tails are staged in the writer and only reach
+/// the buffer on Flush() (bit_stream.h).
+TEST(BitStreamTest, PartialByteStagedUntilFlush) {
+  std::vector<uint8_t> buf(2, 0);
+  BitWriter writer(buf.data());
+  writer.Put(0xFF, 8);
+  writer.Put(0x7, 3);  // stays staged: byte 1 untouched until Flush
+  EXPECT_EQ(buf[0], 0xFFu);
+  EXPECT_EQ(buf[1], 0u);
+  EXPECT_EQ(writer.bit_position(), 11u);
+  writer.Flush();
+  EXPECT_EQ(buf[1], 0x7u);
+}
+
+/// Contract: a second writer may append at the first one's end
+/// position — the constructor preloads the shared partial byte, and
+/// Flush() OR-writes it back (bit_stream.h).
+TEST(BitStreamTest, AppendAfterFlushAtSubByteOffset) {
+  std::vector<uint8_t> buf(2, 0);
+  BitWriter first(buf.data());
+  first.Put(0x15, 5);
+  first.Flush();
+  BitWriter second(buf.data(), first.bit_position());
+  second.Put(0x5B, 7);
+  second.Flush();
+  EXPECT_EQ(second.bit_position(), 12u);
+  BitReader reader(buf.data());
+  EXPECT_EQ(reader.Get(5), 0x15u);
+  EXPECT_EQ(reader.Get(7), 0x5Bu);
 }
 
 TEST(BitStreamTest, CheckedWidthZeroSucceedsEvenAtBufferEnd) {

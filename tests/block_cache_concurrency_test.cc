@@ -175,15 +175,15 @@ TEST(BlockCacheConcurrencyTest, EraseFileRacesLookupsAndInserts) {
 TEST(BlockCacheConcurrencyTest, ConcurrentReadThroughBlockFile) {
   MemoryStorage storage;
   DiskModel disk(DiskParameters{0.010, 0.002, kBlockSize});
-  auto bf = BlockFile::Open(storage, "bf", disk, /*create=*/true);
-  ASSERT_TRUE(bf.ok());
+  BlockFile bf;
+  ASSERT_TRUE(bf.Open(storage, "bf", disk, /*create=*/true).ok());
   constexpr uint64_t kBlocks = 64;
   for (uint64_t b = 0; b < kBlocks; ++b) {
     const auto payload = StampedBlock(0, b);
-    ASSERT_TRUE((*bf)->AppendBlock(payload.data()).ok());
+    ASSERT_TRUE(bf.AppendBlock(payload.data()).ok());
   }
   BlockCache cache(kBlockSize, 32);
-  (*bf)->set_cache(&cache);
+  bf.set_cache(&cache);
   disk.ResetStats();
 
   constexpr size_t kThreads = 4;
@@ -196,7 +196,7 @@ TEST(BlockCacheConcurrencyTest, ConcurrentReadThroughBlockFile) {
       state = state * 6364136223846793005ULL + 1442695040888963407ULL;
       const uint64_t first = (state >> 33) % (kBlocks - 4);
       const uint64_t count = 1 + (state >> 20) % 4;
-      if (!(*bf)->ReadRange(first, count, out.data()).ok()) {
+      if (!bf.ReadRange(first, count, out.data()).ok()) {
         bad.fetch_add(1, std::memory_order_relaxed);
         continue;
       }

@@ -17,14 +17,14 @@ class BlockCacheTest : public ::testing::Test {
   BlockCacheTest() : disk_(DiskParameters{0.010, 0.002, 512}) {}
 
   std::unique_ptr<BlockFile> MakeFile(int blocks) {
-    auto bf = BlockFile::Open(storage_, "bf", disk_, /*create=*/true);
-    EXPECT_TRUE(bf.ok());
+    auto bf = std::make_unique<BlockFile>();
+    EXPECT_TRUE(bf->Open(storage_, "bf", disk_, /*create=*/true).ok());
     std::vector<uint8_t> block(512);
     for (int i = 0; i < blocks; ++i) {
       block.assign(512, static_cast<uint8_t>(i));
-      EXPECT_TRUE((*bf)->AppendBlock(block.data()).ok());
+      EXPECT_TRUE(bf->AppendBlock(block.data()).ok());
     }
-    return std::move(bf).value();
+    return bf;
   }
 
   MemoryStorage storage_;

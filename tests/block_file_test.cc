@@ -13,9 +13,9 @@ class BlockFileTest : public ::testing::Test {
   BlockFileTest() : disk_(DiskParameters{0.010, 0.002, 4096}) {}
 
   std::unique_ptr<BlockFile> Make() {
-    auto bf = BlockFile::Open(storage_, "bf", disk_, /*create=*/true);
-    EXPECT_TRUE(bf.ok());
-    return std::move(bf).value();
+    auto bf = std::make_unique<BlockFile>();
+    EXPECT_TRUE(bf->Open(storage_, "bf", disk_, /*create=*/true).ok());
+    return bf;
   }
 
   std::vector<uint8_t> Block(uint8_t fill) {

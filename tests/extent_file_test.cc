@@ -14,9 +14,9 @@ class ExtentFileTest : public ::testing::Test {
   ExtentFileTest() : disk_(DiskParameters{0.010, 0.002, 4096}) {}
 
   std::unique_ptr<ExtentFile> Make() {
-    auto ef = ExtentFile::Open(storage_, "ef", disk_, /*create=*/true);
-    EXPECT_TRUE(ef.ok());
-    return std::move(ef).value();
+    auto ef = std::make_unique<ExtentFile>();
+    EXPECT_TRUE(ef->Open(storage_, "ef", disk_, /*create=*/true).ok());
+    return ef;
   }
 
   MemoryStorage storage_;

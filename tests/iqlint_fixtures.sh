@@ -65,6 +65,16 @@ expect_finding cast_bad cast-safety 'src/core/bad\.cc:10: error'
 expect_clean metric_good
 expect_finding metric_bad metric-hygiene 'metric_names\.h:7: error'
 expect_finding metric_bad metric-hygiene 'src/core/user\.cc:5: error'
+expect_clean guarded_good
+expect_finding guarded_bad guarded-by-coverage 'src/core/bad\.h:17: error'
+expect_clean lockset_good
+expect_finding lockset_bad lock-set 'src/core/bad\.h:14: error'
+expect_clean typestate_good
+expect_finding typestate_bad typestate 'src/core/use\.cc:9: error'
+expect_finding typestate_bad typestate 'src/core/use\.cc:16: error'
+expect_clean floatdet_good
+expect_finding floatdet_bad float-determinism 'src/quant/filter_kernel\.cc:8: error'
+expect_finding floatdet_bad float-determinism 'src/CMakeLists\.txt:4: error'
 
 # Suppression round-trip: as checked in, the fixture is clean; with the
 # suppression comment stripped the finding comes back at the same spot.

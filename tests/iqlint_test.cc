@@ -1,7 +1,7 @@
-// Unit tests for the iqlint lexer and the five project-contract
-// checks. These work on in-memory snippets; the fixture corpus under
-// tools/iqlint/testdata/ is exercised end-to-end (binary, exit codes)
-// by the iqlint_fixtures shell test.
+// Unit tests for the iqlint lexer, the symbol layer, and the nine
+// project-contract checks. These work on in-memory snippets; the
+// fixture corpus under tools/iqlint/testdata/ is exercised end-to-end
+// (binary, exit codes) by the iqlint_fixtures shell test.
 
 #include <set>
 #include <string>
@@ -445,6 +445,338 @@ TEST(Suppression, UnknownCheckNameIsItselfFlagged) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].check, "suppression");
   EXPECT_NE(out[0].message.find("cast-saftey"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// symbol layer
+// ---------------------------------------------------------------------------
+
+TEST(Symbols, MembersCarryAnnotations) {
+  const std::vector<LexedFile> files = {LexFile(
+      "src/core/a.h",
+      "class C {\n"
+      " public:\n"
+      "  int Get() const IQ_REQUIRES(mu_);\n"
+      " private:\n"
+      "  Mutex mu_{IQ_LOCK_RANK(10)};\n"
+      "  int guarded_ IQ_GUARDED_BY(mu_) = 0;\n"
+      "  std::atomic<int> hits_{0};\n"
+      "  const int dims_ = 4;\n"
+      "  int free_ IQ_UNGUARDED(\"ctor only\") = 0;\n"
+      "};\n")};
+  const SymbolTable table = BuildSymbolTable(files);
+  const ClassSymbol* c = table.FindClass("C");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->HasRankedMutex());
+  const MemberSymbol* mu = c->FindMember("mu_");
+  ASSERT_NE(mu, nullptr);
+  EXPECT_TRUE(mu->is_mutex);
+  EXPECT_EQ(mu->lock_rank, 10);
+  const MemberSymbol* guarded = c->FindMember("guarded_");
+  ASSERT_NE(guarded, nullptr);
+  EXPECT_EQ(guarded->guarded_by, "mu_");
+  ASSERT_NE(c->FindMember("hits_"), nullptr);
+  EXPECT_TRUE(c->FindMember("hits_")->is_atomic);
+  ASSERT_NE(c->FindMember("dims_"), nullptr);
+  EXPECT_TRUE(c->FindMember("dims_")->is_const);
+  ASSERT_NE(c->FindMember("free_"), nullptr);
+  EXPECT_TRUE(c->FindMember("free_")->unguarded_ok);
+  ASSERT_EQ(c->methods.count("Get"), 1u);
+  EXPECT_EQ(c->methods.at("Get").requires_locks.count("mu_"), 1u);
+}
+
+TEST(Symbols, OutOfLineBodyAttributesToItsClass) {
+  const std::vector<LexedFile> files = {
+      LexFile("src/core/a.h", "class C {\n  void F();\n  int x_ = 0;\n};\n"),
+      LexFile("src/core/a.cc", "void C::F() { x_ = 1; }\n"),
+  };
+  const SymbolTable table = BuildSymbolTable(files);
+  ASSERT_EQ(table.functions.size(), 1u);
+  EXPECT_EQ(table.functions[0].class_name, "C");
+  EXPECT_EQ(table.functions[0].method_name, "F");
+  EXPECT_FALSE(table.functions[0].is_ctor_or_dtor);
+}
+
+TEST(Symbols, TypestateProtocolIsRecorded) {
+  const std::vector<LexedFile> files = {LexFile(
+      "src/quant/w.h",
+      "class Writer {\n"
+      " public:\n"
+      "  IQ_TYPESTATE(\"open\");\n"
+      "  IQ_TS_FINAL(\"flushed\");\n"
+      "  void Put(int v) IQ_TS_REQUIRES(\"open\");\n"
+      "  void Flush() IQ_TS_TRANSITION(\"open\", \"flushed\");\n"
+      "};\n")};
+  const SymbolTable table = BuildSymbolTable(files);
+  const ClassSymbol* c = table.FindClass("Writer");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->has_typestate);
+  EXPECT_EQ(c->initial_state, "open");
+  EXPECT_EQ(c->final_state, "flushed");
+  ASSERT_EQ(c->methods.count("Put"), 1u);
+  EXPECT_EQ(c->methods.at("Put").ts_requires.count("open"), 1u);
+  ASSERT_EQ(c->methods.count("Flush"), 1u);
+  EXPECT_EQ(c->methods.at("Flush").ts_from, "open");
+  EXPECT_EQ(c->methods.at("Flush").ts_to, "flushed");
+}
+
+// ---------------------------------------------------------------------------
+// guarded-by-coverage
+// ---------------------------------------------------------------------------
+
+TEST(GuardedByCoverage, UnannotatedMemberOfRankedClassIsFlagged) {
+  const std::vector<LexedFile> files = {LexFile(
+      "src/core/a.h",
+      "class C {\n"
+      "  Mutex mu_{IQ_LOCK_RANK(10)};\n"
+      "  int counter_ = 0;\n"
+      "};\n")};
+  const SymbolTable table = BuildSymbolTable(files);
+  std::vector<Finding> out;
+  CheckGuardedByCoverage(table, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].check, "guarded-by-coverage");
+  EXPECT_EQ(out[0].line, 3);
+  EXPECT_NE(out[0].message.find("'C::counter_'"), std::string::npos);
+}
+
+TEST(GuardedByCoverage, AnnotatedAtomicConstAndExemptAreClean) {
+  const std::vector<LexedFile> files = {LexFile(
+      "src/core/a.h",
+      "class C {\n"
+      "  Mutex mu_{IQ_LOCK_RANK(10)};\n"
+      "  CondVar cv_;\n"
+      "  int counter_ IQ_GUARDED_BY(mu_) = 0;\n"
+      "  std::atomic<int> hits_{0};\n"
+      "  const int dims_ = 4;\n"
+      "  int setup_ IQ_UNGUARDED(\"ctor only\") = 0;\n"
+      "};\n")};
+  const SymbolTable table = BuildSymbolTable(files);
+  std::vector<Finding> out;
+  CheckGuardedByCoverage(table, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GuardedByCoverage, ClassWithoutRankedMutexIsIgnored) {
+  const std::vector<LexedFile> files = {LexFile(
+      "src/core/a.h", "class C {\n  int counter_ = 0;\n};\n")};
+  const SymbolTable table = BuildSymbolTable(files);
+  std::vector<Finding> out;
+  CheckGuardedByCoverage(table, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// lock-set
+// ---------------------------------------------------------------------------
+
+constexpr char kGuardedClass[] =
+    "class C {\n"
+    " public:\n"
+    "  void Locked() { MutexLock lock(&mu_); value_ = 1; }\n"
+    "  int Annotated() const IQ_REQUIRES(mu_) { return value_; }\n"
+    "  int Bare() const { return value_; }\n"
+    " private:\n"
+    "  mutable Mutex mu_{IQ_LOCK_RANK(10)};\n"
+    "  int value_ IQ_GUARDED_BY(mu_) = 0;\n"
+    "};\n";
+
+TEST(LockSet, UnlockedAccessIsFlaggedLockedAndAnnotatedAreNot) {
+  const std::vector<LexedFile> files = {
+      LexFile("src/core/a.h", kGuardedClass)};
+  const SymbolTable table = BuildSymbolTable(files);
+  std::vector<Finding> out;
+  CheckLockSet(table, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].check, "lock-set");
+  EXPECT_EQ(out[0].line, 5);
+  EXPECT_NE(out[0].message.find("'C::value_'"), std::string::npos);
+  EXPECT_NE(out[0].message.find("'C::Bare'"), std::string::npos);
+}
+
+TEST(LockSet, OutOfLineDefinitionUsesDeclarationAnnotations) {
+  const std::vector<LexedFile> files = {
+      LexFile("src/core/a.h",
+              "class C {\n"
+              "  int Get() const IQ_REQUIRES(mu_);\n"
+              "  int Peek() const;\n"
+              "  mutable Mutex mu_{IQ_LOCK_RANK(10)};\n"
+              "  int value_ IQ_GUARDED_BY(mu_) = 0;\n"
+              "};\n"),
+      LexFile("src/core/a.cc",
+              "int C::Get() const { return value_; }\n"
+              "int C::Peek() const { return value_; }\n"),
+  };
+  const SymbolTable table = BuildSymbolTable(files);
+  std::vector<Finding> out;
+  CheckLockSet(table, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, "src/core/a.cc");
+  EXPECT_EQ(out[0].line, 2);
+  EXPECT_NE(out[0].message.find("'C::Peek'"), std::string::npos);
+}
+
+TEST(LockSet, ScopeEndReleasesTheLock) {
+  const std::vector<LexedFile> files = {LexFile(
+      "src/core/a.h",
+      "class C {\n"
+      "  void F() {\n"
+      "    { MutexLock lock(&mu_); value_ = 1; }\n"
+      "    value_ = 2;\n"
+      "  }\n"
+      "  Mutex mu_{IQ_LOCK_RANK(10)};\n"
+      "  int value_ IQ_GUARDED_BY(mu_) = 0;\n"
+      "};\n")};
+  const SymbolTable table = BuildSymbolTable(files);
+  std::vector<Finding> out;
+  CheckLockSet(table, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 4);
+}
+
+// ---------------------------------------------------------------------------
+// typestate
+// ---------------------------------------------------------------------------
+
+constexpr char kWriterProtocol[] =
+    "class Writer {\n"
+    " public:\n"
+    "  IQ_TYPESTATE(\"open\");\n"
+    "  IQ_TS_FINAL(\"flushed\");\n"
+    "  void Put(int v) IQ_TS_REQUIRES(\"open\");\n"
+    "  void Flush() IQ_TS_TRANSITION(\"open\", \"flushed\");\n"
+    "};\n";
+
+TEST(Typestate, UseAfterFinalTransitionIsFlagged) {
+  const std::vector<LexedFile> files = {
+      LexFile("src/quant/w.h", kWriterProtocol),
+      LexFile("src/core/u.cc",
+              "void F() {\n"
+              "  Writer w;\n"
+              "  w.Flush();\n"
+              "  w.Put(1);\n"
+              "}\n"),
+  };
+  const SymbolTable table = BuildSymbolTable(files);
+  std::vector<Finding> out;
+  CheckTypestate(table, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].check, "typestate");
+  EXPECT_EQ(out[0].line, 4);
+  EXPECT_NE(out[0].message.find("requires state 'open'"), std::string::npos);
+  EXPECT_NE(out[0].message.find("'flushed'"), std::string::npos);
+}
+
+TEST(Typestate, LeavingScopeBeforeFinalStateIsFlagged) {
+  const std::vector<LexedFile> files = {
+      LexFile("src/quant/w.h", kWriterProtocol),
+      LexFile("src/core/u.cc",
+              "void F() {\n"
+              "  Writer w;\n"
+              "  w.Put(1);\n"
+              "}\n"),
+  };
+  const SymbolTable table = BuildSymbolTable(files);
+  std::vector<Finding> out;
+  CheckTypestate(table, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("leaves scope in state 'open'"),
+            std::string::npos);
+}
+
+TEST(Typestate, CompleteProtocolIsClean) {
+  const std::vector<LexedFile> files = {
+      LexFile("src/quant/w.h", kWriterProtocol),
+      LexFile("src/core/u.cc",
+              "void F() {\n"
+              "  Writer w;\n"
+              "  w.Put(1);\n"
+              "  w.Flush();\n"
+              "}\n"),
+  };
+  const SymbolTable table = BuildSymbolTable(files);
+  std::vector<Finding> out;
+  CheckTypestate(table, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Typestate, QueryBeforeBindIsFlagged) {
+  const std::vector<LexedFile> files = {
+      LexFile("src/quant/k.h",
+              "class Kernel {\n"
+              " public:\n"
+              "  IQ_TYPESTATE(\"unbound\");\n"
+              "  void Bind() IQ_TS_TRANSITION(\"*\", \"bound\");\n"
+              "  void Query() IQ_TS_REQUIRES(\"bound\");\n"
+              "};\n"),
+      LexFile("src/core/u.cc",
+              "void F() {\n"
+              "  Kernel k;\n"
+              "  k.Query();\n"
+              "  k.Bind();\n"
+              "  k.Query();\n"
+              "}\n"),
+  };
+  const SymbolTable table = BuildSymbolTable(files);
+  std::vector<Finding> out;
+  CheckTypestate(table, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 3);
+  EXPECT_NE(out[0].message.find("in state 'unbound'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// float-determinism
+// ---------------------------------------------------------------------------
+
+TEST(FloatDeterminism, FmaInContractFileIsFlagged) {
+  const std::vector<LexedFile> files = {LexFile(
+      "src/quant/filter_kernel.cc",
+      "double F(double a, double b, double c) {\n"
+      "  return std::fma(a, b, c);\n"
+      "}\n")};
+  std::vector<Finding> out;
+  CheckFloatDeterminism(files, LintConfig(), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].check, "float-determinism");
+  EXPECT_EQ(out[0].line, 2);
+}
+
+TEST(FloatDeterminism, FmaOutsideContractFilesIsAllowed) {
+  const std::vector<LexedFile> files = {LexFile(
+      "src/costmodel/cost_model.cc",
+      "double F(double a, double b, double c) {\n"
+      "  return std::fma(a, b, c);\n"
+      "}\n")};
+  std::vector<Finding> out;
+  CheckFloatDeterminism(files, LintConfig(), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FloatDeterminism, BannedFlagOnContractTargetIsFlagged) {
+  LintConfig config;
+  config.build_files.emplace_back(
+      "src/CMakeLists.txt",
+      "add_library(iq_quant filter_kernel.cc)\n"
+      "target_compile_options(iq_quant PRIVATE -mfma)\n");
+  std::vector<Finding> out;
+  CheckFloatDeterminism({}, config, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].check, "float-determinism");
+  EXPECT_EQ(out[0].file, "src/CMakeLists.txt");
+  EXPECT_EQ(out[0].line, 2);
+  EXPECT_NE(out[0].message.find("-mfma"), std::string::npos);
+}
+
+TEST(FloatDeterminism, BenignFlagsOnContractTargetAreClean) {
+  LintConfig config;
+  config.build_files.emplace_back(
+      "src/CMakeLists.txt",
+      "add_library(iq_quant filter_kernel.cc)\n"
+      "target_compile_options(iq_quant PRIVATE -O2 -Wall)\n");
+  std::vector<Finding> out;
+  CheckFloatDeterminism({}, config, &out);
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(RunChecks, EnabledSetRestrictsChecks) {

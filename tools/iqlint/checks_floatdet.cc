@@ -1,0 +1,194 @@
+// The `float-determinism` check, guarding the bit-identity contract
+// (docs/simd.md): every FilterKernel variant and the VA-file bound
+// computation must produce bit-identical results across ISAs and
+// optimization levels. Two things break that silently:
+//
+//   1. contracted or reassociated arithmetic in the source — std::fma
+//      and the *fmadd* intrinsic families contract mul+add into one
+//      rounding, and the std::accumulate/reduce/transform_reduce/
+//      inner_product family invites reduction-order changes;
+//   2. build flags — -ffast-math/-Ofast/-funsafe-math-optimizations/
+//      -fassociative-math/-freciprocal-math license reassociation and
+//      -mfma licenses contraction, either globally or on a contract TU.
+//
+// So the check scans the contract TUs (config.float_contract_files)
+// for the banned calls, and cross-checks the build files
+// (config.build_files, loaded by the driver from CMakeLists.txt and
+// src/CMakeLists.txt) that no such flag reaches a contract TU or
+// target.
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "iqlint/iqlint.h"
+
+namespace iqlint {
+
+namespace {
+
+bool IsIdentTok(const Token& t) { return t.kind == Token::Kind::kIdent; }
+
+const std::set<std::string>& BannedCalls() {
+  static const std::set<std::string> kCalls = {
+      "fma",    "fmaf",   "fmal",           "accumulate",
+      "reduce", "transform_reduce", "inner_product"};
+  return kCalls;
+}
+
+bool IsFmaIntrinsic(const std::string& s) {
+  return s.find("fmadd") != std::string::npos ||
+         s.find("fmsub") != std::string::npos ||
+         s.find("fnmadd") != std::string::npos ||
+         s.find("fnmsub") != std::string::npos;
+}
+
+const std::vector<std::string>& BannedFlags() {
+  static const std::vector<std::string> kFlags = {
+      "-ffast-math",      "-Ofast",
+      "-funsafe-math-optimizations", "-fassociative-math",
+      "-freciprocal-math", "-mfma"};
+  return kFlags;
+}
+
+/// One command invocation in a CMake listfile: `name(args...)`.
+struct CMakeCommand {
+  std::string name;
+  std::string args;
+  int line = 0;
+};
+
+/// Minimal CMake listfile scanner: comments stripped, commands
+/// collected with their (flattened) argument text and starting line.
+std::vector<CMakeCommand> ParseCMake(const std::string& contents) {
+  std::vector<CMakeCommand> out;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = contents.size();
+  auto advance = [&](size_t to) {
+    for (; i < to && i < n; ++i) {
+      if (contents[i] == '\n') ++line;
+    }
+  };
+  while (i < n) {
+    const char c = contents[i];
+    if (c == '#') {
+      size_t j = i;
+      while (j < n && contents[j] != '\n') ++j;
+      advance(j);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(
+                           contents[j])) != 0 ||
+                       contents[j] == '_')) {
+        ++j;
+      }
+      std::string name = contents.substr(i, j - i);
+      size_t k = j;
+      while (k < n && (contents[k] == ' ' || contents[k] == '\t')) ++k;
+      if (k < n && contents[k] == '(') {
+        CMakeCommand cmd;
+        for (char& ch : name) {
+          ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+        }
+        cmd.name = name;
+        cmd.line = line;
+        int parens = 0;
+        size_t arg_start = k + 1;
+        size_t e = k;
+        for (; e < n; ++e) {
+          if (contents[e] == '#') {
+            while (e < n && contents[e] != '\n') ++e;
+            if (e >= n) break;
+          }
+          if (contents[e] == '(') ++parens;
+          if (contents[e] == ')') {
+            if (--parens == 0) break;
+          }
+        }
+        cmd.args = contents.substr(arg_start,
+                                   e > arg_start ? e - arg_start : 0);
+        out.push_back(std::move(cmd));
+        advance(e < n ? e + 1 : n);
+        continue;
+      }
+      advance(j);
+      continue;
+    }
+    advance(i + 1);
+    continue;
+  }
+  return out;
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+void CheckFloatDeterminism(const std::vector<LexedFile>& files,
+                           const LintConfig& config,
+                           std::vector<Finding>* out) {
+  // Source side: banned calls inside contract TUs.
+  for (const LexedFile& file : files) {
+    if (config.float_contract_files.count(file.path) == 0) continue;
+    for (const Token& tok : file.tokens) {
+      if (!IsIdentTok(tok)) continue;
+      const bool banned_call = BannedCalls().count(tok.text) != 0;
+      const bool fma_intrinsic = IsFmaIntrinsic(tok.text);
+      if (!banned_call && !fma_intrinsic) continue;
+      out->push_back(Finding{
+          "float-determinism", file.path, tok.line,
+          "'" + tok.text + "' in a bit-identity contract TU " +
+              (fma_intrinsic
+                   ? "contracts mul+add into one rounding"
+                   : "invites contraction or reduction-order changes") +
+              "; the filter-kernel/VA-file contract requires plain "
+              "mul/add loops (docs/simd.md)"});
+    }
+  }
+
+  // Build side: no reassociation/contraction flag may reach a contract
+  // TU or target, and none may be set globally.
+  for (const auto& [path, contents] : config.build_files) {
+    for (const CMakeCommand& cmd : ParseCMake(contents)) {
+      for (const std::string& flag : BannedFlags()) {
+        if (cmd.args.find(flag) == std::string::npos) continue;
+        const bool global =
+            cmd.name == "add_compile_options" ||
+            cmd.args.find("CMAKE_CXX_FLAGS") != std::string::npos;
+        bool touches_contract = false;
+        std::string touched;
+        for (const std::string& target : config.float_contract_targets) {
+          if (cmd.args.find(target) != std::string::npos) {
+            touches_contract = true;
+            touched = target;
+          }
+        }
+        for (const std::string& tu : config.float_contract_files) {
+          if (cmd.args.find(Basename(tu)) != std::string::npos) {
+            touches_contract = true;
+            touched = tu;
+          }
+        }
+        if (!global && !touches_contract) continue;
+        out->push_back(Finding{
+            "float-determinism", path, cmd.line,
+            "'" + flag + "' in " + cmd.name +
+                (global ? "() applies globally and would reach"
+                        : "() reaches") +
+                " bit-identity contract TU" +
+                (touched.empty() ? "s" : " '" + touched + "'") +
+                "; contract TUs must build without contraction or "
+                "reassociation (docs/simd.md)"});
+      }
+    }
+  }
+}
+
+}  // namespace iqlint

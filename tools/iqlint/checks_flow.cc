@@ -1,0 +1,168 @@
+// Flow-aware concurrency checks built on the symbol layer (symbols.h):
+//
+//   guarded-by-coverage — every mutable data member of a class that
+//     owns a ranked Mutex must be IQ_GUARDED_BY, atomic, const, a
+//     synchronization object itself, or carry IQ_UNGUARDED(reason).
+//     This closes the gap where a new member silently ships with no
+//     annotation and therefore no TSA coverage at all.
+//
+//   lock-set — intra-procedural verification that IQ_GUARDED_BY
+//     members are only touched while a scoped lock on the right mutex
+//     is in scope, or inside a method annotated IQ_REQUIRES on it.
+//     This is the GCC-portable equivalent of Clang's thread-safety
+//     analysis for the direct-access case (docs/static_analysis.md,
+//     "porting TSA contracts to GCC").
+//
+// Both checks only fire on classes declared under src/ — tests may
+// build unsynchronized single-threaded harness types at will.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "iqlint/iqlint.h"
+
+namespace iqlint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool IsIdentTok(const Token& t) { return t.kind == Token::Kind::kIdent; }
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+bool IsScopedLockType(const std::string& s) {
+  return s == "MutexLock" || s == "WriterMutexLock" || s == "ReaderMutexLock";
+}
+
+size_t MatchingClose(const std::vector<Token>& t, size_t open,
+                     const char* open_ch, const char* close_ch) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kPunct) continue;
+    if (t[i].text == open_ch) {
+      ++depth;
+    } else if (t[i].text == close_ch) {
+      if (--depth == 0) return i;
+    }
+  }
+  return t.size();
+}
+
+}  // namespace
+
+void CheckGuardedByCoverage(const SymbolTable& table,
+                            std::vector<Finding>* out) {
+  for (const auto& [name, cls] : table.classes) {
+    if (!StartsWith(cls.file, "src/")) continue;
+    if (!cls.HasRankedMutex()) continue;
+    for (const MemberSymbol& m : cls.members) {
+      if (m.is_mutex || m.is_condvar || m.is_atomic || m.is_const) continue;
+      if (!m.guarded_by.empty() || m.unguarded_ok) continue;
+      out->push_back(Finding{
+          "guarded-by-coverage", m.file, m.line,
+          "member '" + cls.name + "::" + m.name +
+              "' of a class owning a ranked Mutex is neither "
+              "IQ_GUARDED_BY a mutex, std::atomic, const, nor exempted "
+              "with IQ_UNGUARDED(\"reason\")"});
+    }
+  }
+}
+
+namespace {
+
+/// One scoped-lock currently in scope during the body walk.
+struct HeldLock {
+  std::string mutex;  // member name passed to the scoped lock's ctor
+  int depth;          // brace depth of the declaring scope
+};
+
+}  // namespace
+
+void CheckLockSet(const SymbolTable& table, std::vector<Finding>* out) {
+  for (const FunctionBody& fb : table.functions) {
+    if (fb.file == nullptr || !StartsWith(fb.file->path, "src/")) continue;
+    if (fb.class_name.empty() || fb.is_ctor_or_dtor) continue;
+    const ClassSymbol* cls = table.FindClass(fb.class_name);
+    if (cls == nullptr) continue;
+    const std::map<std::string, std::string> guards = cls->GuardedMembers();
+    if (guards.empty()) continue;
+
+    // Locks the method is declared to hold on entry: IQ_REQUIRES at
+    // the definition site plus any from the in-class declaration.
+    std::set<std::string> entry_locks = fb.requires_locks;
+    const auto mit = cls->methods.find(fb.method_name);
+    if (mit != cls->methods.end()) {
+      entry_locks.insert(mit->second.requires_locks.begin(),
+                         mit->second.requires_locks.end());
+    }
+
+    const std::vector<Token>& t = fb.file->tokens;
+    std::vector<HeldLock> held;
+    std::set<std::string> reported;  // one finding per member per body
+    int depth = 0;
+    for (size_t i = fb.begin; i < fb.end && i < t.size(); ++i) {
+      const Token& tok = t[i];
+      if (IsPunct(tok, "{")) {
+        ++depth;
+        continue;
+      }
+      if (IsPunct(tok, "}")) {
+        while (!held.empty() && held.back().depth >= depth) held.pop_back();
+        --depth;
+        continue;
+      }
+      // `MutexLock name(&mu_);` (or Writer/Reader variant): the mutex
+      // is the last identifier inside the ctor parens, matching the
+      // lock-rank check's pattern.
+      if (IsIdentTok(tok) && IsScopedLockType(tok.text) && i + 2 < fb.end &&
+          IsIdentTok(t[i + 1]) && IsPunct(t[i + 2], "(")) {
+        const size_t close = MatchingClose(t, i + 2, "(", ")");
+        if (close >= fb.end) break;
+        std::string mutex;
+        for (size_t j = i + 3; j < close; ++j) {
+          if (IsIdentTok(t[j])) mutex = t[j].text;
+        }
+        if (!mutex.empty()) held.push_back(HeldLock{mutex, depth});
+        i = close;
+        continue;
+      }
+      if (!IsIdentTok(tok)) continue;
+      const auto git = guards.find(tok.text);
+      if (git == guards.end()) continue;
+      // Qualified accesses (`other.member_`, `ptr->member_`) are
+      // another object's state — out of this body's lock-set scope.
+      // `this->member_` is ours.
+      if (i > fb.begin && IsPunct(t[i - 1], ".")) continue;
+      if (i > fb.begin + 1 && IsPunct(t[i - 1], ">") &&
+          IsPunct(t[i - 2], "-") &&
+          !(i > fb.begin + 2 && IsIdent(t[i - 3], "this"))) {
+        continue;
+      }
+      const std::string& guard = git->second;
+      bool covered = entry_locks.count(guard) != 0;
+      for (const HeldLock& h : held) {
+        if (h.mutex == guard) covered = true;
+      }
+      if (covered || !reported.insert(tok.text).second) continue;
+      out->push_back(Finding{
+          "lock-set", fb.file->path, tok.line,
+          "'" + cls->name + "::" + tok.text + "' is IQ_GUARDED_BY(" + guard +
+              ") but '" + cls->name + "::" + fb.method_name +
+              "' touches it with no MutexLock on '" + guard +
+              "' in scope and no IQ_REQUIRES(" + guard + ") annotation"});
+    }
+  }
+}
+
+}  // namespace iqlint

@@ -1,0 +1,310 @@
+// The `typestate` check: an annotation-driven object-lifecycle state
+// machine (macros in src/common/contract.h). Classes declare
+// IQ_TYPESTATE("initial") and optionally IQ_TS_FINAL("state"); methods
+// declare IQ_TS_REQUIRES("a|b") and IQ_TS_TRANSITION(from, to). The
+// check walks every recorded function body and tracks objects of
+// protocol classes through the calls made on them:
+//
+//   - a local declaration (`FilterKernel k;`, `BitWriter w(buf);`) or
+//     a `std::make_unique<C>(...)` assignment starts tracking in the
+//     protocol's initial state;
+//   - an object whose state the analyzer cannot know (a member, a
+//     parameter) starts being tracked at its first call to a
+//     transition method that is unique to one protocol class;
+//   - calling a method whose IQ_TS_REQUIRES the object's known state
+//     does not satisfy is a finding, as is a transition from the wrong
+//     known state;
+//   - a bare use of a tracked object (passed by reference, moved,
+//     address taken) is an escape: tracking stops — the check
+//     under-reports rather than guesses (docs/static_analysis.md,
+//     "honest scoping");
+//   - at every `return` and at the end of the declaring scope, a
+//     still-tracked local of an IQ_TS_FINAL class must be in its final
+//     state (Flush-before-destruct on BitWriter).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "iqlint/iqlint.h"
+
+namespace iqlint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool IsIdentTok(const Token& t) { return t.kind == Token::Kind::kIdent; }
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+std::string JoinStates(const std::set<std::string>& states) {
+  std::string out;
+  for (const std::string& s : states) {
+    if (!out.empty()) out += "|";
+    out += s;
+  }
+  return out;
+}
+
+struct TrackedVar {
+  std::string cls;
+  std::string state;
+  int scope = 0;          // brace depth of the declaring scope
+  bool is_member = false;  // tracked from a transition; no scope-exit check
+  bool dead = false;       // escaped or already reported
+};
+
+struct BodyChecker {
+  const SymbolTable& table;
+  const FunctionBody& fb;
+  std::vector<Finding>* out;
+  /// Transition-method name -> protocol class, for names unique to one
+  /// protocol class (used to begin tracking unknown receivers).
+  const std::map<std::string, std::string>& unique_transitions;
+
+  const std::vector<Token>& t;
+  std::map<std::string, TrackedVar> vars;
+  int depth = 0;
+
+  BodyChecker(const SymbolTable& table_in, const FunctionBody& fb_in,
+              const std::map<std::string, std::string>& unique_in,
+              std::vector<Finding>* out_in)
+      : table(table_in),
+        fb(fb_in),
+        out(out_in),
+        unique_transitions(unique_in),
+        t(fb_in.file->tokens) {}
+
+  const ClassSymbol* Protocol(const std::string& name) const {
+    const ClassSymbol* cls = table.FindClass(name);
+    return (cls != nullptr && cls->has_typestate) ? cls : nullptr;
+  }
+
+  void Report(const std::string& message, int line, TrackedVar* var) {
+    out->push_back(Finding{"typestate", fb.file->path, line, message});
+    var->dead = true;
+  }
+
+  /// Scope exit (a `}` closing the declaring scope, or a `return`):
+  /// an IQ_TS_FINAL class must have reached its final state.
+  void CheckFinal(const std::string& name, TrackedVar* var, int line) {
+    if (var->dead || var->is_member || var->state.empty()) return;
+    const ClassSymbol* cls = Protocol(var->cls);
+    if (cls == nullptr || cls->final_state.empty()) return;
+    if (var->state == cls->final_state) return;
+    Report("'" + name + "' (" + var->cls + ") leaves scope in state '" +
+               var->state + "'; IQ_TS_FINAL requires '" + cls->final_state +
+               "'",
+           line, var);
+  }
+
+  /// A call `name.method(...)` / `name->method(...)` on a tracked var.
+  void HandleCall(const std::string& name, TrackedVar* var,
+                  const std::string& method, int line) {
+    const ClassSymbol* cls = table.FindClass(var->cls);
+    if (cls == nullptr) return;
+    const auto mit = cls->methods.find(method);
+    if (mit == cls->methods.end()) return;  // unannotated: any state
+    const MethodSymbol& m = mit->second;
+    if (!m.ts_requires.empty() && !var->state.empty() &&
+        m.ts_requires.count(var->state) == 0 && !var->dead) {
+      Report("'" + name + "." + method + "' requires state '" +
+                 JoinStates(m.ts_requires) + "' but '" + name + "' (" +
+                 var->cls + ") is in state '" + var->state + "'",
+             line, var);
+    }
+    if (!m.ts_to.empty()) {
+      if (!var->state.empty() && m.ts_from != "*" && var->state != m.ts_from &&
+          !var->dead) {
+        Report("'" + name + "." + method + "' transitions '" + m.ts_from +
+                   "' -> '" + m.ts_to + "' but '" + name + "' (" + var->cls +
+                   ") is in state '" + var->state + "'",
+               line, var);
+      }
+      var->state = m.ts_to;
+    }
+  }
+
+  /// Tries to register the assignment target of
+  /// `v = std::make_unique<C>(...)`, scanning back from the
+  /// `make_unique` token at `i`. Member targets (`x->m_ = ...`) are
+  /// registered too but their guard is harmless: tracking them as
+  /// plain locals only matters for classes with IQ_TS_FINAL, which are
+  /// by-value types never heap-allocated here.
+  void TryMakeUnique(size_t i, const std::string& cls_name) {
+    const ClassSymbol* cls = Protocol(cls_name);
+    if (cls == nullptr) return;
+    size_t j = i;
+    // Skip a leading `std ::` qualifier.
+    if (j >= 3 && IsPunct(t[j - 1], ":") && IsPunct(t[j - 2], ":") &&
+        IsIdent(t[j - 3], "std")) {
+      j -= 3;
+    }
+    if (j < 2 || !IsPunct(t[j - 1], "=") || !IsIdentTok(t[j - 2])) return;
+    const std::string target = t[j - 2].text;
+    const bool member_target =
+        j >= 4 && (IsPunct(t[j - 3], ".") || IsPunct(t[j - 3], ">"));
+    vars[target] =
+        TrackedVar{cls_name, cls->initial_state, depth, member_target, false};
+  }
+
+  void Run() {
+    for (size_t i = fb.begin; i < fb.end && i < t.size(); ++i) {
+      const Token& tok = t[i];
+      if (IsPunct(tok, "{")) {
+        ++depth;
+        continue;
+      }
+      if (IsPunct(tok, "}")) {
+        for (auto it = vars.begin(); it != vars.end();) {
+          if (it->second.scope >= depth && !it->second.is_member) {
+            CheckFinal(it->first, &it->second, tok.line);
+            it = vars.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        --depth;
+        continue;
+      }
+      if (IsIdent(tok, "return")) {
+        for (auto& [name, var] : vars) CheckFinal(name, &var, tok.line);
+        continue;
+      }
+      if (!IsIdentTok(tok)) continue;
+
+      // Local declaration of a protocol class: `C v;` / `C v(...)` /
+      // `C v{...}`. References and pointers (tokens between the class
+      // name and the variable) deliberately do not match — aliases are
+      // not tracked.
+      if (Protocol(tok.text) != nullptr && i + 2 < fb.end &&
+          IsIdentTok(t[i + 1]) &&
+          (IsPunct(t[i + 2], ";") || IsPunct(t[i + 2], "(") ||
+           IsPunct(t[i + 2], "{")) &&
+          !(i > fb.begin && (IsPunct(t[i - 1], ".") ||
+                             IsPunct(t[i - 1], ">")))) {
+        const ClassSymbol* cls = Protocol(tok.text);
+        vars[t[i + 1].text] =
+            TrackedVar{tok.text, cls->initial_state, depth, false, false};
+        ++i;  // the variable name itself is not a use
+        continue;
+      }
+      if (tok.text == "make_unique" && i + 3 < fb.end &&
+          IsPunct(t[i + 1], "<") && IsIdentTok(t[i + 2]) &&
+          IsPunct(t[i + 3], ">")) {
+        TryMakeUnique(i, t[i + 2].text);
+        continue;
+      }
+
+      const auto vit = vars.find(tok.text);
+      if (vit == vars.end()) {
+        TryBeginTracking(i);
+        continue;
+      }
+      TrackedVar& var = vit->second;
+      if (var.dead) continue;
+      // `x.v` / `x->v`: some other object's member, not our variable.
+      if (i > fb.begin && IsPunct(t[i - 1], ".")) continue;
+      if (i > fb.begin + 1 && IsPunct(t[i - 1], ">") &&
+          IsPunct(t[i - 2], "-")) {
+        continue;
+      }
+      size_t m = 0;  // method-name token of `v.m(` / `v->m(`
+      if (i + 3 < fb.end && IsPunct(t[i + 1], ".") && IsIdentTok(t[i + 2]) &&
+          IsPunct(t[i + 3], "(")) {
+        m = i + 2;
+      } else if (i + 4 < fb.end && IsPunct(t[i + 1], "-") &&
+                 IsPunct(t[i + 2], ">") && IsIdentTok(t[i + 3]) &&
+                 IsPunct(t[i + 4], "(")) {
+        m = i + 3;
+      }
+      if (m != 0) {
+        HandleCall(tok.text, &var, t[m].text, tok.line);
+      } else {
+        // Bare use: passed somewhere, address taken, moved, assigned
+        // over. The object escapes this analysis.
+        var.dead = true;
+      }
+    }
+    // End of body: the function's own scope closes.
+    const int end_line = fb.end < t.size() ? t[fb.end].line : fb.line;
+    for (auto& [name, var] : vars) {
+      if (!var.is_member) CheckFinal(name, &var, end_line);
+    }
+  }
+
+  /// An untracked receiver (`kernel_.BindMinDist(...)` on a member):
+  /// tracking begins at a transition method unique to one protocol
+  /// class, whose resulting state is known regardless of the prior one.
+  void TryBeginTracking(size_t i) {
+    size_t m = 0;
+    if (i + 3 < fb.end && IsPunct(t[i + 1], ".") && IsIdentTok(t[i + 2]) &&
+        IsPunct(t[i + 3], "(")) {
+      m = i + 2;
+    } else if (i + 4 < fb.end && IsPunct(t[i + 1], "-") &&
+               IsPunct(t[i + 2], ">") && IsIdentTok(t[i + 3]) &&
+               IsPunct(t[i + 4], "(")) {
+      m = i + 3;
+    }
+    if (m == 0) return;
+    // Only simple receivers: `x.m(...)`, not `a.b.m(...)`.
+    if (i > fb.begin &&
+        (IsPunct(t[i - 1], ".") || IsPunct(t[i - 1], ">"))) {
+      return;
+    }
+    const auto uit = unique_transitions.find(t[m].text);
+    if (uit == unique_transitions.end()) return;
+    const ClassSymbol* cls = Protocol(uit->second);
+    if (cls == nullptr) return;
+    const auto mit = cls->methods.find(t[m].text);
+    if (mit == cls->methods.end() || mit->second.ts_to.empty()) return;
+    vars[tok_text(i)] =
+        TrackedVar{cls->name, mit->second.ts_to, depth, true, false};
+  }
+
+  const std::string& tok_text(size_t i) const { return t[i].text; }
+};
+
+}  // namespace
+
+void CheckTypestate(const SymbolTable& table, std::vector<Finding>* out) {
+  // Transition methods whose name occurs in exactly one protocol class.
+  std::map<std::string, std::string> unique_transitions;
+  std::set<std::string> ambiguous;
+  for (const auto& [name, cls] : table.classes) {
+    if (!cls.has_typestate) continue;
+    for (const auto& [mname, method] : cls.methods) {
+      if (method.ts_to.empty()) continue;
+      if (ambiguous.count(mname) != 0) continue;
+      const auto it = unique_transitions.find(mname);
+      if (it != unique_transitions.end() && it->second != name) {
+        unique_transitions.erase(it);
+        ambiguous.insert(mname);
+        continue;
+      }
+      unique_transitions[mname] = name;
+    }
+  }
+  for (const FunctionBody& fb : table.functions) {
+    if (fb.file == nullptr) continue;
+    const std::string& path = fb.file->path;
+    if (!StartsWith(path, "src/") && !StartsWith(path, "tests/") &&
+        !StartsWith(path, "bench/")) {
+      continue;
+    }
+    BodyChecker checker(table, fb, unique_transitions, out);
+    checker.Run();
+  }
+}
+
+}  // namespace iqlint

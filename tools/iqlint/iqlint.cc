@@ -54,8 +54,9 @@ LintConfig ProjectConfig() {
 
 const std::vector<std::string>& AllChecks() {
   static const std::vector<std::string> kChecks = {
-      "layering", "hotpath-alloc", "lock-rank", "cast-safety",
-      "metric-hygiene"};
+      "layering",       "hotpath-alloc",       "lock-rank",
+      "cast-safety",    "metric-hygiene",      "guarded-by-coverage",
+      "lock-set",       "typestate",           "float-determinism"};
   return kChecks;
 }
 
@@ -197,6 +198,13 @@ std::vector<Finding> RunChecks(const std::vector<LexedFile>& files,
   if (on("lock-rank")) CheckLockRank(files, &raw);
   if (on("cast-safety")) CheckCastSafety(files, config, &raw);
   if (on("metric-hygiene")) CheckMetricHygiene(files, config, &raw);
+  if (on("guarded-by-coverage") || on("lock-set") || on("typestate")) {
+    const SymbolTable table = BuildSymbolTable(files);
+    if (on("guarded-by-coverage")) CheckGuardedByCoverage(table, &raw);
+    if (on("lock-set")) CheckLockSet(table, &raw);
+    if (on("typestate")) CheckTypestate(table, &raw);
+  }
+  if (on("float-determinism")) CheckFloatDeterminism(files, config, &raw);
 
   std::map<std::string, const LexedFile*> by_path;
   for (const LexedFile& f : files) by_path[f.path] = &f;

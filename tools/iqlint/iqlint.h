@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "iqlint/lexer.h"
+#include "iqlint/symbols.h"
 
 namespace iqlint {
 
@@ -40,6 +41,21 @@ struct LintConfig {
 
   /// Files exempt from cast-safety (the clamp helpers themselves).
   std::set<std::string> cast_allowlist = {"src/common/cast.h"};
+
+  /// TUs under the bit-identity contract (docs/simd.md): the
+  /// float-determinism check bans contraction/reassociation sources in
+  /// them and cross-checks the build files below.
+  std::set<std::string> float_contract_files = {
+      "src/quant/filter_kernel.h",      "src/quant/filter_kernel.cc",
+      "src/quant/filter_kernel_simd.h", "src/quant/filter_kernel_avx2.cc",
+      "src/vafile/va_file.cc"};
+
+  /// Build targets that compile contract TUs.
+  std::set<std::string> float_contract_targets = {"iq_quant", "iq_vafile"};
+
+  /// (repo-relative path, contents) of CMake listfiles to cross-check;
+  /// loaded by the driver (missing files are simply absent).
+  std::vector<std::pair<std::string, std::string>> build_files;
 };
 
 LintConfig ProjectConfig();
@@ -88,6 +104,17 @@ void CheckCastSafety(const std::vector<LexedFile>& files,
                      const LintConfig& config, std::vector<Finding>* out);
 void CheckMetricHygiene(const std::vector<LexedFile>& files,
                         const LintConfig& config, std::vector<Finding>* out);
+
+// Flow-aware checks over the symbol layer (symbols.h). RunChecks
+// builds the SymbolTable once and dispatches; these entry points exist
+// for unit tests.
+void CheckGuardedByCoverage(const SymbolTable& table,
+                            std::vector<Finding>* out);
+void CheckLockSet(const SymbolTable& table, std::vector<Finding>* out);
+void CheckTypestate(const SymbolTable& table, std::vector<Finding>* out);
+void CheckFloatDeterminism(const std::vector<LexedFile>& files,
+                           const LintConfig& config,
+                           std::vector<Finding>* out);
 
 }  // namespace iqlint
 

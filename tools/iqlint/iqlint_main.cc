@@ -1,14 +1,17 @@
 // iqlint — project-contract static analysis for the iq tree.
 //
 //   iqlint --root <repo> [--compile-commands <json>] [--check <name>]...
-//          [dir ...]
+//          [--changed <base-ref>] [dir ...]
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,16 +30,76 @@ void Usage(std::FILE* to) {
                "                             (headers are always scanned)\n"
                "  --check <name>             run one check (repeatable);\n"
                "                             default: all\n"
+               "  --changed <base-ref>       incremental mode: analyze the\n"
+               "                             whole tree (cross-file checks\n"
+               "                             need full symbol context) but\n"
+               "                             report findings only in files\n"
+               "                             `git diff --name-only <ref>`\n"
+               "                             lists as changed\n"
                "  --list-checks              print check names and exit\n"
                "\n"
                "positional dirs are root-relative scan roots "
                "(default: src tools bench tests)\n");
 }
 
+/// A git ref we are willing to interpolate into a shell command.
+bool ValidRef(const std::string& ref) {
+  if (ref.empty()) return false;
+  for (const char c : ref) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '.' && c != '/' && c != '~' && c != '^' && c != '-') {
+      return false;
+    }
+  }
+  return ref[0] != '-';
+}
+
+/// Runs `git diff --name-only <base>` under `root` and collects the
+/// repo-relative changed paths. Returns false (with *error set) when
+/// git fails — an unknown ref must fail the lint run, not silently
+/// report an empty diff.
+bool GitChangedFiles(const std::string& root, const std::string& base,
+                     std::set<std::string>* out, std::string* error) {
+  const std::string cmd =
+      "git -C '" + root + "' diff --name-only " + base + " -- 2>/dev/null";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    *error = "cannot run git diff";
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) text += buf;
+  if (pclose(pipe) != 0) {
+    *error = "git diff --name-only " + base + " failed under " + root;
+    return false;
+  }
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    if (nl > start) out->insert(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return true;
+}
+
+/// Loads the CMake listfiles the float-determinism check cross-checks.
+void LoadBuildFiles(const std::string& root, iqlint::LintConfig* config) {
+  for (const char* rel : {"CMakeLists.txt", "src/CMakeLists.txt"}) {
+    std::ifstream in(root + "/" + rel, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    config->build_files.emplace_back(rel, buf.str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   iqlint::Options opts;
+  std::string changed_base;
   bool list_checks = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -46,6 +109,13 @@ int main(int argc, char** argv) {
       opts.compile_commands = argv[++i];
     } else if (std::strcmp(arg, "--check") == 0 && i + 1 < argc) {
       opts.checks.insert(argv[++i]);
+    } else if (std::strcmp(arg, "--changed") == 0 && i + 1 < argc) {
+      changed_base = argv[++i];
+      if (!ValidRef(changed_base)) {
+        std::fprintf(stderr, "iqlint: invalid base ref '%s'\n",
+                     changed_base.c_str());
+        return 2;
+      }
     } else if (std::strcmp(arg, "--list-checks") == 0) {
       list_checks = true;
     } else if (std::strcmp(arg, "--help") == 0 ||
@@ -115,8 +185,33 @@ int main(int argc, char** argv) {
     files = std::move(kept);
   }
 
-  const std::vector<iqlint::Finding> findings =
-      iqlint::RunChecks(files, iqlint::ProjectConfig(), opts.checks);
+  iqlint::LintConfig config = iqlint::ProjectConfig();
+  LoadBuildFiles(opts.root, &config);
+  std::vector<iqlint::Finding> findings =
+      iqlint::RunChecks(files, config, opts.checks);
+
+  if (!changed_base.empty()) {
+    // Incremental mode: the analysis above still saw the whole tree
+    // (lock-set and typestate need every class's annotations), but
+    // only findings in changed files — plus findings against files the
+    // scan does not own, like the build listfiles — are reported.
+    std::set<std::string> changed;
+    std::string git_error;
+    if (!GitChangedFiles(opts.root, changed_base, &changed, &git_error)) {
+      std::fprintf(stderr, "iqlint: %s\n", git_error.c_str());
+      return 2;
+    }
+    std::set<std::string> scanned;
+    for (const iqlint::LexedFile& f : files) scanned.insert(f.path);
+    std::vector<iqlint::Finding> kept;
+    for (iqlint::Finding& f : findings) {
+      if (changed.count(f.file) != 0 || scanned.count(f.file) == 0) {
+        kept.push_back(std::move(f));
+      }
+    }
+    findings = std::move(kept);
+  }
+
   for (const iqlint::Finding& f : findings) {
     std::fprintf(stderr, "%s:%d: error: [%s] %s\n", f.file.c_str(), f.line,
                  f.check.c_str(), f.message.c_str());
@@ -126,6 +221,11 @@ int main(int argc, char** argv) {
                  findings.size(), files.size());
     return 1;
   }
-  std::printf("iqlint: clean (%zu files scanned)\n", files.size());
+  if (changed_base.empty()) {
+    std::printf("iqlint: clean (%zu files scanned)\n", files.size());
+  } else {
+    std::printf("iqlint: clean (%zu files scanned, changed vs %s)\n",
+                files.size(), changed_base.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,622 @@
+// The scope/class-member symbol layer (symbols.h). One linear pass per
+// file over the lexer's tokens, with a class-scope stack: class bodies
+// are parsed declaration by declaration (members with their annotations,
+// methods with theirs, inline bodies recorded), and namespace scope is
+// scanned for out-of-line `Cls::Method(...) {` definitions and free
+// functions. Anything that does not match a recognized declaration
+// shape is skipped — the checks built on this layer prefer saying
+// nothing over saying something wrong.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "iqlint/symbols.h"
+
+namespace iqlint {
+
+namespace {
+
+bool IsIdentTok(const Token& t) { return t.kind == Token::Kind::kIdent; }
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+bool IsAnnotationMacro(const std::string& s) {
+  if (s.compare(0, 3, "IQ_") != 0) return false;
+  for (const char c : s) {
+    if (!(c == '_' || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Keywords that can precede '(' without being a function name.
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert" || s == "assert" ||
+         s == "constexpr" || s == "noexcept" || s == "defined" ||
+         s == "throw" || s == "alignas" || s == "new" || s == "delete";
+}
+
+size_t MatchingClose(const std::vector<Token>& t, size_t open,
+                     const char* open_ch, const char* close_ch) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kPunct) continue;
+    if (t[i].text == open_ch) {
+      ++depth;
+    } else if (t[i].text == close_ch) {
+      if (--depth == 0) return i;
+    }
+  }
+  return t.size();
+}
+
+/// Tries to match a template-argument list starting at the '<' at
+/// `open`. Returns the index of the matching '>' or `open` when it
+/// cannot be one (a comparison, or unterminated before ';'/'{').
+size_t MatchingAngle(const std::vector<Token>& t, size_t open) {
+  int depth = 0;
+  int parens = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kPunct) continue;
+    const std::string& p = t[i].text;
+    if (p == "(") {
+      ++parens;
+    } else if (p == ")") {
+      if (parens == 0) return open;
+      --parens;
+    } else if (parens > 0) {
+      continue;
+    } else if (p == "<") {
+      ++depth;
+    } else if (p == ">") {
+      if (--depth == 0) return i;
+    } else if (p == ";" || p == "{" || p == "}") {
+      return open;  // not a template argument list
+    }
+  }
+  return open;
+}
+
+/// Splits "a|b|c" into a set.
+std::set<std::string> SplitStates(const std::string& s) {
+  std::set<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t bar = s.find('|', start);
+    if (bar == std::string::npos) {
+      if (start < s.size()) out.insert(s.substr(start));
+      break;
+    }
+    if (bar > start) out.insert(s.substr(start, bar - start));
+    start = bar + 1;
+  }
+  return out;
+}
+
+/// Parses one annotation macro invocation `NAME ( ... )` starting at
+/// `i` (the NAME token) into the member/method slots that care about
+/// it. Returns the index just past the closing ')' (or past the name
+/// when there is no argument list).
+size_t ConsumeAnnotation(const std::vector<Token>& t, size_t i,
+                         MemberSymbol* member, MethodSymbol* method) {
+  const std::string& name = t[i].text;
+  if (i + 1 >= t.size() || !IsPunct(t[i + 1], "(")) return i + 1;
+  const size_t close = MatchingClose(t, i + 1, "(", ")");
+  if (close >= t.size()) return t.size();
+  if (member != nullptr) {
+    if (name == "IQ_GUARDED_BY" || name == "IQ_PT_GUARDED_BY") {
+      for (size_t j = i + 2; j < close; ++j) {
+        if (IsIdentTok(t[j])) member->guarded_by = t[j].text;
+      }
+    } else if (name == "IQ_UNGUARDED") {
+      member->unguarded_ok = true;
+    }
+  }
+  if (method != nullptr) {
+    if (name == "IQ_REQUIRES" || name == "IQ_REQUIRES_SHARED") {
+      for (size_t j = i + 2; j < close; ++j) {
+        if (IsIdentTok(t[j])) method->requires_locks.insert(t[j].text);
+      }
+    } else if (name == "IQ_TS_REQUIRES") {
+      for (size_t j = i + 2; j < close; ++j) {
+        if (t[j].kind == Token::Kind::kString) {
+          const std::set<std::string> states = SplitStates(t[j].text);
+          method->ts_requires.insert(states.begin(), states.end());
+        }
+      }
+    } else if (name == "IQ_TS_TRANSITION") {
+      std::vector<std::string> args;
+      for (size_t j = i + 2; j < close; ++j) {
+        if (t[j].kind == Token::Kind::kString) args.push_back(t[j].text);
+      }
+      if (args.size() == 2) {
+        method->ts_from = args[0];
+        method->ts_to = args[1];
+      }
+    }
+  }
+  return close + 1;
+}
+
+/// Skips a balanced initializer after '=' up to the ';' that ends the
+/// declaration. Returns the index of that ';' (or tokens.size()).
+size_t SkipInitializer(const std::vector<Token>& t, size_t i) {
+  int parens = 0;
+  int braces = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kPunct) continue;
+    const std::string& p = t[i].text;
+    if (p == "(") {
+      ++parens;
+    } else if (p == ")") {
+      --parens;
+    } else if (p == "{") {
+      ++braces;
+    } else if (p == "}") {
+      --braces;
+    } else if (p == ";" && parens <= 0 && braces <= 0) {
+      return i;
+    }
+  }
+  return t.size();
+}
+
+/// Per-file parser state.
+struct Parser {
+  const LexedFile& file;
+  SymbolTable* table;
+
+  const std::vector<Token>& t;
+  size_t n;
+
+  explicit Parser(const LexedFile& f, SymbolTable* out)
+      : file(f), table(out), t(f.tokens), n(f.tokens.size()) {}
+
+  ClassSymbol* ClassNamed(const std::string& name, int line) {
+    ClassSymbol& cls = table->classes[name];
+    if (cls.name.empty()) {
+      cls.name = name;
+      cls.file = file.path;
+      cls.line = line;
+    }
+    return &cls;
+  }
+
+  /// Parses a `class X ... {` / `struct X ... {` head starting at the
+  /// keyword token `i`. On success returns the index of the body '{'
+  /// and sets *name; returns i when this is not a definition (forward
+  /// declaration, enum class, ...).
+  size_t ParseClassHead(size_t i, std::string* name) {
+    if (i > 0 && IsIdent(t[i - 1], "enum")) return i;
+    std::string last;
+    std::string before_colon;
+    bool saw_colon = false;
+    size_t j = i + 1;
+    for (; j < n; ++j) {
+      if (IsPunct(t[j], "{")) break;
+      if (IsPunct(t[j], ";") || IsIdent(t[j], "class") ||
+          IsIdent(t[j], "struct")) {
+        return i;
+      }
+      if (IsPunct(t[j], "(")) {
+        // Attribute macro arguments (IQ_CAPABILITY("mutex")), alignas.
+        const size_t close = MatchingClose(t, j, "(", ")");
+        if (close >= n) return i;
+        j = close;
+        continue;
+      }
+      if (IsPunct(t[j], "<")) {
+        const size_t close = MatchingAngle(t, j);
+        if (close == j) return i;
+        j = close;
+        continue;
+      }
+      if (IsPunct(t[j], ":")) {
+        saw_colon = true;
+        before_colon = last;
+        continue;
+      }
+      if (IsIdentTok(t[j]) && !saw_colon && !IsAnnotationMacro(t[j].text)) {
+        last = t[j].text;
+      }
+    }
+    if (j >= n) return i;
+    *name = saw_colon ? before_colon : last;
+    if (name->empty()) return i;
+    return j;
+  }
+
+  /// Records a function body and skips past it.
+  void RecordBody(const std::string& cls, const std::string& method,
+                  bool ctor_dtor, size_t body_open, size_t body_close,
+                  int line, const std::set<std::string>& requires_locks) {
+    FunctionBody fb;
+    fb.file = &file;
+    fb.class_name = cls;
+    fb.method_name = method;
+    fb.is_ctor_or_dtor = ctor_dtor;
+    fb.begin = body_open + 1;
+    fb.end = body_close;
+    fb.line = line;
+    fb.requires_locks = requires_locks;
+    table->functions.push_back(std::move(fb));
+  }
+
+  /// After a parameter list's ')', scans the declarator suffix —
+  /// cv-qualifiers, annotation macros, trailing return, ctor
+  /// init-list — up to the body '{', the ';' of a plain declaration,
+  /// or the '=' of `= default/delete/0`. Returns the index of that
+  /// token (or n). Annotations are folded into *method.
+  size_t ScanDeclaratorSuffix(size_t i, bool ctor_dtor,
+                              MethodSymbol* method) {
+    bool in_init_list = false;
+    while (i < n) {
+      if (IsPunct(t[i], "{")) {
+        if (in_init_list && i > 0 &&
+            (IsIdentTok(t[i - 1]) || IsPunct(t[i - 1], ">"))) {
+          // Brace initializer inside a ctor init-list, not the body.
+          const size_t close = MatchingClose(t, i, "{", "}");
+          if (close >= n) return n;
+          i = close + 1;
+          continue;
+        }
+        return i;
+      }
+      if (IsPunct(t[i], ";") || IsPunct(t[i], "=")) return i;
+      if (IsPunct(t[i], ":") && ctor_dtor) {
+        in_init_list = true;
+        ++i;
+        continue;
+      }
+      if (IsIdentTok(t[i]) && IsAnnotationMacro(t[i].text)) {
+        i = ConsumeAnnotation(t, i, nullptr, method);
+        continue;
+      }
+      if (IsPunct(t[i], "(")) {
+        const size_t close = MatchingClose(t, i, "(", ")");
+        if (close >= n) return n;
+        i = close + 1;
+        continue;
+      }
+      if (IsPunct(t[i], "<")) {
+        const size_t close = MatchingAngle(t, i);
+        i = (close == i) ? i + 1 : close + 1;
+        continue;
+      }
+      ++i;
+    }
+    return n;
+  }
+
+  /// Parses one declaration at class-body scope starting at `i`.
+  /// Returns the index just past it.
+  size_t ParseClassDecl(size_t i, ClassSymbol* cls) {
+    // Skip to ';' (or past an inline brace block, for enums).
+    auto skip_statement = [this](size_t j) {
+      for (; j < n; ++j) {
+        if (IsPunct(t[j], "{")) {
+          const size_t close = MatchingClose(t, j, "{", "}");
+          if (close >= n) return n;
+          j = close;
+          continue;
+        }
+        if (IsPunct(t[j], ";")) return j + 1;
+      }
+      return n;
+    };
+
+    if (IsPunct(t[i], ";") || IsPunct(t[i], ":")) return i + 1;
+    if (IsIdent(t[i], "public") || IsIdent(t[i], "private") ||
+        IsIdent(t[i], "protected")) {
+      return (i + 1 < n && IsPunct(t[i + 1], ":")) ? i + 2 : i + 1;
+    }
+    if (IsIdent(t[i], "friend") || IsIdent(t[i], "using") ||
+        IsIdent(t[i], "typedef") || IsIdent(t[i], "enum")) {
+      return skip_statement(i + 1);
+    }
+    if (IsIdent(t[i], "template") && i + 1 < n && IsPunct(t[i + 1], "<")) {
+      const size_t close = MatchingAngle(t, i + 1);
+      if (close == i + 1) return skip_statement(i + 1);
+      return ParseClassDecl(close + 1, cls);  // the templated declaration
+    }
+    // Class-scope protocol statements.
+    if ((IsIdent(t[i], "IQ_TYPESTATE") || IsIdent(t[i], "IQ_TS_FINAL")) &&
+        i + 2 < n && IsPunct(t[i + 1], "(") &&
+        t[i + 2].kind == Token::Kind::kString) {
+      if (t[i].text == "IQ_TYPESTATE") {
+        cls->has_typestate = true;
+        cls->initial_state = t[i + 2].text;
+      } else {
+        cls->final_state = t[i + 2].text;
+      }
+      return skip_statement(i + 1);
+    }
+
+    // Generic member-or-method declaration.
+    MemberSymbol member;
+    MethodSymbol method;
+    member.file = file.path;
+    member.line = t[i].line;
+    method.file = file.path;
+    method.line = t[i].line;
+    bool is_static = false;
+    bool name_frozen = false;
+    std::string last_plain_ident;
+
+    size_t j = i;
+    for (; j < n; ++j) {
+      const Token& tok = t[j];
+      if (IsPunct(tok, ";")) {
+        // Member without initializer (or a stray declaration).
+        break;
+      }
+      if (IsIdent(tok, "operator")) return skip_statement(j);
+      if (IsIdent(tok, "static")) {
+        is_static = true;
+        continue;
+      }
+      if (IsIdent(tok, "explicit") || IsIdent(tok, "inline") ||
+          IsIdent(tok, "virtual")) {
+        continue;
+      }
+      if (IsPunct(tok, "[")) {
+        // Array extent: the declarator name is already captured.
+        const size_t close = MatchingClose(t, j, "[", "]");
+        if (close >= n) return n;
+        if (!last_plain_ident.empty()) name_frozen = true;
+        j = close;
+        continue;
+      }
+      if (IsIdent(tok, "const") || IsIdent(tok, "constexpr")) {
+        member.is_const = true;
+        continue;
+      }
+      if (IsIdent(tok, "mutable")) {
+        member.is_mutable = true;
+        continue;
+      }
+      if (IsIdent(tok, "atomic")) {
+        member.is_atomic = true;
+        continue;
+      }
+      if (IsIdent(tok, "Mutex") || IsIdent(tok, "SharedMutex")) {
+        member.is_mutex = true;
+        continue;
+      }
+      if (IsIdent(tok, "CondVar")) {
+        member.is_condvar = true;
+        continue;
+      }
+      if (IsIdentTok(tok) && IsAnnotationMacro(tok.text)) {
+        j = ConsumeAnnotation(t, j, &member, &method) - 1;
+        continue;
+      }
+      if (IsPunct(tok, "<") && j > i && IsIdentTok(t[j - 1])) {
+        const size_t close = MatchingAngle(t, j);
+        if (close != j) {
+          // Peek for `atomic` inside the template arguments? No —
+          // `atomic` is the template itself (std::atomic<T> x;), which
+          // the ident scan above already saw.
+          j = close;
+          continue;
+        }
+        continue;
+      }
+      if (IsPunct(tok, "=")) {
+        // Member with `= init;`.
+        member.name = last_plain_ident;
+        const size_t semi = SkipInitializer(t, j + 1);
+        if (!is_static && !member.name.empty()) cls->members.push_back(member);
+        return semi < n ? semi + 1 : n;
+      }
+      if (IsPunct(tok, "{")) {
+        // Member with brace initializer; look inside for IQ_LOCK_RANK.
+        member.name = last_plain_ident;
+        const size_t close = MatchingClose(t, j, "{", "}");
+        if (close >= n) return n;
+        for (size_t k = j + 1; k < close; ++k) {
+          if (IsIdent(t[k], "IQ_LOCK_RANK") && k + 2 < close &&
+              IsPunct(t[k + 1], "(") &&
+              t[k + 2].kind == Token::Kind::kNumber) {
+            member.has_lock_rank = true;
+            member.lock_rank = std::atoi(t[k + 2].text.c_str());
+          }
+        }
+        if (!is_static && !member.name.empty()) cls->members.push_back(member);
+        j = close + 1;
+        return (j < n && IsPunct(t[j], ";")) ? j + 1 : j;
+      }
+      if (IsPunct(tok, "(")) {
+        if (last_plain_ident.empty()) {
+          // A constructor whose name the qualifier scan consumed
+          // (e.g. `explicit Mutex(...)` — Mutex is a flagged type
+          // token): skip the parameter list, any init-list, and the
+          // body, recording nothing.
+          const size_t close = MatchingClose(t, j, "(", ")");
+          if (close >= n) return n;
+          const size_t stop = ScanDeclaratorSuffix(close + 1, true, nullptr);
+          if (stop >= n) return n;
+          if (IsPunct(t[stop], "{")) {
+            const size_t body_close = MatchingClose(t, stop, "{", "}");
+            return body_close >= n ? n : body_close + 1;
+          }
+          if (IsPunct(t[stop], "=")) return skip_statement(stop);
+          return stop + 1;
+        }
+        method.name = last_plain_ident;
+        const bool ctor_dtor = method.name == cls->name;
+        const size_t close = MatchingClose(t, j, "(", ")");
+        if (close >= n) return n;
+        const size_t stop = ScanDeclaratorSuffix(close + 1, ctor_dtor,
+                                                 &method);
+        if (stop >= n) return n;
+        if (!ctor_dtor) MergeMethod(cls, method);
+        if (IsPunct(t[stop], "{")) {
+          const size_t body_close = MatchingClose(t, stop, "{", "}");
+          if (body_close >= n) return n;
+          RecordBody(cls->name, method.name, ctor_dtor, stop, body_close,
+                     method.line, method.requires_locks);
+          return body_close + 1;
+        }
+        if (IsPunct(t[stop], "=")) return skip_statement(stop);
+        return stop + 1;  // ';' — declaration only
+      }
+      if (IsIdentTok(tok) && !name_frozen) last_plain_ident = tok.text;
+    }
+    // Plain `Type name;` member.
+    member.name = last_plain_ident;
+    if (!is_static && !member.name.empty() && j > i + 1) {
+      cls->members.push_back(member);
+    }
+    return j < n ? j + 1 : n;
+  }
+
+  static void MergeMethod(ClassSymbol* cls, const MethodSymbol& m) {
+    MethodSymbol& slot = cls->methods[m.name];
+    if (slot.name.empty()) {
+      slot.name = m.name;
+      slot.file = m.file;
+      slot.line = m.line;
+    }
+    slot.requires_locks.insert(m.requires_locks.begin(),
+                               m.requires_locks.end());
+    slot.ts_requires.insert(m.ts_requires.begin(), m.ts_requires.end());
+    if (slot.ts_from.empty() && !m.ts_from.empty()) {
+      slot.ts_from = m.ts_from;
+      slot.ts_to = m.ts_to;
+    }
+  }
+
+  /// Tries to parse a function definition (free or out-of-line member)
+  /// whose name is the identifier at `i` (followed by '('). Returns
+  /// the index to resume from; `i + 1` when this is not a definition.
+  size_t TryNamespaceFunction(size_t i) {
+    if (IsControlKeyword(t[i].text) || IsAnnotationMacro(t[i].text)) {
+      return i + 1;
+    }
+    std::string cls;
+    std::string name = t[i].text;
+    bool dtor = false;
+    size_t q = i;
+    if (q > 0 && IsPunct(t[q - 1], "~")) {
+      dtor = true;
+      --q;
+    }
+    if (q >= 3 && IsPunct(t[q - 1], ":") && IsPunct(t[q - 2], ":") &&
+        IsIdentTok(t[q - 3])) {
+      cls = t[q - 3].text;
+    }
+    const size_t close = MatchingClose(t, i + 1, "(", ")");
+    if (close >= n) return i + 1;
+    MethodSymbol method;
+    method.file = file.path;
+    method.line = t[i].line;
+    method.name = name;
+    const bool ctor_dtor = dtor || (!cls.empty() && cls == name);
+    const size_t stop = ScanDeclaratorSuffix(close + 1, ctor_dtor, &method);
+    if (stop >= n || !IsPunct(t[stop], "{")) return i + 1;
+    const size_t body_close = MatchingClose(t, stop, "{", "}");
+    if (body_close >= n) return i + 1;
+    RecordBody(cls, name, ctor_dtor, stop, body_close, t[i].line,
+               method.requires_locks);
+    return body_close + 1;
+  }
+
+  void Run() {
+    int depth = 0;
+    // (class, depth of its body) — mirrors the lock-rank pass.
+    std::vector<std::pair<ClassSymbol*, int>> class_stack;
+    for (size_t i = 0; i < n;) {
+      const Token& tok = t[i];
+      if (IsPunct(tok, "{")) {
+        ++depth;
+        ++i;
+        continue;
+      }
+      if (IsPunct(tok, "}")) {
+        --depth;
+        while (!class_stack.empty() && class_stack.back().second > depth) {
+          class_stack.pop_back();
+        }
+        ++i;
+        continue;
+      }
+      if (IsIdent(tok, "class") || IsIdent(tok, "struct")) {
+        std::string name;
+        const size_t body = ParseClassHead(i, &name);
+        if (body != i) {
+          class_stack.emplace_back(ClassNamed(name, tok.line), depth + 1);
+          ++depth;
+          i = body + 1;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      const bool at_class_scope =
+          !class_stack.empty() && class_stack.back().second == depth;
+      if (at_class_scope) {
+        i = ParseClassDecl(i, class_stack.back().first);
+        continue;
+      }
+      // Namespace (or unrecognized) scope: look for definitions.
+      if (IsIdentTok(tok) && i + 1 < n && IsPunct(t[i + 1], "(")) {
+        i = TryNamespaceFunction(i);
+        continue;
+      }
+      ++i;
+    }
+  }
+};
+
+}  // namespace
+
+const MemberSymbol* ClassSymbol::FindMember(
+    const std::string& member_name) const {
+  for (const MemberSymbol& m : members) {
+    if (m.name == member_name) return &m;
+  }
+  return nullptr;
+}
+
+bool ClassSymbol::HasRankedMutex() const {
+  for (const MemberSymbol& m : members) {
+    if (m.is_mutex && m.has_lock_rank) return true;
+  }
+  return false;
+}
+
+std::map<std::string, std::string> ClassSymbol::GuardedMembers() const {
+  std::map<std::string, std::string> out;
+  for (const MemberSymbol& m : members) {
+    if (!m.guarded_by.empty()) out.emplace(m.name, m.guarded_by);
+  }
+  return out;
+}
+
+const ClassSymbol* SymbolTable::FindClass(
+    const std::string& class_name) const {
+  const auto it = classes.find(class_name);
+  return it == classes.end() ? nullptr : &it->second;
+}
+
+SymbolTable BuildSymbolTable(const std::vector<LexedFile>& files) {
+  SymbolTable table;
+  for (const LexedFile& file : files) {
+    Parser parser(file, &table);
+    parser.Run();
+  }
+  return table;
+}
+
+}  // namespace iqlint

@@ -1,0 +1,107 @@
+#ifndef IQ_TOOLS_IQLINT_SYMBOLS_H_
+#define IQ_TOOLS_IQLINT_SYMBOLS_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "iqlint/lexer.h"
+
+namespace iqlint {
+
+/// The scope/class-member symbol layer the flow-aware checks
+/// (guarded-by-coverage, lock-set, typestate) share. Like the lexer it
+/// is deliberately not a C++ front end: it recovers exactly the shapes
+/// those checks need — class bodies, data-member declarations with
+/// their annotations, method declarations with theirs, and the token
+/// ranges of function bodies attributed to their owning class — and
+/// skips anything it cannot parse unambiguously, so the checks built
+/// on it under-report rather than guess.
+
+/// One data member of a class.
+struct MemberSymbol {
+  std::string name;
+  std::string file;  // repo-relative path of the declaring header
+  int line = 0;
+  bool is_const = false;    // `const` anywhere in the declarator prefix
+  bool is_mutable = false;  // `mutable` storage qualifier
+  bool is_atomic = false;   // std::atomic<...> (token `atomic` in the type)
+  bool is_mutex = false;    // Mutex / SharedMutex (common/mutex.h)
+  bool is_condvar = false;  // CondVar
+  bool has_lock_rank = false;  // brace-initialized with IQ_LOCK_RANK(n)
+  int lock_rank = 0;
+  std::string guarded_by;     // IQ_GUARDED_BY / IQ_PT_GUARDED_BY argument
+  bool unguarded_ok = false;  // carries IQ_UNGUARDED(reason)
+};
+
+/// One method of a class (declaration-side annotations; overload
+/// annotations are unioned under one name).
+struct MethodSymbol {
+  std::string name;
+  std::string file;
+  int line = 0;
+  /// Mutex member names from IQ_REQUIRES / IQ_REQUIRES_SHARED.
+  std::set<std::string> requires_locks;
+  /// Accepted states from IQ_TS_REQUIRES("a|b"); empty = no requirement.
+  std::set<std::string> ts_requires;
+  /// IQ_TS_TRANSITION(from, to); empty strings = not a transition.
+  /// from == "*" means "legal from any state".
+  std::string ts_from;
+  std::string ts_to;
+};
+
+struct ClassSymbol {
+  std::string name;
+  std::string file;  // file of the primary (first-seen) declaration
+  int line = 0;
+  std::vector<MemberSymbol> members;
+  std::map<std::string, MethodSymbol> methods;
+  /// Typestate protocol (IQ_TYPESTATE / IQ_TS_FINAL class statements).
+  bool has_typestate = false;
+  std::string initial_state;
+  std::string final_state;  // empty = no state required at destruction
+
+  const MemberSymbol* FindMember(const std::string& member_name) const;
+  /// True when the class owns a Mutex/SharedMutex member carrying an
+  /// IQ_LOCK_RANK — the trigger for guarded-by-coverage.
+  bool HasRankedMutex() const;
+  /// member name -> guard mutex name, for every IQ_GUARDED_BY member.
+  std::map<std::string, std::string> GuardedMembers() const;
+};
+
+/// One function body to analyze: tokens [begin, end) of `file` (end is
+/// the closing '}').
+struct FunctionBody {
+  const LexedFile* file = nullptr;
+  std::string class_name;   // "" for free functions
+  std::string method_name;  // the unqualified name ("" if unresolved)
+  bool is_ctor_or_dtor = false;
+  size_t begin = 0;
+  size_t end = 0;
+  int line = 0;  // line of the definition header
+  /// IQ_REQUIRES annotations found at the definition site (the
+  /// declaration-site ones live on the MethodSymbol; checks union the
+  /// two).
+  std::set<std::string> requires_locks;
+};
+
+struct SymbolTable {
+  /// Classes by (unqualified) name. The tree has no same-named classes
+  /// in different namespaces; if that ever changes, last parse wins —
+  /// acceptable for checks that skip what they cannot resolve.
+  std::map<std::string, ClassSymbol> classes;
+  std::vector<FunctionBody> functions;
+
+  const ClassSymbol* FindClass(const std::string& class_name) const;
+};
+
+/// Builds the symbol table over the lexed tree. The returned
+/// FunctionBody entries point into `files`; the table must not outlive
+/// it.
+SymbolTable BuildSymbolTable(const std::vector<LexedFile>& files);
+
+}  // namespace iqlint
+
+#endif  // IQ_TOOLS_IQLINT_SYMBOLS_H_

@@ -1,0 +1,11 @@
+#include <cmath>
+
+namespace iq {
+
+// std::fma contracts the rounding step: scalar and SIMD paths would
+// no longer agree bit-for-bit.
+double FusedDot(double a, double b, double c) {
+  return std::fma(a, b, c);
+}
+
+}  // namespace iq

@@ -1,0 +1,12 @@
+namespace iq {
+
+// Bit-identity contract TU: plain ordered accumulation only.
+double OrderedSum(const double* v, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += v[i];
+  }
+  return acc;
+}
+
+}  // namespace iq

@@ -1,0 +1,20 @@
+#include "common/mutex.h"
+
+namespace iq {
+
+// counter_ is mutable shared state in a class that owns a ranked
+// mutex, but carries no IQ_GUARDED_BY, is not atomic, and has no
+// IQ_UNGUARDED exemption.
+class Uncovered {
+ public:
+  void Touch() {
+    MutexLock lock(&mu_);
+    counter_ = 1;
+  }
+
+ private:
+  Mutex mu_{IQ_LOCK_RANK(10)};
+  int counter_ = 0;
+};
+
+}  // namespace iq

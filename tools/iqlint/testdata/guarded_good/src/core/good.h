@@ -1,0 +1,24 @@
+#include "common/mutex.h"
+
+namespace iq {
+
+// Every member of a ranked-mutex class is accounted for: guarded,
+// atomic, const, a synchronization primitive, or exempted with a
+// reason.
+class Covered {
+ public:
+  void Touch() {
+    MutexLock lock(&mu_);
+    count_ = 1;
+  }
+
+ private:
+  Mutex mu_{IQ_LOCK_RANK(10)};
+  CondVar cv_;
+  int count_ IQ_GUARDED_BY(mu_) = 0;
+  std::atomic<int> hits_{0};
+  const int dims_ = 4;
+  int setup_only_ IQ_UNGUARDED("written in ctor before threads exist") = 0;
+};
+
+}  // namespace iq

@@ -1,0 +1,21 @@
+#include "common/mutex.h"
+
+namespace iq {
+
+// Racy() reads value_ with no MutexLock in scope and no IQ_REQUIRES
+// annotation: the IQ_GUARDED_BY contract is violated.
+class Racy {
+ public:
+  void Set(int v) {
+    MutexLock lock(&mu_);
+    value_ = v;
+  }
+
+  int Racy_read() const { return value_; }
+
+ private:
+  mutable Mutex mu_{IQ_LOCK_RANK(10)};
+  int value_ IQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace iq

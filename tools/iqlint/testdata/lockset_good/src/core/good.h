@@ -1,0 +1,21 @@
+#include "common/mutex.h"
+
+namespace iq {
+
+// Every touch of the guarded member happens under a MutexLock on the
+// right mutex or inside a method annotated as already holding it.
+class Disciplined {
+ public:
+  void Set(int v) {
+    MutexLock lock(&mu_);
+    value_ = v;
+  }
+
+  int GetLocked() const IQ_REQUIRES(mu_) { return value_; }
+
+ private:
+  mutable Mutex mu_{IQ_LOCK_RANK(10)};
+  int value_ IQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace iq

@@ -1,0 +1,20 @@
+#include "quant/writer.h"
+
+namespace iq {
+
+// Leaves scope without reaching the IQ_TS_FINAL state.
+int ForgetsFlush() {
+  Writer w;
+  w.Put(1);
+  return 0;
+}
+
+// Calls a method whose IQ_TS_REQUIRES no longer holds.
+int PutAfterFlush() {
+  Writer w;
+  w.Flush();
+  w.Put(2);
+  return 0;
+}
+
+}  // namespace iq

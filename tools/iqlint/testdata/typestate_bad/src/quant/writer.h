@@ -1,0 +1,14 @@
+#include "common/contract.h"
+
+namespace iq {
+
+class Writer {
+ public:
+  IQ_TYPESTATE("open");
+  IQ_TS_FINAL("flushed");
+
+  void Put(int v) IQ_TS_REQUIRES("open");
+  void Flush() IQ_TS_TRANSITION("open", "flushed");
+};
+
+}  // namespace iq

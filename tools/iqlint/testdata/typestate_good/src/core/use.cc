@@ -1,0 +1,13 @@
+#include "quant/writer.h"
+
+namespace iq {
+
+int UseCorrectly() {
+  Writer w;
+  w.Put(1);
+  w.Put(2);
+  w.Flush();
+  return 0;
+}
+
+}  // namespace iq

@@ -1,0 +1,16 @@
+#include "common/contract.h"
+
+namespace iq {
+
+// Miniature BitWriter-style protocol: Put only while open, and every
+// writer must be flushed before it goes out of scope.
+class Writer {
+ public:
+  IQ_TYPESTATE("open");
+  IQ_TS_FINAL("flushed");
+
+  void Put(int v) IQ_TS_REQUIRES("open");
+  void Flush() IQ_TS_TRANSITION("open", "flushed");
+};
+
+}  // namespace iq

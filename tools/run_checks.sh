@@ -17,11 +17,17 @@
 #             validates the JSON output with tools/json_check
 #   lint      project-contract static analysis (docs/static_analysis.md):
 #             exports compile_commands.json, builds tools/iqlint, runs
-#             it over src/ tools/ bench/ tests/ (non-zero on findings),
-#             then seeds a layering back-edge, an out-of-rank lock, and
-#             an unclamped float cast into a scratch copy of src/ and
-#             asserts the tool catches each one (the lint leg must be
-#             able to fail, or a green run proves nothing)
+#             an incremental `--changed` pre-check (IQLINT_BASE_REF,
+#             default HEAD), runs the full tree (non-zero on findings)
+#             plus a second tree-wide run from an explicitly
+#             GCC-configured build, then seeds one violation per check
+#             — a layering back-edge, an out-of-rank lock, an unclamped
+#             float cast, an unannotated member of a mutex-owning
+#             class, an unlocked IQ_GUARDED_BY access, a
+#             query-before-Bind typestate break, and an fma in a
+#             bit-identity TU — into a scratch copy of src/ and asserts
+#             the tool catches each one (the lint leg must be able to
+#             fail, or a green run proves nothing)
 #   scalar    full ctest suite with IQ_FORCE_SCALAR=1 (reuses the
 #             release tree): every test must pass with the SIMD filter
 #             kernels disabled, so the portable scalar path stays a
@@ -110,9 +116,31 @@ for step in $STEPS; do
             -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
         cmake --build "$ROOT/build-release" -j "$JOBS" --target iqlint
         IQLINT="$ROOT/build-release/tools/iqlint/iqlint"
+        # Incremental pre-check: findings restricted to files changed
+        # vs the base ref (fast signal for stacked CI; the tree-wide
+        # run below remains the gate). IQLINT_BASE_REF defaults to
+        # HEAD, i.e. uncommitted changes only.
+        if git -C "$ROOT" rev-parse --git-dir >/dev/null 2>&1; then
+            echo "==> lint: iqlint --changed ${IQLINT_BASE_REF:-HEAD}"
+            "$IQLINT" --root "$ROOT" --changed "${IQLINT_BASE_REF:-HEAD}"
+        fi
         echo "==> lint: iqlint over src tools bench tests"
         "$IQLINT" --root "$ROOT" \
             --compile-commands "$ROOT/build-release/compile_commands.json"
+        # The flow-aware checks exist precisely because GCC has no
+        # Thread Safety Analysis (docs/static_analysis.md): prove the
+        # tree-wide run also passes from an explicitly GCC-configured
+        # build of the linter.
+        if command -v g++ >/dev/null 2>&1; then
+            echo "==> lint: tree-wide run from a GCC-configured build"
+            cmake -B "$ROOT/build-lint-gcc" -S "$ROOT" \
+                -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIQ_WERROR=ON \
+                -DCMAKE_CXX_COMPILER=g++ >/dev/null
+            cmake --build "$ROOT/build-lint-gcc" -j "$JOBS" --target iqlint
+            "$ROOT/build-lint-gcc/tools/iqlint/iqlint" --root "$ROOT"
+        else
+            echo "==> lint: g++ not installed, skipping the GCC-build run"
+        fi
         # Seeded-violation smoke: copy src/ aside, plant one violation
         # per seeded check, and require a non-zero exit naming it.
         LINT_TMP="$(mktemp -d)"
@@ -133,9 +161,38 @@ class SeededBackwards {
   Mutex inner_mu_{IQ_LOCK_RANK(12)};
 };
 unsigned SeededCast(float raw) { return static_cast<unsigned>(raw); }
+class SeededGuardGap {
+ public:
+  void Touch() {
+    MutexLock lock(&gap_mu_);
+    counter_ = 1;
+  }
+ private:
+  Mutex gap_mu_{IQ_LOCK_RANK(91)};
+  int counter_ = 0;
+};
+class SeededLockEscape {
+ public:
+  int Read() const { return value_; }
+ private:
+  mutable Mutex esc_mu_{IQ_LOCK_RANK(92)};
+  int value_ IQ_GUARDED_BY(esc_mu_) = 0;
+};
+void SeededQueryBeforeBind(const uint32_t* cells, float* out) {
+  FilterKernel kernel;
+  kernel.MinDistLowerBounds(cells, 4, out);
+}
 } }
 SEED
-        for check in layering lock-rank cast-safety; do
+        cat >> "$LINT_TMP/seeded/src/quant/filter_kernel.cc" <<'SEED'
+namespace iq { namespace {
+double SeededFma(double a, double b, double c) {
+  return std::fma(a, b, c);
+}
+} }
+SEED
+        for check in layering lock-rank cast-safety guarded-by-coverage \
+                     lock-set typestate float-determinism; do
             if "$IQLINT" --root "$LINT_TMP/seeded" --check "$check" src \
                 > "$LINT_TMP/$check.out" 2>&1; then
                 echo "lint: seeded $check violation NOT caught" >&2
