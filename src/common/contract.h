@@ -48,8 +48,13 @@
 ///
 /// The reason string is required: an exemption without an argument is
 /// just an unprotected member with extra steps.
-#define IQ_TYPESTATE(initial_state)
-#define IQ_TS_FINAL(state)
+// The class-scope statement macros expand to a vacuous static_assert
+// (not nothing) so the trailing ';' at their use site is consumed —
+// `IQ_TYPESTATE("open");` would otherwise be a bare class-scope ';',
+// which -Wpedantic rejects. The declarator-suffix macros must stay
+// empty: they sit where only attributes may appear.
+#define IQ_TYPESTATE(initial_state) static_assert(true, "")
+#define IQ_TS_FINAL(state) static_assert(true, "")
 #define IQ_TS_REQUIRES(states)
 #define IQ_TS_TRANSITION(from_state, to_state)
 #define IQ_UNGUARDED(reason)

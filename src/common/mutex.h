@@ -2,6 +2,7 @@
 #define IQ_COMMON_MUTEX_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -270,6 +271,17 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Like Wait() but gives up after `seconds`. Returns true when
+  /// signaled, false on timeout. Spurious wakeups still happen: wait in
+  /// a predicate loop and recompute the remaining budget each round.
+  bool WaitFor(double seconds) {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    const auto status =
+        cv_.wait_for(lock, std::chrono::duration<double>(seconds));
+    lock.release();  // ownership stays with the caller's MutexLock
+    return status == std::cv_status::no_timeout;
   }
 
   void Signal() { cv_.notify_one(); }

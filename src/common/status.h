@@ -16,6 +16,11 @@ enum class StatusCode {
   kNotSupported,
   kOutOfRange,
   kInternal,
+  /// Transient overload: the caller may retry later (admission-control
+  /// rejections, full queues).
+  kUnavailable,
+  /// The operation's deadline expired before it completed.
+  kDeadlineExceeded,
 };
 
 /// Lightweight success/error value used instead of exceptions on all
@@ -50,6 +55,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -63,6 +74,10 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Human-readable form, e.g. "IOError: short read".
   std::string ToString() const;

@@ -1,6 +1,9 @@
 #ifndef IQ_OBS_METRIC_NAMES_H_
 #define IQ_OBS_METRIC_NAMES_H_
 
+#include <string>
+#include <string_view>
+
 /// The one place an `iq_*` metric name may be spelled as a string
 /// literal. Every metric used anywhere in src/ must be declared here
 /// and referenced through its constant; `tools/iqlint` (check
@@ -78,6 +81,44 @@ inline constexpr char kQueryCellsEnqueuedTotal[] =
 inline constexpr char kVafileQueriesTotal[] = "iq_vafile_queries_total";
 inline constexpr char kVafileRefinementsTotal[] =
     "iq_vafile_refinements_total";
+
+// --- sharded query engine (src/shard/) -----------------------------------
+inline constexpr char kShardFanoutTotal[] = "iq_shard_fanout_total";
+inline constexpr char kShardQueriedTotal[] = "iq_shard_queried_total";
+inline constexpr char kShardPrunedTotal[] = "iq_shard_pruned_total";
+inline constexpr char kShardDeadlineExceededTotal[] =
+    "iq_shard_deadline_exceeded_total";
+/// Per-shard base name: expanded to iq_shard<i>_queries_total through
+/// PerShardMetricName below, so each shard owns a distinct time series.
+inline constexpr char kShardQueriesTotal[] = "iq_shard_queries_total";
+
+// --- query front-end (src/shard/query_front_end.cc) ----------------------
+inline constexpr char kFrontendAdmittedTotal[] = "iq_frontend_admitted_total";
+inline constexpr char kFrontendRejectedTotal[] = "iq_frontend_rejected_total";
+inline constexpr char kFrontendDeadlineExceededTotal[] =
+    "iq_frontend_deadline_exceeded_total";
+inline constexpr char kFrontendInFlight[] = "iq_frontend_in_flight";
+inline constexpr char kFrontendQueueDepth[] = "iq_frontend_queue_depth";
+
+/// Expands a declared `iq_shard_*` base name to its per-shard variant by
+/// splicing the shard index into the component token:
+///   PerShardMetricName(kShardQueriesTotal, 2) == "iq_shard2_queries_total".
+/// Keeping the expansion here (next to the declarations) preserves the
+/// metric-hygiene invariant: call sites never spell an iq_* literal.
+inline std::string PerShardMetricName(std::string_view base, size_t shard) {
+  constexpr std::string_view kPrefix = "iq_shard_";
+  std::string name;
+  if (base.substr(0, kPrefix.size()) == kPrefix) {
+    name.append(base.substr(0, kPrefix.size() - 1));  // "iq_shard"
+    name.append(std::to_string(shard));
+    name.append(base.substr(kPrefix.size() - 1));  // "_queries_total"
+  } else {
+    name.assign(base);
+    name.push_back('_');
+    name.append(std::to_string(shard));
+  }
+  return name;
+}
 
 }  // namespace iq::obs::metric
 

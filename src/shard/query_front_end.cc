@@ -1,0 +1,153 @@
+#include "shard/query_front_end.h"
+
+#include <chrono>
+
+#include "obs/metric_names.h"
+
+namespace iq {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedSeconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+QueryFrontEnd::QueryFrontEnd(const ShardedSearcher& searcher)
+    : QueryFrontEnd(searcher, Options()) {}
+
+QueryFrontEnd::QueryFrontEnd(const ShardedSearcher& searcher,
+                             const Options& options)
+    : searcher_(searcher),
+      options_(options),
+      admitted_(obs::MetricRegistry::Global().GetCounter(
+          obs::metric::kFrontendAdmittedTotal)),
+      rejected_(obs::MetricRegistry::Global().GetCounter(
+          obs::metric::kFrontendRejectedTotal)),
+      deadline_exceeded_(obs::MetricRegistry::Global().GetCounter(
+          obs::metric::kFrontendDeadlineExceededTotal)),
+      in_flight_gauge_(obs::MetricRegistry::Global().GetGauge(
+          obs::metric::kFrontendInFlight)),
+      queue_depth_gauge_(obs::MetricRegistry::Global().GetGauge(
+          obs::metric::kFrontendQueueDepth)),
+      cv_(&mu_) {}
+
+Status QueryFrontEnd::Admit(Clock::time_point start,
+                            double deadline_s) const {
+  MutexLock lock(&mu_);
+  if (in_flight_ >= options_.max_in_flight) {
+    if (queued_ >= options_.max_queued) {
+      rejected_->Increment();
+      return Status::Unavailable("query queue full (" +
+                                 std::to_string(in_flight_) + " in flight, " +
+                                 std::to_string(queued_) + " queued)");
+    }
+    ++queued_;
+    queue_depth_gauge_->Set(static_cast<double>(queued_));
+    while (in_flight_ >= options_.max_in_flight) {
+      if (deadline_s > 0) {
+        const double remaining = deadline_s - ElapsedSeconds(start);
+        if (remaining <= 0 || !cv_.WaitFor(remaining)) {
+          // Timed out (or spuriously woken past the budget with no
+          // free slot): leave the queue and fail the query.
+          if (in_flight_ < options_.max_in_flight) break;
+          --queued_;
+          queue_depth_gauge_->Set(static_cast<double>(queued_));
+          deadline_exceeded_->Increment();
+          return Status::DeadlineExceeded(
+              "query deadline expired while queued");
+        }
+      } else {
+        cv_.Wait();
+      }
+    }
+    --queued_;
+    queue_depth_gauge_->Set(static_cast<double>(queued_));
+  }
+  ++in_flight_;
+  in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  admitted_->Increment();
+  return Status::OK();
+}
+
+void QueryFrontEnd::Release() const {
+  MutexLock lock(&mu_);
+  --in_flight_;
+  in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  cv_.Signal();
+}
+
+Status QueryFrontEnd::PrepareSearch(Clock::time_point start,
+                                    ShardedSearchOptions& options) const {
+  if (options.deadline_s <= 0) {
+    options.deadline_s = options_.default_deadline_s;
+  }
+  if (options.deadline_s > 0) {
+    const double remaining = options.deadline_s - ElapsedSeconds(start);
+    if (remaining <= 0) {
+      deadline_exceeded_->Increment();
+      return Status::DeadlineExceeded(
+          "query deadline expired before execution");
+    }
+    options.deadline_s = remaining;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> QueryFrontEnd::KNearestNeighbors(
+    PointView q, size_t k, const ShardedSearchOptions& options) const {
+  const Clock::time_point start = Clock::now();
+  ShardedSearchOptions effective = options;
+  if (effective.deadline_s <= 0) {
+    effective.deadline_s = options_.default_deadline_s;
+  }
+  IQ_RETURN_NOT_OK(Admit(start, effective.deadline_s));
+  AdmissionSlot slot{this};
+  IQ_RETURN_NOT_OK(PrepareSearch(start, effective));
+  Result<std::vector<Neighbor>> result =
+      searcher_.KNearestNeighbors(q, k, effective);
+  if (!result.ok() && result.status().IsDeadlineExceeded()) {
+    deadline_exceeded_->Increment();
+  }
+  return result;
+}
+
+Result<std::vector<Neighbor>> QueryFrontEnd::RangeSearch(
+    PointView q, double radius, const ShardedSearchOptions& options) const {
+  const Clock::time_point start = Clock::now();
+  ShardedSearchOptions effective = options;
+  if (effective.deadline_s <= 0) {
+    effective.deadline_s = options_.default_deadline_s;
+  }
+  IQ_RETURN_NOT_OK(Admit(start, effective.deadline_s));
+  AdmissionSlot slot{this};
+  IQ_RETURN_NOT_OK(PrepareSearch(start, effective));
+  Result<std::vector<Neighbor>> result =
+      searcher_.RangeSearch(q, radius, effective);
+  if (!result.ok() && result.status().IsDeadlineExceeded()) {
+    deadline_exceeded_->Increment();
+  }
+  return result;
+}
+
+Result<std::vector<PointId>> QueryFrontEnd::WindowQuery(
+    const Mbr& window, const ShardedSearchOptions& options) const {
+  const Clock::time_point start = Clock::now();
+  ShardedSearchOptions effective = options;
+  if (effective.deadline_s <= 0) {
+    effective.deadline_s = options_.default_deadline_s;
+  }
+  IQ_RETURN_NOT_OK(Admit(start, effective.deadline_s));
+  AdmissionSlot slot{this};
+  IQ_RETURN_NOT_OK(PrepareSearch(start, effective));
+  Result<std::vector<PointId>> result =
+      searcher_.WindowQuery(window, effective);
+  if (!result.ok() && result.status().IsDeadlineExceeded()) {
+    deadline_exceeded_->Increment();
+  }
+  return result;
+}
+
+}  // namespace iq

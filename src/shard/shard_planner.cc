@@ -1,0 +1,30 @@
+#include "shard/shard_planner.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/cast.h"
+
+namespace iq {
+
+ShardPlanner::ShardPlanner(ShardPlan plan, size_t num_shards, size_t plan_dim)
+    : plan_(plan), num_shards_(num_shards), plan_dim_(plan_dim) {
+  assert(num_shards >= 1);
+}
+
+size_t ShardPlanner::ShardOf(uint64_t row, PointView p) const {
+  switch (plan_) {
+    case ShardPlan::kRoundRobin:
+      return static_cast<size_t>(row % num_shards_);
+    case ShardPlan::kRankPartition: {
+      assert(plan_dim_ < p.size());
+      const float scaled =
+          p[plan_dim_] * static_cast<float>(num_shards_);
+      return ClampedCast<uint32_t>(std::floor(scaled), 0u,
+                                   static_cast<uint32_t>(num_shards_ - 1));
+    }
+  }
+  return 0;  // unreachable: all ShardPlan values handled above
+}
+
+}  // namespace iq

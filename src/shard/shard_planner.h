@@ -1,0 +1,53 @@
+#ifndef IQ_SHARD_SHARD_PLANNER_H_
+#define IQ_SHARD_SHARD_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/point.h"
+
+namespace iq {
+
+/// How points are assigned to shards at bulk-load time. The choice is
+/// recorded in the ShardManifest so tooling can explain a layout, and
+/// it decides whether MBR pruning can ever fire at query time
+/// (docs/sharding.md).
+enum class ShardPlan : uint32_t {
+  /// row i -> shard i % N. Perfectly balanced, but every shard's MBR
+  /// covers (roughly) the whole data space, so scatter-gather pruning
+  /// never skips a shard. The safe default for unknown distributions.
+  kRoundRobin = 0,
+  /// Fixed-width bins of one coordinate over the canonical unit cube:
+  /// shard = floor(p[plan_dim] * N), clamped to [0, N-1]. Shards are
+  /// spatially disjoint along plan_dim, so clustered data lets the
+  /// searcher prune whole shards by manifest-MBR MINDIST. Streaming
+  /// friendly: the assignment needs no pass over the data.
+  kRankPartition = 1,
+};
+
+/// Stateless point -> shard assignment shared by the bulk loader (to
+/// route points) and by tooling (to explain a manifest).
+class ShardPlanner {
+ public:
+  /// `plan_dim` is only meaningful for kRankPartition and must be a
+  /// valid dimension of the points later passed to ShardOf.
+  ShardPlanner(ShardPlan plan, size_t num_shards, size_t plan_dim = 0);
+
+  /// Shard index in [0, num_shards) for the point with arrival order
+  /// `row` and coordinates `p`. Coordinates outside [0, 1) (and NaN)
+  /// clamp to the nearest bin rather than invoking cast UB.
+  size_t ShardOf(uint64_t row, PointView p) const;
+
+  ShardPlan plan() const { return plan_; }
+  size_t num_shards() const { return num_shards_; }
+  size_t plan_dim() const { return plan_dim_; }
+
+ private:
+  ShardPlan plan_;
+  size_t num_shards_;
+  size_t plan_dim_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_SHARD_SHARD_PLANNER_H_

@@ -1,0 +1,108 @@
+#include "shard/sharded_bulk_loader.h"
+
+#include <limits>
+#include <span>
+#include <utility>
+
+#include "data/dataset.h"
+
+namespace iq {
+
+ShardedBulkLoader::ShardedBulkLoader(Storage& storage, std::string base_name)
+    : ShardedBulkLoader(storage, std::move(base_name), Options()) {}
+
+ShardedBulkLoader::ShardedBulkLoader(Storage& storage, std::string base_name,
+                                     const Options& options)
+    : storage_(storage),
+      base_(std::move(base_name)),
+      options_(options),
+      planner_(options.plan, options.num_shards == 0 ? 1 : options.num_shards,
+               options.plan_dim) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.batch_points == 0) options_.batch_points = 1;
+}
+
+Status ShardedBulkLoader::EnsureOpen(size_t dims) {
+  if (dims == 0) {
+    return Status::InvalidArgument("cannot shard zero-dimensional points");
+  }
+  if (options_.plan == ShardPlan::kRankPartition &&
+      options_.plan_dim >= dims) {
+    return Status::InvalidArgument("plan_dim out of range for point dims");
+  }
+  dims_ = dims;
+  shards_.resize(options_.num_shards);
+  const Dataset empty(dims);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& shard = shards_[i];
+    shard.disk = std::make_unique<DiskModel>(options_.disk);
+    IQ_ASSIGN_OR_RETURN(
+        shard.tree,
+        IqTree::Build(empty, storage_, ShardManifest::ShardIndexName(base_, i),
+                      *shard.disk, options_.tree));
+    shard.bounds = Mbr::Empty(dims);
+    shard.pending_ids.reserve(options_.batch_points);
+    shard.pending_coords.reserve(options_.batch_points * dims);
+  }
+  return Status::OK();
+}
+
+Status ShardedBulkLoader::FlushShard(ShardState& shard) {
+  if (shard.pending_ids.empty()) return Status::OK();
+  const Dataset batch(dims_, std::move(shard.pending_coords));
+  IQ_RETURN_NOT_OK(shard.tree->InsertBatch(
+      std::span<const PointId>(shard.pending_ids), batch));
+  shard.pending_ids.clear();
+  shard.pending_coords.clear();
+  return Status::OK();
+}
+
+Status ShardedBulkLoader::Add(PointView p) {
+  if (finished_) {
+    return Status::InvalidArgument("ShardedBulkLoader already finished");
+  }
+  if (shards_.empty()) IQ_RETURN_NOT_OK(EnsureOpen(p.size()));
+  if (p.size() != dims_) {
+    return Status::InvalidArgument("point dims mismatch in sharded load");
+  }
+  if (next_id_ > std::numeric_limits<PointId>::max()) {
+    return Status::OutOfRange("sharded load exceeds PointId range");
+  }
+  ShardState& shard = shards_[planner_.ShardOf(next_id_, p)];
+  shard.pending_ids.push_back(static_cast<PointId>(next_id_));
+  shard.pending_coords.insert(shard.pending_coords.end(), p.begin(), p.end());
+  shard.bounds.Extend(p);
+  ++shard.points;
+  ++next_id_;
+  if (shard.pending_ids.size() >= options_.batch_points) {
+    return FlushShard(shard);
+  }
+  return Status::OK();
+}
+
+Result<ShardManifest> ShardedBulkLoader::Finish() {
+  if (finished_) {
+    return Status::InvalidArgument("ShardedBulkLoader already finished");
+  }
+  if (next_id_ == 0) {
+    return Status::InvalidArgument(
+        "sharded load finished with no points added");
+  }
+  finished_ = true;
+  ShardManifest manifest(dims_, options_.tree.metric, planner_.plan(),
+                         planner_.plan_dim());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& shard = shards_[i];
+    IQ_RETURN_NOT_OK(FlushShard(shard));
+    if (options_.reoptimize_on_finish && shard.points > 0) {
+      IQ_RETURN_NOT_OK(shard.tree->Reoptimize());
+    }
+    IQ_RETURN_NOT_OK(shard.tree->Flush());
+    manifest.AddShard(ShardInfo{ShardManifest::ShardIndexName(base_, i),
+                                shard.points, shard.bounds});
+  }
+  IQ_RETURN_NOT_OK(manifest.Write(storage_, base_));
+  return manifest;
+}
+
+}  // namespace iq

@@ -1,0 +1,101 @@
+#ifndef IQ_SHARD_SHARDED_BULK_LOADER_H_
+#define IQ_SHARD_SHARDED_BULK_LOADER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/contract.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/iq_tree.h"
+#include "geom/mbr.h"
+#include "geom/point.h"
+#include "io/disk_model.h"
+#include "io/storage.h"
+#include "shard/shard_manifest.h"
+#include "shard/shard_planner.h"
+
+namespace iq {
+
+/// Streaming bulk load of a sharded IQ-tree layout: points are Add()ed
+/// one at a time (from any producer — a file reader, a generator), the
+/// loader routes each to its shard via ShardPlanner and inserts them in
+/// fixed-size batches, so a build never materializes the dataset in
+/// RAM. Finish() seals the shards (optional per-shard Reoptimize, then
+/// Flush) and writes the ShardManifest the searcher opens.
+///
+/// Point ids are assigned by arrival order (0, 1, 2, ...), identical to
+/// the ids a single IqTree::Build over the same stream would assign —
+/// which is what makes sharded query results bit-comparable to a
+/// single-tree run (tests/sharded_searcher_test.cc).
+///
+/// Single-writer, like every update path in this library: one thread
+/// drives Add/Finish, no internal locking (docs/concurrency.md).
+class ShardedBulkLoader {
+ public:
+  struct Options {
+    size_t num_shards = 4;
+    ShardPlan plan = ShardPlan::kRoundRobin;
+    /// Partition dimension for ShardPlan::kRankPartition.
+    size_t plan_dim = 0;
+    /// Points buffered per shard before an InsertBatch — the RAM
+    /// high-water mark is num_shards * batch_points points.
+    size_t batch_points = 4096;
+    /// Rebuild each shard's partitioning with the cost-model optimizer
+    /// after the stream ends. Insert-built trees drift from the
+    /// optimum; a bulk load wants the optimized layout.
+    bool reoptimize_on_finish = true;
+    IqTree::Options tree;
+    DiskParameters disk;
+  };
+
+  IQ_TYPESTATE("loading");
+
+  /// Shard index files are created lazily on the first Add (the
+  /// dimensionality comes from the first point). The two-argument form
+  /// uses default Options (overload rather than `= {}`: GCC rejects
+  /// brace default arguments of nested classes, bug 88165).
+  ShardedBulkLoader(Storage& storage, std::string base_name);
+  ShardedBulkLoader(Storage& storage, std::string base_name,
+                    const Options& options);
+
+  /// Routes one point to its shard. All points must share one
+  /// dimensionality; point ids follow arrival order.
+  Status Add(PointView p) IQ_TS_REQUIRES("loading");
+
+  /// Flushes every shard, optionally reoptimizes, writes and returns
+  /// the manifest (stored as `base_name`). At least one point must
+  /// have been added. The loader accepts no further Adds.
+  Result<ShardManifest> Finish() IQ_TS_TRANSITION("loading", "finished");
+
+  uint64_t points_added() const { return next_id_; }
+
+ private:
+  struct ShardState {
+    std::unique_ptr<DiskModel> disk;
+    std::unique_ptr<IqTree> tree;
+    std::vector<PointId> pending_ids;
+    std::vector<float> pending_coords;
+    Mbr bounds;
+    uint64_t points = 0;
+  };
+
+  Status EnsureOpen(size_t dims);
+  Status FlushShard(ShardState& shard);
+
+  Storage& storage_;
+  std::string base_;
+  Options options_;
+  ShardPlanner planner_;
+  size_t dims_ = 0;
+  uint64_t next_id_ = 0;
+  bool finished_ = false;
+  std::vector<ShardState> shards_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_SHARD_SHARDED_BULK_LOADER_H_

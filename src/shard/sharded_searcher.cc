@@ -1,0 +1,401 @@
+#include "shard/sharded_searcher.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "obs/metric_names.h"
+
+namespace iq {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedSeconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool DeadlineExpired(Clock::time_point start, double deadline_s) {
+  return deadline_s > 0 && ElapsedSeconds(start) >= deadline_s;
+}
+
+/// Merge order ties break on id so the facade's output is a total
+/// order, bit-stable across shard counts and thread counts.
+bool ByDistanceThenId(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+/// Max-heap comparator (front = current kth / worst retained neighbor).
+bool HeapByDistance(const Neighbor& a, const Neighbor& b) {
+  return a.distance < b.distance;
+}
+
+void AddQueryStats(IqTree::QueryStats& totals,
+                   const IqTree::QueryStats& shard) {
+  totals.pages_decoded += shard.pages_decoded;
+  totals.blocks_transferred += shard.blocks_transferred;
+  totals.batches += shard.batches;
+  totals.refinements += shard.refinements;
+  totals.cells_enqueued += shard.cells_enqueued;
+}
+
+}  // namespace
+
+ShardedSearcher::ShardedSearcher(const ShardManifest& manifest,
+                                 const Options& options)
+    : dims_(manifest.dims()),
+      metric_(manifest.metric()),
+      total_points_(manifest.total_points()),
+      pool_(std::make_unique<ThreadPool>(
+          options.threads == 0 ? 1 : options.threads)),
+      fanout_(obs::MetricRegistry::Global().GetCounter(
+          obs::metric::kShardFanoutTotal)),
+      queried_(obs::MetricRegistry::Global().GetCounter(
+          obs::metric::kShardQueriedTotal)),
+      pruned_(obs::MetricRegistry::Global().GetCounter(
+          obs::metric::kShardPrunedTotal)),
+      deadline_(obs::MetricRegistry::Global().GetCounter(
+          obs::metric::kShardDeadlineExceededTotal)) {}
+
+Result<std::unique_ptr<ShardedSearcher>> ShardedSearcher::Open(
+    Storage& storage, const ShardManifest& manifest) {
+  return Open(storage, manifest, Options());
+}
+
+Result<std::unique_ptr<ShardedSearcher>> ShardedSearcher::Open(
+    Storage& storage, const ShardManifest& manifest, const Options& options) {
+  IQ_RETURN_NOT_OK(manifest.Validate());
+  std::unique_ptr<ShardedSearcher> searcher(
+      new ShardedSearcher(manifest, options));
+  searcher->shards_.reserve(manifest.num_shards());
+  for (size_t i = 0; i < manifest.num_shards(); ++i) {
+    const ShardInfo& info = manifest.shards()[i];
+    Shard shard;
+    shard.disk = std::make_unique<DiskModel>(options.disk);
+    IQ_ASSIGN_OR_RETURN(shard.tree,
+                        IqTree::Open(storage, info.name, *shard.disk));
+    if (shard.tree->dims() != manifest.dims()) {
+      return Status::Corruption("shard " + info.name +
+                                " dims disagree with manifest");
+    }
+    if (shard.tree->size() != info.points) {
+      return Status::Corruption("shard " + info.name +
+                                " point count disagrees with manifest");
+    }
+    if (options.cache_blocks_per_shard > 0) {
+      shard.cache = std::make_unique<BlockCache>(
+          options.disk.block_size, options.cache_blocks_per_shard);
+      shard.tree->set_block_cache(shard.cache.get());
+    }
+    shard.bounds = info.bounds;
+    shard.points = info.points;
+    shard.queries = obs::MetricRegistry::Global().GetCounter(
+        obs::metric::PerShardMetricName(obs::metric::kShardQueriesTotal, i));
+    const obs::CostBreakdown cost = shard.tree->PredictCost();
+    searcher->predicted_.t1 += cost.t1;
+    searcher->predicted_.t2 += cost.t2;
+    searcher->predicted_.t3 += cost.t3;
+    searcher->shards_.push_back(std::move(shard));
+  }
+  return searcher;
+}
+
+void ShardedSearcher::FinishQuery(const ShardQueryStats& agg) const {
+  fanout_->Increment();
+  queried_->Add(agg.shards_queried);
+  pruned_->Add(agg.shards_pruned);
+  MutexLock lock(&query_stats_mu_);
+  last_query_stats_ = agg;
+}
+
+Result<std::vector<Neighbor>> ShardedSearcher::KNearestNeighbors(
+    PointView q, size_t k, const ShardedSearchOptions& options) const {
+  const Clock::time_point start = Clock::now();
+  if (q.size() != dims_) {
+    return Status::InvalidArgument("query dims mismatch in sharded knn");
+  }
+  if (k == 0) return std::vector<Neighbor>{};
+
+  ShardQueryStats agg;
+  agg.shards_total = shards_.size();
+  std::vector<Candidate> candidates;
+  candidates.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].points == 0) {
+      ++agg.shards_pruned;
+      continue;
+    }
+    candidates.push_back(Candidate{MinDist(q, shards_[i].bounds, metric_), i});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.mindist != b.mindist) return a.mindist < b.mindist;
+              return a.index < b.index;
+            });
+
+  obs::QueryTracer* tracer = options.tracer;
+  std::unique_ptr<obs::QueryTracer> owned_tracer;
+  if (tracer == nullptr && options.slow_log != nullptr) {
+    owned_tracer = std::make_unique<obs::QueryTracer>();
+    tracer = owned_tracer.get();
+  }
+
+  std::vector<Neighbor> heap;
+  heap.reserve(k);
+  Status error;
+  {
+    obs::ScopedSpan root(tracer, "sharded_knn");
+    IqSearchOptions shard_options;
+    shard_options.optimized_access = options.optimized_access;
+    shard_options.tracer = tracer;
+
+    const size_t wave_width = pool_->num_threads();
+    size_t next = 0;
+    while (next < candidates.size() && error.ok()) {
+      if (DeadlineExpired(start, options.deadline_s)) {
+        deadline_->Increment();
+        error = Status::DeadlineExceeded("sharded knn deadline exceeded");
+        break;
+      }
+      // Candidates are sorted by MINDIST: once the heap holds k
+      // neighbors and the next shard's MINDIST reaches the global kth
+      // distance, that shard and everything after it can only produce
+      // neighbors the single tree's AddResult would reject too.
+      if (heap.size() == k &&
+          candidates[next].mindist >= heap.front().distance) {
+        agg.shards_pruned += candidates.size() - next;
+        break;
+      }
+      const size_t wave_end =
+          std::min(candidates.size(), next + wave_width);
+      std::vector<std::future<WorkerOut>> futures;
+      futures.reserve(wave_end - next);
+      for (size_t j = next; j < wave_end; ++j) {
+        const Shard& shard = shards_[candidates[j].index];
+        futures.push_back(pool_->Submit([&shard, q, k, shard_options]() {
+          WorkerOut out;
+          const double t0 = shard.disk->Now();
+          Result<std::vector<Neighbor>> r =
+              shard.tree->KNearestNeighbors(q, k, shard_options);
+          out.io_s = shard.disk->Now() - t0;
+          out.stats = shard.tree->last_query_stats();
+          if (r.ok()) {
+            out.neighbors = std::move(r).value();
+          } else {
+            out.status = r.status();
+          }
+          return out;
+        }));
+      }
+      // Gather in submission order: the merge below is then a pure
+      // function of the candidate order, never of thread timing.
+      for (size_t j = next; j < wave_end; ++j) {
+        WorkerOut out = futures[j - next].get();
+        ++agg.shards_queried;
+        shards_[candidates[j].index].queries->Increment();
+        if (!out.status.ok()) {
+          if (error.ok()) error = out.status;
+          continue;
+        }
+        AddQueryStats(agg.totals, out.stats);
+        agg.io_s_sum += out.io_s;
+        agg.io_s_max = std::max(agg.io_s_max, out.io_s);
+        for (const Neighbor& n : out.neighbors) {
+          if (heap.size() < k) {
+            heap.push_back(n);
+            std::push_heap(heap.begin(), heap.end(), HeapByDistance);
+          } else if (n.distance < heap.front().distance) {
+            std::pop_heap(heap.begin(), heap.end(), HeapByDistance);
+            heap.back() = n;
+            std::push_heap(heap.begin(), heap.end(), HeapByDistance);
+          }
+        }
+      }
+      next = wave_end;
+    }
+  }
+
+  if (tracer != nullptr) {
+    agg.dropped_spans = tracer->dropped();
+    agg.truncated = agg.dropped_spans > 0;
+  }
+  if (options.slow_log != nullptr && tracer != nullptr) {
+    options.slow_log->Offer(tracer->Snapshot(), obs::kNoSpan, predicted_,
+                            agg.dropped_spans);
+  }
+  FinishQuery(agg);
+  if (!error.ok()) return error;
+  std::sort(heap.begin(), heap.end(), ByDistanceThenId);
+  return heap;
+}
+
+Result<std::vector<Neighbor>> ShardedSearcher::RangeSearch(
+    PointView q, double radius, const ShardedSearchOptions& options) const {
+  const Clock::time_point start = Clock::now();
+  if (q.size() != dims_) {
+    return Status::InvalidArgument("query dims mismatch in sharded range");
+  }
+  if (radius < 0) {
+    return Status::InvalidArgument("negative range radius");
+  }
+
+  ShardQueryStats agg;
+  agg.shards_total = shards_.size();
+  std::vector<Candidate> candidates;
+  candidates.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].points == 0 ||
+        MinDist(q, shards_[i].bounds, metric_) > radius) {
+      ++agg.shards_pruned;
+      continue;
+    }
+    candidates.push_back(Candidate{0, i});
+  }
+
+  obs::QueryTracer* tracer = options.tracer;
+  std::unique_ptr<obs::QueryTracer> owned_tracer;
+  if (tracer == nullptr && options.slow_log != nullptr) {
+    owned_tracer = std::make_unique<obs::QueryTracer>();
+    tracer = owned_tracer.get();
+  }
+
+  std::vector<Neighbor> results;
+  Status error;
+  {
+    obs::ScopedSpan root(tracer, "sharded_range");
+    IqSearchOptions shard_options;
+    shard_options.optimized_access = options.optimized_access;
+    shard_options.tracer = tracer;
+
+    const size_t wave_width = pool_->num_threads();
+    size_t next = 0;
+    while (next < candidates.size() && error.ok()) {
+      if (DeadlineExpired(start, options.deadline_s)) {
+        deadline_->Increment();
+        error = Status::DeadlineExceeded("sharded range deadline exceeded");
+        break;
+      }
+      const size_t wave_end =
+          std::min(candidates.size(), next + wave_width);
+      std::vector<std::future<WorkerOut>> futures;
+      futures.reserve(wave_end - next);
+      for (size_t j = next; j < wave_end; ++j) {
+        const Shard& shard = shards_[candidates[j].index];
+        futures.push_back(
+            pool_->Submit([&shard, q, radius, shard_options]() {
+              WorkerOut out;
+              const double t0 = shard.disk->Now();
+              Result<std::vector<Neighbor>> r =
+                  shard.tree->RangeSearch(q, radius, shard_options);
+              out.io_s = shard.disk->Now() - t0;
+              out.stats = shard.tree->last_query_stats();
+              if (r.ok()) {
+                out.neighbors = std::move(r).value();
+              } else {
+                out.status = r.status();
+              }
+              return out;
+            }));
+      }
+      for (size_t j = next; j < wave_end; ++j) {
+        WorkerOut out = futures[j - next].get();
+        ++agg.shards_queried;
+        shards_[candidates[j].index].queries->Increment();
+        if (!out.status.ok()) {
+          if (error.ok()) error = out.status;
+          continue;
+        }
+        AddQueryStats(agg.totals, out.stats);
+        agg.io_s_sum += out.io_s;
+        agg.io_s_max = std::max(agg.io_s_max, out.io_s);
+        results.insert(results.end(), out.neighbors.begin(),
+                       out.neighbors.end());
+      }
+      next = wave_end;
+    }
+  }
+
+  if (tracer != nullptr) {
+    agg.dropped_spans = tracer->dropped();
+    agg.truncated = agg.dropped_spans > 0;
+  }
+  if (options.slow_log != nullptr && tracer != nullptr) {
+    options.slow_log->Offer(tracer->Snapshot(), obs::kNoSpan, predicted_,
+                            agg.dropped_spans);
+  }
+  FinishQuery(agg);
+  if (!error.ok()) return error;
+  std::sort(results.begin(), results.end(), ByDistanceThenId);
+  return results;
+}
+
+Result<std::vector<PointId>> ShardedSearcher::WindowQuery(
+    const Mbr& window, const ShardedSearchOptions& options) const {
+  const Clock::time_point start = Clock::now();
+  if (window.dims() != dims_) {
+    return Status::InvalidArgument("window dims mismatch in sharded query");
+  }
+
+  ShardQueryStats agg;
+  agg.shards_total = shards_.size();
+  std::vector<Candidate> candidates;
+  candidates.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].points == 0 || !shards_[i].bounds.Intersects(window)) {
+      ++agg.shards_pruned;
+      continue;
+    }
+    candidates.push_back(Candidate{0, i});
+  }
+
+  std::vector<PointId> ids;
+  Status error;
+  const size_t wave_width = pool_->num_threads();
+  size_t next = 0;
+  while (next < candidates.size() && error.ok()) {
+    if (DeadlineExpired(start, options.deadline_s)) {
+      deadline_->Increment();
+      error = Status::DeadlineExceeded("sharded window deadline exceeded");
+      break;
+    }
+    const size_t wave_end = std::min(candidates.size(), next + wave_width);
+    std::vector<std::future<WorkerOut>> futures;
+    futures.reserve(wave_end - next);
+    for (size_t j = next; j < wave_end; ++j) {
+      const Shard& shard = shards_[candidates[j].index];
+      futures.push_back(pool_->Submit([&shard, &window]() {
+        WorkerOut out;
+        const double t0 = shard.disk->Now();
+        Result<std::vector<PointId>> r = shard.tree->WindowQuery(window);
+        out.io_s = shard.disk->Now() - t0;
+        if (r.ok()) {
+          out.ids = std::move(r).value();
+        } else {
+          out.status = r.status();
+        }
+        return out;
+      }));
+    }
+    for (size_t j = next; j < wave_end; ++j) {
+      WorkerOut out = futures[j - next].get();
+      ++agg.shards_queried;
+      shards_[candidates[j].index].queries->Increment();
+      if (!out.status.ok()) {
+        if (error.ok()) error = out.status;
+        continue;
+      }
+      agg.io_s_sum += out.io_s;
+      agg.io_s_max = std::max(agg.io_s_max, out.io_s);
+      ids.insert(ids.end(), out.ids.begin(), out.ids.end());
+    }
+    next = wave_end;
+  }
+
+  FinishQuery(agg);
+  if (!error.ok()) return error;
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace iq

@@ -1,0 +1,201 @@
+#ifndef IQ_SHARD_SHARDED_SEARCHER_H_
+#define IQ_SHARD_SHARDED_SEARCHER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/contract.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "concurrency/thread_pool.h"
+#include "core/iq_tree.h"
+#include "geom/mbr.h"
+#include "geom/metrics.h"
+#include "geom/neighbor.h"
+#include "geom/point.h"
+#include "io/block_cache.h"
+#include "io/disk_model.h"
+#include "io/storage.h"
+#include "obs/calibration.h"
+#include "obs/metrics.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
+#include "shard/shard_manifest.h"
+
+namespace iq {
+
+/// Per-query options of the sharded facade — the sharded analogue of
+/// IqSearchOptions, plus a deadline.
+struct ShardedSearchOptions {
+  /// Forwarded to every per-shard search (IqSearchOptions).
+  bool optimized_access = true;
+  /// Optional trace sink shared by all shards of the query. Per-shard
+  /// searches record their span trees as additional roots next to the
+  /// facade's `sharded_*` root (IqTree cannot parent its root under an
+  /// external span) — AggregateSpans still sees every span.
+  obs::QueryTracer* tracer = nullptr;
+  /// Optional slow-query sink. As with IqSearchOptions, when no
+  /// `tracer` is set the query runs with a private tracer shared by the
+  /// whole fan-out, and the finished query is offered once with the
+  /// facade's aggregate trace (root = kNoSpan: every span counts).
+  /// When the caller supplies both a shared tracer and a slow log, the
+  /// offered record covers everything in the shared tracer, not just
+  /// this query — prefer the private-tracer mode for attribution.
+  obs::SlowQueryLog* slow_log = nullptr;
+  /// Wall-clock budget in seconds from query start; 0 disables. The
+  /// deadline is checked between fan-out waves (a running per-shard
+  /// search is never interrupted); an expired query returns
+  /// Status::DeadlineExceeded and no partial results.
+  double deadline_s = 0;
+};
+
+/// Aggregated observability counters of the most recent sharded query,
+/// the facade-level analogue of IqTree::QueryStats.
+struct ShardQueryStats {
+  size_t shards_total = 0;
+  /// Shards whose IQ-tree actually ran the query.
+  size_t shards_queried = 0;
+  /// Shards skipped by manifest-MBR pruning (MINDIST >= current kth
+  /// distance / radius, window disjointness, or empty shards).
+  size_t shards_pruned = 0;
+  /// Sums of the per-shard QueryStats (kNN/range only; WindowQuery
+  /// does not report per-query stats in the single tree either).
+  IqTree::QueryStats totals;
+  /// Simulated I/O seconds: sum over queried shards, and the largest
+  /// single shard (the critical path of a perfectly parallel gather).
+  double io_s_sum = 0;
+  double io_s_max = 0;
+  /// Spans the query's tracer dropped at its cap — sharded fan-out
+  /// multiplies span volume, so this propagates per-shard truncation
+  /// into the aggregate (and into the slow log's truncated flag).
+  uint64_t dropped_spans = 0;
+  bool truncated = false;
+};
+
+/// Scatter-gather query facade over the shards of a ShardManifest:
+/// opens every shard's IQ-tree (each with its own DiskModel and
+/// optional BlockCache), fans queries out on an internal ThreadPool,
+/// prunes shards by manifest-MBR MINDIST against the current global
+/// kth distance, and merges per-shard results into one exact answer.
+///
+/// Correctness contract (tests/sharded_searcher_test.cc): results are
+/// bit-identical to a single IqTree built over the same point stream —
+/// kNN and range ascending by (distance, id), window ids ascending.
+///
+/// Thread-safety: const queries are safe concurrently (every mutable
+/// piece is internally synchronized); last_query_stats() then reports
+/// some recent query's aggregate, as with IqTree.
+class ShardedSearcher {
+ public:
+  struct Options {
+    /// Fan-out width (ThreadPool workers; minimum 1). Result contents
+    /// never depend on it, only scheduling does.
+    size_t threads = 4;
+    /// Disk parameters for every per-shard DiskModel.
+    DiskParameters disk;
+    /// Per-shard BlockCache capacity in blocks; 0 disables caching.
+    size_t cache_blocks_per_shard = 0;
+  };
+
+  /// Opens every shard listed in `manifest` from `storage`. The
+  /// two-argument form uses default Options (overload rather than
+  /// `= {}`: GCC rejects brace default arguments of nested classes,
+  /// bug 88165).
+  static Result<std::unique_ptr<ShardedSearcher>> Open(
+      Storage& storage, const ShardManifest& manifest);
+  static Result<std::unique_ptr<ShardedSearcher>> Open(
+      Storage& storage, const ShardManifest& manifest,
+      const Options& options);
+
+  ShardedSearcher(const ShardedSearcher&) = delete;
+  ShardedSearcher& operator=(const ShardedSearcher&) = delete;
+
+  /// Exact k nearest neighbors, ascending by (distance, id).
+  Result<std::vector<Neighbor>> KNearestNeighbors(
+      PointView q, size_t k, const ShardedSearchOptions& options = {}) const;
+
+  /// All points within `radius` of `q`, ascending by (distance, id).
+  Result<std::vector<Neighbor>> RangeSearch(
+      PointView q, double radius,
+      const ShardedSearchOptions& options = {}) const;
+
+  /// All point ids inside the window (inclusive bounds), ascending.
+  Result<std::vector<PointId>> WindowQuery(
+      const Mbr& window, const ShardedSearchOptions& options = {}) const;
+
+  ShardQueryStats last_query_stats() const IQ_EXCLUDES(query_stats_mu_) {
+    MutexLock lock(&query_stats_mu_);
+    return last_query_stats_;
+  }
+  void ResetQueryStats() const IQ_EXCLUDES(query_stats_mu_) {
+    MutexLock lock(&query_stats_mu_);
+    last_query_stats_ = ShardQueryStats{};
+  }
+
+  /// Sum of the per-shard cost-model predictions — the "predicted"
+  /// side each slow-log offer carries.
+  const obs::CostBreakdown& predicted_cost() const { return predicted_; }
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t dims() const { return dims_; }
+  Metric metric() const { return metric_; }
+  uint64_t size() const { return total_points_; }
+  const IqTree& shard_tree(size_t shard) const { return *shards_[shard].tree; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<DiskModel> disk;
+    std::unique_ptr<BlockCache> cache;
+    std::unique_ptr<IqTree> tree;
+    Mbr bounds;
+    uint64_t points = 0;
+    obs::Counter* queries = nullptr;
+  };
+
+  /// A shard that survived pruning, ordered by (mindist, index).
+  struct Candidate {
+    double mindist = 0;
+    size_t index = 0;
+  };
+
+  /// What one fan-out worker brings back from its shard.
+  struct WorkerOut {
+    Status status;
+    std::vector<Neighbor> neighbors;
+    std::vector<PointId> ids;
+    IqTree::QueryStats stats;
+    double io_s = 0;
+  };
+
+  ShardedSearcher(const ShardManifest& manifest, const Options& options);
+
+  /// Publishes the aggregate stats and bumps the facade counters.
+  void FinishQuery(const ShardQueryStats& agg) const
+      IQ_EXCLUDES(query_stats_mu_);
+
+  const size_t dims_;
+  const Metric metric_;
+  const uint64_t total_points_;
+  std::vector<Shard> shards_
+      IQ_UNGUARDED("filled in Open, immutable afterwards; per-shard state is internally synchronized");
+  std::unique_ptr<ThreadPool> pool_
+      IQ_UNGUARDED("internally synchronized");
+  obs::CostBreakdown predicted_
+      IQ_UNGUARDED("written once in Open, read-only afterwards");
+  obs::Counter* const fanout_;
+  obs::Counter* const queried_;
+  obs::Counter* const pruned_;
+  obs::Counter* const deadline_;
+
+  mutable Mutex query_stats_mu_{IQ_LOCK_RANK(8)};
+  mutable ShardQueryStats last_query_stats_ IQ_GUARDED_BY(query_stats_mu_);
+};
+
+}  // namespace iq
+
+#endif  // IQ_SHARD_SHARDED_SEARCHER_H_

@@ -35,6 +35,18 @@ trap 'rm -rf "$DIR"' EXIT
 "$IQTOOL" reopt --dir "$DIR" --index idx | grep -q "reoptimized"
 "$IQTOOL" validate --dir "$DIR" --index idx | grep -q "^OK"
 
+# Sharded layout: build a manifest, then both stats/health spellings.
+"$IQTOOL" shard build --dir "$DIR" --dataset ds --manifest m --shards 3 \
+    --plan rank | grep -q "built 3 shards over 3000 points"
+"$IQTOOL" shard stats --dir "$DIR" --manifest m \
+    | grep -q "points:       3000"
+"$IQTOOL" shard stats --dir "$DIR" --manifest m --json \
+    | grep -q '"per_shard"'
+"$IQTOOL" stats --dir "$DIR" --manifest m --json | grep -q '"aggregate"'
+"$IQTOOL" shard health --dir "$DIR" --manifest m \
+    | grep -q "points / pages:     3000"
+"$IQTOOL" health --dir "$DIR" --manifest m --json | grep -q '"per_shard"'
+
 # Error paths exit non-zero.
 if "$IQTOOL" query --dir "$DIR" --index missing --point 0.5 2>/dev/null; then
   echo "expected failure for missing index" >&2

@@ -1,0 +1,172 @@
+#include "shard/query_front_end.h"
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "io/disk_model.h"
+#include "io/storage.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "shard/sharded_bulk_loader.h"
+#include "shard/sharded_searcher.h"
+
+namespace iq {
+namespace {
+
+struct Fixture {
+  MemoryStorage storage;
+  Dataset data;
+  Dataset queries;
+  std::unique_ptr<ShardedSearcher> searcher;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  f.data = GenerateUniform(160, 4, 41);
+  f.queries = f.data.TakeTail(8);
+  ShardedBulkLoader::Options loader_options;
+  loader_options.num_shards = 3;
+  ShardedBulkLoader loader(f.storage, "fe", loader_options);
+  for (size_t i = 0; i < f.data.size(); ++i) {
+    EXPECT_TRUE(loader.Add(f.data[i]).ok());
+  }
+  auto manifest = loader.Finish();
+  EXPECT_TRUE(manifest.ok()) << manifest.status().ToString();
+  auto searcher = ShardedSearcher::Open(f.storage, *manifest);
+  EXPECT_TRUE(searcher.ok()) << searcher.status().ToString();
+  f.searcher = std::move(searcher).value();
+  return f;
+}
+
+TEST(QueryFrontEndTest, PassesQueriesThroughUnchanged) {
+  Fixture f = MakeFixture();
+  QueryFrontEnd front_end(*f.searcher);
+  for (size_t qi = 0; qi < f.queries.size(); ++qi) {
+    const PointView q = f.queries[qi];
+    auto direct = f.searcher->KNearestNeighbors(q, 7);
+    auto admitted = front_end.KNearestNeighbors(q, 7);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+    EXPECT_EQ(*direct, *admitted);
+  }
+  auto range = front_end.RangeSearch(f.queries[0], 0.4);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(*range, *f.searcher->RangeSearch(f.queries[0], 0.4));
+  const Mbr window = Mbr::FromBounds(std::vector<float>(4, 0.1f),
+                                     std::vector<float>(4, 0.8f));
+  auto ids = front_end.WindowQuery(window);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, *f.searcher->WindowQuery(window));
+  EXPECT_EQ(front_end.in_flight(), 0u);
+  EXPECT_EQ(front_end.queued(), 0u);
+}
+
+TEST(QueryFrontEndTest, RejectsWhenQueueIsFull) {
+  Fixture f = MakeFixture();
+  // max_in_flight = 0 admits nothing, max_queued = 0 queues nobody:
+  // every query is rejected immediately — deterministically.
+  QueryFrontEnd front_end(*f.searcher,
+                          QueryFrontEnd::Options{/*max_in_flight=*/0,
+                                                 /*max_queued=*/0,
+                                                 /*default_deadline_s=*/0});
+  const uint64_t rejected_before =
+      obs::MetricRegistry::Global()
+          .GetCounter(obs::metric::kFrontendRejectedTotal)
+          ->Value();
+  auto result = front_end.KNearestNeighbors(f.queries[0], 3);
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+  if (obs::kEnabled) {
+    EXPECT_EQ(obs::MetricRegistry::Global()
+                  .GetCounter(obs::metric::kFrontendRejectedTotal)
+                  ->Value(),
+              rejected_before + 1);
+  }
+}
+
+TEST(QueryFrontEndTest, QueuedQueryFailsWhenDeadlineExpires) {
+  Fixture f = MakeFixture();
+  // A slot never frees (max_in_flight = 0), so the queued caller can
+  // only leave via its deadline.
+  QueryFrontEnd::Options options;
+  options.max_in_flight = 0;
+  options.max_queued = 1;
+  options.default_deadline_s = 0.02;
+  QueryFrontEnd front_end(*f.searcher, options);
+  auto result = front_end.KNearestNeighbors(f.queries[0], 3);
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_EQ(front_end.queued(), 0u);
+  EXPECT_EQ(front_end.in_flight(), 0u);
+}
+
+TEST(QueryFrontEndTest, PerQueryDeadlineOverridesDefault) {
+  Fixture f = MakeFixture();
+  QueryFrontEnd::Options options;
+  options.max_in_flight = 0;
+  options.max_queued = 1;
+  options.default_deadline_s = 3600;  // would hang without the override
+  QueryFrontEnd front_end(*f.searcher, options);
+  ShardedSearchOptions query_options;
+  query_options.deadline_s = 0.02;
+  auto result = front_end.KNearestNeighbors(f.queries[0], 3, query_options);
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+}
+
+TEST(QueryFrontEndTest, ConcurrentQueriesAllSucceedWithinBounds) {
+  Fixture f = MakeFixture();
+  QueryFrontEnd::Options options;
+  options.max_in_flight = 2;
+  options.max_queued = 64;  // wide enough that nobody is rejected
+  QueryFrontEnd front_end(*f.searcher, options);
+
+  std::vector<std::vector<Neighbor>> expected;
+  for (size_t qi = 0; qi < f.queries.size(); ++qi) {
+    auto r = f.searcher->KNearestNeighbors(f.queries[qi], 5);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(*r);
+  }
+
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < 5; ++round) {
+        const size_t qi = (t + round) % f.queries.size();
+        auto r = front_end.KNearestNeighbors(f.queries[qi], 5);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+        } else if (*r != expected[qi]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(front_end.in_flight(), 0u);
+  EXPECT_EQ(front_end.queued(), 0u);
+}
+
+TEST(QueryFrontEndTest, CountsAdmissionsInRegistry) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  Fixture f = MakeFixture();
+  QueryFrontEnd front_end(*f.searcher);
+  auto* admitted = obs::MetricRegistry::Global().GetCounter(
+      obs::metric::kFrontendAdmittedTotal);
+  const uint64_t before = admitted->Value();
+  ASSERT_TRUE(front_end.KNearestNeighbors(f.queries[0], 3).ok());
+  ASSERT_TRUE(front_end.RangeSearch(f.queries[0], 0.3).ok());
+  EXPECT_EQ(admitted->Value(), before + 2);
+}
+
+}  // namespace
+}  // namespace iq

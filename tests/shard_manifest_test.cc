@@ -1,0 +1,178 @@
+#include "shard/shard_manifest.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/storage.h"
+#include "shard/shard_planner.h"
+
+namespace iq {
+namespace {
+
+TEST(ShardPlannerTest, RoundRobinCycles) {
+  ShardPlanner planner(ShardPlan::kRoundRobin, 3);
+  const float coords[2] = {0.5f, 0.5f};
+  const PointView p(coords, 2);
+  for (uint64_t row = 0; row < 12; ++row) {
+    EXPECT_EQ(planner.ShardOf(row, p), row % 3);
+  }
+}
+
+TEST(ShardPlannerTest, RankPartitionBinsByPlanDimension) {
+  ShardPlanner planner(ShardPlan::kRankPartition, 4, 1);
+  auto shard_of = [&](float x) {
+    const float coords[2] = {0.99f, x};
+    return planner.ShardOf(0, PointView(coords, 2));
+  };
+  EXPECT_EQ(shard_of(0.0f), 0u);
+  EXPECT_EQ(shard_of(0.24f), 0u);
+  EXPECT_EQ(shard_of(0.25f), 1u);
+  EXPECT_EQ(shard_of(0.6f), 2u);
+  EXPECT_EQ(shard_of(0.99f), 3u);
+}
+
+TEST(ShardPlannerTest, RankPartitionClampsOutOfRangeInputs) {
+  ShardPlanner planner(ShardPlan::kRankPartition, 4, 0);
+  auto shard_of = [&](float x) {
+    const float coords[1] = {x};
+    return planner.ShardOf(0, PointView(coords, 1));
+  };
+  // The canonical data space is [0, 1], but stray inputs must clamp to
+  // a valid shard instead of invoking float->int cast UB.
+  EXPECT_EQ(shard_of(1.0f), 3u);
+  EXPECT_EQ(shard_of(7.5f), 3u);
+  EXPECT_EQ(shard_of(-2.0f), 0u);
+  EXPECT_EQ(shard_of(std::numeric_limits<float>::quiet_NaN()), 0u);
+}
+
+ShardManifest MakeManifest() {
+  ShardManifest manifest(2, Metric::kL2, ShardPlan::kRankPartition, 1);
+  manifest.AddShard(ShardInfo{
+      "base_s0", 10,
+      Mbr::FromBounds({0.0f, 0.0f}, {0.5f, 0.4f})});
+  manifest.AddShard(ShardInfo{"base_s1", 0, Mbr::Empty(2)});
+  manifest.AddShard(ShardInfo{
+      "base_s2", 7,
+      Mbr::FromBounds({0.5f, 0.6f}, {1.0f, 1.0f})});
+  return manifest;
+}
+
+TEST(ShardManifestTest, RoundTripsThroughStorage) {
+  MemoryStorage storage;
+  const ShardManifest manifest = MakeManifest();
+  ASSERT_TRUE(manifest.Write(storage, "manifest").ok());
+
+  Result<ShardManifest> read = ShardManifest::Read(storage, "manifest");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->dims(), 2u);
+  EXPECT_EQ(read->metric(), Metric::kL2);
+  EXPECT_EQ(read->plan(), ShardPlan::kRankPartition);
+  EXPECT_EQ(read->plan_dim(), 1u);
+  EXPECT_EQ(read->total_points(), 17u);
+  ASSERT_EQ(read->num_shards(), 3u);
+  EXPECT_EQ(read->shards()[0].name, "base_s0");
+  EXPECT_EQ(read->shards()[0].points, 10u);
+  EXPECT_EQ(read->shards()[0].bounds,
+            Mbr::FromBounds({0.0f, 0.0f}, {0.5f, 0.4f}));
+  // The empty shard's inverted bounds round-trip back to Empty.
+  EXPECT_EQ(read->shards()[1].points, 0u);
+  EXPECT_TRUE(read->shards()[1].bounds.IsEmpty());
+  EXPECT_EQ(read->shards()[2].bounds,
+            Mbr::FromBounds({0.5f, 0.6f}, {1.0f, 1.0f}));
+  EXPECT_TRUE(read->Validate().ok());
+}
+
+TEST(ShardManifestTest, ShardIndexNameIsStable) {
+  EXPECT_EQ(ShardManifest::ShardIndexName("idx", 0), "idx_s0");
+  EXPECT_EQ(ShardManifest::ShardIndexName("idx", 12), "idx_s12");
+}
+
+TEST(ShardManifestTest, ValidateRejectsStructuralProblems) {
+  // Zero dims.
+  EXPECT_TRUE(ShardManifest().Validate().IsInvalidArgument());
+  // No shards.
+  ShardManifest empty(2, Metric::kL2, ShardPlan::kRoundRobin, 0);
+  EXPECT_TRUE(empty.Validate().IsInvalidArgument());
+  // plan_dim out of range for a rank partition.
+  ShardManifest bad_dim(2, Metric::kL2, ShardPlan::kRankPartition, 5);
+  bad_dim.AddShard(ShardInfo{"s0", 1, Mbr::UnitCube(2)});
+  EXPECT_TRUE(bad_dim.Validate().IsInvalidArgument());
+  // Empty shard name.
+  ShardManifest bad_name(2, Metric::kL2, ShardPlan::kRoundRobin, 0);
+  bad_name.AddShard(ShardInfo{"", 1, Mbr::UnitCube(2)});
+  EXPECT_TRUE(bad_name.Validate().IsInvalidArgument());
+  // Bounds dimensionality mismatch.
+  ShardManifest bad_bounds(2, Metric::kL2, ShardPlan::kRoundRobin, 0);
+  bad_bounds.AddShard(ShardInfo{"s0", 1, Mbr::UnitCube(3)});
+  EXPECT_TRUE(bad_bounds.Validate().IsInvalidArgument());
+}
+
+TEST(ShardManifestTest, ReadRejectsBadMagicAndVersion) {
+  MemoryStorage storage;
+  ASSERT_TRUE(MakeManifest().Write(storage, "manifest").ok());
+  auto file = storage.Open("manifest");
+  ASSERT_TRUE(file.ok());
+
+  const uint32_t bad_magic = 0xDEADBEEF;
+  ASSERT_TRUE((*file)->Write(0, sizeof(bad_magic), &bad_magic).ok());
+  EXPECT_TRUE(ShardManifest::Read(storage, "manifest").status().IsCorruption());
+
+  ASSERT_TRUE(MakeManifest().Write(storage, "manifest").ok());
+  // Rewriting replaced the file: reopen before tampering again.
+  file = storage.Open("manifest");
+  ASSERT_TRUE(file.ok());
+  const uint32_t bad_version = 99;
+  ASSERT_TRUE((*file)->Write(4, sizeof(bad_version), &bad_version).ok());
+  EXPECT_TRUE(ShardManifest::Read(storage, "manifest").status().IsCorruption());
+}
+
+TEST(ShardManifestTest, ReadRejectsTamperedTotals) {
+  MemoryStorage storage;
+  ASSERT_TRUE(MakeManifest().Write(storage, "manifest").ok());
+  auto file = storage.Open("manifest");
+  ASSERT_TRUE(file.ok());
+  // total_points lives at byte 32 of the fixed header.
+  const uint64_t wrong_total = 9999;
+  ASSERT_TRUE((*file)->Write(32, sizeof(wrong_total), &wrong_total).ok());
+  EXPECT_TRUE(ShardManifest::Read(storage, "manifest").status().IsCorruption());
+}
+
+TEST(ShardManifestTest, ReadRejectsTruncation) {
+  MemoryStorage storage;
+  ASSERT_TRUE(MakeManifest().Write(storage, "manifest").ok());
+  auto file = storage.Open("manifest");
+  ASSERT_TRUE(file.ok());
+  const uint64_t full = (*file)->Size();
+  // Every proper prefix must fail as Corruption, never crash.
+  for (uint64_t size : {full - 1, full / 2, uint64_t{40}, uint64_t{8},
+                        uint64_t{0}}) {
+    MemoryStorage truncated_storage;
+    std::vector<uint8_t> bytes(full);
+    ASSERT_TRUE((*file)->Read(0, full, bytes.data()).ok());
+    auto copy = truncated_storage.Create("manifest");
+    ASSERT_TRUE(copy.ok());
+    ASSERT_TRUE((*copy)->Write(0, size, bytes.data()).ok());
+    EXPECT_TRUE(ShardManifest::Read(truncated_storage, "manifest")
+                    .status()
+                    .IsCorruption())
+        << "prefix size " << size;
+  }
+}
+
+TEST(ShardManifestTest, ReadRejectsTrailingGarbage) {
+  MemoryStorage storage;
+  ASSERT_TRUE(MakeManifest().Write(storage, "manifest").ok());
+  auto file = storage.Open("manifest");
+  ASSERT_TRUE(file.ok());
+  const uint32_t garbage = 7;
+  ASSERT_TRUE(
+      (*file)->Write((*file)->Size(), sizeof(garbage), &garbage).ok());
+  EXPECT_TRUE(ShardManifest::Read(storage, "manifest").status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace iq

@@ -29,6 +29,14 @@ TEST(StatusTest, EachFactoryProducesItsCode) {
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+}
+
+TEST(StatusTest, OverloadCodesStringifyByName) {
+  EXPECT_EQ(Status::Unavailable("busy").ToString(), "Unavailable: busy");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
 }
 
 Status FailsThrough() {

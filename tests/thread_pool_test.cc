@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
+
 namespace iq {
 namespace {
 
@@ -115,6 +117,40 @@ TEST(ThreadPoolTest, TasksCanSubmitMoreWork) {
     return 9;
   });
   EXPECT_EQ(nested.get(), 9);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutSignal) {
+  Mutex mu;
+  CondVar cv(&mu);
+  MutexLock lock(&mu);
+  EXPECT_FALSE(cv.WaitFor(0.01));
+}
+
+TEST(CondVarTest, WaitForReturnsTrueWhenSignaled) {
+  Mutex mu;
+  CondVar cv(&mu);
+  bool ready = false;
+  std::thread signaler([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.Signal();
+  });
+  bool signaled = false;
+  {
+    MutexLock lock(&mu);
+    // Predicate loop: WaitFor can wake spuriously, and the signaler
+    // may fire before we start waiting.
+    while (!ready) {
+      if (cv.WaitFor(5.0)) {
+        signaled = true;
+      } else {
+        break;
+      }
+    }
+    EXPECT_TRUE(ready);
+  }
+  signaler.join();
+  (void)signaled;  // true unless the signal won the race before the wait
 }
 
 }  // namespace

@@ -35,6 +35,7 @@ LintConfig ProjectConfig() {
       {"analysis", {"format"}},
       {"core", {"analysis", "quant", "data", "costmodel", "sched", "obs"}},
       {"concurrency", {"core"}},
+      {"shard", {"concurrency"}},
       {"xtree", {"data", "core"}},
       {"btree", {"io"}},
       {"pyramid", {"btree", "data"}},

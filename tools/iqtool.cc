@@ -21,6 +21,11 @@
 //                   [--threshold S] [--quantile Q] [--json]
 //   iqtool validate --dir DIR --index NAME
 //   iqtool reopt    --dir DIR --index NAME
+//   iqtool shard build  --dir DIR --dataset NAME --manifest NAME
+//                       [--shards N] [--plan roundrobin|rank]
+//                       [--plan-dim D] [--batch B] [--metric l2|lmax]
+//   iqtool shard stats  --dir DIR --manifest NAME [--json]
+//   iqtool shard health --dir DIR --manifest NAME [--json]
 //
 // `profile` runs the queries with a QueryTracer attached and prints the
 // recorded span tree (or a JSON trace dump with --json) plus the
@@ -29,7 +34,11 @@
 // a slow-query log attached and dumps the retained outliers; `health`
 // summarizes the index structure (per-page g distribution, occupancy,
 // MBR stats). See docs/observability.md for the span schema and report
-// formats.
+// formats. `shard build` streams a dataset into a multi-shard layout
+// (manifest + one IQ-tree per shard, src/shard/); `shard stats` and
+// `shard health` report per-shard and aggregated figures —
+// `stats --manifest M` / `health --manifest M` are shorthands for the
+// shard forms, so monitoring can point one command at either layout.
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +60,9 @@
 #include "obs/metrics.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
+#include "shard/shard_manifest.h"
+#include "shard/sharded_bulk_loader.h"
+#include "shard/sharded_searcher.h"
 
 namespace iq {
 namespace {
@@ -128,7 +140,12 @@ int Usage() {
       "           [--k K] [--radius R] [--threads T] [--capacity C]\n"
       "           [--threshold S] [--quantile Q] [--json]\n"
       "  validate --dir DIR --index NAME\n"
-      "  reopt    --dir DIR --index NAME\n");
+      "  reopt    --dir DIR --index NAME\n"
+      "  shard build  --dir DIR --dataset NAME --manifest NAME [--shards N]\n"
+      "               [--plan roundrobin|rank] [--plan-dim D] [--batch B]\n"
+      "               [--metric l2|lmax]\n"
+      "  shard stats  --dir DIR --manifest NAME [--json]\n"
+      "  shard health --dir DIR --manifest NAME [--json]\n");
   return 2;
 }
 
@@ -249,7 +266,12 @@ int Query(const Args& args) {
   return 0;
 }
 
+int ShardStats(const Args& args);
+int ShardHealth(const Args& args);
+
 int Stats(const Args& args) {
+  // `stats --manifest M` reports a sharded layout instead of one tree.
+  if (!args.Get("manifest").empty()) return ShardStats(args);
   const std::string dir = args.Get("dir", ".");
   const std::string index = args.Get("index");
   if (index.empty()) return Usage();
@@ -308,6 +330,8 @@ int Stats(const Args& args) {
 }
 
 int Health(const Args& args) {
+  // `health --manifest M` reports a sharded layout instead of one tree.
+  if (!args.Get("manifest").empty()) return ShardHealth(args);
   const std::string dir = args.Get("dir", ".");
   const std::string index = args.Get("index");
   if (index.empty()) return Usage();
@@ -678,6 +702,215 @@ int Reoptimize(const Args& args) {
   return 0;
 }
 
+int ShardBuild(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string dataset = args.Get("dataset");
+  const std::string manifest_name = args.Get("manifest");
+  if (dataset.empty() || manifest_name.empty()) return Usage();
+  FileStorage storage(dir);
+  auto data = ReadDataset(storage, dataset);
+  if (!data.ok()) return Fail(data.status());
+
+  ShardedBulkLoader::Options options;
+  options.num_shards = ParseCount(args.Get("shards"), 4);
+  options.plan = args.Get("plan", "roundrobin") == "rank"
+                     ? ShardPlan::kRankPartition
+                     : ShardPlan::kRoundRobin;
+  options.plan_dim = ParseCount(args.Get("plan-dim"), 0);
+  options.batch_points = ParseCount(args.Get("batch"), 4096);
+  options.tree.metric =
+      args.Get("metric", "l2") == "lmax" ? Metric::kLMax : Metric::kL2;
+  ShardedBulkLoader loader(storage, manifest_name, options);
+  for (size_t row = 0; row < data->size(); ++row) {
+    if (Status s = loader.Add((*data)[row]); !s.ok()) return Fail(s);
+  }
+  auto manifest = loader.Finish();
+  if (!manifest.ok()) return Fail(manifest.status());
+  std::printf("built %zu shards over %llu points (manifest '%s'):\n",
+              manifest->num_shards(),
+              static_cast<unsigned long long>(manifest->total_points()),
+              manifest_name.c_str());
+  for (const ShardInfo& shard : manifest->shards()) {
+    std::printf("  %-16s %llu points\n", shard.name.c_str(),
+                static_cast<unsigned long long>(shard.points));
+  }
+  return 0;
+}
+
+/// Opens the manifest and every shard tree (with the manifest
+/// cross-checks of ShardedSearcher::Open) for the read-only commands.
+Result<std::unique_ptr<ShardedSearcher>> OpenShards(Storage& storage,
+                                                    const std::string& name) {
+  IQ_ASSIGN_OR_RETURN(ShardManifest manifest,
+                      ShardManifest::Read(storage, name));
+  ShardedSearcher::Options options;
+  options.threads = 1;  // no queries run here; skip the fan-out pool
+  return ShardedSearcher::Open(storage, manifest, options);
+}
+
+int ShardStats(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string manifest_name = args.Get("manifest");
+  if (manifest_name.empty()) return Usage();
+  FileStorage storage(dir);
+  auto searcher = OpenShards(storage, manifest_name);
+  if (!searcher.ok()) return Fail(searcher.status());
+  const ShardedSearcher& shards = **searcher;
+  uint64_t total_pages = 0;
+  for (size_t i = 0; i < shards.num_shards(); ++i) {
+    total_pages += shards.shard_tree(i).num_pages();
+  }
+  if (args.Has("json")) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").Uint(1);
+    w.Key("manifest").String(manifest_name);
+    w.Key("per_shard").BeginArray();
+    for (size_t i = 0; i < shards.num_shards(); ++i) {
+      const IqTree& tree = shards.shard_tree(i);
+      w.BeginObject();
+      w.Key("name").String(ShardManifest::ShardIndexName(manifest_name, i));
+      w.Key("points").Uint(tree.size());
+      w.Key("pages").Uint(tree.num_pages());
+      w.Key("fractal_dimension").Double(tree.fractal_dimension());
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("aggregate").BeginObject();
+    w.Key("shards").Uint(shards.num_shards());
+    w.Key("points").Uint(shards.size());
+    w.Key("pages").Uint(total_pages);
+    w.Key("dims").Uint(shards.dims());
+    w.Key("predicted_cost_s").Double(shards.predicted_cost().total());
+    w.EndObject();
+    w.Key("metrics").Raw(
+        obs::ExportJson(obs::MetricRegistry::Global().Snapshot()));
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("manifest:     %s/%s (%zu shards)\n", dir.c_str(),
+              manifest_name.c_str(), shards.num_shards());
+  std::printf("points:       %llu\n",
+              static_cast<unsigned long long>(shards.size()));
+  std::printf("dims:         %zu\n", shards.dims());
+  std::printf("metric:       %s\n",
+              shards.metric() == Metric::kL2 ? "L2" : "L-max");
+  std::printf("pages:        %llu\n",
+              static_cast<unsigned long long>(total_pages));
+  std::printf("predicted:    %.4f s (sum of shard cost models)\n",
+              shards.predicted_cost().total());
+  for (size_t i = 0; i < shards.num_shards(); ++i) {
+    const IqTree& tree = shards.shard_tree(i);
+    std::printf("  shard %-3zu %llu points, %zu pages, D_F=%.2f\n", i,
+                static_cast<unsigned long long>(tree.size()),
+                tree.num_pages(), tree.fractal_dimension());
+  }
+  if (args.Has("metrics")) {
+    std::printf("\n%s", obs::ExportPrometheus(
+                            obs::MetricRegistry::Global().Snapshot())
+                            .c_str());
+  }
+  return 0;
+}
+
+int ShardHealth(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string manifest_name = args.Get("manifest");
+  if (manifest_name.empty()) return Usage();
+  FileStorage storage(dir);
+  auto searcher = OpenShards(storage, manifest_name);
+  if (!searcher.ok()) return Fail(searcher.status());
+  const ShardedSearcher& shards = **searcher;
+
+  // Aggregate across shards: totals sum; occupancy and the indirection
+  // ratio are pages-weighted means; min/max span all non-empty shards.
+  std::vector<IndexHealth> per_shard;
+  IndexHealth agg;
+  double weighted_occupancy = 0;
+  double weighted_indirection = 0;
+  for (size_t i = 0; i < shards.num_shards(); ++i) {
+    const IqTree& tree = shards.shard_tree(i);
+    per_shard.push_back(ComputeIndexHealth(tree.meta(), tree.directory()));
+    const IndexHealth& h = per_shard.back();
+    agg.dims = h.dims;
+    agg.block_size = h.block_size;
+    agg.total_points += h.total_points;
+    agg.num_pages += h.num_pages;
+    agg.exact_bytes += h.exact_bytes;
+    for (size_t level = 0; level < h.pages_per_level.size(); ++level) {
+      agg.pages_per_level[level] += h.pages_per_level[level];
+    }
+    const double pages = static_cast<double>(h.num_pages);
+    weighted_occupancy += h.occupancy_mean * pages;
+    weighted_indirection += h.level3_indirection_ratio * pages;
+    if (h.num_pages > 0) {
+      agg.occupancy_min = agg.num_pages == h.num_pages
+                              ? h.occupancy_min
+                              : std::min(agg.occupancy_min, h.occupancy_min);
+      agg.occupancy_max = std::max(agg.occupancy_max, h.occupancy_max);
+      agg.mbr_volume_max = std::max(agg.mbr_volume_max, h.mbr_volume_max);
+    }
+  }
+  if (agg.num_pages > 0) {
+    const double pages = static_cast<double>(agg.num_pages);
+    agg.occupancy_mean = weighted_occupancy / pages;
+    agg.level3_indirection_ratio = weighted_indirection / pages;
+  }
+
+  if (args.Has("json")) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").Uint(1);
+    w.Key("manifest").String(manifest_name);
+    w.Key("per_shard").BeginArray();
+    for (size_t i = 0; i < per_shard.size(); ++i) {
+      w.BeginObject();
+      w.Key("name").String(ShardManifest::ShardIndexName(manifest_name, i));
+      w.Key("health").Raw(IndexHealthToJson(per_shard[i]));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("aggregate").Raw(IndexHealthToJson(agg));
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("manifest:           %s/%s (%zu shards)\n", dir.c_str(),
+              manifest_name.c_str(), shards.num_shards());
+  std::printf("points / pages:     %llu / %llu\n",
+              static_cast<unsigned long long>(agg.total_points),
+              static_cast<unsigned long long>(agg.num_pages));
+  std::printf("pages per level:   ");
+  for (size_t i = 0; i < std::size(kQuantLevels); ++i) {
+    std::printf(" g=%u:%llu", kQuantLevels[i],
+                static_cast<unsigned long long>(agg.pages_per_level[i]));
+  }
+  std::printf("\npage occupancy:     mean=%.3f min=%.3f max=%.3f\n",
+              agg.occupancy_mean, agg.occupancy_min, agg.occupancy_max);
+  std::printf("level-3 indirection: %.1f%% of pages (%llu exact bytes)\n",
+              100.0 * agg.level3_indirection_ratio,
+              static_cast<unsigned long long>(agg.exact_bytes));
+  for (size_t i = 0; i < per_shard.size(); ++i) {
+    const IndexHealth& h = per_shard[i];
+    std::printf("  shard %-3zu %llu points, %llu pages, occupancy %.3f\n", i,
+                static_cast<unsigned long long>(h.total_points),
+                static_cast<unsigned long long>(h.num_pages),
+                h.occupancy_mean);
+  }
+  return 0;
+}
+
+int Shard(int argc, char** argv) {
+  // `iqtool shard build ...` re-parses with `shard` stripped so the
+  // sub-verb lands in Args::command and the flags parse as usual.
+  const Args sub = Parse(argc - 1, argv + 1);
+  if (sub.command == "build") return ShardBuild(sub);
+  if (sub.command == "stats") return ShardStats(sub);
+  if (sub.command == "health") return ShardHealth(sub);
+  return Usage();
+}
+
 int Run(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   if (args.command == "generate") return Generate(args);
@@ -689,6 +922,7 @@ int Run(int argc, char** argv) {
   if (args.command == "slowlog") return SlowLog(args);
   if (args.command == "validate") return Validate(args);
   if (args.command == "reopt") return Reoptimize(args);
+  if (args.command == "shard") return Shard(argc, argv);
   return Usage();
 }
 

@@ -240,6 +240,16 @@ SEED
                 --queries "$tree-ds" --limit 8 --k 3 --json \
                 | "$CHECK" --require records --require retained \
                     --require threshold_s
+            "$IQTOOL" shard build --dir "$OBS_TMP" --dataset "$tree-ds" \
+                --manifest "$tree-m" --shards 3 --plan rank >/dev/null
+            "$IQTOOL" shard stats --dir "$OBS_TMP" --manifest "$tree-m" \
+                --json \
+                | "$CHECK" --require schema_version --require per_shard \
+                    --require aggregate --require metrics
+            "$IQTOOL" shard health --dir "$OBS_TMP" --manifest "$tree-m" \
+                --json \
+                | "$CHECK" --require schema_version --require per_shard \
+                    --require aggregate
             echo "==> obs: $tree JSON valid"
         done
         ;;
@@ -290,6 +300,19 @@ SEED
             < "$BENCH_TMP/filter.out"
         "$ROOT/build-release/tools/json_check" --require schema_version \
             --require suite --require benches < "$BENCH_TMP/filter.json"
+        echo "==> bench: sharded scatter-gather micro (bench/micro_shard)"
+        cmake --build "$ROOT/build-release" -j "$JOBS" --target micro_shard
+        # Simulated-I/O and pruning-fraction series: deterministic per
+        # dataset, but the tolerance stays wide for layout drift.
+        IQBENCH_SUITE=shard IQBENCH_GIT_REV="$GIT_REV" \
+            "$ROOT/build-release/bench/micro_shard" --n 4000 --queries 6 \
+            > "$BENCH_TMP/shard.out"
+        "$ROOT/build-release/tools/bench_aggregate" --suite shard \
+            --out "$BENCH_TMP/shard.json" --git-rev "$GIT_REV" \
+            --baseline "$ROOT/BENCH_shard.json" --tolerance 25 \
+            < "$BENCH_TMP/shard.out"
+        "$ROOT/build-release/tools/json_check" --require schema_version \
+            --require suite --require benches < "$BENCH_TMP/shard.json"
         echo "==> bench: trajectory OK"
         ;;
     *)
