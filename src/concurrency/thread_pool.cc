@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/metric_names.h"
 
 namespace iq {
@@ -73,16 +74,22 @@ void ThreadPool::Schedule(std::function<void()> task) {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
+    size_t depth = 0;
     {
       MutexLock lock(&mu_);
       while (queue_.empty() && !shutdown_) cv_.Wait();
       if (queue_.empty()) return;  // shutdown and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
-      PoolMetrics::Get().queue_depth->Set(static_cast<double>(queue_.size()));
+      depth = queue_.size();
+      PoolMetrics::Get().queue_depth->Set(static_cast<double>(depth));
     }
     if constexpr (obs::kEnabled) {
-      PoolMetrics::Get().wait_s->Observe(SecondsSince(task.enqueued));
+      const double wait_s = SecondsSince(task.enqueued);
+      PoolMetrics::Get().wait_s->Observe(wait_s);
+      obs::FlightRecorder::Global().Record(obs::FlightEventType::kPoolTask,
+                                           static_cast<uint32_t>(depth),
+                                           wait_s);
       const auto started = std::chrono::steady_clock::now();
       task.fn();
       PoolMetrics::Get().run_s->Observe(SecondsSince(started));

@@ -39,6 +39,16 @@ struct IqSearchOptions {
   /// either way. The tracer is thread-safe, so one may be shared
   /// across a ParallelQueryRunner batch.
   obs::QueryTracer* tracer = nullptr;
+  /// When `tracer` is set, the query's root span ("knn"/"range") is
+  /// opened under this span instead of as a new root — the sharded
+  /// engine grafts each per-shard subtree under its own shard<i> span
+  /// so one query yields one stitched tree (docs/observability.md,
+  /// "Sharded queries"). Ignored without a tracer.
+  obs::SpanId parent_span = obs::kNoSpan;
+  /// Span cap of the *private* tracer created for slow-log-only
+  /// queries (no `tracer` set). A caller-provided tracer carries its
+  /// own cap.
+  size_t tracer_max_spans = 1 << 16;
   /// Optional slow-query sink (docs/observability.md): every finished
   /// NN/k-NN/range query is offered with its span tree and the cost
   /// model's predicted breakdown; the log retains outliers. When no

@@ -67,9 +67,16 @@ class IqTreeSearcher {
     // its own tracer gets a private one so the log stays self-serve.
     if (obs::kEnabled && options_.slow_log != nullptr &&
         tracer_ == nullptr) {
-      private_tracer_.emplace();
+      private_tracer_.emplace(options_.tracer_max_spans);
       tracer_ = &*private_tracer_;
     }
+  }
+
+  /// The caller-requested parent for this query's root span. Only
+  /// meaningful for the caller's own tracer: a private slow-log tracer
+  /// has no such span, so the id would dangle.
+  obs::SpanId ParentSpan() const {
+    return private_tracer_.has_value() ? obs::kNoSpan : options_.parent_span;
   }
 
   /// Offers the finished query to options_.slow_log (no-op without
@@ -86,7 +93,7 @@ class IqTreeSearcher {
 
   Status RunKnn(size_t k, std::vector<Neighbor>* out) {
     k_ = k;
-    obs::ScopedSpan root(tracer_, "knn");
+    obs::ScopedSpan root(tracer_, "knn", ParentSpan());
     root_span_ = root.id();
     root.AddAttr("k", static_cast<double>(k));
     ScanDirectory();
@@ -138,7 +145,7 @@ class IqTreeSearcher {
   }
 
   Status RunRange(double radius, std::vector<Neighbor>* out) {
-    obs::ScopedSpan root(tracer_, "range");
+    obs::ScopedSpan root(tracer_, "range", ParentSpan());
     root_span_ = root.id();
     root.AddAttr("radius", radius);
     ScanDirectory();

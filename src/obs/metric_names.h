@@ -91,6 +91,11 @@ inline constexpr char kShardDeadlineExceededTotal[] =
 /// Per-shard base name: expanded to iq_shard<i>_queries_total through
 /// PerShardMetricName below, so each shard owns a distinct time series.
 inline constexpr char kShardQueriesTotal[] = "iq_shard_queries_total";
+/// Scatter waves dispatched by the sharded searcher (one increment per
+/// wave<i> span) and the distribution of shards per wave.
+inline constexpr char kShardWavesTotal[] = "iq_shard_waves_total";
+inline constexpr char kShardWaveWidth[] = "iq_shard_wave_width";
+inline constexpr char kShardWaveSeconds[] = "iq_shard_wave_seconds";
 
 // --- query front-end (src/shard/query_front_end.cc) ----------------------
 inline constexpr char kFrontendAdmittedTotal[] = "iq_frontend_admitted_total";
@@ -99,6 +104,14 @@ inline constexpr char kFrontendDeadlineExceededTotal[] =
     "iq_frontend_deadline_exceeded_total";
 inline constexpr char kFrontendInFlight[] = "iq_frontend_in_flight";
 inline constexpr char kFrontendQueueDepth[] = "iq_frontend_queue_depth";
+/// Wall seconds a query spent queued before admission (histogram).
+inline constexpr char kFrontendQueueWaitSeconds[] =
+    "iq_frontend_queue_wait_seconds";
+
+// --- flight recorder (src/obs/flight_recorder.cc) ------------------------
+inline constexpr char kFlightEventsTotal[] = "iq_flight_events_total";
+inline constexpr char kFlightDroppedTotal[] = "iq_flight_dropped_total";
+inline constexpr char kFlightDumpsTotal[] = "iq_flight_dumps_total";
 
 /// Expands a declared `iq_shard_*` base name to its per-shard variant by
 /// splicing the shard index into the component token:

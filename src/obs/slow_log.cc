@@ -5,6 +5,7 @@
 #include <span>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace iq::obs {
@@ -68,33 +69,46 @@ double SlowQueryLog::ThresholdLocked() const {
 
 void SlowQueryLog::Offer(const std::vector<SpanRecord>& spans, SpanId root,
                          const CostBreakdown& predicted,
-                         uint64_t dropped_spans) {
+                         uint64_t dropped_spans,
+                         std::vector<ShardCostSample> per_shard) {
   const CostBreakdown observed = ObservedBreakdown(spans, root);
-  MutexLock lock(&mu_);
-  const double threshold = ThresholdLocked();
-  const uint64_t index = offered_++;
-  io_s_window_.Observe(observed.total());
-  if (observed.total() < threshold) return;
-  SlowQueryRecord record;
-  record.query_index = index;
-  record.observed_io_s = observed.total();
-  record.predicted = predicted;
-  record.observed = observed;
-  record.spans = SubtreeSpans(spans, root);
-  record.truncated = dropped_spans > 0;
-  if (root != kNoSpan && root < spans.size()) {
-    record.kind = spans[root].name;
-  } else {
-    for (const SpanRecord& span : record.spans) {
-      if (span.parent == kNoSpan) {
-        record.kind = span.name;
-        break;
+  FlightRecorder::Global().Record(FlightEventType::kSlowLogOffer, 0,
+                                  observed.total());
+  bool captured = false;
+  {
+    MutexLock lock(&mu_);
+    const double threshold = ThresholdLocked();
+    const uint64_t index = offered_++;
+    io_s_window_.Observe(observed.total());
+    if (observed.total() < threshold) return;
+    SlowQueryRecord record;
+    record.query_index = index;
+    record.observed_io_s = observed.total();
+    record.queue_wait_s = AggregateSpans(spans, "queue_wait", "wait_s");
+    record.predicted = predicted;
+    record.observed = observed;
+    record.per_shard = std::move(per_shard);
+    record.spans = SubtreeSpans(spans, root);
+    record.truncated = dropped_spans > 0;
+    if (root != kNoSpan && root < spans.size()) {
+      record.kind = spans[root].name;
+    } else {
+      for (const SpanRecord& span : record.spans) {
+        if (span.parent == kNoSpan) {
+          record.kind = span.name;
+          break;
+        }
       }
     }
+    ring_.push_back(std::move(record));
+    retained_ += 1;
+    while (ring_.size() > options_.capacity) ring_.pop_front();
+    captured = true;
   }
-  ring_.push_back(std::move(record));
-  retained_ += 1;
-  while (ring_.size() > options_.capacity) ring_.pop_front();
+  // A capture means the query was an outlier — snapshot the flight
+  // recorder so the post-mortem rides along (mu_ released: the dump
+  // touches the registry, whose lock ranks above ours).
+  if (captured) FlightRecorder::Global().TriggerDump("slow_query");
 }
 
 double SlowQueryLog::current_threshold_s() const {
@@ -148,11 +162,22 @@ std::string SlowLogToJson(const std::vector<SlowQueryRecord>& records) {
     w.Key("query_index").Uint(record.query_index);
     w.Key("kind").String(record.kind);
     w.Key("observed_io_s").Double(record.observed_io_s);
+    w.Key("queue_wait_s").Double(record.queue_wait_s);
     w.Key("truncated").Bool(record.truncated);
     w.Key("predicted");
     WriteBreakdown(w, record.predicted);
     w.Key("observed");
     WriteBreakdown(w, record.observed);
+    w.Key("per_shard").BeginArray();
+    for (const ShardCostSample& sample : record.per_shard) {
+      w.BeginObject();
+      w.Key("shard").Uint(sample.shard);
+      w.Key("predicted");
+      WriteBreakdown(w, sample.predicted);
+      w.Key("observed_io_s").Double(sample.observed_io_s);
+      w.EndObject();
+    }
+    w.EndArray();
     w.Key("trace").Raw(TraceToJson(record.spans));
     w.EndObject();
   }

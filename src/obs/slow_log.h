@@ -31,6 +31,15 @@ struct SlowLogOptions {
   size_t min_samples = 64;
 };
 
+/// Per-shard predicted-vs-observed cost pair attached to a sharded
+/// query's record, so calibration can localize which shard's model is
+/// off instead of seeing only the fan-out sum.
+struct ShardCostSample {
+  size_t shard = 0;
+  CostBreakdown predicted;
+  double observed_io_s = 0.0;
+};
+
 /// One retained outlier query: the full span tree plus the
 /// predicted-vs-observed cost breakdown that explains where the time
 /// went.
@@ -41,8 +50,14 @@ struct SlowQueryRecord {
   std::string kind;
   /// The retention key: observed.total().
   double observed_io_s = 0.0;
+  /// Wall seconds the query waited for admission (sum of `wait_s` over
+  /// `queue_wait` spans in the trace; 0 when it bypassed a front end).
+  double queue_wait_s = 0.0;
   CostBreakdown predicted;
   CostBreakdown observed;
+  /// Per-shard breakdown for sharded queries (empty for single-tree
+  /// searches): one predicted-vs-observed pair per queried shard.
+  std::vector<ShardCostSample> per_shard;
   /// The query's spans: the subtree of its root, compacted and with
   /// parent ids remapped so the vector is a self-contained trace
   /// (feed it straight to PrintSpanTree / TraceToJson).
@@ -69,7 +84,7 @@ class SlowQueryLog {
 
 #if defined(IQ_OBS_DISABLED)
   void Offer(const std::vector<SpanRecord>&, SpanId, const CostBreakdown&,
-             uint64_t) {}
+             uint64_t, std::vector<ShardCostSample> = {}) {}
   double current_threshold_s() const { return 0; }
   uint64_t offered() const { return 0; }
   uint64_t retained() const { return 0; }
@@ -80,9 +95,12 @@ class SlowQueryLog {
   /// the query's root span (kNoSpan treats every span as the query's),
   /// `predicted` the cost model's T_1st/T_2nd/T_3rd for the index, and
   /// `dropped_spans` the tracer's dropped() — non-zero marks the
-  /// record truncated.
+  /// record truncated. Sharded callers pass `per_shard`
+  /// predicted-vs-observed pairs; queue wait is derived from any
+  /// `queue_wait` span in the trace.
   void Offer(const std::vector<SpanRecord>& spans, SpanId root,
-             const CostBreakdown& predicted, uint64_t dropped_spans)
+             const CostBreakdown& predicted, uint64_t dropped_spans,
+             std::vector<ShardCostSample> per_shard = {})
       IQ_EXCLUDES(mu_);
 
   /// The io_s a query currently needs to be retained.
@@ -110,8 +128,10 @@ class SlowQueryLog {
 };
 
 /// One JSON array of retained queries, schema:
-/// [{"query_index","kind","observed_io_s","truncated","predicted":{...},
-///   "observed":{...},"trace":[...]}, ...].
+/// [{"query_index","kind","observed_io_s","queue_wait_s","truncated",
+///   "predicted":{...},"observed":{...},
+///   "per_shard":[{"shard","predicted":{...},"observed_io_s"},...],
+///   "trace":[...]}, ...].
 std::string SlowLogToJson(const std::vector<SlowQueryRecord>& records);
 
 }  // namespace iq::obs

@@ -10,7 +10,7 @@ namespace iq::obs {
 
 #if !defined(IQ_OBS_DISABLED)
 
-SpanId QueryTracer::BeginSpan(const char* name, SpanId parent) {
+SpanId QueryTracer::BeginSpan(std::string_view name, SpanId parent) {
   const int64_t now = NowNs();
   MutexLock lock(&mu_);
   if (spans_.size() >= max_spans_) {
@@ -34,7 +34,7 @@ void QueryTracer::EndSpan(SpanId id) {
   spans_[id].wall_end_ns = now;
 }
 
-void QueryTracer::AddAttr(SpanId id, const char* key, double value) {
+void QueryTracer::AddAttr(SpanId id, std::string_view key, double value) {
   MutexLock lock(&mu_);
   if (id >= spans_.size()) return;
   for (auto& [k, v] : spans_[id].attrs) {
@@ -43,7 +43,7 @@ void QueryTracer::AddAttr(SpanId id, const char* key, double value) {
       return;
     }
   }
-  spans_[id].attrs.emplace_back(key, value);
+  spans_[id].attrs.emplace_back(std::string(key), value);
 }
 
 std::vector<SpanRecord> QueryTracer::Snapshot() const {
@@ -70,6 +70,28 @@ double AggregateSpans(const std::vector<SpanRecord>& spans,
   double total = 0;
   for (const SpanRecord& span : spans) {
     if (span.name != name) continue;
+    if (key == nullptr) {
+      total += 1;
+      continue;
+    }
+    for (const auto& [k, v] : span.attrs) {
+      if (k == key) {
+        total += v;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+double AggregateSpansByPrefix(const std::vector<SpanRecord>& spans,
+                              std::string_view prefix, const char* key) {
+  double total = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name.size() < prefix.size() ||
+        std::string_view(span.name).substr(0, prefix.size()) != prefix) {
+      continue;
+    }
     if (key == nullptr) {
       total += 1;
       continue;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/thread_annotations.h"
@@ -56,16 +57,17 @@ class QueryTracer {
   QueryTracer& operator=(const QueryTracer&) = delete;
 
 #if defined(IQ_OBS_DISABLED)
-  SpanId BeginSpan(const char*, SpanId = kNoSpan) { return kNoSpan; }
+  SpanId BeginSpan(std::string_view, SpanId = kNoSpan) { return kNoSpan; }
   void EndSpan(SpanId) {}
-  void AddAttr(SpanId, const char*, double) {}
+  void AddAttr(SpanId, std::string_view, double) {}
   std::vector<SpanRecord> Snapshot() const { return {}; }
   uint64_t dropped() const { return 0; }
   void Clear() {}
 #else
   /// Opens a span under `parent` (kNoSpan for a root) and returns its
-  /// id, or kNoSpan if the cap was hit.
-  SpanId BeginSpan(const char* name, SpanId parent = kNoSpan)
+  /// id, or kNoSpan if the cap was hit. Names may be built on the fly
+  /// ("wave0", "shard3"); the tracer copies them.
+  SpanId BeginSpan(std::string_view name, SpanId parent = kNoSpan)
       IQ_EXCLUDES(mu_);
 
   void EndSpan(SpanId id) IQ_EXCLUDES(mu_);
@@ -73,7 +75,8 @@ class QueryTracer {
   /// Attaches (or accumulates into) numeric attribute `key` of an open
   /// or closed span. Repeated keys add up, so loops can fold per-item
   /// contributions into one attribute.
-  void AddAttr(SpanId id, const char* key, double value) IQ_EXCLUDES(mu_);
+  void AddAttr(SpanId id, std::string_view key, double value)
+      IQ_EXCLUDES(mu_);
 
   /// Copies the spans recorded so far (indices == SpanIds).
   std::vector<SpanRecord> Snapshot() const IQ_EXCLUDES(mu_);
@@ -104,7 +107,8 @@ class QueryTracer {
 /// RAII span that tolerates a null tracer (the untraced default).
 class ScopedSpan {
  public:
-  ScopedSpan(QueryTracer* tracer, const char* name, SpanId parent = kNoSpan)
+  ScopedSpan(QueryTracer* tracer, std::string_view name,
+             SpanId parent = kNoSpan)
       : tracer_(tracer) {
     if (tracer_ != nullptr) id_ = tracer_->BeginSpan(name, parent);
   }
@@ -117,7 +121,7 @@ class ScopedSpan {
 
   SpanId id() const { return id_; }
 
-  void AddAttr(const char* key, double value) {
+  void AddAttr(std::string_view key, double value) {
     if (tracer_ != nullptr && id_ != kNoSpan) {
       tracer_->AddAttr(id_, key, value);
     }
@@ -133,6 +137,13 @@ class ScopedSpan {
 /// counts the spans instead.
 double AggregateSpans(const std::vector<SpanRecord>& spans,
                       std::string_view name, const char* key);
+
+/// Like AggregateSpans, but matches every span whose name *starts
+/// with* `prefix` — the stitched sharded trace names per-shard and
+/// per-wave spans dynamically ("shard0", "shard5", "wave1"), and the
+/// consistency check sums across all of them.
+double AggregateSpansByPrefix(const std::vector<SpanRecord>& spans,
+                              std::string_view prefix, const char* key);
 
 /// Human-readable indented span tree: children under parents, logical
 /// interval, wall-clock microseconds and attributes per line.

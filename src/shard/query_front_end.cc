@@ -1,7 +1,10 @@
 #include "shard/query_front_end.h"
 
 #include <chrono>
+#include <memory>
+#include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metric_names.h"
 
 namespace iq {
@@ -9,11 +12,27 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+constexpr double kQueueWaitBounds[] = {1e-5, 1e-4, 1e-3, 1e-2,
+                                       0.1,  1.0,  10.0};
+
 double ElapsedSeconds(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
 }  // namespace
+
+/// One query's stitched-trace bookkeeping. The private tracer keeps
+/// slow-log-only queries (no caller tracer) fully stitched: handing it
+/// to the searcher as if it were the caller's makes parent_span work
+/// and lets the searcher's slow-log offer see the frontend spans.
+struct QueryFrontEnd::QueryTrace {
+  obs::QueryTracer* tracer IQ_UNGUARDED(
+      "per-query stack object owned by one caller thread") = nullptr;
+  std::unique_ptr<obs::QueryTracer> owned IQ_UNGUARDED(
+      "per-query stack object owned by one caller thread");
+  obs::SpanId root IQ_UNGUARDED(
+      "per-query stack object owned by one caller thread") = obs::kNoSpan;
+};
 
 QueryFrontEnd::QueryFrontEnd(const ShardedSearcher& searcher)
     : QueryFrontEnd(searcher, Options()) {}
@@ -32,20 +51,28 @@ QueryFrontEnd::QueryFrontEnd(const ShardedSearcher& searcher,
           obs::metric::kFrontendInFlight)),
       queue_depth_gauge_(obs::MetricRegistry::Global().GetGauge(
           obs::metric::kFrontendQueueDepth)),
+      queue_wait_(obs::MetricRegistry::Global().GetHistogram(
+          obs::metric::kFrontendQueueWaitSeconds, kQueueWaitBounds)),
       cv_(&mu_) {}
 
 Status QueryFrontEnd::Admit(Clock::time_point start,
                             double deadline_s) const {
+  auto& recorder = obs::FlightRecorder::Global();
   MutexLock lock(&mu_);
   if (in_flight_ >= options_.max_in_flight) {
     if (queued_ >= options_.max_queued) {
       rejected_->Increment();
+      recorder.Record(obs::FlightEventType::kAdmissionReject,
+                      static_cast<uint32_t>(queued_),
+                      static_cast<double>(in_flight_));
       return Status::Unavailable("query queue full (" +
                                  std::to_string(in_flight_) + " in flight, " +
                                  std::to_string(queued_) + " queued)");
     }
     ++queued_;
     queue_depth_gauge_->Set(static_cast<double>(queued_));
+    recorder.Record(obs::FlightEventType::kQueueEnter,
+                    static_cast<uint32_t>(queued_));
     while (in_flight_ >= options_.max_in_flight) {
       if (deadline_s > 0) {
         const double remaining = deadline_s - ElapsedSeconds(start);
@@ -56,6 +83,11 @@ Status QueryFrontEnd::Admit(Clock::time_point start,
           --queued_;
           queue_depth_gauge_->Set(static_cast<double>(queued_));
           deadline_exceeded_->Increment();
+          if (obs::kEnabled) {
+            recorder.Record(obs::FlightEventType::kDeadlineExceeded,
+                            static_cast<uint32_t>(queued_),
+                            ElapsedSeconds(start));
+          }
           return Status::DeadlineExceeded(
               "query deadline expired while queued");
         }
@@ -65,10 +97,20 @@ Status QueryFrontEnd::Admit(Clock::time_point start,
     }
     --queued_;
     queue_depth_gauge_->Set(static_cast<double>(queued_));
+    if (obs::kEnabled) {
+      recorder.Record(obs::FlightEventType::kQueueExit,
+                      static_cast<uint32_t>(queued_),
+                      ElapsedSeconds(start));
+    }
   }
   ++in_flight_;
   in_flight_gauge_->Set(static_cast<double>(in_flight_));
   admitted_->Increment();
+  if (obs::kEnabled) {
+    recorder.Record(obs::FlightEventType::kAdmissionAccept,
+                    static_cast<uint32_t>(in_flight_),
+                    ElapsedSeconds(start));
+  }
   return Status::OK();
 }
 
@@ -88,12 +130,75 @@ Status QueryFrontEnd::PrepareSearch(Clock::time_point start,
     const double remaining = options.deadline_s - ElapsedSeconds(start);
     if (remaining <= 0) {
       deadline_exceeded_->Increment();
+      if (obs::kEnabled) {
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventType::kDeadlineExceeded, 0,
+            ElapsedSeconds(start));
+        obs::FlightRecorder::Global().TriggerDump("deadline_exceeded");
+      }
       return Status::DeadlineExceeded(
           "query deadline expired before execution");
     }
     options.deadline_s = remaining;
   }
   return Status::OK();
+}
+
+Status QueryFrontEnd::BeginQuery(Clock::time_point start,
+                                 ShardedSearchOptions& options,
+                                 QueryTrace& trace) const {
+  trace.tracer = options.tracer;
+  if (trace.tracer == nullptr && options.slow_log != nullptr &&
+      obs::kEnabled) {
+    trace.owned =
+        std::make_unique<obs::QueryTracer>(options.tracer_max_spans);
+    trace.tracer = trace.owned.get();
+  }
+  obs::QueryTracer* tracer = trace.tracer;
+  if (tracer != nullptr) {
+    trace.root = tracer->BeginSpan("frontend", options.parent_span);
+  }
+
+  const obs::SpanId queue_span =
+      tracer != nullptr ? tracer->BeginSpan("queue_wait", trace.root)
+                        : obs::kNoSpan;
+  const Status admit = Admit(start, options.deadline_s);
+  const double wait_s = obs::kEnabled ? ElapsedSeconds(start) : 0.0;
+  if (tracer != nullptr && queue_span != obs::kNoSpan) {
+    tracer->AddAttr(queue_span, "wait_s", wait_s);
+    tracer->EndSpan(queue_span);
+  }
+  queue_wait_->Observe(wait_s);
+
+  if (tracer != nullptr) {
+    const obs::SpanId decision = tracer->BeginSpan("admission", trace.root);
+    if (decision != obs::kNoSpan) {
+      tracer->AddAttr(decision, "admitted", admit.ok() ? 1 : 0);
+      tracer->AddAttr(decision, "rejected", admit.IsUnavailable() ? 1 : 0);
+      tracer->AddAttr(decision, "deadline_exceeded",
+                      admit.IsDeadlineExceeded() ? 1 : 0);
+      tracer->EndSpan(decision);
+    }
+  }
+  if (!admit.ok()) {
+    // The post-mortem for a query that never ran: why was it turned
+    // away, and what was the front end doing at the time.
+    obs::FlightRecorder::Global().TriggerDump(
+        admit.IsUnavailable() ? "rejected" : "deadline_exceeded");
+    EndQuery(trace);
+    return admit;
+  }
+  // Hand the searcher the stitched trace: its sharded_* root becomes a
+  // child of the frontend span, even for a front-end-private tracer.
+  options.tracer = tracer;
+  options.parent_span = trace.root;
+  return Status::OK();
+}
+
+void QueryFrontEnd::EndQuery(QueryTrace& trace) const {
+  if (trace.tracer != nullptr && trace.root != obs::kNoSpan) {
+    trace.tracer->EndSpan(trace.root);
+  }
 }
 
 Result<std::vector<Neighbor>> QueryFrontEnd::KNearestNeighbors(
@@ -103,14 +208,20 @@ Result<std::vector<Neighbor>> QueryFrontEnd::KNearestNeighbors(
   if (effective.deadline_s <= 0) {
     effective.deadline_s = options_.default_deadline_s;
   }
-  IQ_RETURN_NOT_OK(Admit(start, effective.deadline_s));
+  QueryTrace trace;
+  IQ_RETURN_NOT_OK(BeginQuery(start, effective, trace));
   AdmissionSlot slot{this};
-  IQ_RETURN_NOT_OK(PrepareSearch(start, effective));
+  Status prepared = PrepareSearch(start, effective);
+  if (!prepared.ok()) {
+    EndQuery(trace);
+    return prepared;
+  }
   Result<std::vector<Neighbor>> result =
       searcher_.KNearestNeighbors(q, k, effective);
   if (!result.ok() && result.status().IsDeadlineExceeded()) {
     deadline_exceeded_->Increment();
   }
+  EndQuery(trace);
   return result;
 }
 
@@ -121,14 +232,20 @@ Result<std::vector<Neighbor>> QueryFrontEnd::RangeSearch(
   if (effective.deadline_s <= 0) {
     effective.deadline_s = options_.default_deadline_s;
   }
-  IQ_RETURN_NOT_OK(Admit(start, effective.deadline_s));
+  QueryTrace trace;
+  IQ_RETURN_NOT_OK(BeginQuery(start, effective, trace));
   AdmissionSlot slot{this};
-  IQ_RETURN_NOT_OK(PrepareSearch(start, effective));
+  Status prepared = PrepareSearch(start, effective);
+  if (!prepared.ok()) {
+    EndQuery(trace);
+    return prepared;
+  }
   Result<std::vector<Neighbor>> result =
       searcher_.RangeSearch(q, radius, effective);
   if (!result.ok() && result.status().IsDeadlineExceeded()) {
     deadline_exceeded_->Increment();
   }
+  EndQuery(trace);
   return result;
 }
 
@@ -139,14 +256,20 @@ Result<std::vector<PointId>> QueryFrontEnd::WindowQuery(
   if (effective.deadline_s <= 0) {
     effective.deadline_s = options_.default_deadline_s;
   }
-  IQ_RETURN_NOT_OK(Admit(start, effective.deadline_s));
+  QueryTrace trace;
+  IQ_RETURN_NOT_OK(BeginQuery(start, effective, trace));
   AdmissionSlot slot{this};
-  IQ_RETURN_NOT_OK(PrepareSearch(start, effective));
+  Status prepared = PrepareSearch(start, effective);
+  if (!prepared.ok()) {
+    EndQuery(trace);
+    return prepared;
+  }
   Result<std::vector<PointId>> result =
       searcher_.WindowQuery(window, effective);
   if (!result.ok() && result.status().IsDeadlineExceeded()) {
     deadline_exceeded_->Increment();
   }
+  EndQuery(trace);
   return result;
 }
 

@@ -78,6 +78,23 @@ class QueryFrontEnd {
   }
 
  private:
+  /// Trace state of one query's stay in the front end: the effective
+  /// tracer (the caller's, or a private one so slow-log-only queries
+  /// still stitch), the open `frontend` root span, and the measured
+  /// queue wait. Defined in the .cc.
+  struct QueryTrace;
+
+  /// Runs admission with full tracing: opens the `frontend` root span,
+  /// wraps Admit in a `queue_wait` child, records the decision in an
+  /// `admission` child plus the flight recorder (a rejection triggers
+  /// a dump), and on success points `options` at the stitched trace
+  /// (tracer + parent_span). Any failure status is the query's result.
+  Status BeginQuery(std::chrono::steady_clock::time_point start,
+                    ShardedSearchOptions& options, QueryTrace& trace) const
+      IQ_EXCLUDES(mu_);
+
+  /// Closes the `frontend` span (call after the searcher returned).
+  void EndQuery(QueryTrace& trace) const;
   /// Blocks until admitted (slot free), rejected (queue full), or the
   /// deadline expires while queued. `start` anchors the deadline at
   /// query arrival so queue wait counts against the budget.
@@ -104,6 +121,7 @@ class QueryFrontEnd {
   obs::Counter* const deadline_exceeded_;
   obs::Gauge* const in_flight_gauge_;
   obs::Gauge* const queue_depth_gauge_;
+  obs::Histogram* const queue_wait_;
 
   mutable Mutex mu_{IQ_LOCK_RANK(4)};
   mutable CondVar cv_;  // signaled when an in-flight slot frees

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <future>
+#include <string>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metric_names.h"
 
 namespace iq {
@@ -11,12 +13,56 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Wave width is bounded by the pool's thread count; wave duration by
+/// the slowest shard of the wave (wall seconds).
+constexpr double kWaveWidthBounds[] = {1, 2, 4, 8, 16, 32, 64};
+constexpr double kWaveSecondsBounds[] = {1e-5, 1e-4, 1e-3,
+                                         1e-2, 0.1,  1.0, 10.0};
+
 double ElapsedSeconds(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-bool DeadlineExpired(Clock::time_point start, double deadline_s) {
-  return deadline_s > 0 && ElapsedSeconds(start) >= deadline_s;
+/// Dynamic span name of the stitched trace ("wave0", "shard3").
+std::string IndexedName(const char* prefix, size_t index) {
+  return std::string(prefix) + std::to_string(index);
+}
+
+/// Records a pruned shard into the stitched trace as a zero-cost span
+/// annotated with the pruning evidence, and into the flight recorder.
+/// `bound` is the value the shard's MINDIST lost to (current kth
+/// distance, range radius; negative when not distance-based).
+void RecordPrunedShard(obs::QueryTracer* tracer, obs::SpanId parent,
+                       size_t index, double mindist, double bound) {
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kShardPrune,
+                                       static_cast<uint32_t>(index), mindist,
+                                       bound);
+  if (tracer == nullptr) return;
+  const obs::SpanId span = tracer->BeginSpan(IndexedName("shard", index),
+                                             parent);
+  if (span == obs::kNoSpan) return;
+  tracer->AddAttr(span, "pruned", 1);
+  tracer->AddAttr(span, "mindist", mindist);
+  if (bound >= 0) tracer->AddAttr(span, "bound", bound);
+  tracer->EndSpan(span);
+}
+
+/// Between-wave deadline bookkeeping: records the check (and the
+/// exceedance, with a flight-recorder dump — the post-mortem the
+/// recorder exists for) and returns true when the budget is spent.
+bool DeadlineExpired(Clock::time_point start, double deadline_s,
+                     size_t shards_queried) {
+  if (deadline_s <= 0) return false;
+  const double elapsed = ElapsedSeconds(start);
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.Record(obs::FlightEventType::kDeadlineCheck,
+                  static_cast<uint32_t>(shards_queried),
+                  deadline_s - elapsed);
+  if (elapsed < deadline_s) return false;
+  recorder.Record(obs::FlightEventType::kDeadlineExceeded,
+                  static_cast<uint32_t>(shards_queried), elapsed);
+  recorder.TriggerDump("deadline_exceeded");
+  return true;
 }
 
 /// Merge order ties break on id so the facade's output is a total
@@ -56,7 +102,13 @@ ShardedSearcher::ShardedSearcher(const ShardManifest& manifest,
       pruned_(obs::MetricRegistry::Global().GetCounter(
           obs::metric::kShardPrunedTotal)),
       deadline_(obs::MetricRegistry::Global().GetCounter(
-          obs::metric::kShardDeadlineExceededTotal)) {}
+          obs::metric::kShardDeadlineExceededTotal)),
+      waves_(obs::MetricRegistry::Global().GetCounter(
+          obs::metric::kShardWavesTotal)),
+      wave_width_(obs::MetricRegistry::Global().GetHistogram(
+          obs::metric::kShardWaveWidth, kWaveWidthBounds)),
+      wave_seconds_(obs::MetricRegistry::Global().GetHistogram(
+          obs::metric::kShardWaveSeconds, kWaveSecondsBounds)) {}
 
 Result<std::unique_ptr<ShardedSearcher>> ShardedSearcher::Open(
     Storage& storage, const ShardManifest& manifest) {
@@ -93,6 +145,7 @@ Result<std::unique_ptr<ShardedSearcher>> ShardedSearcher::Open(
     shard.queries = obs::MetricRegistry::Global().GetCounter(
         obs::metric::PerShardMetricName(obs::metric::kShardQueriesTotal, i));
     const obs::CostBreakdown cost = shard.tree->PredictCost();
+    shard.predicted = cost;
     searcher->predicted_.t1 += cost.t1;
     searcher->predicted_.t2 += cost.t2;
     searcher->predicted_.t3 += cost.t3;
@@ -119,41 +172,52 @@ Result<std::vector<Neighbor>> ShardedSearcher::KNearestNeighbors(
 
   ShardQueryStats agg;
   agg.shards_total = shards_.size();
-  std::vector<Candidate> candidates;
-  candidates.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i].points == 0) {
-      ++agg.shards_pruned;
-      continue;
-    }
-    candidates.push_back(Candidate{MinDist(q, shards_[i].bounds, metric_), i});
-  }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.mindist != b.mindist) return a.mindist < b.mindist;
-              return a.index < b.index;
-            });
 
   obs::QueryTracer* tracer = options.tracer;
   std::unique_ptr<obs::QueryTracer> owned_tracer;
   if (tracer == nullptr && options.slow_log != nullptr) {
-    owned_tracer = std::make_unique<obs::QueryTracer>();
+    owned_tracer =
+        std::make_unique<obs::QueryTracer>(options.tracer_max_spans);
     tracer = owned_tracer.get();
   }
+  // A caller-requested parent only makes sense in the caller's tracer.
+  const obs::SpanId parent =
+      owned_tracer == nullptr ? options.parent_span : obs::kNoSpan;
 
   std::vector<Neighbor> heap;
   heap.reserve(k);
+  std::vector<obs::ShardCostSample> per_shard;
   Status error;
   {
-    obs::ScopedSpan root(tracer, "sharded_knn");
+    obs::ScopedSpan root(tracer, "sharded_knn", parent);
+    root.AddAttr("k", static_cast<double>(k));
+
+    std::vector<Candidate> candidates;
+    candidates.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i].points == 0) {
+        ++agg.shards_pruned;
+        RecordPrunedShard(tracer, root.id(), i, 0.0, -1.0);
+        continue;
+      }
+      candidates.push_back(
+          Candidate{MinDist(q, shards_[i].bounds, metric_), i});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.mindist != b.mindist) return a.mindist < b.mindist;
+                return a.index < b.index;
+              });
+
     IqSearchOptions shard_options;
     shard_options.optimized_access = options.optimized_access;
     shard_options.tracer = tracer;
 
     const size_t wave_width = pool_->num_threads();
     size_t next = 0;
+    size_t wave_index = 0;
     while (next < candidates.size() && error.ok()) {
-      if (DeadlineExpired(start, options.deadline_s)) {
+      if (DeadlineExpired(start, options.deadline_s, agg.shards_queried)) {
         deadline_->Increment();
         error = Status::DeadlineExceeded("sharded knn deadline exceeded");
         break;
@@ -164,40 +228,79 @@ Result<std::vector<Neighbor>> ShardedSearcher::KNearestNeighbors(
       // neighbors the single tree's AddResult would reject too.
       if (heap.size() == k &&
           candidates[next].mindist >= heap.front().distance) {
+        const double kth = heap.front().distance;
+        for (size_t j = next; j < candidates.size(); ++j) {
+          RecordPrunedShard(tracer, root.id(), candidates[j].index,
+                            candidates[j].mindist, kth);
+        }
         agg.shards_pruned += candidates.size() - next;
         break;
       }
       const size_t wave_end =
           std::min(candidates.size(), next + wave_width);
+      const Clock::time_point wave_start = Clock::now();
+      obs::ScopedSpan wave(tracer, IndexedName("wave", wave_index),
+                           root.id());
+      wave.AddAttr("shards", static_cast<double>(wave_end - next));
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kWaveDispatch,
+          static_cast<uint32_t>(wave_index),
+          static_cast<double>(wave_end - next));
       std::vector<std::future<WorkerOut>> futures;
+      std::vector<obs::SpanId> shard_spans;
       futures.reserve(wave_end - next);
+      shard_spans.reserve(wave_end - next);
       for (size_t j = next; j < wave_end; ++j) {
         const Shard& shard = shards_[candidates[j].index];
-        futures.push_back(pool_->Submit([&shard, q, k, shard_options]() {
-          WorkerOut out;
-          const double t0 = shard.disk->Now();
-          Result<std::vector<Neighbor>> r =
-              shard.tree->KNearestNeighbors(q, k, shard_options);
-          out.io_s = shard.disk->Now() - t0;
-          out.stats = shard.tree->last_query_stats();
-          if (r.ok()) {
-            out.neighbors = std::move(r).value();
-          } else {
-            out.status = r.status();
-          }
-          return out;
-        }));
+        // The shard's whole IQ-tree subtree grafts under this span,
+        // making the stitched tree: frontend → wave<i> → shard<i> →
+        // knn → {dir_scan, batch, ...}.
+        obs::SpanId shard_span = obs::kNoSpan;
+        if (tracer != nullptr) {
+          shard_span = tracer->BeginSpan(
+              IndexedName("shard", candidates[j].index), wave.id());
+        }
+        shard_spans.push_back(shard_span);
+        IqSearchOptions worker_options = shard_options;
+        worker_options.parent_span = shard_span;
+        futures.push_back(
+            pool_->Submit([&shard, q, k, worker_options]() {
+              WorkerOut out;
+              const double t0 = shard.disk->Now();
+              Result<std::vector<Neighbor>> r =
+                  shard.tree->KNearestNeighbors(q, k, worker_options);
+              out.io_s = shard.disk->Now() - t0;
+              out.stats = shard.tree->last_query_stats();
+              if (r.ok()) {
+                out.neighbors = std::move(r).value();
+              } else {
+                out.status = r.status();
+              }
+              return out;
+            }));
       }
       // Gather in submission order: the merge below is then a pure
       // function of the candidate order, never of thread timing.
       for (size_t j = next; j < wave_end; ++j) {
         WorkerOut out = futures[j - next].get();
+        const size_t index = candidates[j].index;
         ++agg.shards_queried;
-        shards_[candidates[j].index].queries->Increment();
+        shards_[index].queries->Increment();
+        if (tracer != nullptr && shard_spans[j - next] != obs::kNoSpan) {
+          tracer->AddAttr(shard_spans[j - next], "mindist",
+                          candidates[j].mindist);
+          tracer->AddAttr(shard_spans[j - next], "io_s", out.io_s);
+          tracer->EndSpan(shard_spans[j - next]);
+        }
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventType::kShardQuery,
+            static_cast<uint32_t>(index), candidates[j].mindist, out.io_s);
         if (!out.status.ok()) {
           if (error.ok()) error = out.status;
           continue;
         }
+        per_shard.push_back(obs::ShardCostSample{
+            index, shards_[index].predicted, out.io_s});
         AddQueryStats(agg.totals, out.stats);
         agg.io_s_sum += out.io_s;
         agg.io_s_max = std::max(agg.io_s_max, out.io_s);
@@ -212,6 +315,12 @@ Result<std::vector<Neighbor>> ShardedSearcher::KNearestNeighbors(
           }
         }
       }
+      if (obs::kEnabled) {
+        waves_->Increment();
+        wave_width_->Observe(static_cast<double>(wave_end - next));
+        wave_seconds_->Observe(ElapsedSeconds(wave_start));
+      }
+      ++wave_index;
       next = wave_end;
     }
   }
@@ -222,7 +331,7 @@ Result<std::vector<Neighbor>> ShardedSearcher::KNearestNeighbors(
   }
   if (options.slow_log != nullptr && tracer != nullptr) {
     options.slow_log->Offer(tracer->Snapshot(), obs::kNoSpan, predicted_,
-                            agg.dropped_spans);
+                            agg.dropped_spans, std::move(per_shard));
   }
   FinishQuery(agg);
   if (!error.ok()) return error;
@@ -242,52 +351,84 @@ Result<std::vector<Neighbor>> ShardedSearcher::RangeSearch(
 
   ShardQueryStats agg;
   agg.shards_total = shards_.size();
-  std::vector<Candidate> candidates;
-  candidates.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i].points == 0 ||
-        MinDist(q, shards_[i].bounds, metric_) > radius) {
-      ++agg.shards_pruned;
-      continue;
-    }
-    candidates.push_back(Candidate{0, i});
-  }
 
   obs::QueryTracer* tracer = options.tracer;
   std::unique_ptr<obs::QueryTracer> owned_tracer;
   if (tracer == nullptr && options.slow_log != nullptr) {
-    owned_tracer = std::make_unique<obs::QueryTracer>();
+    owned_tracer =
+        std::make_unique<obs::QueryTracer>(options.tracer_max_spans);
     tracer = owned_tracer.get();
   }
+  const obs::SpanId parent =
+      owned_tracer == nullptr ? options.parent_span : obs::kNoSpan;
 
   std::vector<Neighbor> results;
+  std::vector<obs::ShardCostSample> per_shard;
   Status error;
   {
-    obs::ScopedSpan root(tracer, "sharded_range");
+    obs::ScopedSpan root(tracer, "sharded_range", parent);
+    root.AddAttr("radius", radius);
+
+    std::vector<Candidate> candidates;
+    candidates.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i].points == 0) {
+        ++agg.shards_pruned;
+        RecordPrunedShard(tracer, root.id(), i, 0.0, -1.0);
+        continue;
+      }
+      const double mindist = MinDist(q, shards_[i].bounds, metric_);
+      if (mindist > radius) {
+        ++agg.shards_pruned;
+        RecordPrunedShard(tracer, root.id(), i, mindist, radius);
+        continue;
+      }
+      candidates.push_back(Candidate{mindist, i});
+    }
+
     IqSearchOptions shard_options;
     shard_options.optimized_access = options.optimized_access;
     shard_options.tracer = tracer;
 
     const size_t wave_width = pool_->num_threads();
     size_t next = 0;
+    size_t wave_index = 0;
     while (next < candidates.size() && error.ok()) {
-      if (DeadlineExpired(start, options.deadline_s)) {
+      if (DeadlineExpired(start, options.deadline_s, agg.shards_queried)) {
         deadline_->Increment();
         error = Status::DeadlineExceeded("sharded range deadline exceeded");
         break;
       }
       const size_t wave_end =
           std::min(candidates.size(), next + wave_width);
+      const Clock::time_point wave_start = Clock::now();
+      obs::ScopedSpan wave(tracer, IndexedName("wave", wave_index),
+                           root.id());
+      wave.AddAttr("shards", static_cast<double>(wave_end - next));
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kWaveDispatch,
+          static_cast<uint32_t>(wave_index),
+          static_cast<double>(wave_end - next));
       std::vector<std::future<WorkerOut>> futures;
+      std::vector<obs::SpanId> shard_spans;
       futures.reserve(wave_end - next);
+      shard_spans.reserve(wave_end - next);
       for (size_t j = next; j < wave_end; ++j) {
         const Shard& shard = shards_[candidates[j].index];
+        obs::SpanId shard_span = obs::kNoSpan;
+        if (tracer != nullptr) {
+          shard_span = tracer->BeginSpan(
+              IndexedName("shard", candidates[j].index), wave.id());
+        }
+        shard_spans.push_back(shard_span);
+        IqSearchOptions worker_options = shard_options;
+        worker_options.parent_span = shard_span;
         futures.push_back(
-            pool_->Submit([&shard, q, radius, shard_options]() {
+            pool_->Submit([&shard, q, radius, worker_options]() {
               WorkerOut out;
               const double t0 = shard.disk->Now();
               Result<std::vector<Neighbor>> r =
-                  shard.tree->RangeSearch(q, radius, shard_options);
+                  shard.tree->RangeSearch(q, radius, worker_options);
               out.io_s = shard.disk->Now() - t0;
               out.stats = shard.tree->last_query_stats();
               if (r.ok()) {
@@ -300,18 +441,36 @@ Result<std::vector<Neighbor>> ShardedSearcher::RangeSearch(
       }
       for (size_t j = next; j < wave_end; ++j) {
         WorkerOut out = futures[j - next].get();
+        const size_t index = candidates[j].index;
         ++agg.shards_queried;
-        shards_[candidates[j].index].queries->Increment();
+        shards_[index].queries->Increment();
+        if (tracer != nullptr && shard_spans[j - next] != obs::kNoSpan) {
+          tracer->AddAttr(shard_spans[j - next], "mindist",
+                          candidates[j].mindist);
+          tracer->AddAttr(shard_spans[j - next], "io_s", out.io_s);
+          tracer->EndSpan(shard_spans[j - next]);
+        }
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventType::kShardQuery,
+            static_cast<uint32_t>(index), candidates[j].mindist, out.io_s);
         if (!out.status.ok()) {
           if (error.ok()) error = out.status;
           continue;
         }
+        per_shard.push_back(obs::ShardCostSample{
+            index, shards_[index].predicted, out.io_s});
         AddQueryStats(agg.totals, out.stats);
         agg.io_s_sum += out.io_s;
         agg.io_s_max = std::max(agg.io_s_max, out.io_s);
         results.insert(results.end(), out.neighbors.begin(),
                        out.neighbors.end());
       }
+      if (obs::kEnabled) {
+        waves_->Increment();
+        wave_width_->Observe(static_cast<double>(wave_end - next));
+        wave_seconds_->Observe(ElapsedSeconds(wave_start));
+      }
+      ++wave_index;
       next = wave_end;
     }
   }
@@ -322,7 +481,7 @@ Result<std::vector<Neighbor>> ShardedSearcher::RangeSearch(
   }
   if (options.slow_log != nullptr && tracer != nullptr) {
     options.slow_log->Offer(tracer->Snapshot(), obs::kNoSpan, predicted_,
-                            agg.dropped_spans);
+                            agg.dropped_spans, std::move(per_shard));
   }
   FinishQuery(agg);
   if (!error.ok()) return error;
@@ -339,57 +498,101 @@ Result<std::vector<PointId>> ShardedSearcher::WindowQuery(
 
   ShardQueryStats agg;
   agg.shards_total = shards_.size();
-  std::vector<Candidate> candidates;
-  candidates.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i].points == 0 || !shards_[i].bounds.Intersects(window)) {
-      ++agg.shards_pruned;
-      continue;
-    }
-    candidates.push_back(Candidate{0, i});
-  }
+
+  // WindowQuery carries no per-shard IQ-tree spans (the single tree's
+  // WindowQuery is untraced too), but the facade still stitches its
+  // wave/shard skeleton with io_s so the fan-out shape is visible.
+  obs::QueryTracer* tracer = options.tracer;
+  const obs::SpanId parent = options.parent_span;
 
   std::vector<PointId> ids;
   Status error;
-  const size_t wave_width = pool_->num_threads();
-  size_t next = 0;
-  while (next < candidates.size() && error.ok()) {
-    if (DeadlineExpired(start, options.deadline_s)) {
-      deadline_->Increment();
-      error = Status::DeadlineExceeded("sharded window deadline exceeded");
-      break;
-    }
-    const size_t wave_end = std::min(candidates.size(), next + wave_width);
-    std::vector<std::future<WorkerOut>> futures;
-    futures.reserve(wave_end - next);
-    for (size_t j = next; j < wave_end; ++j) {
-      const Shard& shard = shards_[candidates[j].index];
-      futures.push_back(pool_->Submit([&shard, &window]() {
-        WorkerOut out;
-        const double t0 = shard.disk->Now();
-        Result<std::vector<PointId>> r = shard.tree->WindowQuery(window);
-        out.io_s = shard.disk->Now() - t0;
-        if (r.ok()) {
-          out.ids = std::move(r).value();
-        } else {
-          out.status = r.status();
-        }
-        return out;
-      }));
-    }
-    for (size_t j = next; j < wave_end; ++j) {
-      WorkerOut out = futures[j - next].get();
-      ++agg.shards_queried;
-      shards_[candidates[j].index].queries->Increment();
-      if (!out.status.ok()) {
-        if (error.ok()) error = out.status;
+  {
+    obs::ScopedSpan root(tracer, "sharded_window", parent);
+
+    std::vector<Candidate> candidates;
+    candidates.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i].points == 0 || !shards_[i].bounds.Intersects(window)) {
+        ++agg.shards_pruned;
+        RecordPrunedShard(tracer, root.id(), i, 0.0, -1.0);
         continue;
       }
-      agg.io_s_sum += out.io_s;
-      agg.io_s_max = std::max(agg.io_s_max, out.io_s);
-      ids.insert(ids.end(), out.ids.begin(), out.ids.end());
+      candidates.push_back(Candidate{0, i});
     }
-    next = wave_end;
+
+    const size_t wave_width = pool_->num_threads();
+    size_t next = 0;
+    size_t wave_index = 0;
+    while (next < candidates.size() && error.ok()) {
+      if (DeadlineExpired(start, options.deadline_s, agg.shards_queried)) {
+        deadline_->Increment();
+        error = Status::DeadlineExceeded("sharded window deadline exceeded");
+        break;
+      }
+      const size_t wave_end =
+          std::min(candidates.size(), next + wave_width);
+      const Clock::time_point wave_start = Clock::now();
+      obs::ScopedSpan wave(tracer, IndexedName("wave", wave_index),
+                           root.id());
+      wave.AddAttr("shards", static_cast<double>(wave_end - next));
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kWaveDispatch,
+          static_cast<uint32_t>(wave_index),
+          static_cast<double>(wave_end - next));
+      std::vector<std::future<WorkerOut>> futures;
+      std::vector<obs::SpanId> shard_spans;
+      futures.reserve(wave_end - next);
+      shard_spans.reserve(wave_end - next);
+      for (size_t j = next; j < wave_end; ++j) {
+        const Shard& shard = shards_[candidates[j].index];
+        obs::SpanId shard_span = obs::kNoSpan;
+        if (tracer != nullptr) {
+          shard_span = tracer->BeginSpan(
+              IndexedName("shard", candidates[j].index), wave.id());
+        }
+        shard_spans.push_back(shard_span);
+        futures.push_back(pool_->Submit([&shard, &window]() {
+          WorkerOut out;
+          const double t0 = shard.disk->Now();
+          Result<std::vector<PointId>> r = shard.tree->WindowQuery(window);
+          out.io_s = shard.disk->Now() - t0;
+          if (r.ok()) {
+            out.ids = std::move(r).value();
+          } else {
+            out.status = r.status();
+          }
+          return out;
+        }));
+      }
+      for (size_t j = next; j < wave_end; ++j) {
+        WorkerOut out = futures[j - next].get();
+        const size_t index = candidates[j].index;
+        ++agg.shards_queried;
+        shards_[index].queries->Increment();
+        if (tracer != nullptr && shard_spans[j - next] != obs::kNoSpan) {
+          tracer->AddAttr(shard_spans[j - next], "io_s", out.io_s);
+          tracer->EndSpan(shard_spans[j - next]);
+        }
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventType::kShardQuery,
+            static_cast<uint32_t>(index), 0.0, out.io_s);
+        if (!out.status.ok()) {
+          if (error.ok()) error = out.status;
+          continue;
+        }
+        agg.io_s_sum += out.io_s;
+        agg.io_s_max = std::max(agg.io_s_max, out.io_s);
+        ids.insert(ids.end(), out.ids.begin(), out.ids.end());
+      }
+      if (obs::kEnabled) {
+        waves_->Increment();
+        wave_width_->Observe(static_cast<double>(wave_end - next));
+        wave_seconds_->Observe(ElapsedSeconds(wave_start));
+      }
+      ++wave_index;
+      next = wave_end;
+    }
   }
 
   FinishQuery(agg);

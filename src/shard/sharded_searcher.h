@@ -34,15 +34,28 @@ namespace iq {
 struct ShardedSearchOptions {
   /// Forwarded to every per-shard search (IqSearchOptions).
   bool optimized_access = true;
-  /// Optional trace sink shared by all shards of the query. Per-shard
-  /// searches record their span trees as additional roots next to the
-  /// facade's `sharded_*` root (IqTree cannot parent its root under an
-  /// external span) — AggregateSpans still sees every span.
+  /// Optional trace sink shared by all shards of the query. The query
+  /// records ONE stitched span tree: a `sharded_*` root, one `wave<i>`
+  /// child per fan-out wave, and under each wave a `shard<i>` span per
+  /// queried shard carrying that shard's whole IQ-tree subtree (via
+  /// IqSearchOptions::parent_span) plus `io_s`/`mindist` attrs. Pruned
+  /// shards appear as zero-cost `shard<i>` spans annotated `pruned=1`
+  /// with the MINDIST-vs-kth evidence (docs/observability.md, "Sharded
+  /// queries").
   obs::QueryTracer* tracer = nullptr;
+  /// When `tracer` is set, the `sharded_*` root opens under this span
+  /// — QueryFrontEnd grafts the whole query under its `frontend` span.
+  obs::SpanId parent_span = obs::kNoSpan;
+  /// Span cap of the private tracer created for slow-log-only queries.
+  /// Defaults 16x higher than IqSearchOptions' (1M vs 64k): fan-out
+  /// multiplies span volume by the shard count, and a truncated trace
+  /// is exactly the one the slow log exists to keep.
+  size_t tracer_max_spans = 1 << 20;
   /// Optional slow-query sink. As with IqSearchOptions, when no
   /// `tracer` is set the query runs with a private tracer shared by the
   /// whole fan-out, and the finished query is offered once with the
-  /// facade's aggregate trace (root = kNoSpan: every span counts).
+  /// facade's aggregate trace (root = kNoSpan: every span counts) and
+  /// per-shard predicted-vs-observed cost samples.
   /// When the caller supplies both a shared tracer and a slow log, the
   /// offered record covers everything in the shared tracer, not just
   /// this query — prefer the private-tracer mode for attribution.
@@ -155,6 +168,10 @@ class ShardedSearcher {
     Mbr bounds;
     uint64_t points = 0;
     obs::Counter* queries = nullptr;
+    /// This shard's own cost-model prediction (predicted_ is the sum),
+    /// paired with observed io_s in slow-log records so calibration
+    /// can localize a mispredicting shard.
+    obs::CostBreakdown predicted;
   };
 
   /// A shard that survived pruning, ordered by (mindist, index).
@@ -191,6 +208,9 @@ class ShardedSearcher {
   obs::Counter* const queried_;
   obs::Counter* const pruned_;
   obs::Counter* const deadline_;
+  obs::Counter* const waves_;
+  obs::Histogram* const wave_width_;
+  obs::Histogram* const wave_seconds_;
 
   mutable Mutex query_stats_mu_{IQ_LOCK_RANK(8)};
   mutable ShardQueryStats last_query_stats_ IQ_GUARDED_BY(query_stats_mu_);

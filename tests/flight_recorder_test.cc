@@ -1,0 +1,165 @@
+#include "obs/flight_recorder.h"
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace iq {
+namespace {
+
+// The recorder is process-global and rings persist for the process
+// lifetime, so every test starts from Clear() — heads and dump state
+// reset, registered rings stay (their indices are stable thread ids).
+
+TEST(FlightRecorderTest, RecordAndSnapshotRoundTrip) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.Clear();
+  recorder.Record(obs::FlightEventType::kAdmissionAccept, 3, 0.25);
+  recorder.Record(obs::FlightEventType::kShardPrune, 7, 1.5, 2.5);
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(recorder.recorded(), 2u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(events[0].type, obs::FlightEventType::kAdmissionAccept);
+  EXPECT_EQ(events[0].arg, 3u);
+  EXPECT_DOUBLE_EQ(events[0].v0, 0.25);
+  EXPECT_EQ(events[1].type, obs::FlightEventType::kShardPrune);
+  EXPECT_EQ(events[1].arg, 7u);
+  EXPECT_DOUBLE_EQ(events[1].v0, 1.5);
+  EXPECT_DOUBLE_EQ(events[1].v1, 2.5);
+  // Same thread, ascending per-thread sequence and timestamps.
+  EXPECT_EQ(events[0].thread, events[1].thread);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+}
+
+TEST(FlightRecorderTest, RingWrapKeepsNewestAndCountsDropped) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.Clear();
+  const size_t total = obs::FlightRecorder::kRingCapacity + 10;
+  for (size_t i = 0; i < total; ++i) {
+    recorder.Record(obs::FlightEventType::kDeadlineCheck,
+                    static_cast<uint32_t>(i));
+  }
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), obs::FlightRecorder::kRingCapacity);
+  EXPECT_EQ(recorder.recorded(), total);
+  EXPECT_EQ(recorder.dropped(), 10u);
+  // The oldest 10 events were overwritten; the survivors are the tail.
+  EXPECT_EQ(events.front().arg, 10u);
+  EXPECT_EQ(events.back().arg, static_cast<uint32_t>(total - 1));
+}
+
+TEST(FlightRecorderTest, TriggerDumpRetainsTaggedJson) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.Clear();
+  EXPECT_TRUE(recorder.last_dump().empty());
+  recorder.Record(obs::FlightEventType::kAdmissionReject, 9);
+  recorder.TriggerDump("rejected");
+  EXPECT_EQ(recorder.dumps(), 1u);
+  EXPECT_EQ(recorder.last_dump_reason(), "rejected");
+  const std::string dump = recorder.last_dump();
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("\"reason\":\"rejected\""), std::string::npos);
+  EXPECT_NE(dump.find("\"admission_reject\""), std::string::npos);
+  EXPECT_NE(dump.find("\"schema_version\":1"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ClearResetsEventsAndDumpState) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.Record(obs::FlightEventType::kWaveDispatch, 0, 4.0);
+  recorder.TriggerDump("on_demand");
+  recorder.Clear();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.dumps(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_TRUE(recorder.last_dump().empty());
+  EXPECT_TRUE(recorder.last_dump_reason().empty());
+}
+
+TEST(FlightRecorderTest, ThreadsGetDistinctRings) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.Clear();
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        recorder.Record(obs::FlightEventType::kPoolTask,
+                        static_cast<uint32_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.recorded(), kThreads * kPerThread);
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  std::set<uint32_t> producer_threads;
+  for (const obs::FlightEvent& event : events) {
+    producer_threads.insert(event.thread);
+  }
+  EXPECT_EQ(producer_threads.size(), kThreads);
+}
+
+TEST(FlightRecorderTest, EventTypeNamesAreStable) {
+  EXPECT_STREQ(
+      obs::FlightEventTypeName(obs::FlightEventType::kAdmissionAccept),
+      "admission_accept");
+  EXPECT_STREQ(
+      obs::FlightEventTypeName(obs::FlightEventType::kShardPrune),
+      "shard_prune");
+  EXPECT_STREQ(
+      obs::FlightEventTypeName(obs::FlightEventType::kDeadlineExceeded),
+      "deadline_exceeded");
+}
+
+TEST(FlightRecorderTest, FlightToJsonEmitsSchema) {
+  std::vector<obs::FlightEvent> events(1);
+  events[0].ts_ns = 42;
+  events[0].type = obs::FlightEventType::kQueueExit;
+  events[0].thread = 1;
+  events[0].seq = 2;
+  events[0].arg = 3;
+  events[0].v0 = 0.5;
+  const std::string json =
+      obs::FlightToJson(events, "on_demand", /*recorded=*/7,
+                        /*dropped=*/1);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"on_demand\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_exit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts_ns\":42"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DisabledBuildIsInert) {
+  if (obs::kEnabled) {
+    GTEST_SKIP() << "covers the IQ_OBS_DISABLED configuration";
+  }
+  // Every member is an inline no-op: nothing recorded, nothing dumped,
+  // and the calls are legal from any context.
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.Record(obs::FlightEventType::kAdmissionAccept, 1, 2.0, 3.0);
+  recorder.TriggerDump("rejected");
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.dumps(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_TRUE(recorder.last_dump().empty());
+  EXPECT_TRUE(recorder.last_dump_reason().empty());
+}
+
+}  // namespace
+}  // namespace iq

@@ -12,8 +12,10 @@
 #include "data/generators.h"
 #include "io/disk_model.h"
 #include "io/storage.h"
+#include "obs/flight_recorder.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/sharded_bulk_loader.h"
 #include "shard/sharded_searcher.h"
 
@@ -166,6 +168,136 @@ TEST(QueryFrontEndTest, CountsAdmissionsInRegistry) {
   ASSERT_TRUE(front_end.KNearestNeighbors(f.queries[0], 3).ok());
   ASSERT_TRUE(front_end.RangeSearch(f.queries[0], 0.3).ok());
   EXPECT_EQ(admitted->Value(), before + 2);
+}
+
+/// The tentpole contract of ISSUE 9, front-end side: a query through
+/// the front end records one stitched tree rooted at `frontend`, with
+/// `queue_wait` and `admission` children and the whole sharded fan-out
+/// grafted underneath.
+TEST(QueryFrontEndTest, StitchedTraceRootsAtFrontend) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  Fixture f = MakeFixture();
+  QueryFrontEnd front_end(*f.searcher);
+  obs::QueryTracer tracer;
+  ShardedSearchOptions options;
+  options.tracer = &tracer;
+  ASSERT_TRUE(front_end.KNearestNeighbors(f.queries[0], 3, options).ok());
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans[0].name, "frontend");
+  EXPECT_EQ(spans[0].parent, obs::kNoSpan);
+  size_t roots = 0;
+  bool saw_queue_wait = false;
+  bool saw_admission = false;
+  bool saw_sharded_root = false;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.parent == obs::kNoSpan) ++roots;
+    if (span.name == "queue_wait") {
+      saw_queue_wait = true;
+      EXPECT_EQ(spans[span.parent].name, "frontend");
+      bool has_wait = false;
+      for (const auto& [key, value] : span.attrs) {
+        if (key == "wait_s") has_wait = value >= 0;
+      }
+      EXPECT_TRUE(has_wait);
+    }
+    if (span.name == "admission") {
+      saw_admission = true;
+      EXPECT_EQ(spans[span.parent].name, "frontend");
+      for (const auto& [key, value] : span.attrs) {
+        if (key == "admitted") {
+          EXPECT_EQ(value, 1.0);
+        }
+        if (key == "rejected") {
+          EXPECT_EQ(value, 0.0);
+        }
+      }
+    }
+    if (span.name == "sharded_knn") {
+      saw_sharded_root = true;
+      EXPECT_EQ(spans[span.parent].name, "frontend");
+    }
+  }
+  EXPECT_EQ(roots, 1u);  // everything hangs under the frontend span
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_admission);
+  EXPECT_TRUE(saw_sharded_root);
+}
+
+TEST(QueryFrontEndTest, ObservesQueueWaitInHistogram) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  Fixture f = MakeFixture();
+  QueryFrontEnd front_end(*f.searcher);
+  static constexpr double kBounds[] = {1e-5, 1e-4, 1e-3, 1e-2,
+                                       0.1,  1.0,  10.0};
+  auto* queue_wait = obs::MetricRegistry::Global().GetHistogram(
+      obs::metric::kFrontendQueueWaitSeconds, kBounds);
+  const uint64_t before = queue_wait->count();
+  ASSERT_TRUE(front_end.KNearestNeighbors(f.queries[0], 3).ok());
+  EXPECT_EQ(queue_wait->count(), before + 1);
+}
+
+TEST(QueryFrontEndTest, RejectionTriggersFlightDump) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  Fixture f = MakeFixture();
+  obs::FlightRecorder::Global().Clear();
+  QueryFrontEnd front_end(*f.searcher,
+                          QueryFrontEnd::Options{/*max_in_flight=*/0,
+                                                 /*max_queued=*/0,
+                                                 /*default_deadline_s=*/0});
+  auto result = front_end.KNearestNeighbors(f.queries[0], 3);
+  EXPECT_TRUE(result.status().IsUnavailable());
+  auto& recorder = obs::FlightRecorder::Global();
+  EXPECT_GE(recorder.dumps(), 1u);
+  EXPECT_EQ(recorder.last_dump_reason(), "rejected");
+  const std::string dump = recorder.last_dump();
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("\"admission_reject\""), std::string::npos);
+}
+
+TEST(QueryFrontEndTest, QueueDeadlineTriggersFlightDump) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  Fixture f = MakeFixture();
+  obs::FlightRecorder::Global().Clear();
+  QueryFrontEnd::Options options;
+  options.max_in_flight = 0;
+  options.max_queued = 1;
+  options.default_deadline_s = 0.02;
+  QueryFrontEnd front_end(*f.searcher, options);
+  auto result = front_end.KNearestNeighbors(f.queries[0], 3);
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+  auto& recorder = obs::FlightRecorder::Global();
+  EXPECT_GE(recorder.dumps(), 1u);
+  EXPECT_EQ(recorder.last_dump_reason(), "deadline_exceeded");
+  const std::string dump = recorder.last_dump();
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("\"deadline_exceeded\""), std::string::npos);
+}
+
+/// The IQ_OBS_DISABLED counterpart of the metric tests above: with
+/// observability compiled out, queries still flow and every telemetry
+/// surface reads as inert.
+TEST(QueryFrontEndTest, DisabledBuildKeepsQueriesWorkingWithoutTelemetry) {
+  if (obs::kEnabled) {
+    GTEST_SKIP() << "covers the IQ_OBS_DISABLED configuration";
+  }
+  Fixture f = MakeFixture();
+  QueryFrontEnd front_end(*f.searcher);
+  obs::QueryTracer tracer;
+  ShardedSearchOptions options;
+  options.tracer = &tracer;
+  auto result = front_end.KNearestNeighbors(f.queries[0], 3, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, *f.searcher->KNearestNeighbors(f.queries[0], 3));
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(obs::MetricRegistry::Global()
+                .GetCounter(obs::metric::kFrontendAdmittedTotal)
+                ->Value(),
+            0u);
+  auto& recorder = obs::FlightRecorder::Global();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.last_dump().empty());
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 #include "data/dataset.h"
 #include "data/generators.h"
 #include "io/storage.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "shard/query_front_end.h"
 #include "shard/sharded_bulk_loader.h"
 #include "shard/sharded_searcher.h"
@@ -121,6 +123,67 @@ TEST(ShardStressTest, FrontEndUnderContention) {
   EXPECT_GT(ok.load(), 0u);
   EXPECT_EQ(front_end.in_flight(), 0u);
   EXPECT_EQ(front_end.queued(), 0u);
+}
+
+/// The flight recorder's reader APIs racing its single-producer
+/// rings: clients record control-plane events through the front end
+/// while a poller snapshots, dumps, and clears the recorder
+/// mid-query. TSan must see no races (slot words are atomics; dump
+/// state is under the rank-90 leaf mutex), and torn slot decodes must
+/// never crash the JSON encoder.
+TEST(ShardStressTest, FlightRecorderDrainRacesQueries) {
+  Fixture f = MakeFixture();
+  obs::FlightRecorder::Global().Clear();
+  QueryFrontEnd::Options options;
+  options.max_in_flight = 2;
+  options.max_queued = 2;
+  QueryFrontEnd front_end(*f.searcher, options);
+
+  constexpr size_t kThreads = 6;
+  constexpr size_t kQueriesPerThread = 25;
+  std::atomic<size_t> completed{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t i = 0; i < kQueriesPerThread; ++i) {
+        const size_t qi = (t * kQueriesPerThread + i) % f.queries.size();
+        ShardedSearchOptions query_options;
+        if (i % 4 == 3) query_options.deadline_s = 1e-9;
+        (void)front_end.KNearestNeighbors(f.queries[qi], 5, query_options);
+        completed.fetch_add(1);
+      }
+    });
+  }
+
+  // The racing poller: drains the recorder every way it can while the
+  // clients are still appending to their rings.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> drained{0};
+  std::thread poller([&] {
+    auto& recorder = obs::FlightRecorder::Global();
+    while (!stop.load()) {
+      drained.fetch_add(recorder.Snapshot().size());
+      recorder.TriggerDump("on_demand");
+      (void)recorder.last_dump();
+      (void)recorder.last_dump_reason();
+      (void)recorder.recorded();
+      (void)recorder.dropped();
+      recorder.Clear();
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& thread : clients) thread.join();
+  stop.store(true);
+  poller.join();
+
+  EXPECT_EQ(completed.load(), kThreads * kQueriesPerThread);
+  if (obs::kEnabled) {
+    // The poller observed live traffic (Clear() rewinds, so only the
+    // drained running total proves events flowed through).
+    EXPECT_GT(drained.load() + obs::FlightRecorder::Global().recorded(),
+              0u);
+  }
 }
 
 TEST(ShardStressTest, BareSearcherSharedAcrossThreads) {

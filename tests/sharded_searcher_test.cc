@@ -256,6 +256,109 @@ TEST(ShardedSearcherTest, TracerDropsPropagateToStatsAndSlowLog) {
   EXPECT_TRUE(log.Snapshot()[0].truncated);
 }
 
+/// The tentpole contract of ISSUE 9: one sharded query records one
+/// stitched span tree — `sharded_knn` root, `wave<i>` children, and a
+/// `shard<i>` span per shard (pruned shards as zero-cost annotated
+/// leaves) with the shard's whole IQ-tree subtree grafted underneath —
+/// and the tree's sums agree with ShardQueryStats exactly.
+TEST(ShardedSearcherTest, StitchedTraceMatchesAggregateStats) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  Dataset data = GenerateClustered(400, 4, 37, {});
+  Dataset queries = data.TakeTail(4);
+  Fixture f = MakeFixture(data, 4, ShardPlan::kRankPartition);
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    obs::QueryTracer tracer;
+    ShardedSearchOptions options;
+    options.tracer = &tracer;
+    ASSERT_TRUE(f.sharded->KNearestNeighbors(queries[qi], 3, options).ok());
+    const ShardQueryStats stats = f.sharded->last_query_stats();
+    const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+
+    // Exactly one root, and it is the sharded facade's span.
+    size_t roots = 0;
+    for (const obs::SpanRecord& span : spans) {
+      if (span.parent == obs::kNoSpan) {
+        ++roots;
+        EXPECT_EQ(span.name, "sharded_knn");
+      }
+    }
+    EXPECT_EQ(roots, 1u);
+
+    // Every shard<i> span is accounted for: queried ones carry io_s
+    // and hang under a wave<i> span with the per-shard `knn` subtree
+    // beneath; pruned ones are zero-cost leaves under the root.
+    size_t shard_spans = 0;
+    size_t pruned_spans = 0;
+    size_t knn_subtrees = 0;
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const obs::SpanRecord& span = spans[i];
+      if (span.name.rfind("shard", 0) == 0 &&
+          span.name.rfind("sharded", 0) != 0) {
+        ++shard_spans;
+        bool pruned = false;
+        for (const auto& [key, value] : span.attrs) {
+          if (key == "pruned") pruned = value > 0;
+        }
+        if (pruned) {
+          ++pruned_spans;
+          EXPECT_EQ(spans[span.parent].name, "sharded_knn");
+        } else {
+          EXPECT_EQ(spans[span.parent].name.rfind("wave", 0), 0u);
+        }
+      }
+      if (span.name == "knn") {
+        ++knn_subtrees;
+        ASSERT_NE(span.parent, obs::kNoSpan);
+        EXPECT_EQ(spans[span.parent].name.rfind("shard", 0), 0u);
+      }
+    }
+    EXPECT_EQ(shard_spans, stats.shards_queried + stats.shards_pruned);
+    EXPECT_EQ(pruned_spans, stats.shards_pruned);
+    EXPECT_EQ(knn_subtrees, stats.shards_queried);
+    EXPECT_EQ(stats.shards_queried + stats.shards_pruned,
+              stats.shards_total);
+
+    // The stitched tree's io_s sums equal the aggregated stats
+    // bit-exactly (same values folded in the same gather order).
+    EXPECT_EQ(obs::AggregateSpansByPrefix(spans, "shard", "io_s"),
+              stats.io_s_sum);
+    EXPECT_EQ(obs::AggregateSpansByPrefix(spans, "shard", "pruned"),
+              static_cast<double>(stats.shards_pruned));
+    EXPECT_EQ(obs::AggregateSpans(spans, "page", nullptr),
+              static_cast<double>(stats.totals.pages_decoded));
+  }
+}
+
+/// Satellite (ISSUE 9): slow-log records of sharded queries carry the
+/// per-shard predicted-vs-observed pairs, so calibration can localize
+/// a mispredicting shard.
+TEST(ShardedSearcherTest, SlowLogRecordCarriesPerShardSamples) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with IQ_OBS_DISABLED";
+  Dataset data = GenerateUniform(150, 4, 43);
+  Dataset queries = data.TakeTail(2);
+  Fixture f = MakeFixture(data, 3);
+
+  obs::SlowLogOptions log_options;
+  log_options.quantile = 0.0;  // retain everything
+  obs::SlowQueryLog log(log_options);
+  ShardedSearchOptions options;
+  options.slow_log = &log;
+  ASSERT_TRUE(f.sharded->KNearestNeighbors(queries[0], 5, options).ok());
+  const ShardQueryStats stats = f.sharded->last_query_stats();
+  ASSERT_EQ(log.retained(), 1u);
+  const obs::SlowQueryRecord record = log.Snapshot()[0];
+  ASSERT_EQ(record.per_shard.size(), stats.shards_queried);
+  double observed_sum = 0;
+  for (const obs::ShardCostSample& sample : record.per_shard) {
+    EXPECT_LT(sample.shard, f.sharded->num_shards());
+    EXPECT_GT(sample.predicted.total(), 0.0);
+    EXPECT_GT(sample.observed_io_s, 0.0);
+    observed_sum += sample.observed_io_s;
+  }
+  EXPECT_EQ(observed_sum, stats.io_s_sum);
+}
+
 TEST(ShardedSearcherTest, RejectsMismatchedQueries) {
   Dataset data = GenerateUniform(80, 4, 31);
   Fixture f = MakeFixture(data, 2);

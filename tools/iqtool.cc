@@ -19,6 +19,14 @@
 //   iqtool slowlog  --dir DIR --index NAME --queries DSNAME [--limit N]
 //                   [--k K] [--radius R] [--threads T] [--capacity C]
 //                   [--threshold S] [--quantile Q] [--json]
+//   iqtool trace    --dir DIR --manifest NAME (--point x,y,... |
+//                   --queries DSNAME [--limit N]) [--k K] [--radius R]
+//                   [--threads T] [--max-in-flight N] [--max-queued N]
+//                   [--deadline S] [--json]
+//   iqtool flight   [--dir DIR --manifest NAME --queries DSNAME
+//                   [--limit N] [--k K] [--radius R] [--threads T]
+//                   [--max-in-flight N] [--max-queued N] [--deadline S]]
+//                   [--json]
 //   iqtool validate --dir DIR --index NAME
 //   iqtool reopt    --dir DIR --index NAME
 //   iqtool shard build  --dir DIR --dataset NAME --manifest NAME
@@ -34,7 +42,14 @@
 // a slow-query log attached and dumps the retained outliers; `health`
 // summarizes the index structure (per-page g distribution, occupancy,
 // MBR stats). See docs/observability.md for the span schema and report
-// formats. `shard build` streams a dataset into a multi-shard layout
+// formats. `trace` replays queries against a sharded layout through a
+// QueryFrontEnd with the stitched span tree attached (frontend →
+// wave<i> → shard<i> → per-shard IQ-tree subtree) and exits non-zero
+// when the trace disagrees with the aggregated ShardQueryStats;
+// `flight` drains the always-on flight recorder (optionally provoking
+// admission/deadline events first — `--max-in-flight 0 --deadline S`
+// makes every query time out deterministically). `shard build`
+// streams a dataset into a multi-shard layout
 // (manifest + one IQ-tree per shard, src/shard/); `shard stats` and
 // `shard health` report per-shard and aggregated figures —
 // `stats --manifest M` / `health --manifest M` are shorthands for the
@@ -56,10 +71,12 @@
 #include "data/generators.h"
 #include "io/storage.h"
 #include "obs/calibration.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
+#include "shard/query_front_end.h"
 #include "shard/shard_manifest.h"
 #include "shard/sharded_bulk_loader.h"
 #include "shard/sharded_searcher.h"
@@ -124,8 +141,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: iqtool "
-      "<generate|build|query|stats|health|profile|slowlog|validate|reopt> "
-      "...\n"
+      "<generate|build|query|stats|health|profile|slowlog|trace|flight|"
+      "validate|reopt> ...\n"
       "  generate --out DIR/NAME --workload uniform|cad|color|weather\n"
       "           --n N --dims D [--seed S]\n"
       "  build    --dir DIR --dataset NAME --index NAME [--metric l2|lmax]\n"
@@ -139,6 +156,13 @@ int Usage() {
       "  slowlog  --dir DIR --index NAME --queries DSNAME [--limit N]\n"
       "           [--k K] [--radius R] [--threads T] [--capacity C]\n"
       "           [--threshold S] [--quantile Q] [--json]\n"
+      "  trace    --dir DIR --manifest NAME (--point x,y,... |\n"
+      "           --queries DSNAME [--limit N]) [--k K] [--radius R]\n"
+      "           [--threads T] [--max-in-flight N] [--max-queued N]\n"
+      "           [--deadline S] [--json]\n"
+      "  flight   [--dir DIR --manifest NAME --queries DSNAME [--limit N]\n"
+      "           [--k K] [--radius R] [--threads T] [--max-in-flight N]\n"
+      "           [--max-queued N] [--deadline S]] [--json]\n"
       "  validate --dir DIR --index NAME\n"
       "  reopt    --dir DIR --index NAME\n"
       "  shard build  --dir DIR --dataset NAME --manifest NAME [--shards N]\n"
@@ -666,6 +690,288 @@ int SlowLog(const Args& args) {
   return 0;
 }
 
+/// Extends CheckTraceConsistency to the stitched sharded trace: the
+/// per-tree counters are summed over every shard subtree (the spans
+/// under `shard<i>` are ordinary IQ-tree spans, so the single-tree
+/// checks apply to the whole forest at once), and the facade-level
+/// aggregates — queried/pruned shard counts and the io_s sum — are
+/// recomputed from the `shard<i>` spans themselves. Exact equality
+/// throughout: the spans and ShardQueryStats fold the same values in
+/// the same gather order.
+bool CheckShardedTraceConsistency(const std::vector<obs::SpanRecord>& spans,
+                                  const ShardQueryStats& stats,
+                                  std::string* problems) {
+  bool ok = CheckTraceConsistency(spans, stats.totals, problems);
+  const auto check = [&](const char* what, double from_trace,
+                         double from_stats) {
+    if (from_trace == from_stats) return true;
+    *problems += std::string(" ") + what +
+                 " trace=" + std::to_string(from_trace) +
+                 " stats=" + std::to_string(from_stats);
+    return false;
+  };
+  // The prefix "shard" also matches the `sharded_*` root, but the root
+  // carries neither io_s nor pruned, so the attribute sums see only
+  // the per-shard spans. Counting the shard spans themselves needs the
+  // strict shard<digits> parse.
+  size_t shard_spans = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name.size() <= 5 || span.name.compare(0, 5, "shard") != 0) {
+      continue;
+    }
+    bool digits = true;
+    for (size_t i = 5; i < span.name.size(); ++i) {
+      digits = digits && span.name[i] >= '0' && span.name[i] <= '9';
+    }
+    if (digits) ++shard_spans;
+  }
+  const double pruned = obs::AggregateSpansByPrefix(spans, "shard", "pruned");
+  ok &= check("io_s_sum",
+              obs::AggregateSpansByPrefix(spans, "shard", "io_s"),
+              stats.io_s_sum);
+  ok &= check("shards_pruned", pruned,
+              static_cast<double>(stats.shards_pruned));
+  ok &= check("shards_queried", static_cast<double>(shard_spans) - pruned,
+              static_cast<double>(stats.shards_queried));
+  return ok;
+}
+
+void WriteShardStatsJson(obs::JsonWriter& w, const ShardQueryStats& stats) {
+  w.BeginObject();
+  w.Key("shards_total").Uint(stats.shards_total);
+  w.Key("shards_queried").Uint(stats.shards_queried);
+  w.Key("shards_pruned").Uint(stats.shards_pruned);
+  w.Key("io_s_sum").Double(stats.io_s_sum);
+  w.Key("io_s_max").Double(stats.io_s_max);
+  w.Key("dropped_spans").Uint(stats.dropped_spans);
+  w.Key("truncated").Bool(stats.truncated);
+  w.Key("totals");
+  WriteStatsJson(w, stats.totals);
+  w.EndObject();
+}
+
+/// Replays queries against a sharded layout with the full stitched
+/// trace attached — frontend → wave<i> → shard<i> → per-shard IQ-tree
+/// subtree — and cross-checks every tree against the facade's
+/// ShardQueryStats (exit 1 on mismatch, as `profile` does for a single
+/// tree).
+int Trace(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::string manifest_name = args.Get("manifest");
+  if (manifest_name.empty()) return Usage();
+  FileStorage storage(dir);
+  auto manifest = ShardManifest::Read(storage, manifest_name);
+  if (!manifest.ok()) return Fail(manifest.status());
+  ShardedSearcher::Options open_options;
+  open_options.threads = ParseCount(args.Get("threads"), 4);
+  auto searcher = ShardedSearcher::Open(storage, *manifest, open_options);
+  if (!searcher.ok()) return Fail(searcher.status());
+
+  // Query set: one --point, or the first --limit rows of a dataset.
+  Dataset queries((*searcher)->dims());
+  if (!args.Get("point").empty()) {
+    auto q = ParsePoint(args.Get("point"));
+    if (!q.ok()) return Fail(q.status());
+    if (q->size() != (*searcher)->dims()) {
+      std::fprintf(stderr, "point has %zu dims, manifest has %zu\n",
+                   q->size(), (*searcher)->dims());
+      return 2;
+    }
+    queries.Append(PointView(q->data(), q->size()));
+  } else if (!args.Get("queries").empty()) {
+    auto data = ReadDataset(storage, args.Get("queries"));
+    if (!data.ok()) return Fail(data.status());
+    if (data->dims() != (*searcher)->dims()) {
+      std::fprintf(stderr, "dataset has %zu dims, manifest has %zu\n",
+                   data->dims(), (*searcher)->dims());
+      return 2;
+    }
+    const size_t limit = ParseCount(args.Get("limit"), 4);
+    for (size_t i = 0; i < data->size() && i < limit; ++i) {
+      queries.Append((*data)[i]);
+    }
+  } else {
+    return Usage();
+  }
+
+  QueryFrontEnd::Options fe_options;
+  fe_options.max_in_flight = ParseCount(args.Get("max-in-flight"), 4);
+  fe_options.max_queued = ParseCount(args.Get("max-queued"), 16);
+  fe_options.default_deadline_s = ParseNumber(args.Get("deadline"), 0.0);
+  QueryFrontEnd front_end(**searcher, fe_options);
+
+  const bool json = args.Has("json");
+  const bool range = !args.Get("radius").empty();
+  const double radius = ParseNumber(args.Get("radius"), 0.0);
+  const size_t k = ParseCount(args.Get("k"), 1);
+
+  obs::JsonWriter w;
+  if (json) {
+    w.BeginObject();
+    w.Key("schema_version").Uint(1);
+    w.Key("manifest").String(manifest_name);
+    w.Key("mode").String(range ? "range" : "knn");
+    w.Key(range ? "radius" : "k");
+    if (range) {
+      w.Double(radius);
+    } else {
+      w.Uint(k);
+    }
+    w.Key("queries").BeginArray();
+  }
+
+  bool all_consistent = true;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // The sharded default cap (fan-out multiplies span volume; a
+    // truncated trace would fail the consistency check by design).
+    obs::QueryTracer tracer(ShardedSearchOptions{}.tracer_max_spans);
+    ShardedSearchOptions options;
+    options.tracer = &tracer;
+    if (range) {
+      auto hits = front_end.RangeSearch(queries[i], radius, options);
+      if (!hits.ok()) return Fail(hits.status());
+    } else {
+      auto hits = front_end.KNearestNeighbors(queries[i], k, options);
+      if (!hits.ok()) return Fail(hits.status());
+    }
+    const ShardQueryStats stats = (*searcher)->last_query_stats();
+    const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+    // With observability compiled out the trace is empty by design —
+    // nothing to cross-check.
+    std::string problems;
+    const bool consistent =
+        !obs::kEnabled ||
+        CheckShardedTraceConsistency(spans, stats, &problems);
+    all_consistent &= consistent;
+    if (json) {
+      w.BeginObject();
+      w.Key("trace").Raw(obs::TraceToJson(spans));
+      w.Key("stats");
+      WriteShardStatsJson(w, stats);
+      w.Key("consistent").Bool(consistent);
+      w.EndObject();
+    } else {
+      std::printf("query %zu:\n", i);
+      obs::PrintSpanTree(spans, std::cout);
+      std::printf(
+          "  stats: shards=%zu queried=%zu pruned=%zu io_s_sum=%.6f "
+          "io_s_max=%.6f pages_decoded=%zu refinements=%zu\n",
+          stats.shards_total, stats.shards_queried, stats.shards_pruned,
+          stats.io_s_sum, stats.io_s_max, stats.totals.pages_decoded,
+          stats.totals.refinements);
+      if (obs::kEnabled) {
+        std::printf("  trace/stats consistency: %s%s\n",
+                    consistent ? "OK" : "MISMATCH", problems.c_str());
+      }
+    }
+  }
+
+  if (json) {
+    w.EndArray();
+    w.Key("metrics").Raw(
+        obs::ExportJson(obs::MetricRegistry::Global().Snapshot()));
+    w.Key("consistent").Bool(all_consistent);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  }
+  if (!all_consistent) {
+    std::fprintf(stderr,
+                 "error: stitched trace disagrees with shard query stats\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// Drains the process-wide flight recorder, optionally after replaying
+/// a workload through a QueryFrontEnd first so the rings have
+/// something to say (`--max-in-flight 0 --deadline S` deterministically
+/// provokes deadline-exceeded dumps; a failing query is this command's
+/// subject matter, not an error).
+int Flight(const Args& args) {
+  auto& recorder = obs::FlightRecorder::Global();
+  size_t ran = 0;
+  size_t failures = 0;
+  const std::string manifest_name = args.Get("manifest");
+  const std::string queries_name = args.Get("queries");
+  if (!manifest_name.empty() && !queries_name.empty()) {
+    const std::string dir = args.Get("dir", ".");
+    FileStorage storage(dir);
+    auto manifest = ShardManifest::Read(storage, manifest_name);
+    if (!manifest.ok()) return Fail(manifest.status());
+    ShardedSearcher::Options open_options;
+    open_options.threads = ParseCount(args.Get("threads"), 4);
+    auto searcher = ShardedSearcher::Open(storage, *manifest, open_options);
+    if (!searcher.ok()) return Fail(searcher.status());
+    auto data = ReadDataset(storage, queries_name);
+    if (!data.ok()) return Fail(data.status());
+    if (data->dims() != (*searcher)->dims()) {
+      std::fprintf(stderr, "dataset has %zu dims, manifest has %zu\n",
+                   data->dims(), (*searcher)->dims());
+      return 2;
+    }
+    QueryFrontEnd::Options fe_options;
+    fe_options.max_in_flight = ParseCount(args.Get("max-in-flight"), 4);
+    fe_options.max_queued = ParseCount(args.Get("max-queued"), 16);
+    fe_options.default_deadline_s = ParseNumber(args.Get("deadline"), 0.0);
+    QueryFrontEnd front_end(**searcher, fe_options);
+    const bool range = !args.Get("radius").empty();
+    const double radius = ParseNumber(args.Get("radius"), 0.0);
+    const size_t k = ParseCount(args.Get("k"), 1);
+    const size_t limit = ParseCount(args.Get("limit"), 8);
+    for (size_t i = 0; i < data->size() && i < limit; ++i) {
+      ++ran;
+      if (range) {
+        if (!front_end.RangeSearch((*data)[i], radius).ok()) ++failures;
+      } else {
+        if (!front_end.KNearestNeighbors((*data)[i], k).ok()) ++failures;
+      }
+    }
+  }
+
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  if (args.Has("json")) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").Uint(1);
+    w.Key("queries_run").Uint(ran);
+    w.Key("queries_failed").Uint(failures);
+    w.Key("dumps").Uint(recorder.dumps());
+    w.Key("last_dump_reason").String(recorder.last_dump_reason());
+    w.Key("last_dump");
+    if (recorder.last_dump().empty()) {
+      w.Null();
+    } else {
+      w.Raw(recorder.last_dump());
+    }
+    w.Key("drain").Raw(obs::FlightToJson(events, "on_demand",
+                                         recorder.recorded(),
+                                         recorder.dropped()));
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf(
+      "flight recorder: %llu events recorded, %llu dropped, %llu dumps",
+      static_cast<unsigned long long>(recorder.recorded()),
+      static_cast<unsigned long long>(recorder.dropped()),
+      static_cast<unsigned long long>(recorder.dumps()));
+  if (!recorder.last_dump_reason().empty()) {
+    std::printf(" (last: %s)", recorder.last_dump_reason().c_str());
+  }
+  std::printf("\n");
+  if (ran > 0) {
+    std::printf("replayed %zu queries, %zu failed\n", ran, failures);
+  }
+  for (const obs::FlightEvent& event : events) {
+    std::printf("  %12lld ns t%02u #%-4llu %-18s arg=%u v0=%.6g v1=%.6g\n",
+                static_cast<long long>(event.ts_ns), event.thread,
+                static_cast<unsigned long long>(event.seq),
+                obs::FlightEventTypeName(event.type), event.arg, event.v0,
+                event.v1);
+  }
+  return 0;
+}
+
 int Validate(const Args& args) {
   const std::string dir = args.Get("dir", ".");
   const std::string index = args.Get("index");
@@ -920,6 +1226,8 @@ int Run(int argc, char** argv) {
   if (args.command == "health") return Health(args);
   if (args.command == "profile") return Profile(args);
   if (args.command == "slowlog") return SlowLog(args);
+  if (args.command == "trace") return Trace(args);
+  if (args.command == "flight") return Flight(args);
   if (args.command == "validate") return Validate(args);
   if (args.command == "reopt") return Reoptimize(args);
   if (args.command == "shard") return Shard(argc, argv);

@@ -12,9 +12,14 @@
 #   obs       observability smoke (docs/observability.md): builds with
 #             -DIQ_OBS_DISABLED=ON (metrics/tracing compiled out), runs
 #             the full suite there, then exercises `iqtool profile`,
-#             `iqtool health`, and `iqtool slowlog` against a sample
-#             index in both the disabled and the release build and
-#             validates the JSON output with tools/json_check
+#             `iqtool health`, `iqtool slowlog`, `iqtool trace` (the
+#             stitched-trace consistency gate), and `iqtool flight`
+#             against a sample index in both the disabled and the
+#             release build and validates the JSON output with
+#             tools/json_check; asserts a deadline-exceeded replay
+#             leaves a flight dump in the enabled build, and that the
+#             FlightRecorder::Record symbol does not exist in the
+#             IQ_OBS_DISABLED object file (zero hot-path instructions)
 #   lint      project-contract static analysis (docs/static_analysis.md):
 #             exports compile_commands.json, builds tools/iqlint, runs
 #             an incremental `--changed` pre-check (IQLINT_BASE_REF,
@@ -41,7 +46,9 @@
 #             is tolerated so the first run of a new suite passes.
 #             Also runs bench/micro_filter and gates its kernel-vs-
 #             reference relative-cost ratios against BENCH_filter.json
-#             (wall-clock based, so the tolerance is wide)
+#             (wall-clock based, so the tolerance is wide), and
+#             bench/micro_obs, which self-gates the flight recorder's
+#             hot-path overhead at 2% and is tracked in BENCH_obs.json
 #
 # Usage: tools/run_checks.sh [release|sanitize|thread|tidy|lint|obs|scalar|bench]...
 #        (no arguments runs all eight)
@@ -250,8 +257,47 @@ SEED
                 --json \
                 | "$CHECK" --require schema_version --require per_shard \
                     --require aggregate
+            # `trace` exits non-zero when the stitched tree disagrees
+            # with the aggregated ShardQueryStats, so this line is the
+            # consistency gate as well as a JSON-shape check.
+            "$IQTOOL" trace --dir "$OBS_TMP" --manifest "$tree-m" \
+                --queries "$tree-ds" --limit 3 --k 3 --json \
+                | "$CHECK" --require schema_version --require queries \
+                    --require metrics --require consistent
+            # Replay with zero in-flight slots and a short deadline:
+            # every query expires in the queue, deterministically
+            # provoking deadline-exceeded flight dumps (enabled build).
+            "$IQTOOL" flight --dir "$OBS_TMP" --manifest "$tree-m" \
+                --queries "$tree-ds" --limit 3 --k 3 \
+                --max-in-flight 0 --deadline 0.02 --json \
+                > "$OBS_TMP/$tree-flight.json"
+            "$CHECK" --require schema_version --require dumps \
+                --require last_dump_reason --require drain \
+                < "$OBS_TMP/$tree-flight.json"
             echo "==> obs: $tree JSON valid"
         done
+        echo "==> obs: deadline-exceeded queries leave a flight dump"
+        grep -q '"last_dump_reason":"deadline_exceeded"' \
+            "$OBS_TMP/build-release-flight.json"
+        if grep -q '"deadline_exceeded"' \
+            "$OBS_TMP/build-obsoff-flight.json"; then
+            echo "obs: IQ_OBS_DISABLED build produced flight events" >&2
+            exit 1
+        fi
+        echo "==> obs: flight Record compiled out under IQ_OBS_DISABLED"
+        OBSOFF_OBJ="$(find "$ROOT/build-obsoff" -name 'flight_recorder.cc.o' \
+            | head -n 1)"
+        REL_OBJ="$(find "$ROOT/build-release" -name 'flight_recorder.cc.o' \
+            | head -n 1)"
+        [ -n "$OBSOFF_OBJ" ] && [ -n "$REL_OBJ" ]
+        if nm -C "$OBSOFF_OBJ" | grep -q 'FlightRecorder::Record'; then
+            echo "obs: Record symbol present in IQ_OBS_DISABLED build" >&2
+            exit 1
+        fi
+        nm -C "$REL_OBJ" | grep -q 'FlightRecorder::Record' || {
+            echo "obs: Record symbol missing from enabled build" >&2
+            exit 1
+        }
         ;;
     scalar)
         # The SIMD kernels are runtime-dispatched, so one binary covers
@@ -313,6 +359,21 @@ SEED
             < "$BENCH_TMP/shard.out"
         "$ROOT/build-release/tools/json_check" --require schema_version \
             --require suite --require benches < "$BENCH_TMP/shard.json"
+        echo "==> bench: flight-recorder overhead micro (bench/micro_obs)"
+        cmake --build "$ROOT/build-release" -j "$JOBS" --target micro_obs
+        # micro_obs self-gates (exits non-zero when Record() costs more
+        # than 2% of the reference page-filter loop); the aggregate
+        # gate only tracks the trajectory, hence the wide tolerance on
+        # these wall-clock numbers.
+        IQBENCH_SUITE=obs IQBENCH_GIT_REV="$GIT_REV" \
+            "$ROOT/build-release/bench/micro_obs" \
+            > "$BENCH_TMP/obs.out"
+        "$ROOT/build-release/tools/bench_aggregate" --suite obs \
+            --out "$BENCH_TMP/obs.json" --git-rev "$GIT_REV" \
+            --baseline "$ROOT/BENCH_obs.json" --tolerance 100 \
+            < "$BENCH_TMP/obs.out"
+        "$ROOT/build-release/tools/json_check" --require schema_version \
+            --require suite --require benches < "$BENCH_TMP/obs.json"
         echo "==> bench: trajectory OK"
         ;;
     *)
