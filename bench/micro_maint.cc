@@ -1,0 +1,136 @@
+// Micro-benchmark: workload-adaptive background maintenance
+// (src/maint/) closing the gap between a mis-quantized tree and the
+// skewed workload actually hitting it.
+//
+// The tree is bulk-loaded normally — the builder's §3.5 quantization
+// is optimal for a *uniform* query mix — and then a small set of
+// repeated queries, all drawn from one hot region of a CAD-like
+// dataset, is replayed between maintenance rounds. The skew makes a
+// few pages observe far more refinement I/O than the model predicts,
+// the scheduler splits/re-quantizes exactly those (cold pages carry
+// zero workload weight, so their predicted gain is zero), and the
+// per-query simulated I/O drops, then flattens as the plans go quiet.
+//
+// The gated IQBENCH series are *simulated* disk seconds and action
+// counts — deterministic functions of the dataset, policy, and disk
+// parameters, independent of host speed, so the trajectory gate
+// (tools/bench_aggregate --suite maint) can run tight:
+//
+//   io_s       mean per-query simulated I/O, per maintenance round
+//              (x = round; round 0 is before any maintenance)
+//   actions    actions the scheduler applied in each round (tapers
+//              to zero as the layout converges on the workload)
+//   io_s_off   the same workload on an untouched copy (x = 0): the
+//              steady-state cost maintenance is supposed to beat
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "data/generators.h"
+#include "io/storage.h"
+#include "maint/maintenance_scheduler.h"
+
+namespace iq {
+namespace {
+
+constexpr size_t kDims = 8;
+constexpr size_t kKnn = 10;
+constexpr size_t kRounds = 6;
+/// Small blocks keep pages small relative to the CAD clusters, so a
+/// skewed query mix produces real refinement pressure on a handful of
+/// pages — the regime maintenance exists for (and the geometry every
+/// maintenance test uses).
+constexpr uint32_t kBlockSize = 2048;
+
+/// Replays the skewed query set once, feeding `collector` (when given)
+/// and returning the mean per-query simulated I/O seconds.
+double ReplayQueries(IqTree& tree, const Dataset& queries, DiskModel& disk,
+                     obs::PageStatsCollector* collector) {
+  IqSearchOptions search;
+  search.page_stats = collector;
+  const double start = disk.Now();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto result = tree.KNearestNeighbors(queries[qi], kKnn, search);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return (disk.Now() - start) / static_cast<double>(queries.size());
+}
+
+int Main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  args.disk.block_size = kBlockSize;
+  const size_t n = args.Scale(200000, 20000);
+  const size_t num_queries = args.queries;
+
+  const Dataset data = GenerateCadLike(n, kDims, args.seed);
+  // The skew: every query is one of the first points — one hot region
+  // of the CAD clusters, replayed round after round.
+  Dataset queries(kDims);
+  for (size_t i = 0; i < num_queries && i < data.size(); ++i) {
+    queries.Append(data[i]);
+  }
+
+  const IqTree::Options build;
+
+  MemoryStorage storage;
+  DiskModel disk(args.disk);
+  auto tree = IqTree::Build(data, storage, "bench", disk, build);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 tree.status().ToString().c_str());
+    return 1;
+  }
+
+  // The maintenance-off control: an identical tree that only ever
+  // serves queries. Its steady-state io_s is the bar to beat.
+  MemoryStorage off_storage;
+  DiskModel off_disk(args.disk);
+  auto off_tree = IqTree::Build(data, off_storage, "off", off_disk, build);
+  if (!off_tree.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 off_tree.status().ToString().c_str());
+    return 1;
+  }
+  const double io_s_off = ReplayQueries(**off_tree, queries, off_disk, nullptr);
+
+  obs::PageStatsCollector collector;
+  maint::MaintenanceScheduler::Options options;
+  options.policy.min_queries = num_queries > 1 ? num_queries / 2 : 1;
+  maint::MaintenanceScheduler scheduler(tree->get(), &collector, options);
+
+  bench::JsonReport report("micro_maint");
+  std::printf("%8s %10s %12s\n", "round", "actions", "io_s");
+
+  for (size_t round = 0; round <= kRounds; ++round) {
+    const double io_s = ReplayQueries(**tree, queries, disk, &collector);
+    size_t applied = 0;
+    if (round < kRounds) {
+      auto outcome = scheduler.RunRound();
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "round failed: %s\n",
+                     outcome.status().ToString().c_str());
+        return 1;
+      }
+      applied = outcome->applied;
+    }
+    std::printf("%8zu %10zu %12.6f\n", round, applied, io_s);
+    const double x = static_cast<double>(round);
+    report.Add("io_s", x, io_s);
+    report.Add("actions", x, static_cast<double>(applied));
+  }
+  report.Add("io_s_off", 0.0, io_s_off);
+  std::printf("maintenance-off control io_s: %.6f\n", io_s_off);
+
+  report.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace iq
+
+int main(int argc, char** argv) { return iq::Main(argc, argv); }

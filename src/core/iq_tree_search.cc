@@ -141,6 +141,7 @@ class IqTreeSearcher {
                 return a.distance < b.distance;
               });
     tree_.PublishQueryStats(stats_);
+    FlushPageStats();
     return Status::OK();
   }
 
@@ -189,13 +190,32 @@ class IqTreeSearcher {
                 return a.distance < b.distance;
               });
     tree_.PublishQueryStats(stats_);
+    FlushPageStats();
     return Status::OK();
   }
 
  private:
-  /// Simulated-I/O clock read for span attributes; free when untraced.
+  /// Simulated-I/O clock read for span attributes and page telemetry;
+  /// free when neither a tracer nor a page-stats collector asked for it.
   double TraceNow() const {
-    return tracer_ != nullptr ? tree_.disk_->Now() : 0.0;
+    return tracer_ != nullptr || options_.page_stats != nullptr
+               ? tree_.disk_->Now()
+               : 0.0;
+  }
+
+  /// True when this query accumulates per-page telemetry. touches_ is
+  /// sized by InitPages, so hot functions only do indexed increments.
+  bool CollectingPageStats() const { return !touches_.empty(); }
+
+  /// Flushes the query's per-page touches to the collector, keyed by
+  /// qpage block (stable for the whole query: the epoch lock pins the
+  /// directory). Called once per query, off the hot path.
+  void FlushPageStats() {
+    if (options_.page_stats == nullptr) return;
+    for (size_t i = 0; i < touches_.size(); ++i) {
+      touches_[i].page_key = tree_.dir_[i].qpage_block;
+    }
+    options_.page_stats->RecordQuery(touches_);
   }
 
   /// The charged level-1 directory scan plus in-memory MINDIST setup,
@@ -213,6 +233,9 @@ class IqTreeSearcher {
     const size_t n = tree_.dir_.size();
     page_mindist_.resize(n);
     processed_.assign(n, 0);
+    if (options_.page_stats != nullptr) {
+      touches_.assign(n, obs::PageTouch{});
+    }
     block_to_dir_.clear();
     block_to_dir_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
@@ -336,6 +359,7 @@ class IqTreeSearcher {
                      obs::SpanId parent_span) {
     processed_[dir_index] = 1;
     stats_.pages_decoded += 1;
+    if (CollectingPageStats()) touches_[dir_index].decodes += 1;
     const DirEntry& entry = tree_.dir_[dir_index];
     obs::ScopedSpan span(tracer_, "page", parent_span);
     span.AddAttr("dir_index", static_cast<double>(dir_index));
@@ -409,7 +433,12 @@ class IqTreeSearcher {
     record_buf_.resize(record);
     IQ_RETURN_NOT_OK(tree_.exact_->Read(record_extent, record_buf_.data()));
     stats_.refinements += 1;
-    span.AddAttr("io_s", TraceNow() - io_before);
+    const double io_delta = TraceNow() - io_before;
+    if (CollectingPageStats()) {
+      touches_[dir_index].refinements += 1;
+      touches_[dir_index].refine_io_s += io_delta;
+    }
+    span.AddAttr("io_s", io_delta);
     PointId id;
     std::memcpy(&id, record_buf_.data(), sizeof(PointId));
     // iqlint: allow(hotpath-alloc): fixed dims-size member buffer,
@@ -429,6 +458,7 @@ class IqTreeSearcher {
   Status CollectInBall(size_t dir_index, const uint8_t* page, double radius,
                        std::vector<Neighbor>* out, obs::SpanId parent_span) {
     stats_.pages_decoded += 1;
+    if (CollectingPageStats()) touches_[dir_index].decodes += 1;
     const DirEntry& entry = tree_.dir_[dir_index];
     obs::ScopedSpan span(tracer_, "page", parent_span);
     span.AddAttr("dir_index", static_cast<double>(dir_index));
@@ -470,7 +500,13 @@ class IqTreeSearcher {
     ExactPage exact;
     IQ_RETURN_NOT_OK(tree_.LoadExactPage(dir_index, &exact.ids,
                                          &exact.coords));
-    exact_span.AddAttr("io_s", TraceNow() - io_before);
+    const double io_delta = TraceNow() - io_before;
+    if (CollectingPageStats()) {
+      touches_[dir_index].refinements +=
+          static_cast<uint32_t>(candidates_scratch_.size());
+      touches_[dir_index].refine_io_s += io_delta;
+    }
+    exact_span.AddAttr("io_s", io_delta);
     for (uint32_t s : candidates_scratch_) {
       const double dist = Distance(
           q_, PointView(exact.coords.data() + s * dims_, dims_), metric_);
@@ -498,6 +534,9 @@ class IqTreeSearcher {
 
   std::vector<double> page_mindist_;
   std::vector<uint8_t> processed_;
+  /// Per-directory-entry telemetry of this query, indexed by dir_index;
+  /// empty unless options_.page_stats is set (see CollectingPageStats).
+  std::vector<obs::PageTouch> touches_;
   std::vector<size_t> order_by_mindist_;
   std::unordered_map<uint64_t, size_t> block_to_dir_;
   std::vector<PrunerRegion> scratch_regions_;
@@ -526,6 +565,9 @@ Result<Neighbor> IqTree::NearestNeighbor(
   if (q.size() != meta_.dims) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
+  // Pin the directory epoch for the whole query: maintenance page swaps
+  // (docs/maintenance.md) publish under this lock held exclusive.
+  ReaderMutexLock epoch(&swap_mu_);
   if (dir_.empty()) return Status::NotFound("empty index");
   IqTreeSearcher searcher(*this, q, options);
   std::vector<Neighbor> out;
@@ -541,6 +583,7 @@ Result<std::vector<Neighbor>> IqTree::KNearestNeighbors(
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   if (k == 0) return std::vector<Neighbor>{};
+  ReaderMutexLock epoch(&swap_mu_);  // pin the directory epoch
   IqTreeSearcher searcher(*this, q, options);
   std::vector<Neighbor> out;
   IQ_RETURN_NOT_OK(searcher.RunKnn(k, &out));
@@ -556,6 +599,7 @@ Result<std::vector<Neighbor>> IqTree::RangeSearch(
   if (radius < 0) {
     return Status::InvalidArgument("negative radius");
   }
+  ReaderMutexLock epoch(&swap_mu_);  // pin the directory epoch
   IqTreeSearcher searcher(*this, q, options);
   std::vector<Neighbor> out;
   IQ_RETURN_NOT_OK(searcher.RunRange(radius, &out));
@@ -567,6 +611,7 @@ Result<std::vector<PointId>> IqTree::WindowQuery(const Mbr& window) const {
   if (window.dims() != meta_.dims) {
     return Status::InvalidArgument("window dimensionality mismatch");
   }
+  ReaderMutexLock epoch(&swap_mu_);  // pin the directory epoch
   ChargeDirectoryScan();
   QuantPageCodec codec(meta_.dims, disk_->params().block_size);
   std::vector<uint64_t> blocks;

@@ -1,9 +1,9 @@
 #include <algorithm>
 #include <limits>
 #include <map>
-#include <numeric>
 
 #include "core/iq_tree.h"
+#include "core/page_records.h"
 #include "core/partitioner.h"
 
 namespace iq {
@@ -13,18 +13,6 @@ namespace {
 /// Tight MBR of `count` row-major points.
 Mbr MbrOfCoords(const float* coords, size_t count, size_t dims) {
   return Mbr::Of(coords, count, dims);
-}
-
-/// Margin (sum of extents) enlargement if `p` joins `mbr` — the
-/// insertion target heuristic. Volume enlargement degenerates in high
-/// dimensions (products of many sub-1 extents underflow), margins don't.
-double MarginEnlargement(const Mbr& mbr, PointView p) {
-  double enlargement = 0.0;
-  for (size_t i = 0; i < mbr.dims(); ++i) {
-    if (p[i] < mbr.lb(i)) enlargement += mbr.lb(i) - p[i];
-    if (p[i] > mbr.ub(i)) enlargement += p[i] - mbr.ub(i);
-  }
-  return enlargement;
 }
 
 }  // namespace
@@ -43,6 +31,7 @@ Status IqTree::AppendEntry(const std::vector<PointId>& ids,
   IQ_RETURN_NOT_OK(WriteEntryPages(&entry, ids, coords,
                                    /*append_qpage=*/true));
   dir_.push_back(std::move(entry));
+  dir_version_.fetch_add(1, std::memory_order_release);
   dirty_ = true;
   return Status::OK();
 }
@@ -54,6 +43,7 @@ Status IqTree::RewriteEntry(size_t dir_index, std::vector<PointId> ids,
     // Page became empty: drop the directory entry. The quantized block
     // and old extent become garbage (reclaimed by a rebuild).
     dir_.erase(dir_.begin() + static_cast<ptrdiff_t>(dir_index));
+    dir_version_.fetch_add(1, std::memory_order_release);
     dirty_ = true;
     return Status::OK();
   }
@@ -78,20 +68,11 @@ Status IqTree::RewriteEntry(size_t dir_index, std::vector<PointId> ids,
         model.TotalCost(dir_.size(),
                         model.PageRefinementCost(mbr, ids.size(), g_fit));
     // Hypothetical split at the median of the longest side.
-    std::vector<uint32_t> perm(ids.size());
-    std::iota(perm.begin(), perm.end(), 0);
-    const size_t dim = mbr.LongestDimension();
-    const size_t mid = perm.size() / 2;
-    std::nth_element(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(mid),
-                     perm.end(), [&](uint32_t a, uint32_t b) {
-                       return coords[a * dims + dim] < coords[b * dims + dim];
-                     });
+    std::vector<uint32_t> perm;
+    const size_t mid = MedianPartition(coords, dims, mbr, &perm);
     Mbr left = Mbr::Empty(dims);
     Mbr right = Mbr::Empty(dims);
-    for (size_t i = 0; i < perm.size(); ++i) {
-      PointView p(coords.data() + perm[i] * dims, dims);
-      (i < mid ? left : right).Extend(p);
-    }
+    PartitionMbrs(perm, mid, coords, dims, &left, &right);
     const unsigned g_left = BestQuantLevel(dims, mid, block_size);
     const unsigned g_right =
         BestQuantLevel(dims, perm.size() - mid, block_size);
@@ -107,33 +88,23 @@ Status IqTree::RewriteEntry(size_t dir_index, std::vector<PointId> ids,
   if (split) {
     // Reorder records at the median and write the halves: the left half
     // reuses this entry's quantized block, the right half is appended.
-    std::vector<uint32_t> perm(ids.size());
-    std::iota(perm.begin(), perm.end(), 0);
-    const size_t dim = mbr.LongestDimension();
-    const size_t mid = perm.size() / 2;
-    std::nth_element(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(mid),
-                     perm.end(), [&](uint32_t a, uint32_t b) {
-                       return coords[a * dims + dim] < coords[b * dims + dim];
-                     });
-    std::vector<PointId> left_ids, right_ids;
-    std::vector<float> left_coords, right_coords;
-    for (size_t i = 0; i < perm.size(); ++i) {
-      auto& out_ids = i < mid ? left_ids : right_ids;
-      auto& out_coords = i < mid ? left_coords : right_coords;
-      out_ids.push_back(ids[perm[i]]);
-      out_coords.insert(out_coords.end(), coords.begin() + perm[i] * dims,
-                        coords.begin() + (perm[i] + 1) * dims);
-    }
-    IQ_RETURN_NOT_OK(RewriteEntry(dir_index, std::move(left_ids),
-                                  std::move(left_coords)));
-    return InsertRecords(std::move(right_ids), std::move(right_coords));
+    RecordSplit halves = SplitRecordsAtMedian(ids, coords, dims, mbr);
+    IQ_RETURN_NOT_OK(RewriteEntry(dir_index, std::move(halves.left_ids),
+                                  std::move(halves.left_coords)));
+    return InsertRecords(std::move(halves.right_ids),
+                         std::move(halves.right_coords));
   }
 
-  DirEntry& entry = dir_[dir_index];
+  // Mutate a copy and publish it only once the pages are durably
+  // written: a failed write must leave the in-memory directory exactly
+  // as it was (same discipline as the Maint* page swaps).
+  DirEntry entry = dir_[dir_index];
   entry.mbr = mbr;
   entry.quant_bits = g_fit;
   IQ_RETURN_NOT_OK(WriteEntryPages(&entry, ids, coords,
                                    /*append_qpage=*/false));
+  dir_[dir_index] = entry;
+  dir_version_.fetch_add(1, std::memory_order_release);
   dirty_ = true;
   return Status::OK();
 }
@@ -152,60 +123,35 @@ Status IqTree::InsertRecords(std::vector<PointId> ids,
   if (g_fit != 0) return AppendEntry(ids, coords);
   // Too many records for any level: median-split and recurse.
   const Mbr mbr = MbrOfCoords(coords.data(), ids.size(), dims);
-  std::vector<uint32_t> perm(ids.size());
-  std::iota(perm.begin(), perm.end(), 0);
-  const size_t dim = mbr.LongestDimension();
-  const size_t mid = perm.size() / 2;
-  std::nth_element(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(mid),
-                   perm.end(), [&](uint32_t a, uint32_t b) {
-                     return coords[a * dims + dim] < coords[b * dims + dim];
-                   });
-  std::vector<PointId> left_ids, right_ids;
-  std::vector<float> left_coords, right_coords;
-  for (size_t i = 0; i < perm.size(); ++i) {
-    auto& out_ids = i < mid ? left_ids : right_ids;
-    auto& out_coords = i < mid ? left_coords : right_coords;
-    out_ids.push_back(ids[perm[i]]);
-    out_coords.insert(out_coords.end(), coords.begin() + perm[i] * dims,
-                      coords.begin() + (perm[i] + 1) * dims);
-  }
-  IQ_RETURN_NOT_OK(InsertRecords(std::move(left_ids),
-                                 std::move(left_coords)));
-  return InsertRecords(std::move(right_ids), std::move(right_coords));
+  RecordSplit halves = SplitRecordsAtMedian(ids, coords, dims, mbr);
+  IQ_RETURN_NOT_OK(InsertRecords(std::move(halves.left_ids),
+                                 std::move(halves.left_coords)));
+  return InsertRecords(std::move(halves.right_ids),
+                       std::move(halves.right_coords));
 }
 
 Status IqTree::Insert(PointId id, PointView p) {
   if (p.size() != meta_.dims) {
     return Status::InvalidArgument("point dimensionality mismatch");
   }
-  meta_.total_points += 1;
-  dirty_ = true;
   if (dir_.empty()) {
     std::vector<PointId> ids{id};
     std::vector<float> coords(p.begin(), p.end());
     IQ_RETURN_NOT_OK(AppendEntry(ids, coords));
+    // Count the point only once the write is durable: on failure the
+    // in-memory metadata must keep matching the actual index contents,
+    // or a later Flush persists the lie.
+    meta_.total_points += 1;
     return DebugCheckInvariants();
   }
-  // Target page: least margin enlargement, then smaller margin.
-  size_t best = 0;
-  double best_enlargement = std::numeric_limits<double>::infinity();
-  double best_margin = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < dir_.size(); ++i) {
-    const double enlargement = MarginEnlargement(dir_[i].mbr, p);
-    const double margin = dir_[i].mbr.Margin();
-    if (enlargement < best_enlargement ||
-        (enlargement == best_enlargement && margin < best_margin)) {
-      best = i;
-      best_enlargement = enlargement;
-      best_margin = margin;
-    }
-  }
+  const size_t best = LeastEnlargementTarget(dir_, p);
   std::vector<PointId> ids;
   std::vector<float> coords;
   IQ_RETURN_NOT_OK(LoadExactPage(best, &ids, &coords));
   ids.push_back(id);
   coords.insert(coords.end(), p.begin(), p.end());
   IQ_RETURN_NOT_OK(RewriteEntry(best, std::move(ids), std::move(coords)));
+  meta_.total_points += 1;
   return DebugCheckInvariants();
 }
 
@@ -229,21 +175,7 @@ Status IqTree::InsertBatch(std::span<const PointId> ids,
   // only append entries, so earlier routing decisions stay valid.
   std::map<size_t, std::vector<size_t>> by_entry;
   for (size_t r = first; r < points.size(); ++r) {
-    const PointView p = points[r];
-    size_t best = 0;
-    double best_enlargement = std::numeric_limits<double>::infinity();
-    double best_margin = std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < dir_.size(); ++i) {
-      const double enlargement = MarginEnlargement(dir_[i].mbr, p);
-      const double margin = dir_[i].mbr.Margin();
-      if (enlargement < best_enlargement ||
-          (enlargement == best_enlargement && margin < best_margin)) {
-        best = i;
-        best_enlargement = enlargement;
-        best_margin = margin;
-      }
-    }
-    by_entry[best].push_back(r);
+    by_entry[LeastEnlargementTarget(dir_, points[r])].push_back(r);
   }
   for (const auto& [dir_index, rows] : by_entry) {
     std::vector<PointId> page_ids;
@@ -254,11 +186,13 @@ Status IqTree::InsertBatch(std::span<const PointId> ids,
       const PointView p = points[r];
       page_coords.insert(page_coords.end(), p.begin(), p.end());
     }
-    meta_.total_points += rows.size();
     IQ_RETURN_NOT_OK(RewriteEntry(dir_index, std::move(page_ids),
                                   std::move(page_coords)));
+    // Count each group only after its rewrite lands. A failed group
+    // leaves the earlier (successful) groups both written and counted,
+    // so metadata still matches on-disk contents.
+    meta_.total_points += rows.size();
   }
-  dirty_ = true;
   return DebugCheckInvariants();
 }
 
@@ -278,11 +212,11 @@ Status IqTree::Remove(PointId id, PointView p) {
     coords.erase(coords.begin() + static_cast<ptrdiff_t>(slot * meta_.dims),
                  coords.begin() +
                      static_cast<ptrdiff_t>((slot + 1) * meta_.dims));
-    meta_.total_points -= 1;
-    dirty_ = true;
     // RewriteEntry re-tightens the MBR and re-quantizes at the finest
-    // level the shrunk page now fits.
+    // level the shrunk page now fits. Decrement the count only once the
+    // rewrite succeeds (same torn-metadata hazard as Insert).
     IQ_RETURN_NOT_OK(RewriteEntry(i, std::move(ids), std::move(coords)));
+    meta_.total_points -= 1;
     return DebugCheckInvariants();
   }
   return Status::NotFound("point " + std::to_string(id) + " not in index");

@@ -1,0 +1,75 @@
+#include "core/page_records.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace iq {
+
+double MarginEnlargement(const Mbr& mbr, PointView p) {
+  double enlargement = 0.0;
+  for (size_t i = 0; i < mbr.dims(); ++i) {
+    if (p[i] < mbr.lb(i)) enlargement += mbr.lb(i) - p[i];
+    if (p[i] > mbr.ub(i)) enlargement += p[i] - mbr.ub(i);
+  }
+  return enlargement;
+}
+
+size_t LeastEnlargementTarget(const std::vector<DirEntry>& dir, PointView p) {
+  size_t best = 0;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_margin = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < dir.size(); ++i) {
+    const double enlargement = MarginEnlargement(dir[i].mbr, p);
+    const double margin = dir[i].mbr.Margin();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && margin < best_margin)) {
+      best = i;
+      best_enlargement = enlargement;
+      best_margin = margin;
+    }
+  }
+  return best;
+}
+
+size_t MedianPartition(const std::vector<float>& coords, size_t dims,
+                       const Mbr& mbr, std::vector<uint32_t>* perm) {
+  perm->resize(coords.size() / dims);
+  std::iota(perm->begin(), perm->end(), 0);
+  const size_t dim = mbr.LongestDimension();
+  const size_t mid = perm->size() / 2;
+  std::nth_element(perm->begin(), perm->begin() + static_cast<ptrdiff_t>(mid),
+                   perm->end(), [&](uint32_t a, uint32_t b) {
+                     return coords[a * dims + dim] < coords[b * dims + dim];
+                   });
+  return mid;
+}
+
+void PartitionMbrs(const std::vector<uint32_t>& perm, size_t mid,
+                   const std::vector<float>& coords, size_t dims, Mbr* left,
+                   Mbr* right) {
+  *left = Mbr::Empty(dims);
+  *right = Mbr::Empty(dims);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    PointView p(coords.data() + perm[i] * dims, dims);
+    (i < mid ? *left : *right).Extend(p);
+  }
+}
+
+RecordSplit SplitRecordsAtMedian(const std::vector<PointId>& ids,
+                                 const std::vector<float>& coords, size_t dims,
+                                 const Mbr& mbr) {
+  std::vector<uint32_t> perm;
+  const size_t mid = MedianPartition(coords, dims, mbr, &perm);
+  RecordSplit split;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    auto& out_ids = i < mid ? split.left_ids : split.right_ids;
+    auto& out_coords = i < mid ? split.left_coords : split.right_coords;
+    out_ids.push_back(ids[perm[i]]);
+    out_coords.insert(out_coords.end(), coords.begin() + perm[i] * dims,
+                      coords.begin() + (perm[i] + 1) * dims);
+  }
+  return split;
+}
+
+}  // namespace iq

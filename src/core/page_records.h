@@ -1,0 +1,57 @@
+#ifndef IQ_CORE_PAGE_RECORDS_H_
+#define IQ_CORE_PAGE_RECORDS_H_
+
+/// Shared record-level routines for the IQ-tree update and maintenance
+/// paths: median splits of a page's record set and the
+/// least-margin-enlargement insertion target. Kept free of IqTree state
+/// so both iq_tree_update.cc and iq_tree_maint.cc reuse one copy.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/format.h"
+#include "geom/mbr.h"
+#include "geom/point.h"
+
+namespace iq {
+
+/// Margin (sum of extents) enlargement if `p` joins `mbr` — the
+/// insertion target heuristic. Volume enlargement degenerates in high
+/// dimensions (products of many sub-1 extents underflow), margins don't.
+double MarginEnlargement(const Mbr& mbr, PointView p);
+
+/// Index of the directory entry whose MBR needs the least margin
+/// enlargement to absorb `p` (ties broken by smaller margin).
+/// Precondition: `dir` is non-empty.
+size_t LeastEnlargementTarget(const std::vector<DirEntry>& dir, PointView p);
+
+/// Permutation split of `count` row-major records at the median of
+/// `mbr`'s longest side. On return `perm` holds a permutation of
+/// [0, count) with records below the median in perm[0..mid) and the
+/// rest in perm[mid..count); returns mid = count / 2.
+size_t MedianPartition(const std::vector<float>& coords, size_t dims,
+                       const Mbr& mbr, std::vector<uint32_t>* perm);
+
+/// Tight MBRs of the two halves of a MedianPartition — used for the
+/// hypothetical-split cost comparison without materialising the halves.
+void PartitionMbrs(const std::vector<uint32_t>& perm, size_t mid,
+                   const std::vector<float>& coords, size_t dims, Mbr* left,
+                   Mbr* right);
+
+/// A page's record set split into two halves at the median.
+struct RecordSplit {
+  std::vector<PointId> left_ids;
+  std::vector<float> left_coords;
+  std::vector<PointId> right_ids;
+  std::vector<float> right_coords;
+};
+
+/// Materialised median split of a record set along `mbr`'s longest side.
+RecordSplit SplitRecordsAtMedian(const std::vector<PointId>& ids,
+                                 const std::vector<float>& coords, size_t dims,
+                                 const Mbr& mbr);
+
+}  // namespace iq
+
+#endif  // IQ_CORE_PAGE_RECORDS_H_

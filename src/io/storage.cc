@@ -8,6 +8,9 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
@@ -35,12 +38,17 @@ struct StorageMetrics {
   }
 };
 
-// Byte-vector file. Concurrent Read/Size are plain const accesses and
-// safe together; Write/Resize mutate the vector and need the File
-// contract's external exclusion.
+// Byte-vector file. Unlike PosixFile (where pwrite/pread to disjoint
+// ranges are independent syscalls), an appending Write can reallocate
+// the whole vector out from under a concurrent reader of an old range,
+// so an internal shared lock upgrades MemoryFile to the File contract
+// the maintenance path relies on: reads concurrent with appends to
+// fresh ranges. Rank 95 sits above every other lock (leaf: nothing is
+// acquired while holding it).
 class MemoryFile : public File {
  public:
   Status Read(uint64_t offset, uint64_t length, void* out) const override {
+    ReaderMutexLock lock(&mu_);
     if (offset + length > data_.size()) {
       return Status::IOError("short read: offset " + std::to_string(offset) +
                              " + length " + std::to_string(length) +
@@ -51,20 +59,26 @@ class MemoryFile : public File {
   }
 
   Status Write(uint64_t offset, uint64_t length, const void* data) override {
+    WriterMutexLock lock(&mu_);
     if (offset + length > data_.size()) data_.resize(offset + length);
     if (length > 0) std::memcpy(data_.data() + offset, data, length);
     return Status::OK();
   }
 
   Status Resize(uint64_t size) override {
+    WriterMutexLock lock(&mu_);
     data_.resize(size);
     return Status::OK();
   }
 
-  uint64_t Size() const override { return data_.size(); }
+  uint64_t Size() const override {
+    ReaderMutexLock lock(&mu_);
+    return data_.size();
+  }
 
  private:
-  std::vector<uint8_t> data_;
+  mutable SharedMutex mu_{IQ_LOCK_RANK(95)};
+  std::vector<uint8_t> data_ IQ_GUARDED_BY(mu_);
 };
 
 // POSIX fd file. Reads use pread(2) — positional, no shared cursor —

@@ -17,9 +17,13 @@ namespace iq {
 ///
 /// Concurrency contract: concurrent Read calls are safe on every
 /// implementation (positional pread-style reads, no shared cursor).
-/// Write/Resize require external exclusion against both writers and
-/// readers of the affected range — the single-writer model the query
-/// engine follows (docs/concurrency.md).
+/// Write/Resize require external exclusion against other writers and
+/// against readers of the affected range; a single writer appending
+/// past EOF is safe against concurrent readers of earlier ranges —
+/// the property the maintenance page-swap protocol relies on
+/// (docs/maintenance.md). Every implementation must provide it:
+/// PosixFile by pread/pwrite positional independence, MemoryFile by an
+/// internal shared lock around its backing vector.
 class File {
  public:
   virtual ~File() = default;

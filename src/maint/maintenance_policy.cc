@@ -1,0 +1,280 @@
+#include "maint/maintenance_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace iq::maint {
+
+namespace {
+
+/// The two halves of `mbr` cut at the midpoint of its longest side —
+/// the planning approximation of a median split (the applied split uses
+/// the real record median; see IqTree::MaintSplitEntry).
+void HalveMbr(const Mbr& mbr, Mbr* left, Mbr* right) {
+  const size_t dim = mbr.LongestDimension();
+  std::vector<float> lb = mbr.lower();
+  std::vector<float> ub = mbr.upper();
+  const float cut = lb[dim] + (ub[dim] - lb[dim]) / 2.0f;
+  std::vector<float> left_ub = ub;
+  left_ub[dim] = cut;
+  std::vector<float> right_lb = lb;
+  right_lb[dim] = cut;
+  *left = Mbr::FromBounds(lb, std::move(left_ub));
+  *right = Mbr::FromBounds(std::move(right_lb), ub);
+}
+
+/// Margin of the union of two MBRs — the merge pairing heuristic
+/// (smaller merged margin = more compatible geometry).
+double MergedMargin(const Mbr& a, const Mbr& b) {
+  Mbr merged = a;
+  merged.Extend(b);
+  return merged.Margin();
+}
+
+}  // namespace
+
+const char* MaintActionKindName(MaintActionKind kind) {
+  switch (kind) {
+    case MaintActionKind::kRequantize:
+      return "requantize";
+    case MaintActionKind::kSplit:
+      return "split";
+    case MaintActionKind::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+std::vector<MaintAction> MaintenancePolicy::Plan(
+    const IqTree& tree, const obs::PageStatsCollector& collector,
+    double t3_bias, const std::map<uint32_t, double>* weight_priors) const {
+  const std::vector<DirEntry>& dir = tree.directory();
+  if (dir.empty()) return {};
+  const CostModel model = tree.MakeCostModel();
+  const size_t n = dir.size();
+  const size_t dims = tree.dims();
+  const uint32_t block_size = model.params().disk.block_size;
+  const uint64_t queries = collector.queries();
+  const bool warm = queries >= config_.min_queries;
+  const std::map<uint32_t, obs::PageSample> samples = collector.Snapshot();
+  if (t3_bias <= 0.0) t3_bias = 1.0;
+
+  // Per-page model cost and workload weight. Weight semantics: the
+  // page's refinement cost term in eq. 23 is scaled by w when a ΔCost
+  // is evaluated — w = observed mean per-query refinement io_s over the
+  // model's prediction. Cold start (not warm) pins w = 1 so only
+  // model-driven repairs (stale quant levels) can act; once warm, a
+  // page no query touched is genuinely cold (w = 0).
+  // Inherited weight of a page's region (see the header's thrash note):
+  // a freshly swapped page carries its ancestor's observed bias until
+  // the scheduler sees the region go unqueried and decays it away.
+  auto prior_of = [&](uint32_t block) -> double {
+    if (weight_priors == nullptr) return 0.0;
+    const auto it = weight_priors->find(block);
+    return it == weight_priors->end()
+               ? 0.0
+               : std::min(it->second, config_.weight_ceil);
+  };
+
+  std::vector<double> cost(n);
+  std::vector<double> weight(n);
+  for (size_t i = 0; i < n; ++i) {
+    cost[i] =
+        model.PageRefinementCost(dir[i].mbr, dir[i].count, dir[i].quant_bits);
+    if (!warm) {
+      weight[i] = 1.0;
+      continue;
+    }
+    const auto it = samples.find(dir[i].qpage_block);
+    if (it == samples.end()) {
+      // Untouched this window, but a hot prior still vouches for the
+      // region — don't declare it cold until the prior decays.
+      weight[i] = prior_of(dir[i].qpage_block);
+      continue;
+    }
+    const double observed = it->second.refine_io_s / static_cast<double>(queries);
+    double w;
+    if (cost[i] > 0.0) {
+      w = observed / cost[i];
+    } else {
+      // Exact (g=32) pages predict zero refinement cost; they cannot be
+      // hot through refinements, so stay neutral.
+      w = 1.0;
+    }
+    weight[i] = std::clamp(w * t3_bias, config_.weight_floor,
+                           config_.weight_ceil);
+    weight[i] = std::max(weight[i], prior_of(dir[i].qpage_block));
+  }
+
+  const bool quantized = tree.meta().quantized != 0;
+  auto best_level = [&](uint64_t count) -> unsigned {
+    if (quantized) return BestQuantLevel(dims, count, block_size);
+    return count <= QuantPageCapacity(dims, kExactBits, block_size)
+               ? kExactBits
+               : 0;
+  };
+
+  // ΔTotalCost terms that only depend on the page count (T1 + T2).
+  const double t12_n = model.TotalCost(n, 0.0);
+
+  std::vector<MaintAction> candidates;
+
+  // (a) Re-quantize pages whose stored level is not the best fit. The
+  // gain is the workload-weighted refinement-cost difference; a cold
+  // page (w = 0) gains nothing, which is correct — nobody refines it.
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned g_best = best_level(dir[i].count);
+    if (g_best == 0 || g_best == dir[i].quant_bits) continue;
+    const double new_cost =
+        model.PageRefinementCost(dir[i].mbr, dir[i].count, g_best);
+    const double gain = weight[i] * (cost[i] - new_cost);
+    if (gain <= config_.min_gain_s) continue;
+    MaintAction a;
+    a.kind = MaintActionKind::kRequantize;
+    a.dir_index = i;
+    a.new_bits = g_best;
+    a.predicted_gain_s = gain;
+    a.weight = weight[i];
+    candidates.push_back(a);
+  }
+
+  // (b) Split hot pages: observed refinement load far above the model,
+  // enough points to matter. ΔTotalCost trades one extra directory
+  // entry (+T1/T2) against two finer-quantized halves.
+  if (warm) {
+    for (size_t i = 0; i < n; ++i) {
+      if (weight[i] < config_.hot_weight) continue;
+      if (dir[i].count < config_.min_split_count) continue;
+      // Splits need live evidence: an inherited prior may keep a page
+      // out of merge candidacy, but only observed refinements in this
+      // window justify paying for an extra directory entry.
+      const auto it = samples.find(dir[i].qpage_block);
+      if (it == samples.end() || it->second.refinements == 0) continue;
+      const uint64_t mid = dir[i].count / 2;
+      const unsigned g_left = best_level(mid);
+      const unsigned g_right = best_level(dir[i].count - mid);
+      if (g_left == 0 || g_right == 0) continue;
+      Mbr left, right;
+      HalveMbr(dir[i].mbr, &left, &right);
+      const double halves_cost =
+          model.PageRefinementCost(left, mid, g_left) +
+          model.PageRefinementCost(right, dir[i].count - mid, g_right);
+      const double delta = (model.TotalCost(n + 1, 0.0) - t12_n) +
+                           weight[i] * (halves_cost - cost[i]);
+      if (-delta <= config_.min_gain_s) continue;
+      MaintAction a;
+      a.kind = MaintActionKind::kSplit;
+      a.dir_index = i;
+      a.predicted_gain_s = -delta;
+      a.weight = weight[i];
+      candidates.push_back(a);
+    }
+
+    // (c) Merge cold pairs: one fewer directory entry (-T1/T2) against
+    // the merged page's (coarser, but barely-accessed) refinement cost.
+    // Pairs are chosen greedily by minimal merged margin.
+    //
+    // Anti-thrash rule: a merge must keep its union MBR clear of
+    // observed-active space — every page the workload decodes. A union
+    // that grows into the searched region starts being decoded itself
+    // (extra transfer the full-scan T2 term never models), and in the
+    // worst case re-absorbs a hot page's split products so the next
+    // round re-splits it, forever — each step locally "gaining" by a
+    // weight estimate the following round refutes. Such pairs are
+    // skipped outright.
+    std::vector<size_t> active;
+    for (size_t i = 0; i < n; ++i) {
+      const auto it = samples.find(dir[i].qpage_block);
+      if (it != samples.end() && it->second.decodes > 0) {
+        active.push_back(i);
+      }
+    }
+    // Merge candidates must be cold by weight AND undecoded in this
+    // window. The second condition is what the paper's full-scan T2
+    // term cannot express: this engine's filter step is MINDIST-
+    // selective, so a page that queries decode (even without ever
+    // refining it) is on the live search path, and growing its MBR by
+    // a merge buys directory savings with real extra transfer. A page
+    // nobody decoded is genuinely outside the workload; merging it is
+    // free.
+    std::vector<size_t> cold;
+    for (size_t i = 0; i < n; ++i) {
+      if (weight[i] > config_.cold_weight) continue;
+      const auto it = samples.find(dir[i].qpage_block);
+      if (it != samples.end() && it->second.decodes > 0) continue;
+      cold.push_back(i);
+    }
+    std::vector<char> paired(n, 0);
+    for (size_t ci = 0; ci < cold.size(); ++ci) {
+      const size_t i = cold[ci];
+      if (paired[i]) continue;
+      size_t best_j = n;
+      double best_margin = std::numeric_limits<double>::infinity();
+      for (size_t cj = ci + 1; cj < cold.size(); ++cj) {
+        const size_t j = cold[cj];
+        if (paired[j]) continue;
+        if (best_level(static_cast<uint64_t>(dir[i].count) + dir[j].count) ==
+            0) {
+          continue;  // union fits no page
+        }
+        Mbr union_mbr = dir[i].mbr;
+        union_mbr.Extend(dir[j].mbr);
+        bool touches_active = false;
+        for (size_t a : active) {
+          if (union_mbr.Intersects(dir[a].mbr)) {
+            touches_active = true;
+            break;
+          }
+        }
+        if (touches_active) continue;
+        const double margin = MergedMargin(dir[i].mbr, dir[j].mbr);
+        if (margin < best_margin) {
+          best_margin = margin;
+          best_j = j;
+        }
+      }
+      if (best_j == n) continue;
+      const size_t j = best_j;
+      const uint64_t merged_count =
+          static_cast<uint64_t>(dir[i].count) + dir[j].count;
+      const unsigned g_merged = best_level(merged_count);
+      Mbr merged_mbr = dir[i].mbr;
+      merged_mbr.Extend(dir[j].mbr);
+      const double w_merged = std::max(weight[i], weight[j]);
+      const double merged_cost =
+          model.PageRefinementCost(merged_mbr, merged_count, g_merged);
+      const double delta = (model.TotalCost(n - 1, 0.0) - t12_n) +
+                           w_merged * merged_cost - weight[i] * cost[i] -
+                           weight[j] * cost[j];
+      if (-delta <= config_.min_gain_s) continue;
+      paired[i] = 1;
+      paired[j] = 1;
+      MaintAction a;
+      a.kind = MaintActionKind::kMerge;
+      a.dir_index = i;
+      a.merge_with = j;
+      a.predicted_gain_s = -delta;
+      a.weight = w_merged;
+      candidates.push_back(a);
+    }
+  }
+
+  // Rank by gain and keep the best actions over disjoint entries.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const MaintAction& a, const MaintAction& b) {
+              return a.predicted_gain_s > b.predicted_gain_s;
+            });
+  std::vector<char> used(n, 0);
+  std::vector<MaintAction> plan;
+  for (const MaintAction& a : candidates) {
+    if (plan.size() >= config_.max_actions_per_round) break;
+    if (used[a.dir_index]) continue;
+    if (a.kind == MaintActionKind::kMerge && used[a.merge_with]) continue;
+    used[a.dir_index] = 1;
+    if (a.kind == MaintActionKind::kMerge) used[a.merge_with] = 1;
+    plan.push_back(a);
+  }
+  return plan;
+}
+
+}  // namespace iq::maint

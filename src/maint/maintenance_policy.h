@@ -1,0 +1,113 @@
+#ifndef IQ_MAINT_MAINTENANCE_POLICY_H_
+#define IQ_MAINT_MAINTENANCE_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/iq_tree.h"
+#include "obs/page_stats.h"
+
+namespace iq::maint {
+
+/// Tunables of the maintenance policy (docs/maintenance.md).
+struct MaintenancePolicyConfig {
+  /// Telemetry warm-up: below this many recorded queries the policy
+  /// treats every page as neutrally weighted (model-driven repairs
+  /// only) instead of calling untouched pages cold.
+  uint64_t min_queries = 32;
+  /// Observed/predicted refinement-cost ratio above which a page is
+  /// "hot" (split candidate) ...
+  double hot_weight = 2.0;
+  /// ... and at/below which it is "cold" (merge candidate).
+  double cold_weight = 0.25;
+  /// Clamp range of the per-page weight, so one outlier query cannot
+  /// swing an action.
+  double weight_floor = 0.05;
+  double weight_ceil = 20.0;
+  /// Hysteresis: an action is planned only when its predicted per-query
+  /// gain exceeds this (simulated seconds). Prevents re-quantize/split/
+  /// merge thrash on model noise.
+  double min_gain_s = 1e-6;
+  /// Cap on planned actions per round; the highest-gain actions win.
+  size_t max_actions_per_round = 8;
+  /// Pages below this count are never split.
+  uint32_t min_split_count = 8;
+};
+
+enum class MaintActionKind : uint32_t {
+  kRequantize = 0,
+  kSplit = 1,
+  kMerge = 2,
+};
+
+/// Stable lowercase name ("requantize"/"split"/"merge") for JSON and
+/// flight events.
+const char* MaintActionKindName(MaintActionKind kind);
+
+/// One planned page-level action against the tree's current directory.
+/// Indices refer to the directory at planning time; the scheduler
+/// remaps them as earlier merges of the same round erase entries.
+struct MaintAction {
+  MaintActionKind kind = MaintActionKind::kRequantize;
+  size_t dir_index = 0;
+  /// kMerge: the entry merged into (and erased after) dir_index.
+  size_t merge_with = 0;
+  /// kRequantize: the target bits-per-dimension.
+  unsigned new_bits = 0;
+  /// Predicted per-query cost reduction (−ΔTotalCost, simulated
+  /// seconds); always > config.min_gain_s for planned actions.
+  double predicted_gain_s = 0.0;
+  /// The workload weight that justified the action (diagnostics).
+  double weight = 0.0;
+};
+
+/// Turns per-page telemetry plus the §3.5 cost model into a cost-gated
+/// action plan. The policy is pure decision logic: it reads the tree's
+/// directory and the collector, and never mutates either.
+///
+/// Weighting: with enough telemetry, each page's observed mean per-query
+/// refinement cost is divided by the model's PageRefinementCost to get a
+/// workload weight w — w > 1 means the live workload hits this page
+/// harder than the §3.5 b_i-sphere model expects (hot), w near 0 means
+/// colder than predicted. Each candidate action's ΔTotalCost is then
+/// evaluated with the affected pages' refinement costs scaled by w
+/// (divergence-corrected §3.4 eq. 23), optionally scaled again by the
+/// calibration tracker's global t3 observed/predicted ratio. Only
+/// actions with ΔTotalCost < −min_gain_s survive.
+///
+/// Caller contract: single-writer — plan while no classic update runs;
+/// concurrent queries are fine (the directory is read under the tree's
+/// maintenance exclusion, see docs/maintenance.md).
+class MaintenancePolicy {
+ public:
+  explicit MaintenancePolicy(const MaintenancePolicyConfig& config)
+      : config_(config) {}
+
+  const MaintenancePolicyConfig& config() const { return config_; }
+
+  /// Plans one round of actions against `tree`'s current directory.
+  /// `t3_bias` scales every workload weight (pass the calibration
+  /// tracker's observed/predicted t3 ratio, or 1.0). `weight_priors`
+  /// optionally maps qpage block → inherited workload weight (see
+  /// MaintenanceScheduler): a page's effective weight is
+  /// max(observed, prior), so a page freshly swapped out of a hot
+  /// region keeps the region's bias until the workload actually moves
+  /// — without it, splitting a hot page makes the halves *look* cold
+  /// (they stopped refining, which was the point) and the next round
+  /// greedily merges them back: split/merge thrash forever. Planned
+  /// actions touch disjoint directory entries, are sorted by
+  /// descending gain, and respect max_actions_per_round.
+  std::vector<MaintAction> Plan(
+      const IqTree& tree, const obs::PageStatsCollector& collector,
+      double t3_bias = 1.0,
+      const std::map<uint32_t, double>* weight_priors = nullptr) const;
+
+ private:
+  MaintenancePolicyConfig config_;
+};
+
+}  // namespace iq::maint
+
+#endif  // IQ_MAINT_MAINTENANCE_POLICY_H_

@@ -1,0 +1,294 @@
+#include "maint/maintenance_scheduler.h"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/flight_recorder.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace iq::maint {
+
+namespace {
+
+/// Predicted per-action gain buckets, simulated seconds.
+constexpr double kGainBounds[] = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+
+struct MaintMetrics {
+  obs::Counter* rounds;
+  obs::Counter* actions;
+  obs::Counter* requantize;
+  obs::Counter* splits;
+  obs::Counter* merges;
+  obs::Counter* failed;
+  obs::Counter* verified;
+  obs::Counter* regressed;
+  obs::Histogram* gain;
+
+  static const MaintMetrics& Get() {
+    auto& registry = obs::MetricRegistry::Global();
+    static const MaintMetrics m{
+        registry.GetCounter(obs::metric::kMaintRoundsTotal),
+        registry.GetCounter(obs::metric::kMaintActionsTotal),
+        registry.GetCounter(obs::metric::kMaintRequantizeTotal),
+        registry.GetCounter(obs::metric::kMaintSplitsTotal),
+        registry.GetCounter(obs::metric::kMaintMergesTotal),
+        registry.GetCounter(obs::metric::kMaintFailedTotal),
+        registry.GetCounter(obs::metric::kMaintVerifiedTotal),
+        registry.GetCounter(obs::metric::kMaintRegressedTotal),
+        registry.GetHistogram(obs::metric::kMaintPredictedGainSeconds,
+                              kGainBounds)};
+    return m;
+  }
+};
+
+}  // namespace
+
+MaintenanceScheduler::MaintenanceScheduler(IqTree* tree,
+                                           obs::PageStatsCollector* collector,
+                                           const Options& options)
+    : tree_(tree),
+      collector_(collector),
+      options_(options),
+      policy_(options.policy) {}
+
+MaintenanceScheduler::~MaintenanceScheduler() { Stop(); }
+
+Result<MaintenanceRound> MaintenanceScheduler::RunRound() {
+  const MaintMetrics& metrics = MaintMetrics::Get();
+  const uint64_t queries = collector_->queries();
+
+  // Verify the previous round's prediction against the telemetry the
+  // changed tree accumulated since: observed mean per-query t3 vs the
+  // post-action model prediction. "Verified" uses the repo's 3x
+  // calibration contract (docs/cost_model.md).
+  if (pending_verify_ && queries >= policy_.config().min_queries) {
+    double observed_t3 = 0.0;
+    for (const auto& [key, sample] : collector_->Snapshot()) {
+      observed_t3 += sample.refine_io_s;
+    }
+    observed_t3 /= static_cast<double>(queries);
+    obs::CostBreakdown observed = pending_predicted_;
+    observed.t3 = observed_t3;
+    if (options_.calibration != nullptr) {
+      options_.calibration->Record(pending_predicted_, observed);
+    }
+    const bool ok = observed_t3 <= 3.0 * pending_predicted_.t3 + 1e-9;
+    {
+      MutexLock lock(&mu_);
+      (ok ? stats_.verified : stats_.regressed) += 1;
+    }
+    (ok ? metrics.verified : metrics.regressed)->Increment();
+    pending_verify_ = false;
+  }
+
+  // Global t3 bias: when the calibration tracker has evidence that the
+  // model under/over-predicts refinement cost tree-wide, scale every
+  // workload weight by the observed/predicted ratio.
+  double t3_bias = 1.0;
+  if (options_.calibration != nullptr) {
+    const obs::ComponentCalibration t3 = options_.calibration->Report().t3;
+    if (t3.samples > 0 && t3.predicted_mean > 0.0 && t3.observed_mean > 0.0) {
+      t3_bias = t3.observed_mean / t3.predicted_mean;
+    }
+  }
+
+  // Weight-prior upkeep: a prior survives while its page keeps being
+  // decoded (the region sits in the live query path even when it no
+  // longer refines — exactly the state a good split leaves behind). A
+  // warm window with zero decodes is real evidence the workload moved
+  // on, so the prior halves, and falls out once it can no longer keep
+  // a page above the cold threshold.
+  if (queries >= policy_.config().min_queries && !weight_priors_.empty()) {
+    const std::map<uint32_t, obs::PageSample> samples = collector_->Snapshot();
+    std::set<uint32_t> live;
+    for (const DirEntry& entry : tree_->directory()) {
+      live.insert(entry.qpage_block);
+    }
+    for (auto it = weight_priors_.begin(); it != weight_priors_.end();) {
+      if (live.count(it->first) == 0) {
+        it = weight_priors_.erase(it);
+        continue;
+      }
+      const auto sample = samples.find(it->first);
+      if (sample == samples.end() || sample->second.decodes == 0) {
+        it->second *= 0.5;
+      }
+      if (it->second < 0.5) {
+        it = weight_priors_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const std::vector<MaintAction> plan =
+      policy_.Plan(*tree_, *collector_, t3_bias, &weight_priors_);
+
+  obs::ScopedSpan round_span(options_.tracer, "maint_round");
+  round_span.AddAttr("planned", static_cast<double>(plan.size()));
+  round_span.AddAttr("queries", static_cast<double>(queries));
+  round_span.AddAttr("t3_bias", t3_bias);
+
+  MaintenanceRound round;
+  round.planned = plan.size();
+  round.dry_run = options_.dry_run;
+  uint64_t applied_requantizes = 0;
+  uint64_t applied_splits = 0;
+  uint64_t applied_merges = 0;
+
+  if (options_.dry_run) {
+    for (const MaintAction& a : plan) round.predicted_gain_s += a.predicted_gain_s;
+  } else {
+    // Apply. Merges erase one directory entry each, shifting the
+    // entries above it down; later actions of this round translate
+    // their plan-time indices past the accumulated erasures. (Splits
+    // only append — indices stay stable.)
+    std::vector<size_t> erased;
+    auto remap = [&erased](size_t plan_index) {
+      size_t below = 0;
+      for (size_t e : erased) {
+        if (e < plan_index) ++below;
+      }
+      return plan_index - below;
+    };
+    for (const MaintAction& a : plan) {
+      obs::ScopedSpan action_span(options_.tracer, "maint_action",
+                                  round_span.id());
+      action_span.AddAttr("kind", static_cast<double>(a.kind));
+      action_span.AddAttr("dir_index", static_cast<double>(a.dir_index));
+      action_span.AddAttr("predicted_gain_s", a.predicted_gain_s);
+      action_span.AddAttr("weight", a.weight);
+      Status status;
+      size_t product_index = 0;
+      switch (a.kind) {
+        case MaintActionKind::kRequantize:
+          product_index = remap(a.dir_index);
+          status = tree_->MaintRequantizeEntry(product_index, a.new_bits);
+          break;
+        case MaintActionKind::kSplit:
+          product_index = remap(a.dir_index);
+          status = tree_->MaintSplitEntry(product_index);
+          break;
+        case MaintActionKind::kMerge: {
+          const size_t keep = remap(a.dir_index);
+          const size_t drop = remap(a.merge_with);
+          status = tree_->MaintMergeEntries(keep, drop);
+          if (status.ok()) erased.push_back(a.merge_with);
+          product_index = keep - (drop < keep ? 1 : 0);
+          break;
+        }
+      }
+      if (!status.ok()) {
+        round.failed += 1;
+        metrics.failed->Increment();
+        action_span.AddAttr("failed", 1.0);
+        continue;
+      }
+      // Product pages inherit the weight that justified the action
+      // (hot memory only — cold priors could never raise a weight).
+      // A split's right half is the entry the swap just appended.
+      if (a.weight > 1.0) {
+        const std::vector<DirEntry>& dir = tree_->directory();
+        weight_priors_[dir[product_index].qpage_block] = a.weight;
+        if (a.kind == MaintActionKind::kSplit) {
+          weight_priors_[dir.back().qpage_block] = a.weight;
+        }
+      }
+      round.applied += 1;
+      round.predicted_gain_s += a.predicted_gain_s;
+      metrics.actions->Increment();
+      metrics.gain->Observe(a.predicted_gain_s);
+      switch (a.kind) {
+        case MaintActionKind::kRequantize:
+          metrics.requantize->Increment();
+          applied_requantizes += 1;
+          break;
+        case MaintActionKind::kSplit:
+          metrics.splits->Increment();
+          applied_splits += 1;
+          break;
+        case MaintActionKind::kMerge:
+          metrics.merges->Increment();
+          applied_merges += 1;
+          break;
+      }
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kMaintAction,
+          static_cast<uint32_t>(a.dir_index), a.predicted_gain_s,
+          static_cast<double>(a.kind));
+    }
+    if (round.applied > 0) {
+      // The tree changed: retire the telemetry (replaced pages have
+      // fresh qpage keys anyway) and arm next round's verification with
+      // the post-action prediction.
+      collector_->Clear();
+      pending_predicted_ = tree_->PredictCost();
+      pending_verify_ = true;
+    }
+  }
+  round_span.AddAttr("applied", static_cast<double>(round.applied));
+  round_span.AddAttr("predicted_gain_s", round.predicted_gain_s);
+
+  metrics.rounds->Increment();
+  {
+    MutexLock lock(&mu_);
+    stats_.rounds += 1;
+    stats_.actions_planned += round.planned;
+    stats_.actions_applied += round.applied;
+    stats_.failed += round.failed;
+    stats_.predicted_gain_s += round.predicted_gain_s;
+    stats_.last_round_actions = round.applied;
+    stats_.requantizes += applied_requantizes;
+    stats_.splits += applied_splits;
+    stats_.merges += applied_merges;
+  }
+  return round;
+}
+
+void MaintenanceScheduler::Start() {
+  {
+    MutexLock lock(&mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { ThreadLoop(); });
+}
+
+void MaintenanceScheduler::Stop() {
+  {
+    MutexLock lock(&mu_);
+    if (!running_) return;
+    stop_ = true;
+    cv_.SignalAll();
+  }
+  thread_.join();
+  MutexLock lock(&mu_);
+  running_ = false;
+}
+
+bool MaintenanceScheduler::running() const {
+  MutexLock lock(&mu_);
+  return running_;
+}
+
+MaintenanceStats MaintenanceScheduler::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+void MaintenanceScheduler::ThreadLoop() {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (!stop_) cv_.WaitFor(options_.interval_s);
+      if (stop_) return;
+    }
+    // Errors are reflected in the failed counters; the loop keeps
+    // going — a transient I/O failure must not kill maintenance.
+    if (const auto result = RunRound(); !result.ok()) continue;
+  }
+}
+
+}  // namespace iq::maint

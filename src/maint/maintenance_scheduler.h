@@ -1,0 +1,138 @@
+#ifndef IQ_MAINT_MAINTENANCE_SCHEDULER_H_
+#define IQ_MAINT_MAINTENANCE_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "core/iq_tree.h"
+#include "maint/maintenance_policy.h"
+#include "obs/calibration.h"
+#include "obs/page_stats.h"
+#include "obs/trace.h"
+
+namespace iq::maint {
+
+/// Outcome of one maintenance round.
+struct MaintenanceRound {
+  size_t planned = 0;
+  size_t applied = 0;
+  size_t failed = 0;
+  /// Summed predicted per-query gain of the applied actions (simulated
+  /// seconds); for a dry run, of the planned actions.
+  double predicted_gain_s = 0.0;
+  bool dry_run = false;
+};
+
+/// Cumulative scheduler counters (also mirrored into the process-wide
+/// MetricRegistry as iq_maint_*).
+struct MaintenanceStats {
+  uint64_t rounds = 0;
+  uint64_t actions_planned = 0;
+  uint64_t actions_applied = 0;
+  uint64_t requantizes = 0;
+  uint64_t splits = 0;
+  uint64_t merges = 0;
+  uint64_t failed = 0;
+  /// Post-hoc verification verdicts (see RunRound).
+  uint64_t verified = 0;
+  uint64_t regressed = 0;
+  double predicted_gain_s = 0.0;
+  uint64_t last_round_actions = 0;
+};
+
+/// The background actor of workload-adaptive re-quantization
+/// (docs/maintenance.md): each round it reads the page telemetry
+/// collector, asks the MaintenancePolicy for a cost-gated plan, applies
+/// the actions through the tree's tier-2 Maint* page-swap API —
+/// concurrently with live queries — and verifies the previous round's
+/// prediction against the telemetry the changed tree accumulated since.
+///
+/// Single-writer contract: at most one scheduler per tree, and no
+/// classic updates (Insert/Remove/Flush/Reoptimize) while it runs —
+/// the same exclusion the Maint* methods require. Queries need no
+/// exclusion.
+///
+/// Thread-safety: RunRound/Start/Stop/stats may be called from any
+/// thread, but RunRound must not race itself (Start's background loop
+/// counts as a caller; don't call RunRound while started).
+class MaintenanceScheduler {
+ public:
+  struct Options {
+    MaintenancePolicyConfig policy;
+    /// Background cadence of Start()'s loop, wall seconds.
+    double interval_s = 1.0;
+    /// Plan and report but never apply.
+    bool dry_run = false;
+    /// Optional span sink: each round records a "maint_round" span with
+    /// per-action "maint_action" children.
+    obs::QueryTracer* tracer = nullptr;
+    /// Optional verification sink: round N+1 records round N's
+    /// (predicted, observed) t3 pair.
+    obs::CalibrationTracker* calibration = nullptr;
+  };
+
+  MaintenanceScheduler(IqTree* tree, obs::PageStatsCollector* collector,
+                       const Options& options);
+  MaintenanceScheduler(const MaintenanceScheduler&) = delete;
+  MaintenanceScheduler& operator=(const MaintenanceScheduler&) = delete;
+  /// Stops the background thread if still running.
+  ~MaintenanceScheduler();
+
+  /// Runs one synchronous round: verify the previous round, plan,
+  /// apply (unless dry_run), publish metrics/spans/flight events, and
+  /// clear the collector when the tree changed (fresh telemetry for
+  /// fresh pages). Action failures are counted, not fatal; a Status
+  /// error means the round itself could not run.
+  Result<MaintenanceRound> RunRound() IQ_EXCLUDES(mu_);
+
+  /// Starts the background thread (no-op when already running).
+  void Start() IQ_EXCLUDES(mu_);
+
+  /// Stops and joins the background thread (no-op when not running).
+  void Stop() IQ_EXCLUDES(mu_);
+
+  bool running() const IQ_EXCLUDES(mu_);
+
+  MaintenanceStats stats() const IQ_EXCLUDES(mu_);
+
+  const Options& options() const { return options_; }
+
+ private:
+  void ThreadLoop() IQ_EXCLUDES(mu_);
+
+  IqTree* const tree_;
+  obs::PageStatsCollector* const collector_;
+  const Options options_;
+  const MaintenancePolicy policy_;
+
+  /// Rank 5: held only for scheduler bookkeeping, below the tree's
+  /// swap_mu_ (6) — but never across a Maint* call anyway.
+  mutable Mutex mu_{IQ_LOCK_RANK(5)};
+  CondVar cv_{&mu_};
+  bool stop_ IQ_GUARDED_BY(mu_) = false;
+  bool running_ IQ_GUARDED_BY(mu_) = false;
+  MaintenanceStats stats_ IQ_GUARDED_BY(mu_);
+
+  std::thread thread_ IQ_UNGUARDED("started/joined only by Start/Stop; running_ gates every transition");
+
+  /// Previous-round verification state; touched only inside RunRound,
+  /// which by contract never runs concurrently with itself.
+  bool pending_verify_ IQ_UNGUARDED("RunRound-only state; RunRound never races itself by contract") = false;
+  obs::CostBreakdown pending_predicted_ IQ_UNGUARDED("RunRound-only state; RunRound never races itself by contract");
+  /// Workload-weight inertia, qpage block → inherited hot weight: the
+  /// pages an applied action produced remember the weight that justified
+  /// it, so a split's halves don't read as "cold" next round (they stop
+  /// refining — that was the point) and get greedily re-merged into the
+  /// hot region, re-split, merged again, forever. Priors halve each warm
+  /// round the page goes undecoded (the workload really left) and are
+  /// dropped below ~2x the cold threshold; see MaintenancePolicy::Plan.
+  std::map<uint32_t, double> weight_priors_ IQ_UNGUARDED("RunRound-only state; RunRound never races itself by contract");
+};
+
+}  // namespace iq::maint
+
+#endif  // IQ_MAINT_MAINTENANCE_SCHEDULER_H_

@@ -1,0 +1,80 @@
+#include "maint/shard_maintenance.h"
+
+#include <utility>
+
+namespace iq::maint {
+
+Result<std::unique_ptr<ShardMaintenance>> ShardMaintenance::Open(
+    Storage& storage, const std::string& manifest_name,
+    const Options& options) {
+  IQ_ASSIGN_OR_RETURN(ShardManifest manifest,
+                      ShardManifest::Read(storage, manifest_name));
+  auto maint = std::unique_ptr<ShardMaintenance>(new ShardMaintenance());
+  maint->manifest_ = std::move(manifest);
+  maint->shards_.reserve(maint->manifest_.num_shards());
+  for (size_t i = 0; i < maint->manifest_.num_shards(); ++i) {
+    const ShardInfo& info = maint->manifest_.shards()[i];
+    Shard shard;
+    shard.disk = std::make_unique<DiskModel>(options.disk);
+    IQ_ASSIGN_OR_RETURN(shard.tree,
+                        IqTree::Open(storage, info.name, *shard.disk));
+    if (shard.tree->dims() != maint->manifest_.dims()) {
+      return Status::Corruption("shard " + info.name +
+                                " dims disagree with manifest");
+    }
+    shard.collector = std::make_unique<obs::PageStatsCollector>();
+    shard.scheduler = std::make_unique<MaintenanceScheduler>(
+        shard.tree.get(), shard.collector.get(), options.scheduler);
+    maint->shards_.push_back(std::move(shard));
+  }
+  return maint;
+}
+
+ShardMaintenance::~ShardMaintenance() { StopAll(); }
+
+Status ShardMaintenance::RunRound() {
+  Status first;
+  for (Shard& shard : shards_) {
+    if (const auto round = shard.scheduler->RunRound();
+        !round.ok() && first.ok()) {
+      first = round.status();
+    }
+  }
+  return first;
+}
+
+void ShardMaintenance::StartAll() {
+  for (Shard& shard : shards_) shard.scheduler->Start();
+}
+
+void ShardMaintenance::StopAll() {
+  for (Shard& shard : shards_) shard.scheduler->Stop();
+}
+
+Status ShardMaintenance::Flush() {
+  for (Shard& shard : shards_) {
+    if (Status status = shard.tree->Flush(); !status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+MaintenanceStats ShardMaintenance::AggregateStats() const {
+  MaintenanceStats total;
+  for (const Shard& shard : shards_) {
+    const MaintenanceStats s = shard.scheduler->stats();
+    total.rounds += s.rounds;
+    total.actions_planned += s.actions_planned;
+    total.actions_applied += s.actions_applied;
+    total.requantizes += s.requantizes;
+    total.splits += s.splits;
+    total.merges += s.merges;
+    total.failed += s.failed;
+    total.verified += s.verified;
+    total.regressed += s.regressed;
+    total.predicted_gain_s += s.predicted_gain_s;
+    total.last_round_actions += s.last_round_actions;
+  }
+  return total;
+}
+
+}  // namespace iq::maint

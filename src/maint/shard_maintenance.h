@@ -1,0 +1,80 @@
+#ifndef IQ_MAINT_SHARD_MAINTENANCE_H_
+#define IQ_MAINT_SHARD_MAINTENANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/disk_model.h"
+#include "maint/maintenance_scheduler.h"
+#include "shard/shard_manifest.h"
+
+namespace iq::maint {
+
+/// Per-shard maintenance behind a ShardManifest (docs/maintenance.md):
+/// opens every shard tree the manifest lists, pairs each with its own
+/// telemetry collector and scheduler, and drives rounds across all of
+/// them. Queries meant to feed the telemetry must run against the trees
+/// this object owns (shard_tree/shard_collector), so the in-memory
+/// directories the schedulers maintain are the ones queries read.
+///
+/// Same single-writer contract as MaintenanceScheduler, per shard.
+class ShardMaintenance {
+ public:
+  struct Options {
+    MaintenanceScheduler::Options scheduler;
+    /// Disk model parameters for each shard's private DiskModel.
+    DiskParameters disk;
+  };
+
+  /// Opens every shard of the manifest stored at `manifest_name`.
+  static Result<std::unique_ptr<ShardMaintenance>> Open(
+      Storage& storage, const std::string& manifest_name,
+      const Options& options);
+
+  ShardMaintenance(const ShardMaintenance&) = delete;
+  ShardMaintenance& operator=(const ShardMaintenance&) = delete;
+  ~ShardMaintenance();
+
+  /// One synchronous round on every shard. Per-shard round errors are
+  /// returned as the first failing Status after all shards ran.
+  Status RunRound();
+
+  /// Starts/stops every shard's background scheduler.
+  void StartAll();
+  void StopAll();
+
+  /// Persists every shard's directory.
+  Status Flush();
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardManifest& manifest() const { return manifest_; }
+  IqTree* shard_tree(size_t shard) { return shards_[shard].tree.get(); }
+  obs::PageStatsCollector* shard_collector(size_t shard) {
+    return shards_[shard].collector.get();
+  }
+  MaintenanceScheduler* shard_scheduler(size_t shard) {
+    return shards_[shard].scheduler.get();
+  }
+  DiskModel* shard_disk(size_t shard) { return shards_[shard].disk.get(); }
+
+  /// Sum of all shard schedulers' stats.
+  MaintenanceStats AggregateStats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<DiskModel> disk;
+    std::unique_ptr<IqTree> tree;
+    std::unique_ptr<obs::PageStatsCollector> collector;
+    std::unique_ptr<MaintenanceScheduler> scheduler;
+  };
+
+  ShardMaintenance() = default;
+
+  ShardManifest manifest_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace iq::maint
+
+#endif  // IQ_MAINT_SHARD_MAINTENANCE_H_

@@ -33,6 +33,8 @@ const char* FlightEventTypeName(FlightEventType type) {
       return "slow_log_offer";
     case FlightEventType::kPoolTask:
       return "pool_task";
+    case FlightEventType::kMaintAction:
+      return "maint_action";
   }
   return "unknown";
 }

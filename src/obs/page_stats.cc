@@ -1,0 +1,34 @@
+#include "obs/page_stats.h"
+
+namespace iq::obs {
+
+void PageStatsCollector::RecordQuery(std::span<const PageTouch> touches) {
+  MutexLock lock(&mu_);
+  queries_ += 1;
+  for (const PageTouch& t : touches) {
+    if (t.decodes == 0 && t.refinements == 0) continue;
+    PageSample& sample = pages_[t.page_key];
+    sample.queries += 1;
+    sample.decodes += t.decodes;
+    sample.refinements += t.refinements;
+    sample.refine_io_s += t.refine_io_s;
+  }
+}
+
+uint64_t PageStatsCollector::queries() const {
+  MutexLock lock(&mu_);
+  return queries_;
+}
+
+std::map<uint32_t, PageSample> PageStatsCollector::Snapshot() const {
+  MutexLock lock(&mu_);
+  return pages_;
+}
+
+void PageStatsCollector::Clear() {
+  MutexLock lock(&mu_);
+  queries_ = 0;
+  pages_.clear();
+}
+
+}  // namespace iq::obs

@@ -1,0 +1,78 @@
+#ifndef IQ_OBS_PAGE_STATS_H_
+#define IQ_OBS_PAGE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+
+#include "common/thread_annotations.h"
+#include "common/mutex.h"
+
+namespace iq::obs {
+
+/// One query's touches on one page: how often the quantized page was
+/// decoded, how many third-level refinements it caused, and the
+/// simulated seconds those refinements cost. `page_key` is the page's
+/// qpage block index — stable across maintenance rounds for untouched
+/// pages, fresh for replaced ones (so replaced pages start with clean
+/// telemetry).
+struct PageTouch {
+  uint32_t page_key = 0;
+  uint32_t decodes = 0;
+  uint32_t refinements = 0;
+  double refine_io_s = 0.0;
+};
+
+/// Aggregate of all recorded queries' touches on one page.
+struct PageSample {
+  /// Queries that touched (decoded or refined) this page at least once.
+  uint64_t queries = 0;
+  uint64_t decodes = 0;
+  uint64_t refinements = 0;
+  double refine_io_s = 0.0;
+};
+
+/// Accumulates per-page access telemetry across queries — the
+/// workload-observation input of the maintenance policy
+/// (docs/maintenance.md). Queries buffer touches privately and flush
+/// once via RecordQuery at the end, so the hot path never takes the
+/// collector's lock.
+///
+/// Unlike the rest of src/obs, this collector stays ACTIVE under
+/// IQ_OBS_DISABLED: it is a functional input to maintenance decisions,
+/// not observability — disabling it would silently disable
+/// workload-adaptive re-quantization. It is only populated when a
+/// caller passes it through IqSearchOptions::page_stats, so the
+/// obs-disabled hot path without a collector pays nothing.
+///
+/// Thread-safe (one internal mutex, rank 15).
+class PageStatsCollector {
+ public:
+  PageStatsCollector() = default;
+  PageStatsCollector(const PageStatsCollector&) = delete;
+  PageStatsCollector& operator=(const PageStatsCollector&) = delete;
+
+  /// Folds one finished query's touches in. Zero-touch entries are
+  /// skipped, so callers may pass a dense per-page scratch vector.
+  void RecordQuery(std::span<const PageTouch> touches) IQ_EXCLUDES(mu_);
+
+  /// Queries recorded since the last Clear() — including queries that
+  /// touched no page.
+  uint64_t queries() const IQ_EXCLUDES(mu_);
+
+  /// Per-page aggregates keyed by qpage block index.
+  std::map<uint32_t, PageSample> Snapshot() const IQ_EXCLUDES(mu_);
+
+  /// Resets all telemetry — the maintenance scheduler clears after a
+  /// round that changed the tree, so stale keys never drive actions.
+  void Clear() IQ_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_{IQ_LOCK_RANK(15)};
+  uint64_t queries_ IQ_GUARDED_BY(mu_) = 0;
+  std::map<uint32_t, PageSample> pages_ IQ_GUARDED_BY(mu_);
+};
+
+}  // namespace iq::obs
+
+#endif  // IQ_OBS_PAGE_STATS_H_

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <set>
 
@@ -259,6 +260,176 @@ TEST_F(IqTreeUpdateTest, DimensionMismatchRejected) {
   const std::vector<float> wrong(5, 0.5f);
   EXPECT_TRUE((*tree)->Insert(1, wrong).IsInvalidArgument());
   EXPECT_TRUE((*tree)->Remove(1, wrong).IsInvalidArgument());
+}
+
+/// File wrapper with an injectable write budget: once the shared budget
+/// reaches zero, every Write/Resize fails with IOError (reads keep
+/// working). -1 means unlimited.
+class FaultyFile : public File {
+ public:
+  FaultyFile(std::shared_ptr<File> base, std::shared_ptr<std::atomic<int>> budget)
+      : base_(std::move(base)), budget_(std::move(budget)) {}
+
+  Status Read(uint64_t offset, uint64_t length, void* out) const override {
+    return base_->Read(offset, length, out);
+  }
+  Status Write(uint64_t offset, uint64_t length, const void* data) override {
+    if (!Spend()) return Status::IOError("injected write failure");
+    return base_->Write(offset, length, data);
+  }
+  Status Resize(uint64_t size) override {
+    if (!Spend()) return Status::IOError("injected resize failure");
+    return base_->Resize(size);
+  }
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  bool Spend() {
+    if (budget_->load() < 0) return true;
+    return budget_->fetch_sub(1) > 0;
+  }
+
+  std::shared_ptr<File> base_;
+  std::shared_ptr<std::atomic<int>> budget_;
+};
+
+/// MemoryStorage whose files share one write budget (see FaultyFile).
+class FaultyStorage : public Storage {
+ public:
+  Result<std::shared_ptr<File>> Open(const std::string& name) override {
+    auto file = base_.Open(name);
+    if (!file.ok()) return file.status();
+    return std::shared_ptr<File>(new FaultyFile(*file, budget_));
+  }
+  Result<std::shared_ptr<File>> Create(const std::string& name) override {
+    auto file = base_.Create(name);
+    if (!file.ok()) return file.status();
+    return std::shared_ptr<File>(new FaultyFile(*file, budget_));
+  }
+  bool Exists(const std::string& name) const override {
+    return base_.Exists(name);
+  }
+  Status Delete(const std::string& name) override {
+    return base_.Delete(name);
+  }
+
+  /// The next `n` writes succeed, everything after fails.
+  void FailAfter(int n) { budget_->store(n); }
+  void Heal() { budget_->store(-1); }
+
+ private:
+  MemoryStorage base_;
+  std::shared_ptr<std::atomic<int>> budget_ =
+      std::make_shared<std::atomic<int>>(-1);
+};
+
+/// Sum of the directory's per-page counts — what the index actually
+/// holds; total_points (tree.size()) must always match it.
+uint64_t DirPointSum(const IqTree& tree) {
+  uint64_t total = 0;
+  for (const DirEntry& entry : tree.directory()) total += entry.count;
+  return total;
+}
+
+/// Regression: Insert used to count the point before the page write, so
+/// a failed write left size() one ahead of the directory — and a later
+/// Flush persisted the lie.
+TEST_F(IqTreeUpdateTest, FailedInsertDoesNotCountThePoint) {
+  FaultyStorage storage;
+  Dataset data = GenerateUniform(600, 4, 31);
+  auto tree = IqTree::Build(data, storage, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const uint64_t before = (*tree)->size();
+
+  storage.FailAfter(0);
+  const std::vector<float> p{0.5f, 0.5f, 0.5f, 0.5f};
+  EXPECT_TRUE((*tree)->Insert(600, p).IsIOError());
+  storage.Heal();
+
+  EXPECT_EQ((*tree)->size(), before);
+  EXPECT_EQ(DirPointSum(**tree), before);
+  // The tree must remain durable and reopenable with the same count.
+  ASSERT_TRUE((*tree)->Flush().ok());
+  auto reopened = IqTree::Open(storage, "t", disk_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), before);
+  EXPECT_EQ(DirPointSum(**reopened), before);
+}
+
+/// Same shape on the empty-directory seeding path of Insert.
+TEST_F(IqTreeUpdateTest, FailedFirstInsertLeavesEmptyTreeEmpty) {
+  FaultyStorage storage;
+  auto tree = IqTree::Build(Dataset(4), storage, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  storage.FailAfter(0);
+  const std::vector<float> p{0.1f, 0.2f, 0.3f, 0.4f};
+  EXPECT_TRUE((*tree)->Insert(0, p).IsIOError());
+  storage.Heal();
+  EXPECT_EQ((*tree)->size(), 0u);
+  EXPECT_TRUE((*tree)->directory().empty());
+  // After healing, the same insert must succeed cleanly.
+  ASSERT_TRUE((*tree)->Insert(0, p).ok());
+  EXPECT_EQ((*tree)->size(), 1u);
+  EXPECT_EQ(DirPointSum(**tree), 1u);
+}
+
+/// Regression: InsertBatch used to count the whole batch up front; a
+/// group failing mid-batch left size() ahead of the written groups.
+/// Now earlier (successful) groups stay written AND counted, and the
+/// failed group is neither.
+TEST_F(IqTreeUpdateTest, FailedInsertBatchCountsOnlyWrittenGroups) {
+  FaultyStorage storage;
+  Dataset data = GenerateUniform(3000, 4, 32);
+  Dataset initial(4);
+  Dataset batch(4);
+  for (size_t i = 0; i < data.size(); ++i) {
+    (i < 2800 ? initial : batch).Append(data[i]);
+  }
+  auto tree = IqTree::Build(initial, storage, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+
+  std::vector<PointId> ids(batch.size());
+  std::iota(ids.begin(), ids.end(), 2800u);
+  // A batch over many pages needs many writes; let a few through so
+  // some groups land before the injected failure.
+  storage.FailAfter(3);
+  const Status status = (*tree)->InsertBatch(ids, batch);
+  storage.Heal();
+  EXPECT_TRUE(status.IsIOError());
+
+  // Whatever landed, the metadata must match the directory exactly.
+  EXPECT_EQ((*tree)->size(), DirPointSum(**tree));
+  EXPECT_GE((*tree)->size(), initial.size());
+  EXPECT_LE((*tree)->size(), initial.size() + batch.size());
+  ASSERT_TRUE((*tree)->Flush().ok());
+  auto reopened = IqTree::Open(storage, "t", disk_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), DirPointSum(**reopened));
+}
+
+/// Regression: Remove used to decrement before the rewrite; a failed
+/// rewrite left size() one behind the directory.
+TEST_F(IqTreeUpdateTest, FailedRemoveKeepsThePointCounted) {
+  FaultyStorage storage;
+  Dataset data = GenerateUniform(600, 4, 33);
+  auto tree = IqTree::Build(data, storage, "t", disk_, {});
+  ASSERT_TRUE(tree.ok());
+  const uint64_t before = (*tree)->size();
+
+  storage.FailAfter(0);
+  EXPECT_TRUE((*tree)->Remove(17, data[17]).IsIOError());
+  storage.Heal();
+
+  EXPECT_EQ((*tree)->size(), before);
+  EXPECT_EQ(DirPointSum(**tree), before);
+  // The point is still in the index and findable.
+  auto nn = (*tree)->NearestNeighbor(data[17]);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->distance, 0.0);
+  // After healing the remove must go through.
+  ASSERT_TRUE((*tree)->Remove(17, data[17]).ok());
+  EXPECT_EQ((*tree)->size(), before - 1);
+  EXPECT_EQ(DirPointSum(**tree), before - 1);
 }
 
 }  // namespace

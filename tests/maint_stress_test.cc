@@ -1,0 +1,146 @@
+// Concurrency stress for background maintenance: the tier-2 contract
+// says Maint* page swaps may run concurrently with const queries, so
+// this test points a running MaintenanceScheduler, several query
+// client threads (through ParallelQueryRunner, which adds its own
+// fan-out), and a stats poller at one tree and lets TSan (the `thread`
+// CI leg) hunt the interleavings. Every answer produced while pages
+// are being swapped underneath must still be bit-identical to the
+// single-threaded ground truth — the point set never changes, only
+// the page layout does.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "concurrency/parallel_query_runner.h"
+#include "data/generators.h"
+#include "maint/maintenance_scheduler.h"
+
+namespace iq {
+namespace {
+
+TEST(MaintStressTest, QueriesStayExactWhileMaintenanceRuns) {
+  const size_t kDims = 6;
+  const size_t kK = 3;
+  MemoryStorage storage;
+  DiskModel disk(DiskParameters{0.010, 0.002, 2048});
+  const Dataset data = GenerateCadLike(5000, kDims, 41);
+  Dataset queries(kDims);
+  for (size_t i = 0; i < 24; ++i) queries.Append(data[i]);
+
+  // Build with a fixed coarse level so maintenance has guaranteed
+  // re-quantization work from the first round on.
+  IqTree::Options build;
+  build.fixed_quant_bits = 4;
+  auto tree = IqTree::Build(data, storage, "t", disk, build);
+  ASSERT_TRUE(tree.ok());
+
+  // Single-threaded ground truth before any maintenance: per-query
+  // (distance, id) lists. The point set is immutable here, so every
+  // concurrent answer must reproduce these exact floats.
+  std::vector<std::vector<Neighbor>> expected;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto result = (*tree)->KNearestNeighbors(queries[qi], kK);
+    ASSERT_TRUE(result.ok());
+    expected.push_back(*result);
+  }
+
+  obs::PageStatsCollector collector;
+  maint::MaintenanceScheduler::Options options;
+  options.policy.min_queries = 8;
+  options.interval_s = 0.001;  // keep swapping while clients run
+  maint::MaintenanceScheduler scheduler(tree->get(), &collector, options);
+  scheduler.Start();
+  ASSERT_TRUE(scheduler.running());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+
+  // Client threads: batches with telemetry attached (feeding the
+  // scheduler real page stats) racing the page swaps.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      IqSearchOptions search;
+      search.page_stats = &collector;
+      ParallelQueryRunner runner(**tree, 2);
+      while (!stop.load()) {
+        auto batch = runner.KnnBatch(queries, kK, search);
+        if (!batch.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          const std::vector<Neighbor>& got = (*batch)[qi];
+          const std::vector<Neighbor>& want = expected[qi];
+          if (got.size() != want.size()) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          for (size_t i = 0; i < got.size(); ++i) {
+            if (got[i].distance != want[i].distance) mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  // Stats poller: reads the scheduler counters, the collector, and the
+  // tree's published directory version while everything else runs.
+  // (PredictCost is deliberately NOT polled here — it walks the
+  // directory and is reserved for the maintenance thread itself.)
+  std::thread poller([&] {
+    uint64_t last_version = 0;
+    while (!stop.load()) {
+      const maint::MaintenanceStats stats = scheduler.stats();
+      (void)stats.actions_applied;
+      (void)collector.queries();
+      const uint64_t version = (*tree)->dir_version();
+      EXPECT_GE(version, last_version);
+      last_version = version;
+      std::this_thread::yield();
+    }
+  });
+
+  // Let clients and maintenance overlap for a fixed number of swap
+  // generations rather than wall time, so the test is meaningful on
+  // slow TSan builds too.
+  const uint64_t start_version = (*tree)->dir_version();
+  for (int spin = 0;
+       spin < 2000 && (*tree)->dir_version() < start_version + 4; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  poller.join();
+  scheduler.Stop();
+  EXPECT_FALSE(scheduler.running());
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  // Maintenance actually did something while the clients ran.
+  const maint::MaintenanceStats stats = scheduler.stats();
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.actions_applied, 0u);
+  EXPECT_GT((*tree)->dir_version(), start_version);
+
+  // Quiesced: the tree still holds every point and answers exactly.
+  uint64_t total = 0;
+  for (const DirEntry& entry : (*tree)->directory()) total += entry.count;
+  EXPECT_EQ(total, data.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto result = (*tree)->KNearestNeighbors(queries[qi], kK);
+    ASSERT_TRUE(result.ok());
+    for (size_t i = 0; i < result->size(); ++i) {
+      EXPECT_EQ((*result)[i].distance, expected[qi][i].distance);
+    }
+  }
+  ASSERT_TRUE((*tree)->Flush().ok());
+}
+
+}  // namespace
+}  // namespace iq

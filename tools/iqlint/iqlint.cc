@@ -36,6 +36,7 @@ LintConfig ProjectConfig() {
       {"core", {"analysis", "quant", "data", "costmodel", "sched", "obs"}},
       {"concurrency", {"core"}},
       {"shard", {"concurrency"}},
+      {"maint", {"shard"}},
       {"xtree", {"data", "core"}},
       {"btree", {"io"}},
       {"pyramid", {"btree", "data"}},

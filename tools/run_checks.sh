@@ -247,6 +247,14 @@ SEED
                 --queries "$tree-ds" --limit 8 --k 3 --json \
                 | "$CHECK" --require records --require retained \
                     --require threshold_s
+            # Workload-adaptive maintenance: replay a telemetry batch,
+            # run scheduler rounds, and validate the report shape. This
+            # rewrites pages in the index, so it runs after the
+            # read-only per-index commands above.
+            "$IQTOOL" maint --dir "$OBS_TMP" --index "$tree-idx" \
+                --queries "$tree-ds" --limit 16 --k 3 --rounds 2 --json \
+                | "$CHECK" --require schema_version --require mode \
+                    --require rounds --require stats
             "$IQTOOL" shard build --dir "$OBS_TMP" --dataset "$tree-ds" \
                 --manifest "$tree-m" --shards 3 --plan rank >/dev/null
             "$IQTOOL" shard stats --dir "$OBS_TMP" --manifest "$tree-m" \
@@ -257,6 +265,13 @@ SEED
                 --json \
                 | "$CHECK" --require schema_version --require per_shard \
                     --require aggregate
+            # Shard-mode maintenance planning stays dry so the trace
+            # consistency gate below still sees the bulk-loaded layout.
+            "$IQTOOL" maint --dir "$OBS_TMP" --manifest "$tree-m" \
+                --queries "$tree-ds" --limit 8 --k 3 --rounds 1 \
+                --dry-run --json \
+                | "$CHECK" --require schema_version --require mode \
+                    --require rounds --require stats
             # `trace` exits non-zero when the stitched tree disagrees
             # with the aggregated ShardQueryStats, so this line is the
             # consistency gate as well as a JSON-shape check.
@@ -359,6 +374,21 @@ SEED
             < "$BENCH_TMP/shard.out"
         "$ROOT/build-release/tools/json_check" --require schema_version \
             --require suite --require benches < "$BENCH_TMP/shard.json"
+        echo "==> bench: maintenance convergence micro (bench/micro_maint)"
+        cmake --build "$ROOT/build-release" -j "$JOBS" --target micro_maint
+        # Simulated-I/O and per-round action counts under a skewed
+        # workload: deterministic functions of the dataset, the policy,
+        # and the disk geometry, so the gate verifies the convergence
+        # trajectory itself (actions taper, steady-state io_s drops).
+        IQBENCH_SUITE=maint IQBENCH_GIT_REV="$GIT_REV" \
+            "$ROOT/build-release/bench/micro_maint" --n 8000 --queries 8 \
+            --seed 21 > "$BENCH_TMP/maint.out"
+        "$ROOT/build-release/tools/bench_aggregate" --suite maint \
+            --out "$BENCH_TMP/maint.json" --git-rev "$GIT_REV" \
+            --baseline "$ROOT/BENCH_maint.json" --tolerance 25 \
+            < "$BENCH_TMP/maint.out"
+        "$ROOT/build-release/tools/json_check" --require schema_version \
+            --require suite --require benches < "$BENCH_TMP/maint.json"
         echo "==> bench: flight-recorder overhead micro (bench/micro_obs)"
         cmake --build "$ROOT/build-release" -j "$JOBS" --target micro_obs
         # micro_obs self-gates (exits non-zero when Record() costs more
